@@ -1,0 +1,125 @@
+// Append-mode ablation (paper §2: "the append rows operation can be
+// performed both in a fine-grained and a batch-oriented mode by organizing
+// the rows we need to append as a regular Spark Dataframe").
+//
+// Sweeps rows-per-append from 1 (lowest latency) to 10k (highest
+// throughput) and reports per-row cost.
+#include <benchmark/benchmark.h>
+
+#include "indexed/indexed_relation.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+SchemaPtr EdgeSchema() {
+  return Schema::Make({{"src", TypeId::kInt64, false},
+                       {"dst", TypeId::kInt64, false}});
+}
+
+void BM_AppendMode(benchmark::State& state) {
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  EngineConfig cfg;
+  cfg.num_partitions = 8;
+  auto ctx = ExecutorContext::Make(cfg).ValueOrDie();
+  auto rel =
+      IndexedRelation::Build(*ctx, "append", EdgeSchema(), 0, {}).ValueOrDie();
+  int64_t next = 0;
+  RowVec batch;
+  batch.reserve(batch_rows);
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch.clear();
+    for (size_t i = 0; i < batch_rows; ++i, ++next) {
+      batch.push_back({Value(next % 1000), Value(next)});
+    }
+    state.ResumeTiming();
+    Status st = rel->AppendRows(*ctx, batch);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch_rows));
+  state.counters["rows_per_append"] = static_cast<double>(batch_rows);
+}
+
+BENCHMARK(BM_AppendMode)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Row-batch size ablation (paper §2: "Both the batch and row sizes are
+// configurable parameters"). Sweeps the batch size and measures bulk
+// append throughput plus the batch count the store ends up with.
+void BM_RowBatchSize(benchmark::State& state) {
+  const size_t batch_bytes = static_cast<size_t>(state.range(0));
+  EngineConfig cfg;
+  cfg.num_partitions = 8;
+  cfg.row_batch_bytes = batch_bytes;
+  cfg.max_row_bytes = std::min<size_t>(1024, batch_bytes / 4);
+  auto ctx = ExecutorContext::Make(cfg).ValueOrDie();
+  constexpr size_t kRows = 100000;
+  RowVec rows;
+  rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    rows.push_back({Value(static_cast<int64_t>(i % 5000)),
+                    Value(static_cast<int64_t>(i))});
+  }
+  IndexedRelationPtr rel;
+  for (auto _ : state) {
+    rel = IndexedRelation::Build(*ctx, "bsize", EdgeSchema(), 0, rows)
+              .ValueOrDie();
+    benchmark::DoNotOptimize(rel->num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+  size_t batches = 0;
+  for (int p = 0; p < rel->num_partitions(); ++p) {
+    batches += rel->partition(p).store().num_batches();
+  }
+  state.counters["batch_KB"] = static_cast<double>(batch_bytes) / 1024;
+  state.counters["num_batches"] = static_cast<double>(batches);
+  state.counters["allocated_MB"] = [&] {
+    size_t b = 0;
+    for (int p = 0; p < rel->num_partitions(); ++p) {
+      b += rel->partition(p).store().allocated_bytes();
+    }
+    return static_cast<double>(b) / (1024 * 1024);
+  }();
+}
+BENCHMARK(BM_RowBatchSize)
+    ->Arg(16 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(4 * 1024 * 1024)  // the paper's default
+    ->Unit(benchmark::kMillisecond);
+
+// Single-row direct append: the lowest-latency fine-grained path (no
+// shuffle routing machinery).
+void BM_AppendRowDirect(benchmark::State& state) {
+  EngineConfig cfg;
+  cfg.num_partitions = 8;
+  auto ctx = ExecutorContext::Make(cfg).ValueOrDie();
+  auto rel =
+      IndexedRelation::Build(*ctx, "append1", EdgeSchema(), 0, {}).ValueOrDie();
+  int64_t next = 0;
+  for (auto _ : state) {
+    Status st = rel->AppendRow({Value(next % 1000), Value(next)});
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    ++next;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AppendRowDirect)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace idf
+
+BENCHMARK_MAIN();

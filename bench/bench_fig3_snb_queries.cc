@@ -1,0 +1,48 @@
+// Figure 3 reproduction: the seven SNB Interactive Short ("simple read")
+// queries, Indexed DataFrame vs. vanilla execution.
+//
+// Paper result (SF300, log-scale axis): "The Indexed DataFrame speeds up
+// all queries, with the exception of Q5 and Q6, which cannot make use of
+// the index." Here the scale is IDF_SF (default 2); the shape — SQ1-SQ4
+// and SQ7 sped up, SQ5/SQ6 at parity — is the reproduction target.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace idf {
+namespace {
+
+using bench::SharedSnbContext;
+
+void RunShort(benchmark::State& state, bool indexed) {
+  auto& ctx = SharedSnbContext();
+  const int q = static_cast<int>(state.range(0));
+  const int64_t param = snb::DefaultParam(ctx, q);
+  size_t result_rows = 0;
+  for (auto _ : state) {
+    auto rows = snb::RunShortQuery(ctx, q, indexed, param);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    result_rows = rows->size();
+    benchmark::DoNotOptimize(rows->data());
+  }
+  state.counters["result_rows"] = static_cast<double>(result_rows);
+  state.SetLabel(snb::ShortQueryDescription(q));
+}
+
+void BM_SNB_Vanilla(benchmark::State& state) { RunShort(state, false); }
+void BM_SNB_IndexedDF(benchmark::State& state) { RunShort(state, true); }
+
+BENCHMARK(BM_SNB_IndexedDF)
+    ->DenseRange(1, 7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SNB_Vanilla)
+    ->DenseRange(1, 7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace idf
+
+BENCHMARK_MAIN();

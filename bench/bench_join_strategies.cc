@@ -1,0 +1,161 @@
+// Join-strategy ablation (paper §2, "Scheduling Physical Operators"):
+// the indexed join shuffles the probe side to the index's partitioning,
+// but "when the Dataframe size is small enough to be broadcasted
+// efficiently, our implementation falls back to a broadcast-join".
+//
+// Sweeps the probe-side size to locate the broadcast/shuffle crossover and
+// compares both indexed strategies against the vanilla shuffled hash join.
+#include <benchmark/benchmark.h>
+
+#include "indexed/indexed_dataframe.h"
+#include "indexed/indexed_operators.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+struct Fixture {
+  SessionPtr session;
+  DataFrame build_df;           // 200k-row build side
+  IndexedRelationPtr rel;       // same data, indexed
+  SchemaPtr probe_schema;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = [] {
+    auto fx = new Fixture();
+    EngineConfig cfg;
+    cfg.num_partitions = 8;
+    fx->session = Session::Make(cfg).ValueOrDie();
+    auto schema = Schema::Make({{"k", TypeId::kInt64, false},
+                                {"payload", TypeId::kString, false}});
+    RowVec rows;
+    constexpr int64_t kBuildRows = 200000;
+    for (int64_t i = 0; i < kBuildRows; ++i) {
+      rows.push_back({Value(i % 50000), Value("p" + std::to_string(i % 997))});
+    }
+    auto df = fx->session->CreateDataFrame(schema, rows, "build").ValueOrDie();
+    fx->build_df = df.Cache("build").ValueOrDie();
+    auto idf = IndexedDataFrame::CreateIndex(df, 0, "build_idx").ValueOrDie();
+    fx->rel = idf.relation();
+    fx->probe_schema = Schema::Make({{"fk", TypeId::kInt64, false}});
+    return fx;
+  }();
+  return *f;
+}
+
+DataFrame MakeProbe(Fixture& fx, int64_t n) {
+  RowVec rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) rows.push_back({Value((i * 37) % 50000)});
+  return fx.session->CreateDataFrame(fx.probe_schema, rows, "probe")
+      .ValueOrDie();
+}
+
+// Indexed join with an explicitly chosen probe strategy (bypassing the
+// planner's threshold so both strategies can be measured at every size).
+void RunIndexedJoin(benchmark::State& state, bool broadcast_probe) {
+  auto& fx = SharedFixture();
+  const int64_t probe_n = state.range(0);
+  DataFrame probe = MakeProbe(fx, probe_n);
+  auto probe_plan = probe.plan();
+  auto analyzed = fx.session->OptimizeOnly(probe_plan).ValueOrDie();
+  auto probe_op = fx.session->PlanQuery(probe_plan).ValueOrDie();
+  SchemaPtr out_schema =
+      Schema::Concat(*fx.rel->schema(), *fx.probe_schema);
+  ExprPtr probe_key = BindExpr(Col("fk"), *fx.probe_schema).ValueOrDie();
+  auto join = std::make_shared<IndexedJoinOp>(fx.rel, probe_op, probe_key,
+                                              /*indexed_on_left=*/true,
+                                              broadcast_probe, out_schema);
+  for (auto _ : state) {
+    auto parts = join->Execute(fx.session->exec());
+    if (!parts.ok()) {
+      state.SkipWithError(parts.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(TotalRows(*parts));
+  }
+  state.counters["probe_rows"] = static_cast<double>(probe_n);
+}
+
+void BM_IndexedJoin_BroadcastProbe(benchmark::State& state) {
+  RunIndexedJoin(state, /*broadcast_probe=*/true);
+}
+void BM_IndexedJoin_ShuffledProbe(benchmark::State& state) {
+  RunIndexedJoin(state, /*broadcast_probe=*/false);
+}
+
+BENCHMARK(BM_IndexedJoin_BroadcastProbe)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexedJoin_ShuffledProbe)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Vanilla baseline at the same probe sizes (planner-selected strategy).
+void BM_VanillaJoin(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  DataFrame probe = MakeProbe(fx, state.range(0));
+  for (auto _ : state) {
+    auto joined = fx.build_df.Join(probe, "k", "fk").ValueOrDie();
+    auto n = joined.Count();
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*n);
+  }
+  state.counters["probe_rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_VanillaJoin)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Vanilla strategy ablation (DESIGN.md §6): sort-merge join (Spark's
+// default) vs shuffled hash join, both sides large so broadcast is out.
+void RunVanillaStrategy(benchmark::State& state, bool prefer_smj) {
+  EngineConfig cfg;
+  cfg.num_partitions = 8;
+  cfg.broadcast_threshold_bytes = 1;  // force the large-large path
+  cfg.prefer_sort_merge_join = prefer_smj;
+  auto session = Session::Make(cfg).ValueOrDie();
+  auto schema = Schema::Make({{"k", TypeId::kInt64, false}});
+  RowVec rows;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) rows.push_back({Value(i % (n / 4 + 1))});
+  auto left = session->CreateDataFrame(schema, rows, "l").ValueOrDie()
+                  .Cache("l").ValueOrDie();
+  auto right = session->CreateDataFrame(schema, rows, "r").ValueOrDie()
+                   .Cache("r").ValueOrDie();
+  for (auto _ : state) {
+    auto joined = left.Join(right, "k", "k").ValueOrDie();
+    auto count = joined.Count();
+    if (!count.ok()) {
+      state.SkipWithError(count.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*count);
+  }
+}
+void BM_Vanilla_SortMergeJoin(benchmark::State& state) {
+  RunVanillaStrategy(state, true);
+}
+void BM_Vanilla_ShuffledHashJoin(benchmark::State& state) {
+  RunVanillaStrategy(state, false);
+}
+BENCHMARK(BM_Vanilla_SortMergeJoin)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Vanilla_ShuffledHashJoin)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace idf
+
+BENCHMARK_MAIN();

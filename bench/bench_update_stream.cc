@@ -1,0 +1,75 @@
+// Continuously-growing-data experiment (paper §1/§4 demo scenario): a
+// Kafka-style update stream keeps appending knows-edges while query
+// threads run point lookups against MVCC snapshots. Reports append and
+// query latency percentiles while the dataset grows.
+#include <benchmark/benchmark.h>
+
+#include "snb/tables.h"
+#include "snb/update_stream.h"
+#include "stream/streaming_driver.h"
+
+#include "bench_common.h"
+
+namespace idf {
+namespace {
+
+void BM_UpdateStreamWithQueries(benchmark::State& state) {
+  const size_t rows_per_batch = static_cast<size_t>(state.range(0));
+  const int query_threads = static_cast<int>(state.range(1));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Fresh relation per iteration so growth is comparable across runs.
+    EngineConfig cfg;
+    cfg.num_partitions = 8;
+    auto session = Session::Make(cfg).ValueOrDie();
+    snb::SnbConfig scfg;
+    scfg.scale_factor = 0.5;
+    auto ds = snb::GenerateSnb(scfg);
+    auto knows_df =
+        session->CreateDataFrame(snb::KnowsSchema(), ds.knows, "knows")
+            .ValueOrDie();
+    auto idf = IndexedDataFrame::CreateIndex(knows_df, snb::knows::kPerson1,
+                                             "knows_stream")
+                   .ValueOrDie()
+                   .Cache();
+    snb::UpdateStreamGenerator gen(ds);
+    Value hot_key(ds.first_person_id + 1);
+    StreamingConfig stream_cfg;
+    stream_cfg.num_batches = 4000 / rows_per_batch + 1;
+    stream_cfg.rows_per_batch = rows_per_batch;
+    stream_cfg.num_query_threads = query_threads;
+    state.ResumeTiming();
+
+    auto report = RunStreamingWorkload(
+        idf,
+        [&gen, rows_per_batch](size_t) {
+          return gen.NextKnowsBatch(rows_per_batch / 2 + 1);
+        },
+        [&idf, &hot_key]() { return idf.GetRows(hot_key).Collect().status(); },
+        stream_cfg);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    state.counters["append_p50_us"] = report->append_latency.Percentile(50);
+    state.counters["append_p99_us"] = report->append_latency.Percentile(99);
+    state.counters["query_p50_us"] = report->query_latency.Percentile(50);
+    state.counters["query_p99_us"] = report->query_latency.Percentile(99);
+    state.counters["queries_run"] = static_cast<double>(report->queries_run);
+    state.counters["rows_appended"] =
+        static_cast<double>(report->rows_appended);
+  }
+}
+
+BENCHMARK(BM_UpdateStreamWithQueries)
+    ->Args({10, 1})    // fine-grained appends, one query thread
+    ->Args({100, 1})   // batched appends
+    ->Args({10, 2})    // more query pressure
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace idf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// SNB explorer: run any of the seven short-read queries on a generated
+// social graph, on either engine, and compare plans and timings — the
+// command-line version of the paper's demo dashboard.
+//
+//   Usage: ./snb_explorer [query=all|1..7] [scale_factor=1.0] [param]
+//
+//   ./snb_explorer           # all seven queries, SF 1, default params
+//   ./snb_explorer 3 2.0     # SQ3 at SF 2
+//   ./snb_explorer 1 1.0 10042   # SQ1 for person 10042
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "snb/short_queries.h"
+
+using namespace idf;  // NOLINT — example brevity
+
+namespace {
+
+double TimeQuery(const snb::SnbContext& ctx, int q, bool indexed, int64_t param,
+                 size_t* rows_out) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto rows = snb::RunShortQuery(ctx, q, indexed, param).ValueOrDie();
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  *rows_out = rows.size();
+  return ms;
+}
+
+void RunOne(const snb::SnbContext& ctx, int q, int64_t param) {
+  size_t vanilla_rows = 0;
+  size_t indexed_rows = 0;
+  // Warm both paths once, then measure.
+  (void)snb::RunShortQuery(ctx, q, false, param).ValueOrDie();
+  (void)snb::RunShortQuery(ctx, q, true, param).ValueOrDie();
+  double vanilla_ms = TimeQuery(ctx, q, false, param, &vanilla_rows);
+  double indexed_ms = TimeQuery(ctx, q, true, param, &indexed_rows);
+  std::printf("%-64s param=%-10ld\n", snb::ShortQueryDescription(q),
+              static_cast<long>(param));
+  std::printf("    vanilla : %9.3f ms (%zu rows)\n", vanilla_ms, vanilla_rows);
+  std::printf("    indexed : %9.3f ms (%zu rows)   speedup %.2fx\n\n",
+              indexed_ms, indexed_rows,
+              indexed_ms > 0 ? vanilla_ms / indexed_ms : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "all";
+  double sf = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("generating SNB-like dataset at scale factor %.2f ...\n", sf);
+  snb::SnbConfig cfg;
+  cfg.scale_factor = sf;
+  EngineConfig engine_cfg;
+  engine_cfg.num_partitions = 8;
+  SessionPtr session = Session::Make(engine_cfg).ValueOrDie();
+  snb::SnbContext ctx =
+      snb::MakeSnbContext(session, snb::GenerateSnb(cfg)).ValueOrDie();
+  std::printf("loaded: %zu persons, %zu knows, %zu posts, %zu comments\n\n",
+              ctx.dataset.persons.size(), ctx.dataset.knows.size(),
+              ctx.dataset.posts.size(), ctx.dataset.comments.size());
+
+  if (which == "all") {
+    for (int q = 1; q <= 7; ++q) RunOne(ctx, q, snb::DefaultParam(ctx, q));
+  } else {
+    int q = std::atoi(which.c_str());
+    if (q < 1 || q > 7) {
+      std::fprintf(stderr, "query must be 1..7 or 'all'\n");
+      return 1;
+    }
+    int64_t param = argc > 3 ? std::atoll(argv[3]) : snb::DefaultParam(ctx, q);
+    RunOne(ctx, q, param);
+  }
+  return 0;
+}

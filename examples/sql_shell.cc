@@ -1,0 +1,163 @@
+// Interactive SQL shell over a generated SNB social graph — the "Users
+// write SQL queries" entry point of the paper's Figure 1, with the Indexed
+// DataFrame rewrites applied transparently.
+//
+//   Usage: ./sql_shell [scale_factor=0.5]
+//
+// Registered tables:
+//   person, knows, post, comment, forum, forum_member     (cached, vanilla)
+//   iperson, iknows, ipost_by_creator, ipost, icomment    (indexed)
+//
+// Commands:
+//   <sql>;            run a SELECT (may span lines; terminated by ';')
+//   explain <sql>;    show the optimized logical and physical plans
+//   analyze <sql>;    run and show plans + wall time + engine metrics
+//   tables            list registered tables
+//   quit              exit
+//
+// Try, e.g.:
+//   SELECT firstName, lastName FROM iperson WHERE id = 10012;
+//   EXPLAIN SELECT p.firstName, k.person2Id FROM iknows k
+//       JOIN iperson p ON k.person2Id = p.id WHERE k.person1Id = 10012;
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "snb/short_queries.h"
+
+using namespace idf;  // NOLINT — example brevity
+
+namespace {
+
+void PrintResult(const SchemaPtr& schema, const RowVec& rows, double ms) {
+  for (int i = 0; i < schema->num_fields(); ++i) {
+    std::printf("%s%s", i > 0 ? " | " : "", schema->field(i).name.c_str());
+  }
+  std::printf("\n");
+  const size_t shown = std::min<size_t>(rows.size(), 25);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      std::printf("%s%s", c > 0 ? " | " : "", rows[r][c].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (rows.size() > shown) {
+    std::printf("... (%zu more rows)\n", rows.size() - shown);
+  }
+  std::printf("-- %zu row(s) in %.2f ms\n", rows.size(), ms);
+}
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  if (a.size() != std::string(b).size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.5;
+  std::printf("loading SNB-like graph at scale factor %.2f ...\n", sf);
+  snb::SnbConfig cfg;
+  cfg.scale_factor = sf;
+  EngineConfig engine_cfg;
+  engine_cfg.num_partitions = 8;
+  SessionPtr session = Session::Make(engine_cfg).ValueOrDie();
+  snb::SnbContext ctx =
+      snb::MakeSnbContext(session, snb::GenerateSnb(cfg)).ValueOrDie();
+
+  auto reg = [&](const char* name, DataFrame df) {
+    session->RegisterTable(name, std::move(df)).AbortIfNotOK();
+  };
+  reg("person", ctx.person);
+  reg("knows", ctx.knows);
+  reg("post", ctx.post);
+  reg("comment", ctx.comment);
+  reg("forum", ctx.forum);
+  reg("forum_member", ctx.forum_member);
+  reg("iperson", ctx.person_by_id->ToDataFrame());
+  reg("iknows", ctx.knows_by_person1->ToDataFrame());
+  reg("ipost_by_creator", ctx.post_by_creator->ToDataFrame());
+  reg("ipost", ctx.post_by_id->ToDataFrame());
+  reg("icomment", ctx.comment_by_reply->ToDataFrame());
+
+  std::printf(
+      "ready: %zu persons, %zu knows edges. Example person id: %ld\n"
+      "type SQL terminated by ';', 'tables', or 'quit'.\n\n",
+      ctx.dataset.persons.size(), ctx.dataset.knows.size(),
+      static_cast<long>(ctx.dataset.MidPersonId()));
+
+  std::string buffer;
+  std::string line;
+  std::printf("idf> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (buffer.empty()) {
+      if (EqualsIgnoreCase(line, "quit") || EqualsIgnoreCase(line, "exit")) {
+        break;
+      }
+      if (EqualsIgnoreCase(line, "tables")) {
+        for (const std::string& name : session->TableNames()) {
+          std::printf("  %s\n", name.c_str());
+        }
+        std::printf("idf> ");
+        std::fflush(stdout);
+        continue;
+      }
+    }
+    buffer += line;
+    buffer += ' ';
+    size_t semi = buffer.find(';');
+    if (semi == std::string::npos) {
+      std::printf("  -> ");
+      std::fflush(stdout);
+      continue;
+    }
+    std::string stmt = buffer.substr(0, semi);
+    buffer.clear();
+
+    bool explain = false;
+    bool analyze = false;
+    size_t start = stmt.find_first_not_of(" \t");
+    if (start != std::string::npos) {
+      if (EqualsIgnoreCase(stmt.substr(start, 7), "EXPLAIN")) {
+        explain = true;
+        stmt = stmt.substr(start + 7);
+      } else if (EqualsIgnoreCase(stmt.substr(start, 7), "ANALYZE")) {
+        analyze = true;
+        stmt = stmt.substr(start + 7);
+      }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto df = session->Sql(stmt);
+    if (!df.ok()) {
+      std::printf("error: %s\n", df.status().ToString().c_str());
+    } else if (explain || analyze) {
+      auto plan = analyze ? df->ExplainAnalyze() : df->Explain();
+      std::printf("%s", plan.ok() ? plan->c_str()
+                                  : plan.status().ToString().c_str());
+    } else {
+      auto rows = df->Collect();
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      if (!rows.ok()) {
+        std::printf("error: %s\n", rows.status().ToString().c_str());
+      } else {
+        PrintResult(df->schema().ValueOrDie(), *rows, ms);
+      }
+    }
+    std::printf("idf> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Threat detection and response (paper §1, citing Brezinski & Armbrust,
+// Spark Summit 2018): interactive point lookups over a continuously
+// appended security event log. "Using indexes minimizes the amount of data
+// that is materialized and processed."
+//
+// The scenario: a stream of connection events (src_ip, dst_ip, port,
+// bytes, ts) is indexed by source IP; an analyst pivots from one indicator
+// of compromise to the hosts it touched in sub-millisecond time while
+// events keep arriving.
+//
+//   Usage: ./threat_detection [events=300000]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "indexed/indexed_dataframe.h"
+#include "sql/session.h"
+
+using namespace idf;  // NOLINT — example brevity
+
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"src_ip", TypeId::kString, false},
+                       {"dst_ip", TypeId::kString, false},
+                       {"port", TypeId::kInt32, false},
+                       {"bytes", TypeId::kInt64, false},
+                       {"ts", TypeId::kTimestamp, false}});
+}
+
+std::string IpFor(uint64_t host) {
+  return "10." + std::to_string((host >> 16) & 0xFF) + "." +
+         std::to_string((host >> 8) & 0xFF) + "." + std::to_string(host & 0xFF);
+}
+
+Row MakeEvent(Random64* rng, int64_t ts) {
+  uint64_t src = rng->Skewed(5000, 1.3);
+  uint64_t dst = rng->Uniform(5000);
+  return {Value(IpFor(src)), Value(IpFor(dst)),
+          Value(static_cast<int32_t>(rng->Uniform(2) ? 443 : 22)),
+          Value(static_cast<int64_t>(rng->Uniform(1 << 20))), Value(ts)};
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t num_events = argc > 1 ? std::atoll(argv[1]) : 300000;
+  Random64 rng(2026);
+
+  std::printf("ingesting %ld historical connection events ...\n",
+              static_cast<long>(num_events));
+  RowVec events;
+  events.reserve(static_cast<size_t>(num_events));
+  for (int64_t i = 0; i < num_events; ++i) {
+    events.push_back(MakeEvent(&rng, 1700000000000000 + i));
+  }
+
+  SessionPtr session = Session::Make().ValueOrDie();
+  DataFrame log_df =
+      session->CreateDataFrame(EventSchema(), events, "conn_log").ValueOrDie();
+  DataFrame cached_log = log_df.Cache("conn_log").ValueOrDie();
+
+  auto t0 = std::chrono::steady_clock::now();
+  IndexedDataFrame by_src =
+      IndexedDataFrame::CreateIndex(log_df, "src_ip", "conn_by_src")
+          .ValueOrDie()
+          .Cache();
+  std::printf("index on src_ip built in %.1f ms (overhead ratio %.2f)\n",
+              MillisSince(t0), by_src.IndexOverheadRatio());
+
+  // The indicator of compromise: a known-bad source address.
+  const std::string ioc = IpFor(17);
+
+  // Vanilla pivot: full scan of the cached log.
+  t0 = std::chrono::steady_clock::now();
+  RowVec scan_hits = cached_log.Filter(Eq(Col("src_ip"), Lit(Value(ioc))))
+                         .ValueOrDie()
+                         .Collect()
+                         .ValueOrDie();
+  double scan_ms = MillisSince(t0);
+
+  // Indexed pivot: point lookup.
+  t0 = std::chrono::steady_clock::now();
+  RowVec index_hits = by_src.GetRows(Value(ioc)).Collect().ValueOrDie();
+  double lookup_ms = MillisSince(t0);
+
+  std::printf(
+      "\npivot on IOC %s:\n"
+      "  cached scan     : %8.2f ms (%zu events)\n"
+      "  indexed lookup  : %8.2f ms (%zu events)  -> %.1fx speedup\n",
+      ioc.c_str(), scan_ms, scan_hits.size(), lookup_ms, index_hits.size(),
+      scan_ms / lookup_ms);
+
+  // Which hosts did the IOC talk to, and how much data moved? The lookup
+  // result is a DataFrame: aggregate it like any other.
+  RowVec exfil = by_src.GetRows(Value(ioc))
+                     .GroupByAgg({"dst_ip"}, {CountStar("connections"),
+                                              SumOf(Col("bytes"), "bytes_out")})
+                     .ValueOrDie()
+                     .OrderBy("bytes_out", /*ascending=*/false)
+                     .ValueOrDie()
+                     .Limit(5)
+                     .ValueOrDie()
+                     .Collect()
+                     .ValueOrDie();
+  std::printf("\ntop targets of %s by bytes:\n", ioc.c_str());
+  for (const Row& row : exfil) {
+    std::printf("  %-16s connections=%-4ld bytes=%ld\n",
+                row[0].string_value().c_str(),
+                static_cast<long>(row[1].AsInt64()),
+                static_cast<long>(row[2].AsInt64()));
+  }
+
+  // New events keep arriving; the index absorbs them without re-caching,
+  // and the next pivot sees them immediately.
+  RowVec live;
+  for (int i = 0; i < 1000; ++i) {
+    Row e = MakeEvent(&rng, 1800000000000000 + i);
+    if (i % 100 == 0) e[0] = Value(ioc);  // the attacker is still active
+    live.push_back(std::move(e));
+  }
+  t0 = std::chrono::steady_clock::now();
+  IDF_CHECK_OK(by_src.AppendRowsDirect(live));
+  double append_ms = MillisSince(t0);
+  size_t after = by_src.GetRows(Value(ioc)).Count().ValueOrDie();
+  std::printf(
+      "\nappended 1000 live events in %.2f ms; IOC now matches %zu events "
+      "(was %zu)\n",
+      append_ms, after, index_hits.size());
+  return 0;
+}

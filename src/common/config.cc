@@ -1,0 +1,46 @@
+#include "common/config.h"
+
+#include <thread>
+
+#include "storage/packed_pointer.h"
+
+namespace idf {
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+Status EngineConfig::Validate() const {
+  if (row_batch_bytes == 0) {
+    return Status::InvalidArgument("row_batch_bytes must be positive");
+  }
+  if (max_row_bytes == 0 || max_row_bytes > row_batch_bytes) {
+    return Status::InvalidArgument(
+        "max_row_bytes must be in (0, row_batch_bytes]");
+  }
+  if (row_batch_bytes > PackedPointer::kMaxOffset + 1) {
+    return Status::InvalidArgument(
+        "row_batch_bytes exceeds the addressable range of packed row "
+        "pointers (" +
+        std::to_string(PackedPointer::kMaxOffset + 1) + " bytes)");
+  }
+  if (max_row_bytes > PackedPointer::kMaxRowSize) {
+    return Status::InvalidArgument(
+        "max_row_bytes exceeds the packed pointer prev-row-size field (" +
+        std::to_string(PackedPointer::kMaxRowSize) + " bytes)");
+  }
+  if (num_partitions < 0 || num_threads < 0) {
+    return Status::InvalidArgument("partition/thread counts must be >= 0");
+  }
+  return Status::OK();
+}
+
+EngineConfig EngineConfig::Resolved() const {
+  EngineConfig out = *this;
+  if (out.num_threads == 0) out.num_threads = HardwareThreads();
+  if (out.num_partitions == 0) out.num_partitions = 2 * out.num_threads;
+  return out;
+}
+
+}  // namespace idf

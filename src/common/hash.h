@@ -1,0 +1,64 @@
+// 64-bit hashing used for index keys and hash partitioning.
+//
+// The primary hash is a self-contained xxHash64-style mix; we also expose a
+// cheap avalanching finalizer (SplitMix64) for already-random integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace idf {
+
+/// xxHash64-style hash of an arbitrary byte buffer.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// SplitMix64 finalizer: cheap, full-avalanche mix of one 64-bit integer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Deterministic pseudo-random generator (xorshift*), used by the SNB
+/// datagen so datasets are reproducible across runs and platforms.
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed) : state_(seed ? seed : 0x853c49e6748fea9bULL) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Zipf-like skewed integer in [0, n): smaller values are more likely.
+  uint64_t Skewed(uint64_t n, double exponent = 1.2);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace idf

@@ -1,0 +1,75 @@
+// Minimal leveled logger plus CHECK macros (Arrow/glog style).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/macros.h"
+
+namespace idf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum severity emitted to stderr (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (and aborts for kFatal) on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+  IDF_DISALLOW_COPY_AND_ASSIGN(LogMessage);
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used to elide disabled levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace idf
+
+#define IDF_LOG_INTERNAL(level) \
+  ::idf::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define IDF_LOG(severity) IDF_LOG_INTERNAL(::idf::LogLevel::k##severity)
+
+#define IDF_CHECK(cond)                                              \
+  if (IDF_PREDICT_FALSE(!(cond)))                                    \
+  IDF_LOG(Fatal) << "Check failed: " #cond " "
+
+#define IDF_CHECK_OK(expr)                                           \
+  do {                                                               \
+    ::idf::Status _s = (expr);                                       \
+    if (IDF_PREDICT_FALSE(!_s.ok()))                                 \
+      IDF_LOG(Fatal) << "Check failed: " << _s.ToString();           \
+  } while (false)
+
+#define IDF_CHECK_EQ(a, b) IDF_CHECK((a) == (b))
+#define IDF_CHECK_NE(a, b) IDF_CHECK((a) != (b))
+#define IDF_CHECK_LT(a, b) IDF_CHECK((a) < (b))
+#define IDF_CHECK_LE(a, b) IDF_CHECK((a) <= (b))
+#define IDF_CHECK_GT(a, b) IDF_CHECK((a) > (b))
+#define IDF_CHECK_GE(a, b) IDF_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define IDF_DCHECK(cond) IDF_CHECK(cond)
+#else
+#define IDF_DCHECK(cond) \
+  while (false) IDF_CHECK(cond)
+#endif

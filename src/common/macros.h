@@ -1,0 +1,34 @@
+// Common preprocessor macros used across the Indexed DataFrame codebase.
+#pragma once
+
+#define IDF_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#define IDF_CONCAT_IMPL(x, y) x##y
+#define IDF_CONCAT(x, y) IDF_CONCAT_IMPL(x, y)
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define IDF_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::idf::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+/// error Status.
+#define IDF_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  IDF_ASSIGN_OR_RETURN_IMPL(IDF_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define IDF_ASSIGN_OR_RETURN_IMPL(res, lhs, rexpr) \
+  auto res = (rexpr);                              \
+  if (!res.ok()) return res.status();              \
+  lhs = std::move(res).ValueUnsafe();
+
+#if defined(__GNUC__) || defined(__clang__)
+#define IDF_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define IDF_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#else
+#define IDF_PREDICT_TRUE(x) (x)
+#define IDF_PREDICT_FALSE(x) (x)
+#endif

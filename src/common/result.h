@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace idf {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Construct from a T to signal success, or from a non-OK Status to signal
+/// failure. Use IDF_ASSIGN_OR_RETURN to unwrap-and-propagate.
+template <typename T>
+class Result {
+ public:
+  /// Error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (IDF_PREDICT_FALSE(this->status().ok())) {
+      Status::Internal("Result constructed from OK status").Abort();
+    }
+  }
+  /// Successful result.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const& {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    AbortIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Unchecked accessors for use after testing ok().
+  const T& ValueUnsafe() const& { return std::get<T>(repr_); }
+  T& ValueUnsafe() & { return std::get<T>(repr_); }
+  T ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  template <typename U>
+  T ValueOr(U&& alternative) const& {
+    return ok() ? std::get<T>(repr_) : static_cast<T>(std::forward<U>(alternative));
+  }
+
+ private:
+  void AbortIfError() const {
+    if (IDF_PREDICT_FALSE(!ok())) std::get<Status>(repr_).Abort();
+  }
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace idf

@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace idf {
+
+namespace {
+const std::string kEmpty;  // NOLINT
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(new State{code, std::move(msg)}) {}
+
+const std::string& Status::message() const {
+  return state_ ? state_->msg : kEmpty;
+}
+
+std::string StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kIndexError:
+      return "IndexError";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCapacityError:
+      return "CapacityError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return StatusCodeToString(code()) + ": " + message();
+}
+
+void Status::Abort() const {
+  std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace idf

@@ -1,0 +1,105 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Apache Arrow / RocksDB. All fallible library entry points return Status or
+// Result<T>.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace idf {
+
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,
+  kTypeError = 3,
+  kIndexError = 4,
+  kOutOfMemory = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kCapacityError = 8,
+  kCancelled = 9,
+};
+
+/// \brief Operation outcome: OK, or an error code plus message.
+///
+/// The OK state is represented by a null internal pointer so that
+/// `Status::OK()` is free to construct, copy, and test.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsIndexError() const { return code() == StatusCode::kIndexError; }
+  bool IsCapacityError() const { return code() == StatusCode::kCapacityError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Human-readable "<Code>: <message>" rendering.
+  std::string ToString() const;
+
+  /// Aborts the process when not OK; use in tests and examples only.
+  void Abort() const;
+  void AbortIfNotOK() const {
+    if (IDF_PREDICT_FALSE(!ok())) Abort();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+std::string StatusCodeToString(StatusCode code);
+
+}  // namespace idf

@@ -1,0 +1,3 @@
+#include "engine/broadcast.h"
+
+// Broadcast helpers are header-only; this translation unit anchors the target.

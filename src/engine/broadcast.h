@@ -1,0 +1,28 @@
+// Broadcast: ships a small dataset to every executor, modelling Spark's
+// broadcast variables. In-process this is a shared immutable pointer; the
+// metrics account the bytes a cluster would transmit (size x executors) so
+// join-strategy decisions and benchmark reporting stay faithful.
+#pragma once
+
+#include <memory>
+
+#include "engine/executor_context.h"
+#include "engine/shuffle.h"
+
+namespace idf {
+
+struct BroadcastRows {
+  std::shared_ptr<const RowVec> rows;
+};
+
+/// Creates a broadcast of `rows`, charging metrics for the simulated
+/// cluster-wide transmission.
+inline BroadcastRows MakeBroadcast(ExecutorContext& ctx, RowVec rows) {
+  size_t bytes = 0;
+  for (const Row& r : rows) bytes += EstimateRowBytes(r);
+  ctx.metrics().AddBroadcastBytes(bytes *
+                                  static_cast<uint64_t>(ctx.config().num_threads));
+  return BroadcastRows{std::make_shared<const RowVec>(std::move(rows))};
+}
+
+}  // namespace idf

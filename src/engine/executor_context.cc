@@ -1,0 +1,15 @@
+#include "engine/executor_context.h"
+
+namespace idf {
+
+ExecutorContext::ExecutorContext(EngineConfig config)
+    : config_(config), pool_(std::make_unique<ThreadPool>(config.num_threads)) {}
+
+Result<std::shared_ptr<ExecutorContext>> ExecutorContext::Make(
+    const EngineConfig& config) {
+  EngineConfig resolved = config.Resolved();
+  IDF_RETURN_NOT_OK(resolved.Validate());
+  return std::shared_ptr<ExecutorContext>(new ExecutorContext(resolved));
+}
+
+}  // namespace idf

@@ -1,0 +1,36 @@
+// ExecutorContext: the per-session runtime — resolved configuration, the
+// executor thread pool, and query metrics. One context is shared by all
+// DataFrames of a Session.
+#pragma once
+
+#include <memory>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "engine/metrics.h"
+#include "engine/thread_pool.h"
+
+namespace idf {
+
+class ExecutorContext {
+ public:
+  /// `config` is resolved (auto fields filled) and validated here.
+  static Result<std::shared_ptr<ExecutorContext>> Make(const EngineConfig& config);
+
+  const EngineConfig& config() const { return config_; }
+  ThreadPool& pool() { return *pool_; }
+  QueryMetrics& metrics() { return metrics_; }
+
+  int num_partitions() const { return config_.num_partitions; }
+
+ private:
+  explicit ExecutorContext(EngineConfig config);
+
+  EngineConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  QueryMetrics metrics_;
+};
+
+using ExecutorContextPtr = std::shared_ptr<ExecutorContext>;
+
+}  // namespace idf

@@ -1,0 +1,27 @@
+#include "engine/metrics.h"
+
+namespace idf {
+
+void QueryMetrics::Reset() {
+  shuffled_rows_ = 0;
+  shuffled_bytes_ = 0;
+  broadcast_bytes_ = 0;
+  tasks_run_ = 0;
+  index_probes_ = 0;
+  index_hits_ = 0;
+  rows_scanned_ = 0;
+  rows_produced_ = 0;
+}
+
+std::string QueryMetrics::ToString() const {
+  return "metrics{shuffled_rows=" + std::to_string(shuffled_rows()) +
+         ", shuffled_bytes=" + std::to_string(shuffled_bytes()) +
+         ", broadcast_bytes=" + std::to_string(broadcast_bytes()) +
+         ", tasks=" + std::to_string(tasks_run()) +
+         ", index_probes=" + std::to_string(index_probes()) +
+         ", index_hits=" + std::to_string(index_hits()) +
+         ", rows_scanned=" + std::to_string(rows_scanned()) +
+         ", rows_produced=" + std::to_string(rows_produced()) + "}";
+}
+
+}  // namespace idf

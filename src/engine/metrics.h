@@ -1,0 +1,47 @@
+// Execution metrics: rows/bytes shuffled, tasks run, index probes. Used by
+// benchmarks and tests to assert which physical path actually executed
+// (e.g. "this query probed the index and shuffled nothing").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace idf {
+
+class QueryMetrics {
+ public:
+  void Reset();
+
+  void AddShuffledRows(uint64_t n) { shuffled_rows_ += n; }
+  void AddShuffledBytes(uint64_t n) { shuffled_bytes_ += n; }
+  void AddBroadcastBytes(uint64_t n) { broadcast_bytes_ += n; }
+  void AddTask() { tasks_run_ += 1; }
+  void AddIndexProbes(uint64_t n) { index_probes_ += n; }
+  void AddIndexHits(uint64_t n) { index_hits_ += n; }
+  void AddRowsScanned(uint64_t n) { rows_scanned_ += n; }
+  void AddRowsProduced(uint64_t n) { rows_produced_ += n; }
+
+  uint64_t shuffled_rows() const { return shuffled_rows_; }
+  uint64_t shuffled_bytes() const { return shuffled_bytes_; }
+  uint64_t broadcast_bytes() const { return broadcast_bytes_; }
+  uint64_t tasks_run() const { return tasks_run_; }
+  uint64_t index_probes() const { return index_probes_; }
+  uint64_t index_hits() const { return index_hits_; }
+  uint64_t rows_scanned() const { return rows_scanned_; }
+  uint64_t rows_produced() const { return rows_produced_; }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> shuffled_rows_{0};
+  std::atomic<uint64_t> shuffled_bytes_{0};
+  std::atomic<uint64_t> broadcast_bytes_{0};
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> index_probes_{0};
+  std::atomic<uint64_t> index_hits_{0};
+  std::atomic<uint64_t> rows_scanned_{0};
+  std::atomic<uint64_t> rows_produced_{0};
+};
+
+}  // namespace idf

@@ -1,0 +1,3 @@
+#include "engine/partitioner.h"
+
+// HashPartitioner is header-only; this translation unit anchors the target.

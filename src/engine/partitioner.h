@@ -1,0 +1,34 @@
+// HashPartitioner: routes rows to partitions by the hash of a key value.
+// This is the partitioning scheme of the Indexed DataFrame ("hash
+// partitioning scheme on the indexed key", paper §2) and of shuffles.
+#pragma once
+
+#include <cstdint>
+
+#include "types/value.h"
+
+namespace idf {
+
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(int num_partitions) : num_partitions_(num_partitions) {}
+
+  int num_partitions() const { return num_partitions_; }
+
+  int PartitionOf(const Value& key) const {
+    return static_cast<int>(key.Hash() % static_cast<uint64_t>(num_partitions_));
+  }
+
+  int PartitionOfHash(uint64_t hash) const {
+    return static_cast<int>(hash % static_cast<uint64_t>(num_partitions_));
+  }
+
+  bool operator==(const HashPartitioner& o) const {
+    return num_partitions_ == o.num_partitions_;
+  }
+
+ private:
+  int num_partitions_;
+};
+
+}  // namespace idf

@@ -1,0 +1,90 @@
+#include "engine/shuffle.h"
+
+#include <mutex>
+
+namespace idf {
+
+size_t EstimateRowBytes(const Row& row) {
+  size_t bytes = sizeof(Row);
+  for (const Value& v : row) {
+    bytes += 16;  // variant header
+    if (v.is_string()) bytes += v.string_value().size();
+  }
+  return bytes;
+}
+
+size_t EstimatePartitionedBytes(const PartitionedRows& parts) {
+  size_t bytes = 0;
+  for (const RowVec& p : parts) {
+    for (const Row& r : p) bytes += EstimateRowBytes(r);
+  }
+  return bytes;
+}
+
+PartitionedRows ShuffleByKey(ExecutorContext& ctx, const PartitionedRows& input,
+                             int key_col, const HashPartitioner& partitioner) {
+  const int num_out = partitioner.num_partitions();
+  // Map side: each input partition hashes its rows into `num_out` buckets.
+  std::vector<std::vector<RowVec>> buckets(input.size());
+  uint64_t total_rows = 0;
+  uint64_t total_bytes = 0;
+  std::mutex stats_mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    std::vector<RowVec> local(static_cast<size_t>(num_out));
+    uint64_t rows = 0;
+    uint64_t bytes = 0;
+    for (const Row& row : input[p]) {
+      const Value& key = row[static_cast<size_t>(key_col)];
+      int target = key.is_null() ? 0 : partitioner.PartitionOf(key);
+      bytes += EstimateRowBytes(row);
+      ++rows;
+      local[static_cast<size_t>(target)].push_back(row);
+    }
+    buckets[p] = std::move(local);
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total_rows += rows;
+    total_bytes += bytes;
+  });
+  ctx.metrics().AddShuffledRows(total_rows);
+  ctx.metrics().AddShuffledBytes(total_bytes);
+
+  // Reduce side: concatenate the buckets destined for each output partition.
+  PartitionedRows output(static_cast<size_t>(num_out));
+  ctx.pool().ParallelFor(static_cast<size_t>(num_out), [&](size_t out) {
+    ctx.metrics().AddTask();
+    size_t total = 0;
+    for (const auto& b : buckets) total += b[out].size();
+    output[out].reserve(total);
+    for (auto& b : buckets) {
+      RowVec& src = const_cast<RowVec&>(b[out]);
+      for (Row& row : src) output[out].push_back(std::move(row));
+    }
+  });
+  return output;
+}
+
+PartitionedRows SplitRoundRobin(const RowVec& rows, int num_partitions) {
+  PartitionedRows out(static_cast<size_t>(num_partitions));
+  size_t per = rows.size() / static_cast<size_t>(num_partitions) + 1;
+  for (auto& p : out) p.reserve(per);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i % static_cast<size_t>(num_partitions)].push_back(rows[i]);
+  }
+  return out;
+}
+
+RowVec FlattenPartitions(const PartitionedRows& parts) {
+  RowVec out;
+  out.reserve(CountRows(parts));
+  for (const RowVec& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+size_t CountRows(const PartitionedRows& parts) {
+  size_t n = 0;
+  for (const RowVec& p : parts) n += p.size();
+  return n;
+}
+
+}  // namespace idf

@@ -1,0 +1,37 @@
+// Shuffle: redistributes partitioned rows by the hash of a key column,
+// modelling Spark's exchange. The data movement (hash, route, copy) is real
+// work and is what the indexed join avoids on its build side.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor_context.h"
+#include "engine/partitioner.h"
+#include "types/row.h"
+
+namespace idf {
+
+/// Rows of one dataset, split across partitions.
+using PartitionedRows = std::vector<RowVec>;
+
+/// Approximate in-memory size of a row (metrics and broadcast decisions).
+size_t EstimateRowBytes(const Row& row);
+
+size_t EstimatePartitionedBytes(const PartitionedRows& parts);
+
+/// Redistributes `input` so that every row lands in partition
+/// `partitioner.PartitionOf(row[key_col])`. Null keys go to partition 0.
+PartitionedRows ShuffleByKey(ExecutorContext& ctx, const PartitionedRows& input,
+                             int key_col, const HashPartitioner& partitioner);
+
+/// Splits a flat row vector into `num_partitions` round-robin chunks
+/// (initial placement of un-partitioned data).
+PartitionedRows SplitRoundRobin(const RowVec& rows, int num_partitions);
+
+/// Flattens partitions into one vector (action boundary, e.g. Collect()).
+RowVec FlattenPartitions(const PartitionedRows& parts);
+
+size_t CountRows(const PartitionedRows& parts);
+
+}  // namespace idf

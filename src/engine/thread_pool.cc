@@ -1,0 +1,89 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace idf {
+
+thread_local bool ThreadPool::is_worker_ = false;
+
+ThreadPool::ThreadPool(int num_threads) {
+  IDF_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  is_worker_ = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || is_worker_) {
+    // Nested parallelism runs inline: a worker blocking on sub-tasks could
+    // exhaust the pool and deadlock.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared state outlives this call: trailing shard tasks may still touch
+  // it after the last iteration completes and the caller resumes.
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void(size_t)> body;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->body = fn;
+  size_t shards = std::min(n, static_cast<size_t>(num_threads()));
+  for (size_t s = 0; s < shards; ++s) {
+    Submit([state, n] {
+      for (;;) {
+        size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        state->body(i);
+        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done.load(std::memory_order_acquire) == n; });
+}
+
+}  // namespace idf

@@ -1,0 +1,44 @@
+// ThreadPool: the "executor" pool. Spark runs one task per core at a time
+// per executor; we model the cluster as one pool with a fixed number of
+// worker threads executing per-partition tasks.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace idf {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  IDF_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
+  /// until all iterations finish. Reentrant calls from worker threads run
+  /// inline to avoid deadlock.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+  static thread_local bool is_worker_;
+};
+
+}  // namespace idf

@@ -1,0 +1,187 @@
+#include "indexed/indexed_operators.h"
+
+#include <mutex>
+
+namespace idf {
+
+Result<PartitionVec> IndexedScanOp::Execute(ExecutorContext& ctx) {
+  IndexedRelationSnapshot snap = rel_->Snapshot();
+  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
+  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec rows;
+    rows.reserve(snap.view(static_cast<int>(p)).num_rows());
+    snap.view(static_cast<int>(p)).Scan([&rows](const Row& row) {
+      rows.push_back(row);
+    });
+    ctx.metrics().AddRowsScanned(rows.size());
+    out[p] = PartitionData(std::move(rows));
+  });
+  return out;
+}
+
+Result<PartitionVec> SnapshotScanOp::Execute(ExecutorContext& ctx) {
+  const IndexedRelationSnapshot& snap = snapshot_->snapshot();
+  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
+  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec rows;
+    rows.reserve(snap.view(static_cast<int>(p)).num_rows());
+    snap.view(static_cast<int>(p)).Scan([&rows](const Row& row) {
+      rows.push_back(row);
+    });
+    ctx.metrics().AddRowsScanned(rows.size());
+    out[p] = PartitionData(std::move(rows));
+  });
+  return out;
+}
+
+Result<PartitionVec> IndexedScanFilterOp::Execute(ExecutorContext& ctx) {
+  IndexedRelationSnapshot snap = rel_->Snapshot();
+  const Schema& schema = *rel_->schema();
+  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
+  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec rows;
+    uint64_t scanned = 0;
+    snap.view(static_cast<int>(p)).ScanRaw([&](const uint8_t* payload) {
+      ++scanned;
+      // Lazy decode: only the filter column, then — on a match — the full
+      // row or just the projected columns.
+      Value v = DecodeColumn(payload, schema, filter_col_);
+      if (v.is_null()) return;
+      if (!CompareWithOp(compare_op_, v, literal_)) return;
+      if (project_cols_.empty()) {
+        rows.push_back(DecodeRow(payload, schema));
+      } else {
+        Row row;
+        row.reserve(project_cols_.size());
+        for (int c : project_cols_) {
+          row.push_back(DecodeColumn(payload, schema, c));
+        }
+        rows.push_back(std::move(row));
+      }
+    });
+    ctx.metrics().AddRowsScanned(scanned);
+    ctx.metrics().AddRowsProduced(rows.size());
+    out[p] = PartitionData(std::move(rows));
+  });
+  return out;
+}
+
+Result<PartitionVec> IndexedScanProjectOp::Execute(ExecutorContext& ctx) {
+  IndexedRelationSnapshot snap = rel_->Snapshot();
+  const Schema& schema = *rel_->schema();
+  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
+  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec rows;
+    rows.reserve(snap.view(static_cast<int>(p)).num_rows());
+    snap.view(static_cast<int>(p)).ScanRaw([&](const uint8_t* payload) {
+      Row row;
+      row.reserve(cols_.size());
+      for (int c : cols_) row.push_back(DecodeColumn(payload, schema, c));
+      rows.push_back(std::move(row));
+    });
+    ctx.metrics().AddRowsScanned(rows.size());
+    out[p] = PartitionData(std::move(rows));
+  });
+  return out;
+}
+
+Result<PartitionVec> IndexLookupOp::Execute(ExecutorContext& ctx) {
+  ctx.metrics().AddTask();
+  IndexedRelationSnapshot snap = rel_->Snapshot();
+  RowVec rows;
+  uint64_t hits = 0;
+  for (const Value& key : keys_) {
+    RowVec matches = snap.GetRows(key);
+    if (!matches.empty()) ++hits;
+    for (Row& row : matches) rows.push_back(std::move(row));
+  }
+  ctx.metrics().AddIndexProbes(keys_.size());
+  ctx.metrics().AddIndexHits(hits);
+  ctx.metrics().AddRowsProduced(rows.size());
+  PartitionVec out;
+  out.push_back(PartitionData(std::move(rows)));
+  return out;
+}
+
+Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec probe_parts, children()[0]->Execute(ctx));
+  IndexedRelationSnapshot snap = rel_->Snapshot();
+
+  // Produce one output partition per index partition. For each probe row,
+  // evaluate the key and probe that key's home partition's cTrie; matched
+  // build rows are concatenated with the probe row in the original
+  // left/right order.
+  Status first_error;
+  std::mutex error_mu;
+  auto probe_into = [&](const RowVec& probes, int index_partition,
+                        bool check_ownership, RowVec* out) -> Status {
+    const IndexedPartition::View& view = snap.view(index_partition);
+    uint64_t probes_done = 0;
+    uint64_t hits = 0;
+    for (const Row& row : probes) {
+      IDF_ASSIGN_OR_RETURN(Value key, probe_key_->Eval(row));
+      if (key.is_null()) continue;
+      if (check_ownership &&
+          snap.partitioner().PartitionOf(key) != index_partition) {
+        continue;
+      }
+      ++probes_done;
+      RowVec matches = view.GetRows(key);
+      if (!matches.empty()) ++hits;
+      for (Row& build_row : matches) {
+        out->push_back(indexed_on_left_ ? ConcatRows(build_row, row)
+                                        : ConcatRows(row, build_row));
+      }
+    }
+    ctx.metrics().AddIndexProbes(probes_done);
+    ctx.metrics().AddIndexHits(hits);
+    return Status::OK();
+  };
+
+  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
+  if (broadcast_probe_) {
+    // Broadcast the probe rows; every partition probes only the keys it
+    // owns (hash partitioning makes ownership exact).
+    BroadcastRows bc = MakeBroadcast(ctx, CollectRows(probe_parts));
+    ctx.pool().ParallelFor(out.size(), [&](size_t p) {
+      ctx.metrics().AddTask();
+      RowVec joined;
+      Status st = probe_into(*bc.rows, static_cast<int>(p),
+                             /*check_ownership=*/true, &joined);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+      ctx.metrics().AddRowsProduced(joined.size());
+      out[p] = PartitionData(std::move(joined));
+    });
+  } else {
+    // Shuffle the probe side to the index's partitioning; the build side
+    // moves nothing (it is the index).
+    IDF_ASSIGN_OR_RETURN(
+        std::vector<RowVec> shuffled,
+        ShuffleRowsByKeyExpr(ctx, probe_parts, probe_key_, snap.partitioner()));
+    ctx.pool().ParallelFor(out.size(), [&](size_t p) {
+      ctx.metrics().AddTask();
+      RowVec joined;
+      Status st = probe_into(shuffled[p], static_cast<int>(p),
+                             /*check_ownership=*/false, &joined);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+      ctx.metrics().AddRowsProduced(joined.size());
+      out[p] = PartitionData(std::move(joined));
+    });
+  }
+  IDF_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+}  // namespace idf

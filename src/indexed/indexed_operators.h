@@ -1,0 +1,142 @@
+// Indexed physical operators: the execution layer the paper's Catalyst
+// rules dispatch to — IndexedScan (full scan of the row batches),
+// IndexLookup (cTrie point lookup), and IndexedEquiJoin (probe-side-only
+// shuffle or broadcast against the pre-built index).
+#pragma once
+
+#include "indexed/indexed_relation.h"
+#include "sql/physical_operators.h"
+#include "sql/physical_plan.h"
+
+namespace idf {
+
+/// Full scan of an indexed relation's row batches (decodes binary rows:
+/// the row-major representation the paper notes is slower to project than
+/// Spark's columnar cache).
+class IndexedScanOp : public PhysicalOp {
+ public:
+  explicit IndexedScanOp(IndexedRelationPtr rel)
+      : PhysicalOp(rel->schema()), rel_(std::move(rel)) {}
+  std::string name() const override { return "IndexedScan[" + rel_->name() + "]"; }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  IndexedRelationPtr rel_;
+};
+
+/// Scan of a pinned snapshot: always reads the frozen version, regardless
+/// of how much the live relation has grown since Pin().
+class SnapshotScanOp : public PhysicalOp {
+ public:
+  explicit SnapshotScanOp(PinnedSnapshotPtr snapshot)
+      : PhysicalOp(snapshot->schema()), snapshot_(std::move(snapshot)) {}
+  std::string name() const override {
+    return "SnapshotScan[" + snapshot_->name() + "]";
+  }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  PinnedSnapshotPtr snapshot_;
+};
+
+/// Fused scan + single-column comparison filter over the row batches:
+/// decodes only the filter column per row and materializes (optionally
+/// only the projected columns of) the row on a match. This is the
+/// lazy-decoding advantage of the binary row layout; the planner fuses
+/// `[Project over] Filter(col <op> lit)` over an IndexedScan into this
+/// operator when the filter cannot use the index itself.
+class IndexedScanFilterOp : public PhysicalOp {
+ public:
+  /// `project_cols` empty means "all columns" (then `schema` must be the
+  /// relation's schema).
+  IndexedScanFilterOp(IndexedRelationPtr rel, ExprPtr predicate,
+                      CompareOp compare_op, int filter_col, Value literal,
+                      std::vector<int> project_cols = {},
+                      SchemaPtr schema = nullptr)
+      : PhysicalOp(schema ? std::move(schema) : rel->schema()),
+        rel_(std::move(rel)),
+        predicate_(std::move(predicate)),
+        compare_op_(compare_op),
+        filter_col_(filter_col),
+        literal_(std::move(literal)),
+        project_cols_(std::move(project_cols)) {}
+  std::string name() const override {
+    return "IndexedScanFilter[" + rel_->name() + "] " + predicate_->ToString() +
+           (project_cols_.empty() ? "" : " (pruned)");
+  }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  IndexedRelationPtr rel_;
+  ExprPtr predicate_;
+  CompareOp compare_op_;
+  int filter_col_;
+  Value literal_;
+  std::vector<int> project_cols_;
+};
+
+/// Fused scan + column projection over the row batches: decodes only the
+/// projected columns per row (column pruning for the row store).
+class IndexedScanProjectOp : public PhysicalOp {
+ public:
+  IndexedScanProjectOp(IndexedRelationPtr rel, std::vector<int> cols,
+                       SchemaPtr schema)
+      : PhysicalOp(std::move(schema)),
+        rel_(std::move(rel)),
+        cols_(std::move(cols)) {}
+  std::string name() const override {
+    return "IndexedScanProject[" + rel_->name() + "]";
+  }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  IndexedRelationPtr rel_;
+  std::vector<int> cols_;
+};
+
+/// Point lookup of one or more keys: each key routes to its home partition
+/// and the backward-pointer chain is walked. A consistent snapshot covers
+/// all keys of a multi-key (IN-list) lookup.
+class IndexLookupOp : public PhysicalOp {
+ public:
+  IndexLookupOp(IndexedRelationPtr rel, std::vector<Value> keys)
+      : PhysicalOp(rel->schema()), rel_(std::move(rel)), keys_(std::move(keys)) {}
+  std::string name() const override {
+    std::string out = "IndexLookup[" + rel_->name() + "] key=";
+    if (keys_.size() == 1) return out + keys_[0].ToString();
+    return out + "{" + std::to_string(keys_.size()) + " keys}";
+  }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  IndexedRelationPtr rel_;
+  std::vector<Value> keys_;
+};
+
+/// Indexed equi-join. The indexed relation is always the build side ("as it
+/// is actually pre-built due to the index"); the probe side is shuffled to
+/// the index's hash partitioning, or — when small enough to broadcast
+/// efficiently — broadcast to all partitions (paper §2, Indexed Join).
+class IndexedJoinOp : public PhysicalOp {
+ public:
+  IndexedJoinOp(IndexedRelationPtr rel, PhysicalOpPtr probe, ExprPtr probe_key,
+                bool indexed_on_left, bool broadcast_probe, SchemaPtr schema)
+      : PhysicalOp(std::move(schema), {probe}),
+        rel_(std::move(rel)),
+        probe_key_(std::move(probe_key)),
+        indexed_on_left_(indexed_on_left),
+        broadcast_probe_(broadcast_probe) {}
+  std::string name() const override {
+    return std::string("IndexedEquiJoin[") + rel_->name() + "] (" +
+           (broadcast_probe_ ? "broadcast" : "shuffled") + " probe)";
+  }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  IndexedRelationPtr rel_;
+  ExprPtr probe_key_;
+  bool indexed_on_left_;
+  bool broadcast_probe_;
+};
+
+}  // namespace idf

@@ -1,0 +1,103 @@
+#include "indexed/indexed_partition.h"
+
+#include "common/logging.h"
+
+namespace idf {
+
+IndexedPartition::IndexedPartition(SchemaPtr schema, int indexed_col,
+                                   const EngineConfig& config)
+    : schema_(std::move(schema)),
+      indexed_col_(indexed_col),
+      store_(config.row_batch_bytes, config.max_row_bytes) {}
+
+Status IndexedPartition::Append(const Row& row) {
+  const Value& key = row[static_cast<size_t>(indexed_col_)];
+  if (key.is_null()) {
+    // Stored but unindexed; lookups of a null key return nothing.
+    return store_
+        .AppendRow(*schema_, row, PackedPointer::Null(), /*prev_size=*/0)
+        .status();
+  }
+  uint64_t h = key.Hash();
+  std::optional<uint64_t> head = index_.Lookup(h);
+  PackedPointer back_pointer = PackedPointer::Null();
+  uint32_t prev_size = 0;
+  if (head.has_value()) {
+    back_pointer = PackedPointer(*head);
+    prev_size = EncodedRowSize(store_.PayloadAt(back_pointer), *schema_);
+  }
+  IDF_ASSIGN_OR_RETURN(PackedPointer ptr,
+                       store_.AppendRow(*schema_, row, back_pointer, prev_size));
+  // Publish after the row bytes are committed: concurrent readers that see
+  // this trie entry can safely dereference the pointer.
+  index_.Insert(h, ptr.bits());
+  return Status::OK();
+}
+
+IndexedPartition::View IndexedPartition::Snapshot() const {
+  // Order matters: trie snapshot first, watermark second, so every pointer
+  // reachable from the snapshot is covered by the watermark.
+  CTrie trie = index_.ReadOnlySnapshot();
+  StoreWatermark wm = store_.Watermark();
+  return View(this, std::move(trie), wm);
+}
+
+bool IndexedPartition::View::InView(PackedPointer ptr) const {
+  if (ptr.is_null()) return false;
+  if (ptr.batch() + 1 < watermark_.num_batches) return true;
+  if (ptr.batch() + 1 > watermark_.num_batches) return false;
+  return ptr.offset() < watermark_.last_batch_bytes;
+}
+
+RowVec IndexedPartition::View::GetRows(const Value& key) const {
+  RowVec out;
+  if (key.is_null()) return out;
+  std::optional<uint64_t> head = trie_.Lookup(key.Hash());
+  if (!head.has_value()) return out;
+  const Schema& schema = *part_->schema_;
+  const int col = part_->indexed_col_;
+  for (PackedPointer ptr(*head); !ptr.is_null();
+       ptr = part_->store_.BackPointerAt(ptr)) {
+    const uint8_t* payload = part_->store_.PayloadAt(ptr);
+    // The chain links rows with equal key *hash*; verify the actual value
+    // (64-bit hash collisions across distinct values share a chain).
+    Value actual = DecodeColumn(payload, schema, col);
+    if (actual == key) out.push_back(DecodeRow(payload, schema));
+  }
+  return out;
+}
+
+void IndexedPartition::View::ScanChain(
+    const Value& key, const std::function<void(PackedPointer)>& fn) const {
+  if (key.is_null()) return;
+  std::optional<uint64_t> head = trie_.Lookup(key.Hash());
+  if (!head.has_value()) return;
+  for (PackedPointer ptr(*head); !ptr.is_null();
+       ptr = part_->store_.BackPointerAt(ptr)) {
+    fn(ptr);
+  }
+}
+
+void IndexedPartition::View::Scan(const std::function<void(const Row&)>& fn) const {
+  const Schema& schema = *part_->schema_;
+  ScanRaw([&fn, &schema](const uint8_t* payload) {
+    fn(DecodeRow(payload, schema));
+  });
+}
+
+void IndexedPartition::View::ScanRaw(
+    const std::function<void(const uint8_t*)>& fn) const {
+  const Schema& schema = *part_->schema_;
+  for (uint32_t b = 0; b < watermark_.num_batches; ++b) {
+    const RowBatch* batch = part_->store_.BatchAt(b);
+    size_t limit = (b + 1 == watermark_.num_batches) ? watermark_.last_batch_bytes
+                                                     : batch->committed_size();
+    uint32_t offset = 0;
+    while (offset + 8 < limit) {
+      fn(batch->payload_at(offset));
+      offset = batch->NextRowOffset(offset, schema);
+    }
+  }
+}
+
+}  // namespace idf

@@ -1,0 +1,145 @@
+#include "indexed/indexed_relation.h"
+
+#include "common/logging.h"
+#include "engine/shuffle.h"
+
+namespace idf {
+
+RowVec IndexedRelationSnapshot::GetRows(const Value& key) const {
+  if (key.is_null() || views_.empty()) return {};
+  int p = partitioner_.PartitionOf(key);
+  return views_[static_cast<size_t>(p)].GetRows(key);
+}
+
+size_t IndexedRelationSnapshot::num_rows() const {
+  size_t n = 0;
+  for (const auto& v : views_) n += v.num_rows();
+  return n;
+}
+
+IndexedRelation::IndexedRelation(std::string name, SchemaPtr schema,
+                                 int indexed_col, const EngineConfig& config)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      indexed_col_(indexed_col),
+      partitioner_(config.num_partitions),
+      write_locks_(new std::mutex[static_cast<size_t>(config.num_partitions)]) {
+  partitions_.reserve(static_cast<size_t>(config.num_partitions));
+  for (int p = 0; p < config.num_partitions; ++p) {
+    partitions_.push_back(
+        std::make_unique<IndexedPartition>(schema_, indexed_col_, config));
+  }
+}
+
+Result<IndexedRelationPtr> IndexedRelation::Make(std::string name, SchemaPtr schema,
+                                                 int indexed_col,
+                                                 const EngineConfig& config) {
+  EngineConfig resolved = config.Resolved();
+  IDF_RETURN_NOT_OK(resolved.Validate());
+  if (indexed_col < 0 || indexed_col >= schema->num_fields()) {
+    return Status::IndexError("indexed column ordinal " +
+                              std::to_string(indexed_col) +
+                              " out of range for schema " + schema->ToString());
+  }
+  return IndexedRelationPtr(new IndexedRelation(std::move(name), std::move(schema),
+                                                indexed_col, resolved));
+}
+
+Result<IndexedRelationPtr> IndexedRelation::Build(ExecutorContext& ctx,
+                                                  std::string name,
+                                                  SchemaPtr schema, int indexed_col,
+                                                  const RowVec& rows) {
+  IDF_ASSIGN_OR_RETURN(IndexedRelationPtr rel,
+                       Make(std::move(name), std::move(schema), indexed_col,
+                            ctx.config()));
+  IDF_RETURN_NOT_OK(rel->AppendRows(ctx, rows));
+  return rel;
+}
+
+Status IndexedRelation::AppendRows(ExecutorContext& ctx, const RowVec& rows) {
+  const int num_parts = num_partitions();
+  // Map side of the index-creation shuffle: route rows by key hash.
+  std::vector<std::vector<const Row*>> routed(static_cast<size_t>(num_parts));
+  uint64_t bytes = 0;
+  for (const Row& row : rows) {
+    IDF_RETURN_NOT_OK(ValidateRow(*schema_, row));
+    const Value& key = row[static_cast<size_t>(indexed_col_)];
+    int target = key.is_null() ? 0 : partitioner_.PartitionOf(key);
+    bytes += EstimateRowBytes(row);
+    routed[static_cast<size_t>(target)].push_back(&row);
+  }
+  ctx.metrics().AddShuffledRows(rows.size());
+  ctx.metrics().AddShuffledBytes(bytes);
+
+  // Reduce side: append each partition's slice under its writer lock.
+  std::vector<Status> statuses(static_cast<size_t>(num_parts));
+  ctx.pool().ParallelFor(static_cast<size_t>(num_parts), [&](size_t p) {
+    ctx.metrics().AddTask();
+    if (routed[p].empty()) return;
+    std::lock_guard<std::mutex> lock(write_locks_[p]);
+    for (const Row* row : routed[p]) {
+      Status st = partitions_[p]->Append(*row);
+      if (!st.ok()) {
+        statuses[p] = st;
+        return;
+      }
+    }
+  });
+  for (const Status& st : statuses) {
+    IDF_RETURN_NOT_OK(st);
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status IndexedRelation::AppendRow(const Row& row) {
+  IDF_RETURN_NOT_OK(ValidateRow(*schema_, row));
+  const Value& key = row[static_cast<size_t>(indexed_col_)];
+  int target = key.is_null() ? 0 : partitioner_.PartitionOf(key);
+  {
+    std::lock_guard<std::mutex> lock(write_locks_[static_cast<size_t>(target)]);
+    IDF_RETURN_NOT_OK(partitions_[static_cast<size_t>(target)]->Append(row));
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+RowVec IndexedRelation::GetRows(const Value& key) const {
+  if (key.is_null()) return {};
+  int p = partitioner_.PartitionOf(key);
+  return partitions_[static_cast<size_t>(p)]->GetRows(key);
+}
+
+IndexedRelationSnapshot IndexedRelation::Snapshot() const {
+  std::vector<IndexedPartition::View> views;
+  views.reserve(partitions_.size());
+  for (const auto& p : partitions_) views.push_back(p->Snapshot());
+  return IndexedRelationSnapshot(schema_, indexed_col_, partitioner_,
+                                 std::move(views));
+}
+
+size_t IndexedRelation::num_rows() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->num_rows();
+  return n;
+}
+
+size_t IndexedRelation::data_bytes() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->data_bytes();
+  return n;
+}
+
+size_t IndexedRelation::index_bytes() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->index_bytes();
+  return n;
+}
+
+size_t IndexedRelation::arena_bytes() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->arena_bytes();
+  return n;
+}
+
+}  // namespace idf

@@ -1,0 +1,238 @@
+#include "indexed/indexed_rules.h"
+
+#include "indexed/indexed_operators.h"
+
+namespace idf {
+
+namespace {
+
+/// Flattens an AND tree into conjuncts.
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kLogical &&
+      static_cast<const LogicalExpr*>(expr.get())->op() == LogicalOp::kAnd) {
+    CollectConjuncts(expr->children()[0], out);
+    CollectConjuncts(expr->children()[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) acc = And(acc, conjuncts[i]);
+  return acc;
+}
+
+/// True if `key` is a plain reference to the indexed column of `rel`.
+bool KeyIsIndexedColumn(const ExprPtr& key, const IndexedRelationBasePtr& rel) {
+  if (key->kind() != ExprKind::kColumnRef) return false;
+  const auto* ref = static_cast<const ColumnRefExpr*>(key.get());
+  return ref->bound() && ref->index() == rel->indexed_column();
+}
+
+/// Matches an OR-tree of `col = literal` comparisons all on column
+/// `want_col` (the desugared form of `col IN (...)`), collecting the
+/// literals.
+bool MatchInList(const ExprPtr& expr, int want_col, std::vector<Value>* keys) {
+  if (expr->kind() == ExprKind::kLogical &&
+      static_cast<const LogicalExpr*>(expr.get())->op() == LogicalOp::kOr) {
+    return MatchInList(expr->children()[0], want_col, keys) &&
+           MatchInList(expr->children()[1], want_col, keys);
+  }
+  int col = -1;
+  Value literal;
+  if (!MatchEqualityFilter(expr, &col, &literal)) return false;
+  if (col != want_col) return false;
+  keys->push_back(std::move(literal));
+  return true;
+}
+
+}  // namespace
+
+Result<LogicalPlanPtr> IndexedFilterRule::Apply(const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* filter = static_cast<const FilterNode*>(node.get());
+  const LogicalPlanPtr& child = filter->children()[0];
+  if (child->kind() != PlanKind::kIndexedScan) return LogicalPlanPtr(nullptr);
+  const auto& rel = static_cast<const IndexedScanNode*>(child.get())->relation();
+
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(filter->predicate(), &conjuncts);
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    // Single equality, or an OR-of-equalities on the indexed column (the
+    // desugared `col IN (...)`) — both become (multi-key) index lookups.
+    std::vector<Value> keys;
+    if (!MatchInList(conjuncts[i], rel->indexed_column(), &keys)) continue;
+    LogicalPlanPtr lookup =
+        std::make_shared<IndexedLookupNode>(rel, std::move(keys));
+    std::vector<ExprPtr> rest;
+    for (size_t j = 0; j < conjuncts.size(); ++j) {
+      if (j != i) rest.push_back(conjuncts[j]);
+    }
+    if (rest.empty()) return lookup;
+    return LogicalPlanPtr(std::make_shared<FilterNode>(
+        std::move(lookup), ConjoinAll(rest), node->output_schema()));
+  }
+  return LogicalPlanPtr(nullptr);
+}
+
+Result<LogicalPlanPtr> IndexedJoinRule::Apply(const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kJoin) return LogicalPlanPtr(nullptr);
+  const auto* join = static_cast<const JoinNode*>(node.get());
+  // Indexed execution serves inner equi-joins; outer joins fall back.
+  if (join->join_type() != JoinType::kInner) return LogicalPlanPtr(nullptr);
+
+  // "In case of the indexed join, the indexed relation is always the build
+  //  side" — prefer the left side when both are indexed.
+  if (join->left()->kind() == PlanKind::kIndexedScan) {
+    const auto& rel =
+        static_cast<const IndexedScanNode*>(join->left().get())->relation();
+    if (KeyIsIndexedColumn(join->left_key(), rel)) {
+      return LogicalPlanPtr(std::make_shared<IndexedJoinNode>(
+          rel, join->right(), join->right_key(), /*indexed_on_left=*/true,
+          node->output_schema()));
+    }
+  }
+  if (join->right()->kind() == PlanKind::kIndexedScan) {
+    const auto& rel =
+        static_cast<const IndexedScanNode*>(join->right().get())->relation();
+    if (KeyIsIndexedColumn(join->right_key(), rel)) {
+      return LogicalPlanPtr(std::make_shared<IndexedJoinNode>(
+          rel, join->left(), join->left_key(), /*indexed_on_left=*/false,
+          node->output_schema()));
+    }
+  }
+  return LogicalPlanPtr(nullptr);
+}
+
+namespace {
+
+/// If every projection expression is a bound column reference, fills
+/// `cols` with their ordinals.
+bool AllColumnRefs(const std::vector<ExprPtr>& exprs, std::vector<int>* cols) {
+  cols->clear();
+  for (const ExprPtr& e : exprs) {
+    if (e->kind() != ExprKind::kColumnRef) return false;
+    const auto* ref = static_cast<const ColumnRefExpr*>(e.get());
+    if (!ref->bound()) return false;
+    cols->push_back(ref->index());
+  }
+  return true;
+}
+
+IndexedRelationPtr RelOfScan(const LogicalPlanPtr& scan) {
+  return std::dynamic_pointer_cast<IndexedRelation>(
+      static_cast<const IndexedScanNode*>(scan.get())->relation());
+}
+
+}  // namespace
+
+Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
+    const LogicalPlanPtr& node, std::vector<PhysicalOpPtr> children,
+    const EngineConfig& config) const {
+  // Fuse `Filter(col <op> literal)` directly over an IndexedScan into a
+  // lazy-decoding scan-filter (the index itself only serves equality on
+  // the indexed column; that case was already rewritten to IndexedLookup
+  // by the optimizer rule and never reaches this branch).
+  if (node->kind() == PlanKind::kFilter &&
+      node->children()[0]->kind() == PlanKind::kIndexedScan) {
+    const auto* filter = static_cast<const FilterNode*>(node.get());
+    CompareOp op;
+    int col = -1;
+    Value literal;
+    if (MatchComparisonFilter(filter->predicate(), &op, &col, &literal)) {
+      auto rel = RelOfScan(node->children()[0]);
+      if (rel) {
+        return PhysicalOpPtr(std::make_shared<IndexedScanFilterOp>(
+            std::move(rel), filter->predicate(), op, col, std::move(literal)));
+      }
+    }
+    return PhysicalOpPtr(nullptr);  // fall back to Filter over IndexedScan
+  }
+  // Column pruning: Project(colrefs) over IndexedScan decodes only the
+  // projected columns; Project(colrefs) over Filter(cmp) over IndexedScan
+  // fuses all three.
+  if (node->kind() == PlanKind::kProject) {
+    const auto* project = static_cast<const ProjectNode*>(node.get());
+    std::vector<int> cols;
+    if (AllColumnRefs(project->exprs(), &cols)) {
+      const LogicalPlanPtr& child = node->children()[0];
+      if (child->kind() == PlanKind::kIndexedScan) {
+        auto rel = RelOfScan(child);
+        if (rel) {
+          return PhysicalOpPtr(std::make_shared<IndexedScanProjectOp>(
+              std::move(rel), std::move(cols), node->output_schema()));
+        }
+      }
+      if (child->kind() == PlanKind::kFilter &&
+          child->children()[0]->kind() == PlanKind::kIndexedScan) {
+        const auto* filter = static_cast<const FilterNode*>(child.get());
+        CompareOp op;
+        int fcol = -1;
+        Value literal;
+        if (MatchComparisonFilter(filter->predicate(), &op, &fcol, &literal)) {
+          auto rel = RelOfScan(child->children()[0]);
+          if (rel) {
+            return PhysicalOpPtr(std::make_shared<IndexedScanFilterOp>(
+                std::move(rel), filter->predicate(), op, fcol,
+                std::move(literal), std::move(cols), node->output_schema()));
+          }
+        }
+      }
+    }
+    return PhysicalOpPtr(nullptr);
+  }
+  switch (node->kind()) {
+    case PlanKind::kIndexedScan: {
+      auto rel = std::dynamic_pointer_cast<IndexedRelation>(
+          static_cast<const IndexedScanNode*>(node.get())->relation());
+      if (!rel) {
+        return Status::Internal("IndexedScan over a foreign relation type");
+      }
+      return PhysicalOpPtr(std::make_shared<IndexedScanOp>(std::move(rel)));
+    }
+    case PlanKind::kIndexedLookup: {
+      const auto* lookup = static_cast<const IndexedLookupNode*>(node.get());
+      auto rel = std::dynamic_pointer_cast<IndexedRelation>(lookup->relation());
+      if (!rel) {
+        return Status::Internal("IndexedLookup over a foreign relation type");
+      }
+      return PhysicalOpPtr(
+          std::make_shared<IndexLookupOp>(std::move(rel), lookup->keys()));
+    }
+    case PlanKind::kSnapshotScan: {
+      auto snap = std::dynamic_pointer_cast<PinnedSnapshot>(
+          static_cast<const SnapshotScanNode*>(node.get())->snapshot());
+      if (!snap) {
+        return Status::Internal("SnapshotScan over a foreign snapshot type");
+      }
+      return PhysicalOpPtr(std::make_shared<SnapshotScanOp>(std::move(snap)));
+    }
+    case PlanKind::kIndexedJoin: {
+      const auto* join = static_cast<const IndexedJoinNode*>(node.get());
+      auto rel = std::dynamic_pointer_cast<IndexedRelation>(join->relation());
+      if (!rel) {
+        return Status::Internal("IndexedJoin over a foreign relation type");
+      }
+      bool broadcast_probe =
+          EstimateBytes(join->probe()) <=
+          static_cast<double>(config.broadcast_threshold_bytes);
+      return PhysicalOpPtr(std::make_shared<IndexedJoinOp>(
+          std::move(rel), children[0], join->probe_key(), join->indexed_on_left(),
+          broadcast_probe, node->output_schema()));
+    }
+    default:
+      return PhysicalOpPtr(nullptr);
+  }
+}
+
+void InstallIndexedExtensions(Session& session) {
+  static const char kTag[] = "indexed-dataframe";
+  if (session.HasExtension(kTag)) return;
+  session.AddOptimizerRule(std::make_shared<IndexedFilterRule>());
+  session.AddOptimizerRule(std::make_shared<IndexedJoinRule>());
+  session.AddPhysicalStrategy(std::make_shared<IndexedExecutionStrategy>());
+  session.MarkExtension(kTag);
+}
+
+}  // namespace idf

@@ -1,0 +1,98 @@
+#include "indexed/multi_indexed_table.h"
+
+namespace idf {
+
+Result<MultiIndexedTable> MultiIndexedTable::Create(
+    const DataFrame& df, const std::vector<std::string>& index_columns,
+    const std::string& name) {
+  if (index_columns.empty()) {
+    return Status::InvalidArgument("MultiIndexedTable needs >= 1 index column");
+  }
+  if (!df.valid()) return Status::InvalidArgument("empty DataFrame handle");
+  IDF_ASSIGN_OR_RETURN(SchemaPtr schema, df.schema());
+  MultiIndexedTable table(name, schema, df.session());
+  for (const std::string& column : index_columns) {
+    if (table.indexes_.count(column) > 0) {
+      return Status::InvalidArgument("duplicate index column '" + column + "'");
+    }
+    IDF_ASSIGN_OR_RETURN(
+        IndexedDataFrame index,
+        IndexedDataFrame::CreateIndex(df, column, name + "_by_" + column));
+    table.order_.push_back(column);
+    table.indexes_.emplace(
+        column, std::make_shared<IndexedDataFrame>(index.Cache()));
+  }
+  return table;
+}
+
+std::vector<std::string> MultiIndexedTable::IndexedColumns() const {
+  return order_;
+}
+
+Result<IndexedDataFrame> MultiIndexedTable::Index(const std::string& column) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::KeyError("no index on column '" + column + "' of table '" +
+                            name_ + "'");
+  }
+  return *it->second;
+}
+
+Result<DataFrame> MultiIndexedTable::GetRows(const std::string& column,
+                                             const Value& key) const {
+  IDF_ASSIGN_OR_RETURN(IndexedDataFrame index, Index(column));
+  return index.GetRows(key);
+}
+
+Result<DataFrame> MultiIndexedTable::Join(const DataFrame& probe,
+                                          const std::string& table_col,
+                                          const std::string& probe_col,
+                                          JoinType join_type) const {
+  auto it = indexes_.find(table_col);
+  if (it != indexes_.end() && join_type == JoinType::kInner) {
+    return it->second->Join(probe, table_col, probe_col);
+  }
+  // No index on the key (or outer join): regular join over a scan view.
+  IDF_ASSIGN_OR_RETURN(DataFrame scan, ToDataFrame());
+  return scan.Join(probe, table_col, probe_col, join_type);
+}
+
+Status MultiIndexedTable::AppendRows(const DataFrame& df) const {
+  IDF_ASSIGN_OR_RETURN(SchemaPtr append_schema, df.schema());
+  if (!append_schema->Equals(*schema_)) {
+    return Status::InvalidArgument("appendRows schema mismatch: " +
+                                   append_schema->ToString() + " vs " +
+                                   schema_->ToString());
+  }
+  IDF_ASSIGN_OR_RETURN(RowVec rows, df.Collect());
+  return AppendRowsDirect(rows);
+}
+
+Status MultiIndexedTable::AppendRowsDirect(const RowVec& rows) const {
+  for (const std::string& column : order_) {
+    IDF_RETURN_NOT_OK(indexes_.at(column)->AppendRowsDirect(rows));
+  }
+  return Status::OK();
+}
+
+Result<DataFrame> MultiIndexedTable::ToDataFrame() const {
+  return indexes_.at(order_.front())->ToDataFrame();
+}
+
+size_t MultiIndexedTable::NumRows() const {
+  return indexes_.at(order_.front())->NumRows();
+}
+
+size_t MultiIndexedTable::TotalDataBytes() const {
+  size_t n = 0;
+  for (const auto& [col, index] : indexes_) n += index->relation()->data_bytes();
+  return n;
+}
+
+size_t MultiIndexedTable::TotalIndexBytes() const {
+  size_t n = 0;
+  for (const auto& [col, index] : indexes_) n += index->relation()->index_bytes();
+  return n;
+}
+
+}  // namespace idf

@@ -1,0 +1,286 @@
+#include "io/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace idf {
+namespace io {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  // Empty strings are quoted so they stay distinguishable from NULL
+  // (an unquoted empty field reads back as NULL).
+  return s.empty() || s.find(delimiter) != std::string::npos ||
+         s.find('"') != std::string::npos || s.find('\n') != std::string::npos ||
+         s.find('\r') != std::string::npos;
+}
+
+void AppendField(std::string* out, const std::string& field, char delimiter,
+                 bool force_quote = false) {
+  if (!force_quote && !NeedsQuoting(field, delimiter)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string CellToString(const Value& v, const CsvOptions& options) {
+  if (v.is_null()) return options.null_token;
+  if (v.is_bool()) return v.bool_value() ? "true" : "false";
+  if (v.is_string()) return v.string_value();
+  if (v.is_double()) {
+    // Round-trippable double rendering.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.double_value());
+    return buf;
+  }
+  return std::to_string(v.AsInt64());
+}
+
+/// Splits one logical CSV record (which may span lines via quoted fields)
+/// starting at `*pos`; advances `*pos` past the record.
+Result<std::vector<std::string>> ParseRecord(const std::string& data, size_t* pos,
+                                             char delimiter,
+                                             std::vector<bool>* quoted_out) {
+  std::vector<std::string> fields;
+  quoted_out->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  size_t i = *pos;
+  const size_t n = data.size();
+  for (;;) {
+    if (i >= n) {
+      if (in_quotes) {
+        return Status::InvalidArgument("CSV: unterminated quoted field");
+      }
+      fields.push_back(std::move(field));
+      quoted_out->push_back(was_quoted);
+      *pos = i;
+      return fields;
+    }
+    char c = data[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && data[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(field));
+      quoted_out->push_back(was_quoted);
+      field.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      fields.push_back(std::move(field));
+      quoted_out->push_back(was_quoted);
+      // Swallow \r\n / \n.
+      if (c == '\r' && i + 1 < n && data[i + 1] == '\n') ++i;
+      *pos = i + 1;
+      return fields;
+    }
+    field.push_back(c);
+    ++i;
+  }
+}
+
+Result<Value> ParseCell(const std::string& text, bool quoted, TypeId type,
+                        const CsvOptions& options, size_t record_no, int col) {
+  auto err = [&](const std::string& what) {
+    return Status::InvalidArgument(
+        "CSV record " + std::to_string(record_no) + ", column " +
+        std::to_string(col) + ": " + what + " ('" + text + "')");
+  };
+  if (!quoted && (text.empty() || text == options.null_token)) {
+    return Value::Null();
+  }
+  try {
+    switch (type) {
+      case TypeId::kBool:
+        if (text == "true" || text == "1") return Value(true);
+        if (text == "false" || text == "0") return Value(false);
+        return err("expected boolean");
+      case TypeId::kInt32: {
+        size_t used = 0;
+        long long v = std::stoll(text, &used);
+        if (used != text.size()) return err("trailing characters in int32");
+        if (v < INT32_MIN || v > INT32_MAX) return err("int32 out of range");
+        return Value(static_cast<int32_t>(v));
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        size_t used = 0;
+        long long v = std::stoll(text, &used);
+        if (used != text.size()) return err("trailing characters in int64");
+        return Value(static_cast<int64_t>(v));
+      }
+      case TypeId::kFloat64: {
+        size_t used = 0;
+        double v = std::stod(text, &used);
+        if (used != text.size()) return err("trailing characters in float64");
+        return Value(v);
+      }
+      case TypeId::kString:
+        return Value(text);
+    }
+  } catch (const std::exception&) {
+    return err("failed to parse as " + TypeIdToString(type));
+  }
+  return err("unknown column type");
+}
+
+}  // namespace
+
+std::string ToCsvString(const Schema& schema, const RowVec& rows,
+                        const CsvOptions& options) {
+  std::string out;
+  if (options.header) {
+    for (int i = 0; i < schema.num_fields(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(&out, schema.field(i).name, options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      if (row[i].is_null()) {
+        // NULLs are written raw (unquoted) so the reader sees them as
+        // NULL, not as an empty/sentinel string.
+        out.append(options.null_token);
+      } else {
+        std::string cell = CellToString(row[i], options);
+        // A real string that happens to equal the null token must be
+        // quoted to stay a string on read-back.
+        bool force_quote = row[i].is_string() && !options.null_token.empty() &&
+                           cell == options.null_token;
+        AppendField(&out, cell, options.delimiter, force_quote);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<RowVec> FromCsvString(const std::string& data, const Schema& schema,
+                             const CsvOptions& options) {
+  RowVec rows;
+  size_t pos = 0;
+  size_t record_no = 0;
+  std::vector<bool> quoted;
+  bool saw_header = !options.header;
+  while (pos < data.size()) {
+    if (data[pos] == '\n' || data[pos] == '\r') {
+      if (data[pos] == '\r' && pos + 1 < data.size() && data[pos + 1] == '\n') {
+        ++pos;
+      }
+      ++pos;
+      // An empty line is a record for single-column schemas (a lone NULL
+      // cell serializes to nothing); otherwise blank lines are skipped.
+      if (schema.num_fields() == 1 && saw_header) {
+        ++record_no;
+        Row row{Value::Null()};
+        IDF_RETURN_NOT_OK(ValidateRow(schema, row));
+        rows.push_back(std::move(row));
+      }
+      continue;
+    }
+    IDF_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseRecord(data, &pos, options.delimiter, &quoted));
+    ++record_no;
+    if (!saw_header) {
+      saw_header = true;
+      if (static_cast<int>(fields.size()) != schema.num_fields()) {
+        return Status::InvalidArgument(
+            "CSV header has " + std::to_string(fields.size()) +
+            " columns, schema expects " + std::to_string(schema.num_fields()));
+      }
+      for (int i = 0; i < schema.num_fields(); ++i) {
+        if (fields[static_cast<size_t>(i)] != schema.field(i).name) {
+          return Status::InvalidArgument(
+              "CSV header mismatch at column " + std::to_string(i) + ": '" +
+              fields[static_cast<size_t>(i)] + "' vs schema '" +
+              schema.field(i).name + "'");
+        }
+      }
+      continue;
+    }
+    if (static_cast<int>(fields.size()) != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(record_no) + " has " +
+          std::to_string(fields.size()) + " fields, schema expects " +
+          std::to_string(schema.num_fields()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (int i = 0; i < schema.num_fields(); ++i) {
+      IDF_ASSIGN_OR_RETURN(
+          Value v, ParseCell(fields[static_cast<size_t>(i)],
+                             quoted[static_cast<size_t>(i)],
+                             schema.field(i).type, options, record_no, i));
+      row.push_back(std::move(v));
+    }
+    IDF_RETURN_NOT_OK(ValidateRow(schema, row));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status WriteCsv(const std::string& path, const Schema& schema, const RowVec& rows,
+                const CsvOptions& options) {
+  for (const Row& row : rows) {
+    IDF_RETURN_NOT_OK(ValidateRow(schema, row));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "' for writing: " + std::strerror(errno));
+  }
+  std::string data = ToCsvString(schema, rows, options);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<RowVec> ReadCsv(const std::string& path, const Schema& schema,
+                       const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "' for reading: " + std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromCsvString(buffer.str(), schema, options);
+}
+
+}  // namespace io
+}  // namespace idf

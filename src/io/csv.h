@@ -1,0 +1,42 @@
+// CSV reader/writer: the storage substrate standing in for the paper's
+// Amazon-S3-hosted SNB Datagen files (DESIGN.md §2). Schema-driven typed
+// parsing, RFC-4180-style quoting, empty field = NULL.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace idf {
+namespace io {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Write/expect a header line of column names.
+  bool header = true;
+  /// Representation of NULL cells (also accepted on read in addition to
+  /// the empty string).
+  std::string null_token;
+};
+
+/// Writes `rows` (validated against `schema`) to `path`.
+Status WriteCsv(const std::string& path, const Schema& schema, const RowVec& rows,
+                const CsvOptions& options = CsvOptions());
+
+/// Reads `path` into typed rows. When `options.header` is set, the header
+/// is validated against the schema's column names.
+Result<RowVec> ReadCsv(const std::string& path, const Schema& schema,
+                       const CsvOptions& options = CsvOptions());
+
+/// Serializes rows to a CSV string (testing and streaming sinks).
+std::string ToCsvString(const Schema& schema, const RowVec& rows,
+                        const CsvOptions& options = CsvOptions());
+
+/// Parses a CSV string (inverse of ToCsvString).
+Result<RowVec> FromCsvString(const std::string& data, const Schema& schema,
+                             const CsvOptions& options = CsvOptions());
+
+}  // namespace io
+}  // namespace idf

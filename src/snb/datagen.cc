@@ -1,0 +1,198 @@
+#include "snb/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "snb/tables.h"
+
+namespace idf {
+namespace snb {
+
+namespace {
+
+constexpr int64_t kEpoch2010Micros = 1262304000LL * 1000000;  // 2010-01-01
+constexpr int64_t kMicrosPerDay = 86400LL * 1000000;
+constexpr uint64_t kSimulatedDays = 3 * 365;
+
+const char* kFirstNames[] = {"Jan",  "Wei",  "Amin", "Otto", "Mira", "Ana",
+                             "Ivan", "Noor", "Luis", "Kofi", "Sana", "Emma",
+                             "Raj",  "Yuki", "Olga", "Omar"};
+const char* kLastNames[] = {"Smith",  "Zhang", "Garcia", "Muller", "Silva",
+                            "Kumar",  "Sato",  "Novak",  "Haddad", "Okafor",
+                            "Jansen", "Brown", "Costa",  "Popov",  "Khan",
+                            "Berg"};
+const char* kBrowsers[] = {"Firefox", "Chrome", "Safari", "InternetExplorer",
+                           "Opera"};
+const char* kWords[] = {"about", "graph",  "social", "query",  "index",
+                        "spark", "stream", "friend", "photo",  "music",
+                        "match", "coffee", "paper",  "update", "latency",
+                        "cache"};
+
+std::string RandomIp(Random64* rng) {
+  return std::to_string(rng->Uniform(223) + 1) + "." +
+         std::to_string(rng->Uniform(256)) + "." +
+         std::to_string(rng->Uniform(256)) + "." +
+         std::to_string(rng->Uniform(256));
+}
+
+std::string RandomContent(Random64* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng->Uniform(sizeof(kWords) / sizeof(kWords[0]))];
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t SnbTimestamp(uint64_t day_offset, uint64_t micros_in_day) {
+  return kEpoch2010Micros + static_cast<int64_t>(day_offset) * kMicrosPerDay +
+         static_cast<int64_t>(micros_in_day);
+}
+
+SnbDataset GenerateSnb(const SnbConfig& config) {
+  SnbDataset ds;
+  ds.config = config;
+  Random64 rng(config.seed);
+
+  const int64_t num_persons =
+      std::max<int64_t>(50, static_cast<int64_t>(1000 * config.scale_factor));
+  const int64_t first_person = 10000;
+  ds.first_person_id = first_person;
+  ds.num_persons = num_persons;
+
+  // --- persons ---
+  ds.persons.reserve(static_cast<size_t>(num_persons));
+  for (int64_t i = 0; i < num_persons; ++i) {
+    int64_t id = first_person + i;
+    int64_t birthday = SnbTimestamp(0) -
+                       static_cast<int64_t>(rng.Uniform(45 * 365) + 18 * 365) *
+                           kMicrosPerDay;
+    ds.persons.push_back(Row{
+        Value(id),
+        Value(std::string(kFirstNames[rng.Uniform(16)])),
+        Value(std::string(kLastNames[rng.Uniform(16)])),
+        Value(std::string(rng.Uniform(2) == 0 ? "male" : "female")),
+        Value(birthday),
+        Value(SnbTimestamp(rng.Uniform(kSimulatedDays),
+                           rng.Uniform(kMicrosPerDay))),
+        Value(RandomIp(&rng)),
+        Value(std::string(kBrowsers[rng.Uniform(5)])),
+        Value(static_cast<int64_t>(rng.Uniform(500))),  // cityId
+    });
+  }
+
+  // --- knows edges: power-law out-degree with community locality ---
+  const uint64_t max_degree =
+      std::max<uint64_t>(8, static_cast<uint64_t>(num_persons / 12));
+  for (int64_t i = 0; i < num_persons; ++i) {
+    int64_t p1 = first_person + i;
+    uint64_t degree = rng.Skewed(max_degree, config.degree_exponent) + 1;
+    // Average ~12 outgoing edges; clamp skew tail.
+    degree = std::min<uint64_t>(degree, 12 + rng.Uniform(24));
+    for (uint64_t d = 0; d < degree; ++d) {
+      // Community locality: most friends are close in id space.
+      int64_t span = static_cast<int64_t>(rng.Skewed(
+          static_cast<uint64_t>(std::max<int64_t>(2, num_persons / 4)), 1.3)) + 1;
+      int64_t p2 = p1 + (rng.Uniform(2) == 0 ? span : -span);
+      if (p2 < first_person) p2 = first_person + (first_person - p2) % num_persons;
+      if (p2 >= first_person + num_persons) {
+        p2 = first_person + (p2 - first_person) % num_persons;
+      }
+      if (p2 == p1) continue;
+      Value created(SnbTimestamp(rng.Uniform(kSimulatedDays),
+                                 rng.Uniform(kMicrosPerDay)));
+      // Both directions, like the LDBC materialization.
+      ds.knows.push_back(Row{Value(p1), Value(p2), created});
+      ds.knows.push_back(Row{Value(p2), Value(p1), created});
+    }
+  }
+
+  // --- forums ---
+  const int64_t num_forums = std::max<int64_t>(5, num_persons / 10);
+  const int64_t first_forum = 500000;
+  ds.first_forum_id = first_forum;
+  ds.num_forums = num_forums;
+  for (int64_t f = 0; f < num_forums; ++f) {
+    ds.forums.push_back(Row{
+        Value(first_forum + f),
+        Value("Forum about " + RandomContent(&rng, 2)),
+        Value(first_person + static_cast<int64_t>(rng.Uniform(
+                                 static_cast<uint64_t>(num_persons)))),
+        Value(SnbTimestamp(rng.Uniform(kSimulatedDays))),
+    });
+    // ~16 members per forum.
+    uint64_t members = 8 + rng.Uniform(16);
+    for (uint64_t m = 0; m < members; ++m) {
+      ds.forum_members.push_back(Row{
+          Value(first_forum + f),
+          Value(first_person + static_cast<int64_t>(rng.Uniform(
+                                   static_cast<uint64_t>(num_persons)))),
+          Value(SnbTimestamp(rng.Uniform(kSimulatedDays))),
+      });
+    }
+  }
+
+  // --- posts: skewed authorship (a few prolific posters) ---
+  const int64_t num_posts = num_persons * 12;
+  const int64_t first_post = 1000000;
+  ds.first_post_id = first_post;
+  ds.num_posts = num_posts;
+  ds.posts.reserve(static_cast<size_t>(num_posts));
+  for (int64_t i = 0; i < num_posts; ++i) {
+    int64_t creator =
+        first_person +
+        static_cast<int64_t>(rng.Skewed(static_cast<uint64_t>(num_persons), 1.25));
+    int words = 4 + static_cast<int>(rng.Uniform(20));
+    std::string content = RandomContent(&rng, words);
+    int32_t length = static_cast<int32_t>(content.size());
+    ds.posts.push_back(Row{
+        Value(first_post + i),
+        Value(creator),
+        Value(first_forum + static_cast<int64_t>(
+                                rng.Uniform(static_cast<uint64_t>(num_forums)))),
+        Value(SnbTimestamp(rng.Uniform(kSimulatedDays),
+                           rng.Uniform(kMicrosPerDay))),
+        Value(RandomIp(&rng)),
+        Value(std::string(kBrowsers[rng.Uniform(5)])),
+        Value(std::move(content)),
+        Value(length),
+    });
+  }
+
+  // --- comments: replies skew toward popular posts ---
+  const int64_t num_comments = num_persons * 18;
+  const int64_t first_comment = 5000000;
+  ds.first_comment_id = first_comment;
+  ds.num_comments = num_comments;
+  ds.comments.reserve(static_cast<size_t>(num_comments));
+  for (int64_t i = 0; i < num_comments; ++i) {
+    int64_t creator =
+        first_person +
+        static_cast<int64_t>(rng.Skewed(static_cast<uint64_t>(num_persons), 1.25));
+    int64_t parent =
+        first_post +
+        static_cast<int64_t>(rng.Skewed(static_cast<uint64_t>(num_posts), 1.2));
+    int words = 2 + static_cast<int>(rng.Uniform(12));
+    std::string content = RandomContent(&rng, words);
+    int32_t length = static_cast<int32_t>(content.size());
+    ds.comments.push_back(Row{
+        Value(first_comment + i),
+        Value(creator),
+        Value(SnbTimestamp(rng.Uniform(kSimulatedDays),
+                           rng.Uniform(kMicrosPerDay))),
+        Value(RandomIp(&rng)),
+        Value(std::string(kBrowsers[rng.Uniform(5)])),
+        Value(std::move(content)),
+        Value(length),
+        Value(parent),
+    });
+  }
+
+  return ds;
+}
+
+}  // namespace snb
+}  // namespace idf

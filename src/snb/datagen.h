@@ -1,0 +1,58 @@
+// Deterministic SNB-like social-network generator, standing in for the
+// LDBC SNB Datagen the paper uses (DESIGN.md §2 documents the
+// substitution). Reproduces the properties the queries and the index care
+// about: dense person ids, power-law friendship degree with community
+// locality, skewed message authorship, and non-unique foreign keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "types/row.h"
+
+namespace idf {
+namespace snb {
+
+struct SnbConfig {
+  /// Laptop-rescaled LDBC scale factor: persons = 1000 x scale_factor,
+  /// knows-edges ~ 24 x persons (both directions), posts ~ 12 x persons,
+  /// comments ~ 18 x persons, forums = persons / 10.
+  double scale_factor = 1.0;
+  uint64_t seed = 42;
+
+  /// Friendship degree skew (Pareto exponent; higher = flatter).
+  double degree_exponent = 1.35;
+};
+
+struct SnbDataset {
+  SnbConfig config;
+  RowVec persons;
+  RowVec knows;  // both directions
+  RowVec posts;
+  RowVec comments;
+  RowVec forums;
+  RowVec forum_members;
+
+  int64_t first_person_id = 0;
+  int64_t first_post_id = 0;
+  int64_t first_comment_id = 0;
+  int64_t first_forum_id = 0;
+  int64_t num_persons = 0;
+  int64_t num_posts = 0;
+  int64_t num_comments = 0;
+  int64_t num_forums = 0;
+
+  /// Deterministic "interesting" parameters for queries.
+  int64_t MidPersonId() const { return first_person_id + num_persons / 2; }
+  int64_t MidPostId() const { return first_post_id + num_posts / 2; }
+  int64_t MidCommentId() const { return first_comment_id + num_comments / 2; }
+};
+
+/// Generates the full dataset; deterministic in (scale_factor, seed).
+SnbDataset GenerateSnb(const SnbConfig& config);
+
+/// Epoch-microsecond timestamp inside the simulated 2010-2013 window.
+int64_t SnbTimestamp(uint64_t day_offset, uint64_t micros_in_day = 0);
+
+}  // namespace snb
+}  // namespace idf

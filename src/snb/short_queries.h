@@ -1,0 +1,65 @@
+// The seven SNB Interactive Short ("simple read") queries of Figure 3,
+// each with a vanilla (cached columnar DataFrame) and an indexed
+// (Indexed DataFrame) implementation.
+//
+// Index layout (matching the paper's reported speedup pattern):
+//   person          indexed on id           -> SQ1, SQ3, SQ7
+//   person_knows    indexed on person1Id    -> SQ3
+//   post            indexed on creatorId    -> SQ2
+//   post            indexed on id           -> SQ4 (a second Indexed
+//                                              DataFrame over the same data)
+//   comment         indexed on replyOfPostId-> SQ7
+// comment.id and the forum tables carry no index, so SQ5 and SQ6 "cannot
+// make use of the index" (paper §3) and fall back to scans on both
+// engines.
+#pragma once
+
+#include "indexed/indexed_dataframe.h"
+#include "snb/datagen.h"
+#include "snb/tables.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace snb {
+
+/// All tables loaded twice: cached vanilla DataFrames and Indexed
+/// DataFrames sharing one session.
+struct SnbContext {
+  SessionPtr session;
+
+  // Vanilla side: cached (columnar) DataFrames.
+  DataFrame person;
+  DataFrame knows;
+  DataFrame post;
+  DataFrame comment;
+  DataFrame forum;
+  DataFrame forum_member;
+
+  // Indexed side.
+  std::shared_ptr<IndexedDataFrame> person_by_id;
+  std::shared_ptr<IndexedDataFrame> knows_by_person1;
+  std::shared_ptr<IndexedDataFrame> post_by_creator;
+  std::shared_ptr<IndexedDataFrame> post_by_id;
+  std::shared_ptr<IndexedDataFrame> comment_by_reply;
+
+  SnbDataset dataset;
+};
+
+/// Loads `dataset` into `session` on both sides.
+Result<SnbContext> MakeSnbContext(SessionPtr session, SnbDataset dataset);
+
+/// Runs short query `query_no` (1..7) with parameter `param` (a person id
+/// for SQ1-SQ3, a post id for SQ4/SQ7, a comment id for SQ5/SQ6).
+/// `indexed` selects the engine. Returns the result rows.
+Result<RowVec> RunShortQuery(const SnbContext& ctx, int query_no, bool indexed,
+                             int64_t param);
+
+/// Picks a deterministic in-range parameter for `query_no` from the
+/// dataset (used by benches and tests).
+int64_t DefaultParam(const SnbContext& ctx, int query_no);
+
+/// Human-readable description (benchmark labels, EXPERIMENTS.md).
+const char* ShortQueryDescription(int query_no);
+
+}  // namespace snb
+}  // namespace idf

@@ -1,0 +1,79 @@
+#include "snb/snb_io.h"
+
+#include <algorithm>
+
+#include "io/csv.h"
+#include "snb/tables.h"
+
+namespace idf {
+namespace snb {
+
+namespace {
+constexpr const char* kPersonFile = "person.csv";
+constexpr const char* kKnowsFile = "person_knows_person.csv";
+constexpr const char* kPostFile = "post.csv";
+constexpr const char* kCommentFile = "comment.csv";
+constexpr const char* kForumFile = "forum.csv";
+constexpr const char* kMemberFile = "forum_hasMember.csv";
+
+std::string Join(const std::string& dir, const char* file) {
+  if (dir.empty() || dir.back() == '/') return dir + file;
+  return dir + "/" + file;
+}
+
+/// Derives [first_id, count] for a dense id column.
+void IdRange(const RowVec& rows, int col, int64_t* first, int64_t* count) {
+  *first = 0;
+  *count = static_cast<int64_t>(rows.size());
+  if (rows.empty()) return;
+  int64_t min_id = rows[0][static_cast<size_t>(col)].AsInt64();
+  for (const Row& r : rows) {
+    min_id = std::min(min_id, r[static_cast<size_t>(col)].AsInt64());
+  }
+  *first = min_id;
+}
+}  // namespace
+
+Status SaveDataset(const std::string& directory, const SnbDataset& dataset) {
+  IDF_RETURN_NOT_OK(
+      io::WriteCsv(Join(directory, kPersonFile), *PersonSchema(), dataset.persons));
+  IDF_RETURN_NOT_OK(
+      io::WriteCsv(Join(directory, kKnowsFile), *KnowsSchema(), dataset.knows));
+  IDF_RETURN_NOT_OK(
+      io::WriteCsv(Join(directory, kPostFile), *PostSchema(), dataset.posts));
+  IDF_RETURN_NOT_OK(io::WriteCsv(Join(directory, kCommentFile), *CommentSchema(),
+                                 dataset.comments));
+  IDF_RETURN_NOT_OK(
+      io::WriteCsv(Join(directory, kForumFile), *ForumSchema(), dataset.forums));
+  IDF_RETURN_NOT_OK(io::WriteCsv(Join(directory, kMemberFile),
+                                 *ForumMemberSchema(), dataset.forum_members));
+  return Status::OK();
+}
+
+Result<SnbDataset> LoadDataset(const std::string& directory,
+                               const SnbConfig& config) {
+  SnbDataset ds;
+  ds.config = config;
+  IDF_ASSIGN_OR_RETURN(ds.persons,
+                       io::ReadCsv(Join(directory, kPersonFile), *PersonSchema()));
+  IDF_ASSIGN_OR_RETURN(ds.knows,
+                       io::ReadCsv(Join(directory, kKnowsFile), *KnowsSchema()));
+  IDF_ASSIGN_OR_RETURN(ds.posts,
+                       io::ReadCsv(Join(directory, kPostFile), *PostSchema()));
+  IDF_ASSIGN_OR_RETURN(
+      ds.comments, io::ReadCsv(Join(directory, kCommentFile), *CommentSchema()));
+  IDF_ASSIGN_OR_RETURN(ds.forums,
+                       io::ReadCsv(Join(directory, kForumFile), *ForumSchema()));
+  IDF_ASSIGN_OR_RETURN(
+      ds.forum_members,
+      io::ReadCsv(Join(directory, kMemberFile), *ForumMemberSchema()));
+
+  IdRange(ds.persons, person::kId, &ds.first_person_id, &ds.num_persons);
+  IdRange(ds.posts, post::kId, &ds.first_post_id, &ds.num_posts);
+  IdRange(ds.comments, comment::kId, &ds.first_comment_id, &ds.num_comments);
+  IdRange(ds.forums, forum::kId, &ds.first_forum_id, &ds.num_forums);
+  return ds;
+}
+
+}  // namespace snb
+}  // namespace idf

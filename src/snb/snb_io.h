@@ -1,0 +1,25 @@
+// SNB dataset persistence: writes/reads the generated social graph as the
+// per-table CSV files the real LDBC Datagen produces (and the paper stores
+// on Amazon S3).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "snb/datagen.h"
+
+namespace idf {
+namespace snb {
+
+/// Writes person.csv, person_knows_person.csv, post.csv, comment.csv,
+/// forum.csv, forum_hasMember.csv under `directory` (must exist).
+Status SaveDataset(const std::string& directory, const SnbDataset& dataset);
+
+/// Reads the tables back. Metadata fields (id ranges, counts) are
+/// reconstructed from the data; `config` is carried through for
+/// reproducibility bookkeeping.
+Result<SnbDataset> LoadDataset(const std::string& directory,
+                               const SnbConfig& config = SnbConfig());
+
+}  // namespace snb
+}  // namespace idf

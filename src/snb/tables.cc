@@ -1,0 +1,72 @@
+#include "snb/tables.h"
+
+namespace idf {
+namespace snb {
+
+SchemaPtr PersonSchema() {
+  return Schema::Make({
+      {"id", TypeId::kInt64, false},
+      {"firstName", TypeId::kString, false},
+      {"lastName", TypeId::kString, false},
+      {"gender", TypeId::kString, false},
+      {"birthday", TypeId::kTimestamp, false},
+      {"creationDate", TypeId::kTimestamp, false},
+      {"locationIP", TypeId::kString, false},
+      {"browserUsed", TypeId::kString, false},
+      {"cityId", TypeId::kInt64, false},
+  });
+}
+
+SchemaPtr KnowsSchema() {
+  return Schema::Make({
+      {"person1Id", TypeId::kInt64, false},
+      {"person2Id", TypeId::kInt64, false},
+      {"creationDate", TypeId::kTimestamp, false},
+  });
+}
+
+SchemaPtr PostSchema() {
+  return Schema::Make({
+      {"id", TypeId::kInt64, false},
+      {"creatorId", TypeId::kInt64, false},
+      {"forumId", TypeId::kInt64, false},
+      {"creationDate", TypeId::kTimestamp, false},
+      {"locationIP", TypeId::kString, false},
+      {"browserUsed", TypeId::kString, false},
+      {"content", TypeId::kString, false},
+      {"length", TypeId::kInt32, false},
+  });
+}
+
+SchemaPtr CommentSchema() {
+  return Schema::Make({
+      {"id", TypeId::kInt64, false},
+      {"creatorId", TypeId::kInt64, false},
+      {"creationDate", TypeId::kTimestamp, false},
+      {"locationIP", TypeId::kString, false},
+      {"browserUsed", TypeId::kString, false},
+      {"content", TypeId::kString, false},
+      {"length", TypeId::kInt32, false},
+      {"replyOfPostId", TypeId::kInt64, false},
+  });
+}
+
+SchemaPtr ForumSchema() {
+  return Schema::Make({
+      {"id", TypeId::kInt64, false},
+      {"title", TypeId::kString, false},
+      {"moderatorId", TypeId::kInt64, false},
+      {"creationDate", TypeId::kTimestamp, false},
+  });
+}
+
+SchemaPtr ForumMemberSchema() {
+  return Schema::Make({
+      {"forumId", TypeId::kInt64, false},
+      {"personId", TypeId::kInt64, false},
+      {"joinDate", TypeId::kTimestamp, false},
+  });
+}
+
+}  // namespace snb
+}  // namespace idf

@@ -1,0 +1,60 @@
+// Table schemas of the SNB-like social graph (modelled on the LDBC Social
+// Network Benchmark's person / person_knows_person / post / comment /
+// forum tables, which the paper's evaluation uses via the SNB Datagen).
+#pragma once
+
+#include "types/schema.h"
+
+namespace idf {
+namespace snb {
+
+/// person(id, firstName, lastName, gender, birthday, creationDate,
+///        locationIP, browserUsed, cityId)
+SchemaPtr PersonSchema();
+
+/// person_knows_person(person1Id, person2Id, creationDate) — stored in both
+/// directions, as the LDBC datagen materializes the symmetric relation.
+SchemaPtr KnowsSchema();
+
+/// post(id, creatorId, forumId, creationDate, locationIP, browserUsed,
+///      content, length)
+SchemaPtr PostSchema();
+
+/// comment(id, creatorId, creationDate, locationIP, browserUsed, content,
+///         length, replyOfPostId)
+SchemaPtr CommentSchema();
+
+/// forum(id, title, moderatorId, creationDate)
+SchemaPtr ForumSchema();
+
+/// forum_hasMember(forumId, personId, joinDate)
+SchemaPtr ForumMemberSchema();
+
+// Column ordinals used by queries and the datagen (kept in one place so a
+// schema change breaks loudly).
+namespace person {
+inline constexpr int kId = 0, kFirstName = 1, kLastName = 2, kGender = 3,
+                     kBirthday = 4, kCreationDate = 5, kLocationIp = 6,
+                     kBrowserUsed = 7, kCityId = 8;
+}
+namespace knows {
+inline constexpr int kPerson1 = 0, kPerson2 = 1, kCreationDate = 2;
+}
+namespace post {
+inline constexpr int kId = 0, kCreatorId = 1, kForumId = 2, kCreationDate = 3,
+                     kLocationIp = 4, kBrowserUsed = 5, kContent = 6, kLength = 7;
+}
+namespace comment {
+inline constexpr int kId = 0, kCreatorId = 1, kCreationDate = 2, kLocationIp = 3,
+                     kBrowserUsed = 4, kContent = 5, kLength = 6,
+                     kReplyOfPostId = 7;
+}
+namespace forum {
+inline constexpr int kId = 0, kTitle = 1, kModeratorId = 2, kCreationDate = 3;
+}
+namespace forum_member {
+inline constexpr int kForumId = 0, kPersonId = 1, kJoinDate = 2;
+}
+
+}  // namespace snb
+}  // namespace idf

@@ -1,0 +1,87 @@
+#include "snb/update_stream.h"
+
+#include "snb/tables.h"
+
+namespace idf {
+namespace snb {
+
+UpdateStreamGenerator::UpdateStreamGenerator(const SnbDataset& base)
+    : rng_(base.config.seed ^ 0x75706461ULL),  // "upda"
+      first_person_id_(base.first_person_id),
+      num_persons_(base.num_persons),
+      first_post_id_(base.first_post_id),
+      next_post_id_(base.first_post_id + base.num_posts),
+      next_comment_id_(base.first_comment_id + base.num_comments),
+      first_forum_id_(base.first_forum_id),
+      num_forums_(base.num_forums) {}
+
+int64_t UpdateStreamGenerator::RandomPersonId() {
+  return first_person_id_ +
+         static_cast<int64_t>(rng_.Skewed(static_cast<uint64_t>(num_persons_), 1.25));
+}
+
+RowVec UpdateStreamGenerator::NextKnowsBatch(size_t n) {
+  RowVec out;
+  out.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t p1 = RandomPersonId();
+    int64_t p2 = RandomPersonId();
+    if (p2 == p1) p2 = first_person_id_ + (p2 - first_person_id_ + 1) % num_persons_;
+    Value created(SnbTimestamp(1095 + day_, rng_.Uniform(86400000000ULL)));
+    out.push_back(Row{Value(p1), Value(p2), created});
+    out.push_back(Row{Value(p2), Value(p1), created});
+  }
+  ++day_;
+  return out;
+}
+
+RowVec UpdateStreamGenerator::NextPostBatch(size_t n) {
+  RowVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string content = "streamed post " + std::to_string(next_post_id_);
+    int32_t length = static_cast<int32_t>(content.size());
+    out.push_back(Row{
+        Value(next_post_id_++),
+        Value(RandomPersonId()),
+        Value(first_forum_id_ +
+              static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(
+                  std::max<int64_t>(1, num_forums_))))),
+        Value(SnbTimestamp(1095 + day_, rng_.Uniform(86400000000ULL))),
+        Value("10.0.0." + std::to_string(rng_.Uniform(256))),
+        Value(std::string("Chrome")),
+        Value(std::move(content)),
+        Value(length),
+    });
+  }
+  ++day_;
+  return out;
+}
+
+RowVec UpdateStreamGenerator::NextCommentBatch(size_t n) {
+  RowVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t parent =
+        first_post_id_ +
+        static_cast<int64_t>(rng_.Skewed(
+            static_cast<uint64_t>(next_post_id_ - first_post_id_), 1.2));
+    std::string content = "streamed reply " + std::to_string(next_comment_id_);
+    int32_t length = static_cast<int32_t>(content.size());
+    out.push_back(Row{
+        Value(next_comment_id_++),
+        Value(RandomPersonId()),
+        Value(SnbTimestamp(1095 + day_, rng_.Uniform(86400000000ULL))),
+        Value("10.0.0." + std::to_string(rng_.Uniform(256))),
+        Value(std::string("Firefox")),
+        Value(std::move(content)),
+        Value(length),
+        Value(parent),
+    });
+  }
+  ++day_;
+  return out;
+}
+
+}  // namespace snb
+}  // namespace idf

@@ -1,0 +1,47 @@
+// UpdateStreamGenerator: produces the continuous insert stream that the
+// paper feeds through Kafka — new knows-edges, posts, and comments that
+// keep the graph growing while queries run.
+#pragma once
+
+#include "common/hash.h"
+#include "snb/datagen.h"
+
+namespace idf {
+namespace snb {
+
+enum class UpdateKind : uint8_t { kKnowsEdge, kPost, kComment };
+
+class UpdateStreamGenerator {
+ public:
+  /// `base` supplies the id ranges to extend; the generator continues them
+  /// deterministically (seeded from the dataset's seed).
+  explicit UpdateStreamGenerator(const SnbDataset& base);
+
+  /// Next batch of `n` knows edges (both directions; 2n rows).
+  RowVec NextKnowsBatch(size_t n);
+
+  /// Next batch of `n` posts by existing persons (fresh post ids).
+  RowVec NextPostBatch(size_t n);
+
+  /// Next batch of `n` comments replying to existing or fresh posts.
+  RowVec NextCommentBatch(size_t n);
+
+  int64_t next_post_id() const { return next_post_id_; }
+  int64_t next_comment_id() const { return next_comment_id_; }
+
+ private:
+  int64_t RandomPersonId();
+
+  Random64 rng_;
+  int64_t first_person_id_;
+  int64_t num_persons_;
+  int64_t first_post_id_;
+  int64_t next_post_id_;
+  int64_t next_comment_id_;
+  int64_t first_forum_id_;
+  int64_t num_forums_;
+  uint64_t day_ = 0;
+};
+
+}  // namespace snb
+}  // namespace idf

@@ -1,0 +1,19 @@
+// Analyzer: the analysis layer of the Catalyst-style pipeline. Resolves
+// column references to ordinals, type-checks expressions, and computes the
+// output schema of every plan node bottom-up.
+#pragma once
+
+#include "sql/logical_plan.h"
+
+namespace idf {
+
+/// Returns a fully analyzed copy of `plan` (every node carries an output
+/// schema and every expression is bound), or the error that makes the plan
+/// invalid.
+Result<LogicalPlanPtr> Analyze(const LogicalPlanPtr& plan);
+
+/// Display name for an output column produced by `expr` (column name for
+/// plain references, textual form otherwise).
+std::string DeriveColumnName(const ExprPtr& expr);
+
+}  // namespace idf

@@ -1,0 +1,635 @@
+#include "sql/expression.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace idf {
+
+// ---------------------------------------------------------------------------
+// ColumnRefExpr
+// ---------------------------------------------------------------------------
+
+Result<Value> ColumnRefExpr::Eval(const Row& row) const {
+  if (!bound()) {
+    return Status::Internal("unbound column reference '" + name_ + "'");
+  }
+  if (static_cast<size_t>(index_) >= row.size()) {
+    return Status::IndexError("column ordinal " + std::to_string(index_) +
+                              " out of range for row of arity " +
+                              std::to_string(row.size()));
+  }
+  return row[static_cast<size_t>(index_)];
+}
+
+Result<TypeId> ColumnRefExpr::ResultType(const Schema& schema) const {
+  if (bound()) {
+    if (index_ >= schema.num_fields()) {
+      return Status::IndexError("bound ordinal out of schema range");
+    }
+    return schema.field(index_).type;
+  }
+  IDF_ASSIGN_OR_RETURN(int idx, schema.ResolveFieldIndex(name_));
+  return schema.field(idx).type;
+}
+
+std::string ColumnRefExpr::ToString() const {
+  if (bound()) return name_ + "#" + std::to_string(index_);
+  return name_;
+}
+
+// ---------------------------------------------------------------------------
+// LiteralExpr
+// ---------------------------------------------------------------------------
+
+Result<TypeId> LiteralExpr::ResultType(const Schema& schema) const {
+  if (value_.is_null()) return TypeId::kInt64;  // null literal: arbitrary
+  if (value_.is_bool()) return TypeId::kBool;
+  if (value_.is_int32()) return TypeId::kInt32;
+  if (value_.is_int64()) return TypeId::kInt64;
+  if (value_.is_double()) return TypeId::kFloat64;
+  return TypeId::kString;
+}
+
+// ---------------------------------------------------------------------------
+// ComparisonExpr
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool CompareValues(CompareOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return !(a == b);
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return !(b < a);
+    case CompareOp::kGt:
+      return b < a;
+    case CompareOp::kGe:
+      return !(a < b);
+  }
+  return false;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool TypesComparable(TypeId a, TypeId b) {
+  bool a_str = a == TypeId::kString;
+  bool b_str = b == TypeId::kString;
+  return a_str == b_str;
+}
+
+bool TypeNumeric(TypeId t) {
+  return t == TypeId::kInt32 || t == TypeId::kInt64 || t == TypeId::kFloat64 ||
+         t == TypeId::kBool || t == TypeId::kTimestamp;
+}
+
+}  // namespace
+
+Result<Value> ComparisonExpr::Eval(const Row& row) const {
+  IDF_ASSIGN_OR_RETURN(Value a, left()->Eval(row));
+  IDF_ASSIGN_OR_RETURN(Value b, right()->Eval(row));
+  if (a.is_null() || b.is_null()) return Value::Null();
+  return Value(CompareValues(op_, a, b));
+}
+
+Result<TypeId> ComparisonExpr::ResultType(const Schema& schema) const {
+  IDF_ASSIGN_OR_RETURN(TypeId lt, left()->ResultType(schema));
+  IDF_ASSIGN_OR_RETURN(TypeId rt, right()->ResultType(schema));
+  if (!TypesComparable(lt, rt)) {
+    return Status::TypeError("cannot compare " + TypeIdToString(lt) + " with " +
+                             TypeIdToString(rt) + " in " + ToString());
+  }
+  return TypeId::kBool;
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left()->ToString() + " " + CompareOpName(op_) + " " +
+         right()->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// LogicalExpr / NotExpr / IsNullExpr
+// ---------------------------------------------------------------------------
+
+Result<Value> LogicalExpr::Eval(const Row& row) const {
+  IDF_ASSIGN_OR_RETURN(Value a, children()[0]->Eval(row));
+  // SQL short-circuit with three-valued logic.
+  if (op_ == LogicalOp::kAnd) {
+    if (!a.is_null() && !a.bool_value()) return Value(false);
+    IDF_ASSIGN_OR_RETURN(Value b, children()[1]->Eval(row));
+    if (!b.is_null() && !b.bool_value()) return Value(false);
+    if (a.is_null() || b.is_null()) return Value::Null();
+    return Value(true);
+  }
+  if (!a.is_null() && a.bool_value()) return Value(true);
+  IDF_ASSIGN_OR_RETURN(Value b, children()[1]->Eval(row));
+  if (!b.is_null() && b.bool_value()) return Value(true);
+  if (a.is_null() || b.is_null()) return Value::Null();
+  return Value(false);
+}
+
+Result<TypeId> LogicalExpr::ResultType(const Schema& schema) const {
+  IDF_ASSIGN_OR_RETURN(TypeId lt, children()[0]->ResultType(schema));
+  IDF_ASSIGN_OR_RETURN(TypeId rt, children()[1]->ResultType(schema));
+  if (lt != TypeId::kBool || rt != TypeId::kBool) {
+    return Status::TypeError("logical operator requires boolean operands in " +
+                             ToString());
+  }
+  return TypeId::kBool;
+}
+
+std::string LogicalExpr::ToString() const {
+  return "(" + children()[0]->ToString() +
+         (op_ == LogicalOp::kAnd ? " AND " : " OR ") + children()[1]->ToString() +
+         ")";
+}
+
+Result<Value> NotExpr::Eval(const Row& row) const {
+  IDF_ASSIGN_OR_RETURN(Value v, children()[0]->Eval(row));
+  if (v.is_null()) return Value::Null();
+  return Value(!v.bool_value());
+}
+
+Result<TypeId> NotExpr::ResultType(const Schema& schema) const {
+  IDF_ASSIGN_OR_RETURN(TypeId t, children()[0]->ResultType(schema));
+  if (t != TypeId::kBool) {
+    return Status::TypeError("NOT requires a boolean operand in " + ToString());
+  }
+  return TypeId::kBool;
+}
+
+std::string NotExpr::ToString() const {
+  return "NOT " + children()[0]->ToString();
+}
+
+Result<Value> IsNullExpr::Eval(const Row& row) const {
+  IDF_ASSIGN_OR_RETURN(Value v, children()[0]->Eval(row));
+  return Value(negated_ ? !v.is_null() : v.is_null());
+}
+
+Result<TypeId> IsNullExpr::ResultType(const Schema& schema) const {
+  IDF_RETURN_NOT_OK(children()[0]->ResultType(schema).status());
+  return TypeId::kBool;
+}
+
+std::string IsNullExpr::ToString() const {
+  return children()[0]->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+// ---------------------------------------------------------------------------
+// LikeExpr
+// ---------------------------------------------------------------------------
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer wildcard matching with backtracking on '%'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star = std::string::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> LikeExpr::Eval(const Row& row) const {
+  IDF_ASSIGN_OR_RETURN(Value v, children()[0]->Eval(row));
+  if (v.is_null()) return Value::Null();
+  if (!v.is_string()) {
+    return Status::TypeError("LIKE requires a string input, got " + v.ToString());
+  }
+  bool matched = LikeMatch(v.string_value(), pattern_);
+  return Value(negated_ ? !matched : matched);
+}
+
+Result<TypeId> LikeExpr::ResultType(const Schema& schema) const {
+  IDF_ASSIGN_OR_RETURN(TypeId t, children()[0]->ResultType(schema));
+  if (t != TypeId::kString) {
+    return Status::TypeError("LIKE requires a string operand in " + ToString());
+  }
+  return TypeId::kBool;
+}
+
+std::string LikeExpr::ToString() const {
+  return children()[0]->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+         pattern_ + "'";
+}
+
+// ---------------------------------------------------------------------------
+// ArithmeticExpr
+// ---------------------------------------------------------------------------
+
+Result<Value> ArithmeticExpr::Eval(const Row& row) const {
+  IDF_ASSIGN_OR_RETURN(Value a, children()[0]->Eval(row));
+  IDF_ASSIGN_OR_RETURN(Value b, children()[1]->Eval(row));
+  if (a.is_null() || b.is_null()) return Value::Null();
+  bool use_double = a.is_double() || b.is_double() || op_ == ArithmeticOp::kDiv;
+  if (use_double) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    switch (op_) {
+      case ArithmeticOp::kAdd:
+        return Value(x + y);
+      case ArithmeticOp::kSub:
+        return Value(x - y);
+      case ArithmeticOp::kMul:
+        return Value(x * y);
+      case ArithmeticOp::kDiv:
+        if (y == 0.0) return Value::Null();
+        return Value(x / y);
+    }
+  }
+  int64_t x = a.AsInt64();
+  int64_t y = b.AsInt64();
+  switch (op_) {
+    case ArithmeticOp::kAdd:
+      return Value(x + y);
+    case ArithmeticOp::kSub:
+      return Value(x - y);
+    case ArithmeticOp::kMul:
+      return Value(x * y);
+    case ArithmeticOp::kDiv:
+      break;  // handled above
+  }
+  return Status::Internal("unreachable arithmetic case");
+}
+
+Result<TypeId> ArithmeticExpr::ResultType(const Schema& schema) const {
+  IDF_ASSIGN_OR_RETURN(TypeId lt, children()[0]->ResultType(schema));
+  IDF_ASSIGN_OR_RETURN(TypeId rt, children()[1]->ResultType(schema));
+  if (!TypeNumeric(lt) || !TypeNumeric(rt)) {
+    return Status::TypeError("arithmetic requires numeric operands in " +
+                             ToString());
+  }
+  if (op_ == ArithmeticOp::kDiv || lt == TypeId::kFloat64 || rt == TypeId::kFloat64) {
+    return TypeId::kFloat64;
+  }
+  return TypeId::kInt64;
+}
+
+std::string ArithmeticExpr::ToString() const {
+  const char* op = op_ == ArithmeticOp::kAdd   ? "+"
+                   : op_ == ArithmeticOp::kSub ? "-"
+                   : op_ == ArithmeticOp::kMul ? "*"
+                                               : "/";
+  return "(" + children()[0]->ToString() + " " + op + " " +
+         children()[1]->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ComparisonExpr>(CompareOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ComparisonExpr>(CompareOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ComparisonExpr>(CompareOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ComparisonExpr>(CompareOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ComparisonExpr>(CompareOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ComparisonExpr>(CompareOp::kGe, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kOr, std::move(a), std::move(b));
+}
+ExprPtr Not(ExprPtr a) { return std::make_shared<NotExpr>(std::move(a)); }
+ExprPtr IsNull(ExprPtr a) { return std::make_shared<IsNullExpr>(std::move(a)); }
+ExprPtr IsNotNull(ExprPtr a) {
+  return std::make_shared<IsNullExpr>(std::move(a), /*negated=*/true);
+}
+ExprPtr Like(ExprPtr input, std::string pattern) {
+  return std::make_shared<LikeExpr>(std::move(input), std::move(pattern));
+}
+ExprPtr NotLike(ExprPtr input, std::string pattern) {
+  return std::make_shared<LikeExpr>(std::move(input), std::move(pattern),
+                                    /*negated=*/true);
+}
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpr>(ArithmeticOp::kAdd, std::move(a),
+                                          std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpr>(ArithmeticOp::kSub, std::move(a),
+                                          std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpr>(ArithmeticOp::kMul, std::move(a),
+                                          std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpr>(ArithmeticOp::kDiv, std::move(a),
+                                          std::move(b));
+}
+
+// ---------------------------------------------------------------------------
+// Analysis helpers
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> BindExpr(const ExprPtr& expr, const Schema& schema) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto* ref = static_cast<const ColumnRefExpr*>(expr.get());
+      if (ref->bound()) return expr;
+      IDF_ASSIGN_OR_RETURN(int idx, schema.ResolveFieldIndex(ref->name()));
+      return ExprPtr(std::make_shared<ColumnRefExpr>(ref->name(), idx));
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    default: {
+      std::vector<ExprPtr> bound;
+      bound.reserve(expr->children().size());
+      bool changed = false;
+      for (const ExprPtr& child : expr->children()) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr b, BindExpr(child, schema));
+        changed = changed || (b != child);
+        bound.push_back(std::move(b));
+      }
+      if (!changed) return expr;
+      switch (expr->kind()) {
+        case ExprKind::kComparison:
+          return ExprPtr(std::make_shared<ComparisonExpr>(
+              static_cast<const ComparisonExpr*>(expr.get())->op(), bound[0],
+              bound[1]));
+        case ExprKind::kLogical:
+          return ExprPtr(std::make_shared<LogicalExpr>(
+              static_cast<const LogicalExpr*>(expr.get())->op(), bound[0],
+              bound[1]));
+        case ExprKind::kNot:
+          return ExprPtr(std::make_shared<NotExpr>(bound[0]));
+        case ExprKind::kIsNull:
+          return ExprPtr(std::make_shared<IsNullExpr>(
+              bound[0], static_cast<const IsNullExpr*>(expr.get())->negated()));
+        case ExprKind::kArithmetic:
+          return ExprPtr(std::make_shared<ArithmeticExpr>(
+              static_cast<const ArithmeticExpr*>(expr.get())->op(), bound[0],
+              bound[1]));
+        case ExprKind::kLike: {
+          const auto* like = static_cast<const LikeExpr*>(expr.get());
+          return ExprPtr(std::make_shared<LikeExpr>(bound[0], like->pattern(),
+                                                    like->negated()));
+        }
+        default:
+          return Status::Internal("unexpected expression kind in BindExpr");
+      }
+    }
+  }
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b || a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto* ra = static_cast<const ColumnRefExpr*>(a.get());
+      const auto* rb = static_cast<const ColumnRefExpr*>(b.get());
+      return ra->name() == rb->name() && ra->index() == rb->index();
+    }
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr*>(a.get())->value() ==
+             static_cast<const LiteralExpr*>(b.get())->value();
+    case ExprKind::kComparison:
+      if (static_cast<const ComparisonExpr*>(a.get())->op() !=
+          static_cast<const ComparisonExpr*>(b.get())->op()) {
+        return false;
+      }
+      break;
+    case ExprKind::kLogical:
+      if (static_cast<const LogicalExpr*>(a.get())->op() !=
+          static_cast<const LogicalExpr*>(b.get())->op()) {
+        return false;
+      }
+      break;
+    case ExprKind::kIsNull:
+      if (static_cast<const IsNullExpr*>(a.get())->negated() !=
+          static_cast<const IsNullExpr*>(b.get())->negated()) {
+        return false;
+      }
+      break;
+    case ExprKind::kArithmetic:
+      if (static_cast<const ArithmeticExpr*>(a.get())->op() !=
+          static_cast<const ArithmeticExpr*>(b.get())->op()) {
+        return false;
+      }
+      break;
+    case ExprKind::kLike: {
+      const auto* la = static_cast<const LikeExpr*>(a.get());
+      const auto* lb = static_cast<const LikeExpr*>(b.get());
+      if (la->pattern() != lb->pattern() || la->negated() != lb->negated()) {
+        return false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!ExprEquals(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+bool MatchEqualityFilter(const ExprPtr& expr, int* col_index, Value* literal) {
+  CompareOp op;
+  if (!MatchComparisonFilter(expr, &op, col_index, literal)) return false;
+  return op == CompareOp::kEq;
+}
+
+bool MatchComparisonFilter(const ExprPtr& expr, CompareOp* op, int* col_index,
+                           Value* literal) {
+  if (expr->kind() != ExprKind::kComparison) return false;
+  const auto* cmp = static_cast<const ComparisonExpr*>(expr.get());
+  const Expr* l = cmp->left().get();
+  const Expr* r = cmp->right().get();
+  const ColumnRefExpr* ref = nullptr;
+  const LiteralExpr* lit = nullptr;
+  bool mirrored = false;
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+    ref = static_cast<const ColumnRefExpr*>(l);
+    lit = static_cast<const LiteralExpr*>(r);
+  } else if (r->kind() == ExprKind::kColumnRef && l->kind() == ExprKind::kLiteral) {
+    ref = static_cast<const ColumnRefExpr*>(r);
+    lit = static_cast<const LiteralExpr*>(l);
+    mirrored = true;
+  } else {
+    return false;
+  }
+  if (!ref->bound() || lit->value().is_null()) return false;
+  CompareOp o = cmp->op();
+  if (mirrored) {
+    switch (o) {
+      case CompareOp::kLt:
+        o = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        o = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        o = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        o = CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  *op = o;
+  *col_index = ref->index();
+  *literal = lit->value();
+  return true;
+}
+
+bool CompareWithOp(CompareOp op, const Value& lhs, const Value& rhs) {
+  return CompareValues(op, lhs, rhs);
+}
+
+bool HasUnboundRefs(const ExprPtr& expr) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    return !static_cast<const ColumnRefExpr*>(expr.get())->bound();
+  }
+  for (const ExprPtr& child : expr->children()) {
+    if (HasUnboundRefs(child)) return true;
+  }
+  return false;
+}
+
+void CollectRefIndices(const ExprPtr& expr, std::vector<int>* out) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    const auto* ref = static_cast<const ColumnRefExpr*>(expr.get());
+    if (ref->bound()) out->push_back(ref->index());
+    return;
+  }
+  for (const ExprPtr& child : expr->children()) CollectRefIndices(child, out);
+}
+
+namespace {
+
+/// Rebuilds `expr` with each bound ColumnRef mapped through `map_ref`.
+Result<ExprPtr> MapColumnRefs(
+    const ExprPtr& expr,
+    const std::function<Result<ExprPtr>(const ColumnRefExpr&)>& map_ref) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto* ref = static_cast<const ColumnRefExpr*>(expr.get());
+      if (!ref->bound()) return expr;
+      return map_ref(*ref);
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    default: {
+      std::vector<ExprPtr> mapped;
+      mapped.reserve(expr->children().size());
+      bool changed = false;
+      for (const ExprPtr& child : expr->children()) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr m, MapColumnRefs(child, map_ref));
+        changed = changed || (m != child);
+        mapped.push_back(std::move(m));
+      }
+      if (!changed) return expr;
+      switch (expr->kind()) {
+        case ExprKind::kComparison:
+          return ExprPtr(std::make_shared<ComparisonExpr>(
+              static_cast<const ComparisonExpr*>(expr.get())->op(), mapped[0],
+              mapped[1]));
+        case ExprKind::kLogical:
+          return ExprPtr(std::make_shared<LogicalExpr>(
+              static_cast<const LogicalExpr*>(expr.get())->op(), mapped[0],
+              mapped[1]));
+        case ExprKind::kNot:
+          return ExprPtr(std::make_shared<NotExpr>(mapped[0]));
+        case ExprKind::kIsNull:
+          return ExprPtr(std::make_shared<IsNullExpr>(
+              mapped[0], static_cast<const IsNullExpr*>(expr.get())->negated()));
+        case ExprKind::kArithmetic:
+          return ExprPtr(std::make_shared<ArithmeticExpr>(
+              static_cast<const ArithmeticExpr*>(expr.get())->op(), mapped[0],
+              mapped[1]));
+        case ExprKind::kLike: {
+          const auto* like = static_cast<const LikeExpr*>(expr.get());
+          return ExprPtr(std::make_shared<LikeExpr>(mapped[0], like->pattern(),
+                                                    like->negated()));
+        }
+        default:
+          return Status::Internal("unexpected expr kind in MapColumnRefs");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<ExprPtr> ShiftColumnRefs(const ExprPtr& expr, int delta) {
+  return MapColumnRefs(expr, [delta](const ColumnRefExpr& ref) -> Result<ExprPtr> {
+    int shifted = ref.index() + delta;
+    if (shifted < 0) {
+      return Status::Internal("column ref shift went negative for " +
+                              ref.ToString());
+    }
+    return ExprPtr(std::make_shared<ColumnRefExpr>(ref.name(), shifted));
+  });
+}
+
+Result<ExprPtr> SubstituteColumnRefs(const ExprPtr& expr,
+                                     const std::vector<ExprPtr>& replacements) {
+  return MapColumnRefs(
+      expr, [&replacements](const ColumnRefExpr& ref) -> Result<ExprPtr> {
+        if (static_cast<size_t>(ref.index()) >= replacements.size()) {
+          return Status::Internal("column ref out of substitution range: " +
+                                  ref.ToString());
+        }
+        return replacements[static_cast<size_t>(ref.index())];
+      });
+}
+
+}  // namespace idf

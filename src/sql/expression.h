@@ -1,0 +1,256 @@
+// Expression trees evaluated over rows, with SQL three-valued null
+// semantics. Column references are resolved to ordinals by the analyzer
+// (sql/analyzer.h) before evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace idf {
+
+enum class ExprKind : uint8_t {
+  kColumnRef,
+  kLiteral,
+  kComparison,
+  kLogical,
+  kNot,
+  kIsNull,
+  kArithmetic,
+  kLike,
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp : uint8_t { kAnd, kOr };
+enum class ArithmeticOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief Immutable expression node.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Evaluates against a row whose layout matches the bound schema.
+  /// Unbound column references fail with Internal.
+  virtual Result<Value> Eval(const Row& row) const = 0;
+
+  /// Output type under `schema`; also validates operand types.
+  virtual Result<TypeId> ResultType(const Schema& schema) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+ protected:
+  Expr(ExprKind kind, std::vector<ExprPtr> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+ private:
+  ExprKind kind_;
+  std::vector<ExprPtr> children_;
+};
+
+/// Reference to a column by name; `index` is -1 until bound.
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name, int index = -1)
+      : Expr(ExprKind::kColumnRef, {}), name_(std::move(name)), index_(index) {}
+
+  const std::string& name() const { return name_; }
+  int index() const { return index_; }
+  bool bound() const { return index_ >= 0; }
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  int index_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral, {}), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  Result<Value> Eval(const Row& row) const override { return value_; }
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+class ComparisonExpr : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kComparison, {std::move(left), std::move(right)}), op_(op) {}
+
+  CompareOp op() const { return op_; }
+  const ExprPtr& left() const { return children()[0]; }
+  const ExprPtr& right() const { return children()[1]; }
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+};
+
+class LogicalExpr : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kLogical, {std::move(left), std::move(right)}), op_(op) {}
+
+  LogicalOp op() const { return op_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  LogicalOp op_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : Expr(ExprKind::kNot, {std::move(child)}) {}
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  explicit IsNullExpr(ExprPtr child, bool negated = false)
+      : Expr(ExprKind::kIsNull, {std::move(child)}), negated_(negated) {}
+
+  bool negated() const { return negated_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  bool negated_;
+};
+
+/// SQL LIKE: `%` matches any run (including empty), `_` any single
+/// character; everything else matches literally. Null input or pattern
+/// yields null.
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern, bool negated = false)
+      : Expr(ExprKind::kLike, {std::move(input)}),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+
+  const std::string& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  std::string pattern_;
+  bool negated_;
+};
+
+/// Standalone LIKE matcher (exposed for tests).
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+class ArithmeticExpr : public Expr {
+ public:
+  ArithmeticExpr(ArithmeticOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kArithmetic, {std::move(left), std::move(right)}), op_(op) {}
+
+  ArithmeticOp op() const { return op_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  ArithmeticOp op_;
+};
+
+// ---------------------------------------------------------------------------
+// Builders (the expression DSL used throughout the API and tests)
+// ---------------------------------------------------------------------------
+
+ExprPtr Col(std::string name);
+ExprPtr Lit(Value v);
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+ExprPtr IsNull(ExprPtr a);
+ExprPtr IsNotNull(ExprPtr a);
+ExprPtr Like(ExprPtr input, std::string pattern);
+ExprPtr NotLike(ExprPtr input, std::string pattern);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+
+// ---------------------------------------------------------------------------
+// Analysis helpers
+// ---------------------------------------------------------------------------
+
+/// Returns a copy of `expr` with every ColumnRef bound to its ordinal in
+/// `schema`; fails with KeyError on unknown columns.
+Result<ExprPtr> BindExpr(const ExprPtr& expr, const Schema& schema);
+
+/// Compares expression trees structurally (used by optimizer tests).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// If `expr` is `col == literal` (either order) over schema ordinal `col`,
+/// returns true and fills the outputs; used by the indexed filter rule and
+/// by the columnar fast path.
+bool MatchEqualityFilter(const ExprPtr& expr, int* col_index, Value* literal);
+
+/// Generalization of MatchEqualityFilter to any comparison operator. When
+/// the literal is on the left, the operator is mirrored so the result
+/// always reads `column <op> literal`.
+bool MatchComparisonFilter(const ExprPtr& expr, CompareOp* op, int* col_index,
+                           Value* literal);
+
+/// Evaluates `lhs <op> rhs` under the engine's Value ordering (callers
+/// handle null operands separately).
+bool CompareWithOp(CompareOp op, const Value& lhs, const Value& rhs);
+
+/// True if the expression contains any ColumnRef that is still unbound.
+bool HasUnboundRefs(const ExprPtr& expr);
+
+/// Appends the ordinals of all bound ColumnRefs in `expr` to `out`.
+void CollectRefIndices(const ExprPtr& expr, std::vector<int>* out);
+
+/// Returns `expr` with every bound ColumnRef ordinal shifted by `delta`
+/// (used when pushing predicates through joins). Fails when a shift would
+/// go negative.
+Result<ExprPtr> ShiftColumnRefs(const ExprPtr& expr, int delta);
+
+/// Returns `expr` with every bound ColumnRef ordinal `i` replaced by
+/// `replacements[i]` (used when pushing predicates through projections).
+Result<ExprPtr> SubstituteColumnRefs(const ExprPtr& expr,
+                                     const std::vector<ExprPtr>& replacements);
+
+}  // namespace idf

@@ -1,0 +1,386 @@
+#include "sql/optimizer.h"
+
+#include "common/logging.h"
+
+namespace idf {
+
+Optimizer Optimizer::WithDefaultRules() {
+  Optimizer opt;
+  const char* kBatch = "OperatorOptimization";
+  opt.AddRuleToBatch(kBatch, std::make_shared<ConstantFoldingRule>());
+  opt.AddRuleToBatch(kBatch, std::make_shared<MergeFiltersRule>());
+  opt.AddRuleToBatch(kBatch, std::make_shared<RemoveTrivialFilterRule>());
+  opt.AddRuleToBatch(kBatch, std::make_shared<PushFilterThroughProjectRule>());
+  opt.AddRuleToBatch(kBatch, std::make_shared<PushFilterThroughJoinRule>());
+  opt.AddRuleToBatch(kBatch, std::make_shared<PushFilterThroughAggregateRule>());
+  opt.AddRuleToBatch(kBatch, std::make_shared<CombineLimitSortRule>());
+  return opt;
+}
+
+void Optimizer::AddRule(OptimizerRulePtr rule) {
+  AddRuleToBatch("Extensions", std::move(rule));
+}
+
+void Optimizer::AddRuleToBatch(const std::string& batch, OptimizerRulePtr rule) {
+  for (Batch& b : batches_) {
+    if (b.name == batch) {
+      b.rules.push_back(std::move(rule));
+      return;
+    }
+  }
+  batches_.push_back(Batch{batch, {std::move(rule)}});
+}
+
+Result<LogicalPlanPtr> Optimizer::Optimize(const LogicalPlanPtr& plan) const {
+  if (!plan->analyzed()) {
+    return Status::InvalidArgument("Optimize requires an analyzed plan");
+  }
+  LogicalPlanPtr current = plan;
+  for (const Batch& batch : batches_) {
+    IDF_ASSIGN_OR_RETURN(current, OptimizeNode(current, batch, 0));
+  }
+  return current;
+}
+
+Result<LogicalPlanPtr> Optimizer::OptimizeNode(const LogicalPlanPtr& plan,
+                                               const Batch& batch,
+                                               int depth) const {
+  if (depth > 256) {
+    return Status::Internal("optimizer recursion depth exceeded");
+  }
+  // Optimize children first.
+  std::vector<LogicalPlanPtr> children;
+  children.reserve(plan->children().size());
+  bool changed = false;
+  for (const LogicalPlanPtr& child : plan->children()) {
+    IDF_ASSIGN_OR_RETURN(LogicalPlanPtr c, OptimizeNode(child, batch, depth + 1));
+    changed = changed || (c != child);
+    children.push_back(std::move(c));
+  }
+  LogicalPlanPtr node = changed ? plan->WithChildren(std::move(children)) : plan;
+
+  // Apply the batch's rules to this node until fixpoint.
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    bool any = false;
+    for (const OptimizerRulePtr& rule : batch.rules) {
+      IDF_ASSIGN_OR_RETURN(LogicalPlanPtr rewritten, rule->Apply(node));
+      if (rewritten != nullptr && rewritten != node) {
+        // A rewrite may expose new opportunities below; re-optimize the
+        // rewritten subtree's children.
+        std::vector<LogicalPlanPtr> subs;
+        subs.reserve(rewritten->children().size());
+        bool sub_changed = false;
+        for (const LogicalPlanPtr& child : rewritten->children()) {
+          IDF_ASSIGN_OR_RETURN(LogicalPlanPtr c,
+                               OptimizeNode(child, batch, depth + 1));
+          sub_changed = sub_changed || (c != child);
+          subs.push_back(std::move(c));
+        }
+        node = sub_changed ? rewritten->WithChildren(std::move(subs)) : rewritten;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsLiteral(const ExprPtr& e) { return e->kind() == ExprKind::kLiteral; }
+
+bool AllLiteral(const ExprPtr& e) {
+  if (e->kind() == ExprKind::kColumnRef) return false;
+  if (IsLiteral(e)) return true;
+  for (const ExprPtr& c : e->children()) {
+    if (!AllLiteral(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExprPtr> FoldConstants(const ExprPtr& expr) {
+  if (IsLiteral(expr) || expr->kind() == ExprKind::kColumnRef) return expr;
+  if (AllLiteral(expr)) {
+    static const Row kEmptyRow;
+    IDF_ASSIGN_OR_RETURN(Value v, expr->Eval(kEmptyRow));
+    return ExprPtr(std::make_shared<LiteralExpr>(std::move(v)));
+  }
+  std::vector<ExprPtr> folded;
+  folded.reserve(expr->children().size());
+  bool changed = false;
+  for (const ExprPtr& c : expr->children()) {
+    IDF_ASSIGN_OR_RETURN(ExprPtr f, FoldConstants(c));
+    changed = changed || (f != c);
+    folded.push_back(std::move(f));
+  }
+  if (!changed) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kComparison:
+      return ExprPtr(std::make_shared<ComparisonExpr>(
+          static_cast<const ComparisonExpr*>(expr.get())->op(), folded[0],
+          folded[1]));
+    case ExprKind::kLogical:
+      return ExprPtr(std::make_shared<LogicalExpr>(
+          static_cast<const LogicalExpr*>(expr.get())->op(), folded[0], folded[1]));
+    case ExprKind::kNot:
+      return ExprPtr(std::make_shared<NotExpr>(folded[0]));
+    case ExprKind::kIsNull:
+      return ExprPtr(std::make_shared<IsNullExpr>(
+          folded[0], static_cast<const IsNullExpr*>(expr.get())->negated()));
+    case ExprKind::kArithmetic:
+      return ExprPtr(std::make_shared<ArithmeticExpr>(
+          static_cast<const ArithmeticExpr*>(expr.get())->op(), folded[0],
+          folded[1]));
+    default:
+      return Status::Internal("unexpected expr kind in FoldConstants");
+  }
+}
+
+Result<LogicalPlanPtr> ConstantFoldingRule::Apply(const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* filter = static_cast<const FilterNode*>(node.get());
+  IDF_ASSIGN_OR_RETURN(ExprPtr folded, FoldConstants(filter->predicate()));
+  if (folded == filter->predicate()) return LogicalPlanPtr(nullptr);
+  return LogicalPlanPtr(std::make_shared<FilterNode>(
+      filter->children()[0], std::move(folded), node->output_schema()));
+}
+
+Result<LogicalPlanPtr> MergeFiltersRule::Apply(const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* outer = static_cast<const FilterNode*>(node.get());
+  const LogicalPlanPtr& child = outer->children()[0];
+  if (child->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* inner = static_cast<const FilterNode*>(child.get());
+  ExprPtr merged = And(outer->predicate(), inner->predicate());
+  return LogicalPlanPtr(std::make_shared<FilterNode>(
+      inner->children()[0], std::move(merged), node->output_schema()));
+}
+
+Result<LogicalPlanPtr> RemoveTrivialFilterRule::Apply(
+    const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* filter = static_cast<const FilterNode*>(node.get());
+  const ExprPtr& pred = filter->predicate();
+  if (pred->kind() != ExprKind::kLiteral) return LogicalPlanPtr(nullptr);
+  const Value& v = static_cast<const LiteralExpr*>(pred.get())->value();
+  if (v.is_bool() && v.bool_value()) return filter->children()[0];
+  return LogicalPlanPtr(nullptr);
+}
+
+Result<LogicalPlanPtr> PushFilterThroughAggregateRule::Apply(
+    const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* filter = static_cast<const FilterNode*>(node.get());
+  const LogicalPlanPtr& child = filter->children()[0];
+  if (child->kind() != PlanKind::kAggregate) return LogicalPlanPtr(nullptr);
+  const auto* agg = static_cast<const AggregateNode*>(child.get());
+  if (!filter->analyzed() || !agg->analyzed()) return LogicalPlanPtr(nullptr);
+
+  const int num_groups = static_cast<int>(agg->group_exprs().size());
+  // A conjunct is pushable when every referenced output ordinal is a group
+  // key whose defining expression is a plain (bound) column reference in
+  // the aggregate's input.
+  auto pushable = [&](const std::vector<int>& refs) {
+    for (int r : refs) {
+      if (r >= num_groups) return false;
+      const ExprPtr& g = agg->group_exprs()[static_cast<size_t>(r)];
+      if (g->kind() != ExprKind::kColumnRef ||
+          !static_cast<const ColumnRefExpr*>(g.get())->bound()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<ExprPtr> conjuncts;
+  {
+    std::vector<ExprPtr> stack = {filter->predicate()};
+    while (!stack.empty()) {
+      ExprPtr e = stack.back();
+      stack.pop_back();
+      if (e->kind() == ExprKind::kLogical &&
+          static_cast<const LogicalExpr*>(e.get())->op() == LogicalOp::kAnd) {
+        stack.push_back(e->children()[0]);
+        stack.push_back(e->children()[1]);
+      } else {
+        conjuncts.push_back(std::move(e));
+      }
+    }
+  }
+
+  // Map aggregate-output group ordinals to input expressions.
+  std::vector<ExprPtr> substitution;
+  const Schema& out = *agg->output_schema();
+  for (int i = 0; i < out.num_fields(); ++i) {
+    if (i < num_groups) {
+      substitution.push_back(agg->group_exprs()[static_cast<size_t>(i)]);
+    } else {
+      substitution.push_back(nullptr);  // aggregate outputs: not pushable
+    }
+  }
+
+  std::vector<ExprPtr> pushed;
+  std::vector<ExprPtr> kept;
+  for (const ExprPtr& c : conjuncts) {
+    std::vector<int> refs;
+    CollectRefIndices(c, &refs);
+    if (!refs.empty() && pushable(refs)) {
+      std::vector<ExprPtr> replacement = substitution;
+      // SubstituteColumnRefs requires non-null entries only for referenced
+      // ordinals; fill the rest with placeholders.
+      for (ExprPtr& e : replacement) {
+        if (e == nullptr) e = Lit(Value::Null());
+      }
+      IDF_ASSIGN_OR_RETURN(ExprPtr rewritten,
+                           SubstituteColumnRefs(c, replacement));
+      pushed.push_back(std::move(rewritten));
+    } else {
+      kept.push_back(c);
+    }
+  }
+  if (pushed.empty()) return LogicalPlanPtr(nullptr);
+
+  auto conjoin = [](std::vector<ExprPtr> preds) {
+    ExprPtr acc = preds[0];
+    for (size_t i = 1; i < preds.size(); ++i) acc = And(acc, preds[i]);
+    return acc;
+  };
+  LogicalPlanPtr input = std::make_shared<FilterNode>(
+      agg->children()[0], conjoin(std::move(pushed)),
+      agg->children()[0]->output_schema());
+  LogicalPlanPtr new_agg = std::make_shared<AggregateNode>(
+      std::move(input), agg->group_exprs(), agg->group_names(), agg->aggs(),
+      agg->output_schema());
+  if (kept.empty()) return new_agg;
+  return LogicalPlanPtr(std::make_shared<FilterNode>(
+      std::move(new_agg), conjoin(std::move(kept)), node->output_schema()));
+}
+
+Result<LogicalPlanPtr> CombineLimitSortRule::Apply(
+    const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kLimit) return LogicalPlanPtr(nullptr);
+  const auto* limit = static_cast<const LimitNode*>(node.get());
+  const LogicalPlanPtr& child = limit->children()[0];
+  if (child->kind() != PlanKind::kSort) return LogicalPlanPtr(nullptr);
+  const auto* sort = static_cast<const SortNode*>(child.get());
+  return LogicalPlanPtr(std::make_shared<TopKNode>(
+      sort->children()[0], sort->keys(), limit->n(), node->output_schema()));
+}
+
+Result<LogicalPlanPtr> PushFilterThroughProjectRule::Apply(
+    const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* filter = static_cast<const FilterNode*>(node.get());
+  const LogicalPlanPtr& child = filter->children()[0];
+  if (child->kind() != PlanKind::kProject) return LogicalPlanPtr(nullptr);
+  const auto* project = static_cast<const ProjectNode*>(child.get());
+  if (!filter->analyzed() || !project->analyzed()) return LogicalPlanPtr(nullptr);
+  // Re-express the predicate over the projection's input. This always
+  // succeeds (every output column is defined by a projection expression),
+  // but we avoid duplicating non-trivial computed expressions referenced
+  // more than once.
+  std::vector<int> refs;
+  CollectRefIndices(filter->predicate(), &refs);
+  for (int r : refs) {
+    const ExprPtr& source = project->exprs()[static_cast<size_t>(r)];
+    if (source->kind() != ExprKind::kColumnRef &&
+        source->kind() != ExprKind::kLiteral) {
+      return LogicalPlanPtr(nullptr);  // don't duplicate computed work
+    }
+  }
+  IDF_ASSIGN_OR_RETURN(
+      ExprPtr pushed,
+      SubstituteColumnRefs(filter->predicate(), project->exprs()));
+  LogicalPlanPtr inner_filter = std::make_shared<FilterNode>(
+      project->children()[0], std::move(pushed),
+      project->children()[0]->output_schema());
+  return LogicalPlanPtr(std::make_shared<ProjectNode>(
+      std::move(inner_filter), project->exprs(), project->names(),
+      project->output_schema()));
+}
+
+Result<LogicalPlanPtr> PushFilterThroughJoinRule::Apply(
+    const LogicalPlanPtr& node) const {
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* filter = static_cast<const FilterNode*>(node.get());
+  const LogicalPlanPtr& child = filter->children()[0];
+  if (child->kind() != PlanKind::kJoin) return LogicalPlanPtr(nullptr);
+  const auto* join = static_cast<const JoinNode*>(child.get());
+  if (!filter->analyzed() || !join->analyzed()) return LogicalPlanPtr(nullptr);
+
+  const int left_width = join->left()->output_schema()->num_fields();
+
+  // Split the predicate into conjuncts and classify each by the side(s) it
+  // references.
+  std::vector<ExprPtr> conjuncts;
+  {
+    std::vector<ExprPtr> stack = {filter->predicate()};
+    while (!stack.empty()) {
+      ExprPtr e = stack.back();
+      stack.pop_back();
+      if (e->kind() == ExprKind::kLogical &&
+          static_cast<const LogicalExpr*>(e.get())->op() == LogicalOp::kAnd) {
+        stack.push_back(e->children()[0]);
+        stack.push_back(e->children()[1]);
+      } else {
+        conjuncts.push_back(std::move(e));
+      }
+    }
+  }
+  // For a left-outer join, right-side predicates must stay above the join:
+  // pushing them below would turn matching-but-filtered rows into
+  // null-padded output rows instead of dropping them.
+  const bool can_push_right = join->join_type() == JoinType::kInner;
+
+  std::vector<ExprPtr> left_preds;
+  std::vector<ExprPtr> right_preds;
+  std::vector<ExprPtr> kept;
+  for (const ExprPtr& c : conjuncts) {
+    std::vector<int> refs;
+    CollectRefIndices(c, &refs);
+    bool touches_left = false;
+    bool touches_right = false;
+    for (int r : refs) {
+      (r < left_width ? touches_left : touches_right) = true;
+    }
+    if (touches_left && !touches_right) {
+      left_preds.push_back(c);
+    } else if (touches_right && !touches_left && can_push_right) {
+      IDF_ASSIGN_OR_RETURN(ExprPtr shifted, ShiftColumnRefs(c, -left_width));
+      right_preds.push_back(std::move(shifted));
+    } else {
+      kept.push_back(c);  // mixed, constant, or blocked by outer semantics
+    }
+  }
+  if (left_preds.empty() && right_preds.empty()) return LogicalPlanPtr(nullptr);
+
+  auto conjoin = [](std::vector<ExprPtr> preds) {
+    ExprPtr acc = preds[0];
+    for (size_t i = 1; i < preds.size(); ++i) acc = And(acc, preds[i]);
+    return acc;
+  };
+  LogicalPlanPtr left = join->left();
+  LogicalPlanPtr right = join->right();
+  if (!left_preds.empty()) {
+    left = std::make_shared<FilterNode>(left, conjoin(std::move(left_preds)),
+                                        left->output_schema());
+  }
+  if (!right_preds.empty()) {
+    right = std::make_shared<FilterNode>(right, conjoin(std::move(right_preds)),
+                                         right->output_schema());
+  }
+  LogicalPlanPtr new_join = std::make_shared<JoinNode>(
+      std::move(left), std::move(right), join->left_key(), join->right_key(),
+      join->join_type(), join->output_schema());
+  if (kept.empty()) return new_join;
+  return LogicalPlanPtr(std::make_shared<FilterNode>(
+      std::move(new_join), conjoin(std::move(kept)), node->output_schema()));
+}
+
+}  // namespace idf

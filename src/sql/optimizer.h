@@ -1,0 +1,131 @@
+// Rule-based logical optimizer, mirroring Catalyst's logical optimization
+// layer. Rules are applied bottom-up to a fixpoint. The Indexed DataFrame
+// library registers its index-aware rules here (indexed/indexed_rules.h)
+// without the engine knowing about them — the integration mechanism the
+// paper describes ("our library includes optimization rules that make
+// regular Spark SQL queries aware of our custom indexed operations").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/logical_plan.h"
+
+namespace idf {
+
+/// \brief One rewrite rule. Apply() sees a node whose children are already
+/// optimized and returns the rewritten node, or nullptr when the rule does
+/// not apply.
+class OptimizerRule {
+ public:
+  virtual ~OptimizerRule() = default;
+  virtual std::string name() const = 0;
+  virtual Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const = 0;
+};
+using OptimizerRulePtr = std::shared_ptr<const OptimizerRule>;
+
+/// \brief Rule-batch optimizer (Catalyst's "batches"): each batch runs to
+/// fixpoint over the whole tree before the next batch starts. The built-in
+/// operator optimizations (folding, merging, pushdown) form the first
+/// batch; library extensions (the indexed rules) run in a later batch so
+/// they see plans that generic optimization has already normalized — e.g.
+/// filters pushed below joins land on IndexedScans *before* the indexed
+/// rewrites fire.
+class Optimizer {
+ public:
+  /// Creates an optimizer with the built-in rule set (constant folding,
+  /// filter merging, predicate pushdown, limit/sort fusion).
+  static Optimizer WithDefaultRules();
+
+  /// Appends `rule` to the extensions batch (created after the built-in
+  /// batch on first use).
+  void AddRule(OptimizerRulePtr rule);
+
+  /// Appends `rule` to the named batch, creating the batch (at the end of
+  /// the pipeline) if it does not exist.
+  void AddRuleToBatch(const std::string& batch, OptimizerRulePtr rule);
+
+  /// Optimizes an analyzed plan: every batch to fixpoint, in order.
+  Result<LogicalPlanPtr> Optimize(const LogicalPlanPtr& plan) const;
+
+ private:
+  struct Batch {
+    std::string name;
+    std::vector<OptimizerRulePtr> rules;
+  };
+
+  Result<LogicalPlanPtr> OptimizeNode(const LogicalPlanPtr& plan,
+                                      const Batch& batch, int depth) const;
+
+  static constexpr int kMaxIterations = 16;
+  std::vector<Batch> batches_;
+};
+
+// ---------------------------------------------------------------------------
+// Built-in rules
+// ---------------------------------------------------------------------------
+
+/// Evaluates literal-only subexpressions at plan time.
+class ConstantFoldingRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "ConstantFolding"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+};
+
+/// Filter(Filter(x, p1), p2) => Filter(x, p2 AND p1).
+class MergeFiltersRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "MergeFilters"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+};
+
+/// Removes filters whose predicate folded to literal TRUE.
+class RemoveTrivialFilterRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "RemoveTrivialFilter"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+};
+
+/// Filter(Project(x), p) => Project(Filter(x, p')) where p' re-expresses
+/// the predicate in terms of the projection's input (Catalyst's
+/// PushDownPredicate through Project).
+class PushFilterThroughProjectRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "PushFilterThroughProject"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+};
+
+/// Filter(Aggregate(x), p) => Aggregate(Filter(x, p')) for conjuncts of p
+/// that reference only group-key outputs which are plain column
+/// references (Catalyst's PushDownPredicate through Aggregate). Conjuncts
+/// over aggregate outputs stay above (HAVING semantics).
+class PushFilterThroughAggregateRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "PushFilterThroughAggregate"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+};
+
+/// Limit(Sort(x)) => TopK(x): per-partition heaps instead of a global sort
+/// (Spark's TakeOrderedAndProject).
+class CombineLimitSortRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "CombineLimitSort"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+};
+
+/// Filter(Join(l, r), p): conjuncts of p that reference only one join side
+/// are pushed below the join (Catalyst's PushPredicateThroughJoin). This
+/// is what lets `WHERE a.key = 5` over a join land directly on an
+/// IndexedScan and become an index lookup.
+class PushFilterThroughJoinRule : public OptimizerRule {
+ public:
+  std::string name() const override { return "PushFilterThroughJoin"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+};
+
+/// Folds every literal-only subexpression of `expr`; returns `expr` itself
+/// when nothing folds (exposed for tests).
+Result<ExprPtr> FoldConstants(const ExprPtr& expr);
+
+}  // namespace idf

@@ -1,0 +1,1000 @@
+#include "sql/physical_operators.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace idf {
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+Result<PartitionVec> RowSourceOp::Execute(ExecutorContext& ctx) {
+  PartitionVec out(table_->partitions.size());
+  ctx.pool().ParallelFor(table_->partitions.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    ctx.metrics().AddRowsScanned(table_->partitions[p].size());
+    out[p] = PartitionData(table_->partitions[p]);  // copy: fresh storage read
+  });
+  return out;
+}
+
+Result<PartitionVec> CacheScanOp::Execute(ExecutorContext& ctx) {
+  PartitionVec out;
+  out.reserve(table_->partitions.size());
+  std::vector<int> all_columns(static_cast<size_t>(table_->schema->num_fields()));
+  for (size_t i = 0; i < all_columns.size(); ++i) all_columns[i] = static_cast<int>(i);
+  for (const ColumnCachePtr& cache : table_->partitions) {
+    ctx.metrics().AddTask();
+    out.push_back(PartitionData(ColumnarChunk{cache, all_columns, nullptr}));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T, typename GetFn>
+void ScanColumn(const std::vector<uint8_t>& validity, size_t n, CompareOp op,
+                T pivot, const GetFn& get, std::vector<uint32_t>* out,
+                const std::vector<uint32_t>* selection) {
+  auto test = [op, &pivot](const T& v) {
+    switch (op) {
+      case CompareOp::kEq:
+        return v == pivot;
+      case CompareOp::kNe:
+        return v != pivot;
+      case CompareOp::kLt:
+        return v < pivot;
+      case CompareOp::kLe:
+        return v <= pivot;
+      case CompareOp::kGt:
+        return v > pivot;
+      case CompareOp::kGe:
+        return v >= pivot;
+    }
+    return false;
+  };
+  if (selection == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (validity[i] && test(get(i))) out->push_back(static_cast<uint32_t>(i));
+    }
+  } else {
+    for (uint32_t i : *selection) {
+      if (validity[i] && test(get(i))) out->push_back(i);
+    }
+  }
+}
+
+}  // namespace
+
+Result<PartitionVec> FilterOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
+
+  CompareOp op;
+  int col = -1;
+  Value literal;
+  const bool fast = MatchComparisonFilter(predicate_, &op, &col, &literal);
+
+  PartitionVec out(input.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    PartitionData& part = input[p];
+    if (part.is_columnar() && fast) {
+      const ColumnarChunk& chunk = part.columnar();
+      // `col` indexes the chunk's projected schema; translate to cache.
+      int cache_col = chunk.columns[static_cast<size_t>(col)];
+      const CachedColumn& column = chunk.cache->column(cache_col);
+      ctx.metrics().AddRowsScanned(chunk.num_rows());
+      auto selection = std::make_shared<std::vector<uint32_t>>();
+      const std::vector<uint32_t>* presel =
+          chunk.selection ? chunk.selection.get() : nullptr;
+      bool ok = true;
+      switch (column.type()) {
+        case TypeId::kBool:
+        case TypeId::kInt32:
+        case TypeId::kInt64:
+        case TypeId::kTimestamp: {
+          if (literal.is_string()) {
+            ok = false;
+            break;
+          }
+          int64_t pivot = literal.is_double()
+                              ? static_cast<int64_t>(literal.double_value())
+                              : literal.AsInt64();
+          if (literal.is_double() &&
+              static_cast<double>(pivot) != literal.double_value()) {
+            ok = false;  // fractional pivot vs integer column: fall back
+            break;
+          }
+          const auto& data = column.ints();
+          ScanColumn<int64_t>(
+              column.validity(), column.size(), op, pivot,
+              [&data](size_t i) { return data[i]; }, selection.get(), presel);
+          break;
+        }
+        case TypeId::kFloat64: {
+          if (literal.is_string()) {
+            ok = false;
+            break;
+          }
+          const auto& data = column.doubles();
+          ScanColumn<double>(
+              column.validity(), column.size(), op, literal.AsDouble(),
+              [&data](size_t i) { return data[i]; }, selection.get(), presel);
+          break;
+        }
+        case TypeId::kString: {
+          if (!literal.is_string()) {
+            ok = false;
+            break;
+          }
+          const auto& data = column.strings();
+          ScanColumn<std::string>(
+              column.validity(), column.size(), op, literal.string_value(),
+              [&data](size_t i) { return data[i]; }, selection.get(), presel);
+          break;
+        }
+      }
+      if (ok) {
+        ColumnarChunk filtered = chunk;
+        filtered.selection = std::move(selection);
+        ctx.metrics().AddRowsProduced(filtered.num_rows());
+        out[p] = PartitionData(std::move(filtered));
+        return;
+      }
+      // Type mismatch between literal and column: row fallback below.
+    }
+    RowVec rows = std::move(part).TakeRows();
+    ctx.metrics().AddRowsScanned(rows.size());
+    RowVec kept;
+    for (Row& row : rows) {
+      auto v = predicate_->Eval(row);
+      if (!v.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = v.status();
+        return;
+      }
+      const Value& val = v.ValueUnsafe();
+      if (!val.is_null() && val.bool_value()) kept.push_back(std::move(row));
+    }
+    ctx.metrics().AddRowsProduced(kept.size());
+    out[p] = PartitionData(std::move(kept));
+  });
+  IDF_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+Result<PartitionVec> ProjectOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
+
+  // All-column-refs projections over columnar data just remap indices.
+  bool all_refs = true;
+  std::vector<int> ref_indices;
+  for (const ExprPtr& e : exprs_) {
+    if (e->kind() == ExprKind::kColumnRef &&
+        static_cast<const ColumnRefExpr*>(e.get())->bound()) {
+      ref_indices.push_back(static_cast<const ColumnRefExpr*>(e.get())->index());
+    } else {
+      all_refs = false;
+      break;
+    }
+  }
+
+  PartitionVec out(input.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    PartitionData& part = input[p];
+    if (part.is_columnar() && all_refs) {
+      const ColumnarChunk& chunk = part.columnar();
+      ColumnarChunk projected = chunk;
+      projected.columns.clear();
+      for (int idx : ref_indices) {
+        projected.columns.push_back(chunk.columns[static_cast<size_t>(idx)]);
+      }
+      out[p] = PartitionData(std::move(projected));
+      return;
+    }
+    RowVec rows = std::move(part).TakeRows();
+    RowVec produced;
+    produced.reserve(rows.size());
+    for (const Row& row : rows) {
+      Row next;
+      next.reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) {
+        auto v = e->Eval(row);
+        if (!v.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = v.status();
+          return;
+        }
+        next.push_back(std::move(v).ValueUnsafe());
+      }
+      produced.push_back(std::move(next));
+    }
+    ctx.metrics().AddRowsProduced(produced.size());
+    out[p] = PartitionData(std::move(produced));
+  });
+  IDF_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HashAggregate
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RowHasher {
+  size_t operator()(const Row& r) const { return static_cast<size_t>(HashRow(r)); }
+};
+struct RowEqual {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct AggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0;
+  bool any = false;
+  Value minv;
+  Value maxv;
+};
+
+void UpdateState(AggState* s, AggFn fn, const Value& v) {
+  switch (fn) {
+    case AggFn::kCountStar:
+      ++s->count;
+      return;
+    case AggFn::kCount:
+      if (!v.is_null()) ++s->count;
+      return;
+    case AggFn::kSum:
+      if (!v.is_null()) {
+        s->any = true;
+        s->isum += v.is_double() ? 0 : v.AsInt64();
+        s->dsum += v.AsDouble();
+      }
+      return;
+    case AggFn::kAvg:
+      if (!v.is_null()) {
+        s->any = true;
+        s->dsum += v.AsDouble();
+        ++s->count;
+      }
+      return;
+    case AggFn::kMin:
+      if (!v.is_null() && (s->minv.is_null() || v < s->minv)) s->minv = v;
+      return;
+    case AggFn::kMax:
+      if (!v.is_null() && (s->maxv.is_null() || s->maxv < v)) s->maxv = v;
+      return;
+  }
+}
+
+/// Number of cells an agg contributes to a partial row.
+int PartialArity(AggFn fn) { return fn == AggFn::kAvg ? 2 : 1; }
+
+void AppendPartial(Row* row, AggFn fn, const AggState& s, TypeId out_type) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      row->push_back(Value(s.count));
+      return;
+    case AggFn::kSum:
+      if (!s.any) {
+        row->push_back(Value::Null());
+      } else if (out_type == TypeId::kFloat64) {
+        row->push_back(Value(s.dsum));
+      } else {
+        row->push_back(Value(s.isum));
+      }
+      return;
+    case AggFn::kAvg:
+      row->push_back(s.any ? Value(s.dsum) : Value::Null());
+      row->push_back(Value(s.count));
+      return;
+    case AggFn::kMin:
+      row->push_back(s.minv);
+      return;
+    case AggFn::kMax:
+      row->push_back(s.maxv);
+      return;
+  }
+}
+
+void MergePartial(AggState* s, AggFn fn, const Row& partial, size_t offset) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      s->count += partial[offset].AsInt64();
+      return;
+    case AggFn::kSum: {
+      const Value& v = partial[offset];
+      if (!v.is_null()) {
+        s->any = true;
+        if (v.is_double()) {
+          s->dsum += v.double_value();
+        } else {
+          s->isum += v.AsInt64();
+          s->dsum += v.AsDouble();
+        }
+      }
+      return;
+    }
+    case AggFn::kAvg: {
+      const Value& sum = partial[offset];
+      if (!sum.is_null()) {
+        s->any = true;
+        s->dsum += sum.AsDouble();
+      }
+      s->count += partial[offset + 1].AsInt64();
+      return;
+    }
+    case AggFn::kMin: {
+      const Value& v = partial[offset];
+      if (!v.is_null() && (s->minv.is_null() || v < s->minv)) s->minv = v;
+      return;
+    }
+    case AggFn::kMax: {
+      const Value& v = partial[offset];
+      if (!v.is_null() && (s->maxv.is_null() || s->maxv < v)) s->maxv = v;
+      return;
+    }
+  }
+}
+
+void AppendFinal(Row* row, AggFn fn, const AggState& s, TypeId out_type) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      row->push_back(Value(s.count));
+      return;
+    case AggFn::kSum:
+      if (!s.any) {
+        row->push_back(Value::Null());
+      } else if (out_type == TypeId::kFloat64) {
+        row->push_back(Value(s.dsum));
+      } else {
+        row->push_back(Value(s.isum));
+      }
+      return;
+    case AggFn::kAvg:
+      row->push_back(s.any && s.count > 0 ? Value(s.dsum / static_cast<double>(s.count))
+                                          : Value::Null());
+      return;
+    case AggFn::kMin:
+      row->push_back(s.minv);
+      return;
+    case AggFn::kMax:
+      row->push_back(s.maxv);
+      return;
+  }
+}
+
+using GroupMap = std::unordered_map<Row, std::vector<AggState>, RowHasher, RowEqual>;
+
+}  // namespace
+
+Result<PartitionVec> HashAggregateOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
+  const size_t num_groups = group_exprs_.size();
+  const size_t num_aggs = aggs_.size();
+  // Output types of aggregates (for sum int-vs-float finalization).
+  std::vector<TypeId> out_types;
+  for (size_t a = 0; a < num_aggs; ++a) {
+    out_types.push_back(schema()->field(static_cast<int>(num_groups + a)).type);
+  }
+
+  // Phase 1: partial aggregation per input partition.
+  std::vector<RowVec> partials(input.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec rows = std::move(input[p]).TakeRows();
+    ctx.metrics().AddRowsScanned(rows.size());
+    GroupMap groups;
+    auto update_row = [&](const Row& row) -> Status {
+      Row key;
+      key.reserve(num_groups);
+      for (const ExprPtr& g : group_exprs_) {
+        IDF_ASSIGN_OR_RETURN(Value v, g->Eval(row));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        Value arg;
+        if (aggs_[a].fn != AggFn::kCountStar) {
+          IDF_ASSIGN_OR_RETURN(arg, aggs_[a].arg->Eval(row));
+        }
+        UpdateState(&it->second[a], aggs_[a].fn, arg);
+      }
+      return Status::OK();
+    };
+    for (const Row& row : rows) {
+      Status st = update_row(row);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+    }
+    RowVec out;
+    out.reserve(groups.size());
+    for (auto& [key, states] : groups) {
+      Row row = key;
+      for (size_t a = 0; a < num_aggs; ++a) {
+        AppendPartial(&row, aggs_[a].fn, states[a], out_types[a]);
+      }
+      out.push_back(std::move(row));
+    }
+    partials[p] = std::move(out);
+  });
+  IDF_RETURN_NOT_OK(first_error);
+
+  // Phase 2 + 3: shuffle partials by group key and merge.
+  auto finalize = [&](const RowVec& partial_rows) {
+    GroupMap groups;
+    for (const Row& partial : partial_rows) {
+      Row key(partial.begin(), partial.begin() + static_cast<long>(num_groups));
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(num_aggs);
+      size_t offset = num_groups;
+      for (size_t a = 0; a < num_aggs; ++a) {
+        MergePartial(&it->second[a], aggs_[a].fn, partial, offset);
+        offset += static_cast<size_t>(PartialArity(aggs_[a].fn));
+      }
+    }
+    RowVec out;
+    out.reserve(groups.size());
+    for (auto& [key, states] : groups) {
+      Row row = key;
+      for (size_t a = 0; a < num_aggs; ++a) {
+        AppendFinal(&row, aggs_[a].fn, states[a], out_types[a]);
+      }
+      out.push_back(std::move(row));
+    }
+    return out;
+  };
+
+  if (num_groups == 0) {
+    // Global aggregate: merge all partials into one row. An empty input
+    // still yields one row (count = 0, sum/avg/min/max = null).
+    RowVec all;
+    for (RowVec& p : partials) {
+      for (Row& r : p) all.push_back(std::move(r));
+    }
+    if (all.empty()) {
+      GroupMap empty_groups;
+      Row row;
+      std::vector<AggState> states(num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        AppendFinal(&row, aggs_[a].fn, states[a], out_types[a]);
+      }
+      PartitionVec out;
+      out.push_back(PartitionData(RowVec{std::move(row)}));
+      return out;
+    }
+    RowVec merged = finalize(all);
+    PartitionVec out;
+    out.push_back(PartitionData(std::move(merged)));
+    ctx.metrics().AddRowsProduced(1);
+    return out;
+  }
+
+  // Shuffle partial rows by group key hash.
+  HashPartitioner partitioner(ctx.num_partitions());
+  std::vector<RowVec> shuffled(static_cast<size_t>(ctx.num_partitions()));
+  {
+    std::vector<std::vector<RowVec>> buckets(partials.size());
+    ctx.pool().ParallelFor(partials.size(), [&](size_t p) {
+      std::vector<RowVec> local(static_cast<size_t>(ctx.num_partitions()));
+      uint64_t bytes = 0;
+      for (Row& row : partials[p]) {
+        Row key(row.begin(), row.begin() + static_cast<long>(num_groups));
+        int target = partitioner.PartitionOfHash(HashRow(key));
+        bytes += EstimateRowBytes(row);
+        local[static_cast<size_t>(target)].push_back(std::move(row));
+      }
+      ctx.metrics().AddShuffledBytes(bytes);
+      buckets[p] = std::move(local);
+    });
+    for (auto& b : buckets) {
+      for (size_t t = 0; t < b.size(); ++t) {
+        for (Row& row : b[t]) shuffled[t].push_back(std::move(row));
+      }
+      ctx.metrics().AddShuffledRows(0);
+    }
+  }
+
+  PartitionVec out(shuffled.size());
+  ctx.pool().ParallelFor(shuffled.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec merged = finalize(shuffled[p]);
+    ctx.metrics().AddRowsProduced(merged.size());
+    out[p] = PartitionData(std::move(merged));
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sort / Limit
+// ---------------------------------------------------------------------------
+
+Result<PartitionVec> SortOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
+  RowVec all = CollectRows(input);
+  ctx.metrics().AddRowsScanned(all.size());
+
+  // Precompute sort keys to avoid re-evaluating expressions in comparisons.
+  struct Keyed {
+    Row keys;
+    size_t index;
+  };
+  std::vector<Keyed> keyed(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    Row keys;
+    keys.reserve(keys_.size());
+    for (const SortKey& k : keys_) {
+      auto v = k.expr->Eval(all[i]);
+      IDF_RETURN_NOT_OK(v.status());
+      keys.push_back(std::move(v).ValueUnsafe());
+    }
+    keyed[i] = Keyed{std::move(keys), i};
+  }
+  std::stable_sort(keyed.begin(), keyed.end(), [this](const Keyed& a, const Keyed& b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      const Value& va = a.keys[k];
+      const Value& vb = b.keys[k];
+      if (va < vb) return keys_[k].ascending;
+      if (vb < va) return !keys_[k].ascending;
+    }
+    return false;
+  });
+  RowVec sorted;
+  sorted.reserve(all.size());
+  for (const Keyed& k : keyed) sorted.push_back(std::move(all[k.index]));
+  PartitionVec out;
+  out.push_back(PartitionData(std::move(sorted)));
+  return out;
+}
+
+namespace {
+
+/// Rows paired with pre-evaluated sort keys.
+struct KeyedRow {
+  Row keys;
+  Row row;
+};
+
+bool KeyedLess(const KeyedRow& a, const KeyedRow& b,
+               const std::vector<SortKey>& sort_keys) {
+  for (size_t k = 0; k < sort_keys.size(); ++k) {
+    const Value& va = a.keys[k];
+    const Value& vb = b.keys[k];
+    if (va < vb) return sort_keys[k].ascending;
+    if (vb < va) return !sort_keys[k].ascending;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PartitionVec> TopKOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
+
+  // Per-partition partial top-k.
+  std::vector<std::vector<KeyedRow>> partials(input.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec rows = std::move(input[p]).TakeRows();
+    ctx.metrics().AddRowsScanned(rows.size());
+    std::vector<KeyedRow> keyed;
+    keyed.reserve(rows.size());
+    for (Row& row : rows) {
+      Row keys;
+      keys.reserve(keys_.size());
+      for (const SortKey& k : keys_) {
+        auto v = k.expr->Eval(row);
+        if (!v.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = v.status();
+          return;
+        }
+        keys.push_back(std::move(v).ValueUnsafe());
+      }
+      keyed.push_back(KeyedRow{std::move(keys), std::move(row)});
+    }
+    auto less = [this](const KeyedRow& a, const KeyedRow& b) {
+      return KeyedLess(a, b, keys_);
+    };
+    if (keyed.size() > n_) {
+      std::partial_sort(keyed.begin(), keyed.begin() + static_cast<long>(n_),
+                        keyed.end(), less);
+      keyed.resize(n_);
+    } else {
+      std::sort(keyed.begin(), keyed.end(), less);
+    }
+    partials[p] = std::move(keyed);
+  });
+  IDF_RETURN_NOT_OK(first_error);
+
+  // Final merge of at most num_partitions * n rows.
+  std::vector<KeyedRow> all;
+  for (auto& p : partials) {
+    for (KeyedRow& kr : p) all.push_back(std::move(kr));
+  }
+  auto less = [this](const KeyedRow& a, const KeyedRow& b) {
+    return KeyedLess(a, b, keys_);
+  };
+  std::stable_sort(all.begin(), all.end(), less);
+  if (all.size() > n_) all.resize(n_);
+  RowVec out_rows;
+  out_rows.reserve(all.size());
+  for (KeyedRow& kr : all) out_rows.push_back(std::move(kr.row));
+  ctx.metrics().AddRowsProduced(out_rows.size());
+  PartitionVec out;
+  out.push_back(PartitionData(std::move(out_rows)));
+  return out;
+}
+
+Result<PartitionVec> UnionAllOp::Execute(ExecutorContext& ctx) {
+  PartitionVec out;
+  for (const PhysicalOpPtr& child : children()) {
+    IDF_ASSIGN_OR_RETURN(PartitionVec parts, child->Execute(ctx));
+    for (PartitionData& p : parts) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+Result<PartitionVec> LimitOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
+  RowVec taken;
+  taken.reserve(n_);
+  for (const PartitionData& part : input) {
+    if (taken.size() >= n_) break;
+    RowVec rows = part.ToRows();
+    for (Row& row : rows) {
+      if (taken.size() >= n_) break;
+      taken.push_back(std::move(row));
+    }
+  }
+  PartitionVec out;
+  out.push_back(PartitionData(std::move(taken)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+void JoinHashTable::Reserve(size_t n) {
+  rows.reserve(n);
+  keys.reserve(n);
+  map.reserve(n);
+}
+
+Status JoinHashTable::Add(const Row& row, const Value& key) {
+  map.emplace(key.Hash(), rows.size());
+  rows.push_back(row);
+  keys.push_back(key);
+  return Status::OK();
+}
+
+Result<std::vector<RowVec>> ShuffleRowsByKeyExpr(ExecutorContext& ctx,
+                                                 const PartitionVec& input,
+                                                 const ExprPtr& key,
+                                                 const HashPartitioner& partitioner,
+                                                 bool keep_null_keys) {
+  const int num_out = partitioner.num_partitions();
+  std::vector<std::vector<RowVec>> buckets(input.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    std::vector<RowVec> local(static_cast<size_t>(num_out));
+    RowVec rows = input[p].ToRows();
+    uint64_t bytes = 0;
+    for (Row& row : rows) {
+      auto v = key->Eval(row);
+      if (!v.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = v.status();
+        return;
+      }
+      const Value& kv = v.ValueUnsafe();
+      if (kv.is_null() && !keep_null_keys) continue;  // inner: never match
+      int target = kv.is_null() ? 0 : partitioner.PartitionOf(kv);
+      bytes += EstimateRowBytes(row);
+      local[static_cast<size_t>(target)].push_back(std::move(row));
+    }
+    ctx.metrics().AddShuffledBytes(bytes);
+    buckets[p] = std::move(local);
+  });
+  IDF_RETURN_NOT_OK(first_error);
+
+  std::vector<RowVec> output(static_cast<size_t>(num_out));
+  uint64_t total_rows = 0;
+  for (auto& b : buckets) {
+    for (size_t t = 0; t < b.size(); ++t) {
+      total_rows += b[t].size();
+      for (Row& row : b[t]) output[t].push_back(std::move(row));
+    }
+  }
+  ctx.metrics().AddShuffledRows(total_rows);
+  return output;
+}
+
+namespace {
+
+Row NullPad(size_t width) { return Row(width, Value::Null()); }
+
+/// Probes `table` with `probe_rows`. `matched` (when non-null) records
+/// which build rows found a partner (for emitting unmatched build rows of
+/// an outer join). When `emit_unmatched_probe_width` is non-zero, probe
+/// rows without a partner are emitted padded with that many nulls on the
+/// build side (probe-side outer join).
+Result<RowVec> ProbeHashTable(const JoinHashTable& table, const RowVec& probe_rows,
+                              const ExprPtr& probe_key, bool build_is_left,
+                              std::vector<uint8_t>* matched = nullptr,
+                              size_t emit_unmatched_probe_width = 0) {
+  RowVec out;
+  for (const Row& row : probe_rows) {
+    IDF_ASSIGN_OR_RETURN(Value kv, probe_key->Eval(row));
+    bool any = false;
+    if (!kv.is_null()) {
+      auto range = table.map.equal_range(kv.Hash());
+      for (auto it = range.first; it != range.second; ++it) {
+        size_t idx = it->second;
+        if (!(table.keys[idx] == kv)) continue;
+        any = true;
+        if (matched != nullptr) (*matched)[idx] = 1;
+        out.push_back(build_is_left ? ConcatRows(table.rows[idx], row)
+                                    : ConcatRows(row, table.rows[idx]));
+      }
+    }
+    if (!any && emit_unmatched_probe_width > 0) {
+      Row pad = NullPad(emit_unmatched_probe_width);
+      out.push_back(build_is_left ? ConcatRows(pad, row) : ConcatRows(row, pad));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PartitionVec> ShuffledHashJoinOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec left, children()[0]->Execute(ctx));
+  IDF_ASSIGN_OR_RETURN(PartitionVec right, children()[1]->Execute(ctx));
+
+  const bool left_outer = join_type_ == JoinType::kLeftOuter;
+  const size_t right_width =
+      static_cast<size_t>(children()[1]->schema()->num_fields());
+
+  HashPartitioner partitioner(ctx.num_partitions());
+  IDF_ASSIGN_OR_RETURN(std::vector<RowVec> lparts,
+                       ShuffleRowsByKeyExpr(ctx, left, left_key_, partitioner,
+                                            /*keep_null_keys=*/left_outer));
+  IDF_ASSIGN_OR_RETURN(std::vector<RowVec> rparts,
+                       ShuffleRowsByKeyExpr(ctx, right, right_key_, partitioner));
+
+  PartitionVec out(lparts.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(lparts.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    JoinHashTable table;
+    table.Reserve(lparts[p].size());
+    for (const Row& row : lparts[p]) {
+      auto v = left_key_->Eval(row);
+      if (!v.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = v.status();
+        return;
+      }
+      const Value& kv = v.ValueUnsafe();
+      if (kv.is_null()) {
+        if (left_outer) {
+          // Kept out of the hash map (never matches), but tracked so the
+          // unmatched pass below null-pads it.
+          table.rows.push_back(row);
+          table.keys.push_back(kv);
+        }
+        continue;
+      }
+      (void)table.Add(row, kv);
+    }
+    std::vector<uint8_t> matched(table.rows.size(), 0);
+    auto joined = ProbeHashTable(table, rparts[p], right_key_,
+                                 /*build_is_left=*/true,
+                                 left_outer ? &matched : nullptr);
+    if (!joined.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = joined.status();
+      return;
+    }
+    RowVec result = std::move(joined).ValueUnsafe();
+    if (left_outer) {
+      for (size_t i = 0; i < table.rows.size(); ++i) {
+        if (!matched[i]) {
+          result.push_back(
+              ConcatRows(table.rows[i], Row(right_width, Value::Null())));
+        }
+      }
+    }
+    ctx.metrics().AddRowsProduced(result.size());
+    out[p] = PartitionData(std::move(result));
+  });
+  IDF_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+Result<PartitionVec> SortMergeJoinOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec left, children()[0]->Execute(ctx));
+  IDF_ASSIGN_OR_RETURN(PartitionVec right, children()[1]->Execute(ctx));
+
+  const bool left_outer = join_type_ == JoinType::kLeftOuter;
+  const size_t right_width =
+      static_cast<size_t>(children()[1]->schema()->num_fields());
+
+  HashPartitioner partitioner(ctx.num_partitions());
+  IDF_ASSIGN_OR_RETURN(std::vector<RowVec> lparts,
+                       ShuffleRowsByKeyExpr(ctx, left, left_key_, partitioner,
+                                            /*keep_null_keys=*/left_outer));
+  IDF_ASSIGN_OR_RETURN(std::vector<RowVec> rparts,
+                       ShuffleRowsByKeyExpr(ctx, right, right_key_, partitioner));
+
+  PartitionVec out(lparts.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(lparts.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    // Pre-evaluate keys, then sort both sides by key (the cost the paper's
+    // indexed join eliminates).
+    struct Keyed {
+      Value key;
+      const Row* row;
+    };
+    auto keyed_sorted = [&](const RowVec& rows, const ExprPtr& key_expr,
+                            bool keep_nulls) -> Result<std::vector<Keyed>> {
+      std::vector<Keyed> keyed;
+      keyed.reserve(rows.size());
+      for (const Row& row : rows) {
+        IDF_ASSIGN_OR_RETURN(Value k, key_expr->Eval(row));
+        if (k.is_null() && !keep_nulls) continue;
+        keyed.push_back(Keyed{std::move(k), &row});
+      }
+      std::sort(keyed.begin(), keyed.end(),
+                [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+      return keyed;
+    };
+    auto lk = keyed_sorted(lparts[p], left_key_, /*keep_nulls=*/left_outer);
+    auto rk = keyed_sorted(rparts[p], right_key_, /*keep_nulls=*/false);
+    if (!lk.ok() || !rk.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = lk.ok() ? rk.status() : lk.status();
+      return;
+    }
+    const std::vector<Keyed>& ls = *lk;
+    const std::vector<Keyed>& rs = *rk;
+    std::vector<uint8_t> l_matched(ls.size(), 0);
+    RowVec joined;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ls.size() && j < rs.size()) {
+      // Null left keys sort first and never equal a (non-null) right key.
+      if (ls[i].key.is_null() || ls[i].key < rs[j].key) {
+        ++i;
+      } else if (rs[j].key < ls[i].key) {
+        ++j;
+      } else {
+        // Equal-key run: emit the cross product of both runs.
+        size_t i_end = i;
+        while (i_end < ls.size() && !(ls[i].key < ls[i_end].key) &&
+               !(ls[i_end].key < ls[i].key)) {
+          ++i_end;
+        }
+        size_t j_end = j;
+        while (j_end < rs.size() && !(rs[j].key < rs[j_end].key) &&
+               !(rs[j_end].key < rs[j].key)) {
+          ++j_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          l_matched[a] = 1;
+          for (size_t b = j; b < j_end; ++b) {
+            joined.push_back(ConcatRows(*ls[a].row, *rs[b].row));
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+    if (left_outer) {
+      for (size_t a = 0; a < ls.size(); ++a) {
+        if (!l_matched[a]) {
+          joined.push_back(
+              ConcatRows(*ls[a].row, Row(right_width, Value::Null())));
+        }
+      }
+    }
+    ctx.metrics().AddRowsProduced(joined.size());
+    out[p] = PartitionData(std::move(joined));
+  });
+  IDF_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+Result<PartitionVec> BroadcastHashJoinOp::Execute(ExecutorContext& ctx) {
+  IDF_ASSIGN_OR_RETURN(PartitionVec left, children()[0]->Execute(ctx));
+  IDF_ASSIGN_OR_RETURN(PartitionVec right, children()[1]->Execute(ctx));
+
+  const bool left_outer = join_type_ == JoinType::kLeftOuter;
+  if (left_outer && broadcast_left_) {
+    // The outer side must be the probe side so unmatched rows are emitted
+    // exactly once (the planner never produces this combination).
+    return Status::Internal(
+        "left-outer broadcast join must broadcast the right side");
+  }
+  const size_t build_width = static_cast<size_t>(
+      children()[broadcast_left_ ? 0 : 1]->schema()->num_fields());
+
+  PartitionVec& build_parts = broadcast_left_ ? left : right;
+  PartitionVec& probe_parts = broadcast_left_ ? right : left;
+  const ExprPtr& build_key = broadcast_left_ ? left_key_ : right_key_;
+  const ExprPtr& probe_key = broadcast_left_ ? right_key_ : left_key_;
+
+  BroadcastRows bc = MakeBroadcast(ctx, CollectRows(build_parts));
+  JoinHashTable table;
+  table.Reserve(bc.rows->size());
+  for (const Row& row : *bc.rows) {
+    IDF_ASSIGN_OR_RETURN(Value kv, build_key->Eval(row));
+    if (kv.is_null()) continue;
+    IDF_RETURN_NOT_OK(table.Add(row, kv));
+  }
+
+  PartitionVec out(probe_parts.size());
+  Status first_error;
+  std::mutex error_mu;
+  ctx.pool().ParallelFor(probe_parts.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    RowVec probe_rows = probe_parts[p].ToRows();
+    auto joined = ProbeHashTable(table, probe_rows, probe_key,
+                                 /*build_is_left=*/broadcast_left_,
+                                 /*matched=*/nullptr,
+                                 left_outer ? build_width : 0);
+    if (!joined.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = joined.status();
+      return;
+    }
+    ctx.metrics().AddRowsProduced(joined->size());
+    out[p] = PartitionData(std::move(joined).ValueUnsafe());
+  });
+  IDF_RETURN_NOT_OK(first_error);
+  return out;
+}
+
+}  // namespace idf

@@ -1,0 +1,50 @@
+#include "sql/physical_plan.h"
+
+namespace idf {
+
+RowVec PartitionData::ToRows() const {
+  if (!is_columnar()) return rows();
+  const ColumnarChunk& chunk = columnar();
+  RowVec out;
+  out.reserve(chunk.num_rows());
+  for (size_t i = 0; i < chunk.num_rows(); ++i) {
+    out.push_back(chunk.cache->GetRowProjected(chunk.PhysicalRow(i), chunk.columns));
+  }
+  return out;
+}
+
+RowVec PartitionData::TakeRows() && {
+  if (!is_columnar()) return std::move(std::get<RowVec>(repr_));
+  return ToRows();
+}
+
+RowVec CollectRows(const PartitionVec& parts) {
+  RowVec out;
+  out.reserve(TotalRows(parts));
+  for (const PartitionData& p : parts) {
+    RowVec rows = p.ToRows();
+    for (Row& r : rows) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+size_t TotalRows(const PartitionVec& parts) {
+  size_t n = 0;
+  for (const PartitionData& p : parts) n += p.num_rows();
+  return n;
+}
+
+void PhysicalOp::AppendTree(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(name());
+  out->append("\n");
+  for (const PhysicalOpPtr& child : children_) child->AppendTree(out, indent + 1);
+}
+
+std::string PhysicalOp::TreeString() const {
+  std::string out;
+  AppendTree(&out, 0);
+  return out;
+}
+
+}  // namespace idf

@@ -1,0 +1,100 @@
+// Physical plan: executable operators over partitioned data, mirroring
+// Spark's physical execution layer. An operator produces a vector of
+// partitions; a partition is either materialized rows or a columnar view
+// into a cached table (so that the vanilla cached path keeps Spark's
+// columnar advantages, e.g. cheap projections — see Figure 2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor_context.h"
+#include "storage/column_cache.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace idf {
+
+/// A columnar view: a cached table partition, a projection of its columns,
+/// and an optional selection vector (surviving row indices).
+struct ColumnarChunk {
+  ColumnCachePtr cache;
+  std::vector<int> columns;                           // projected ordinals
+  std::shared_ptr<const std::vector<uint32_t>> selection;  // null = all rows
+
+  size_t num_rows() const {
+    return selection ? selection->size() : cache->num_rows();
+  }
+  /// Physical row index of logical row `i` under the selection.
+  uint32_t PhysicalRow(size_t i) const {
+    return selection ? (*selection)[i] : static_cast<uint32_t>(i);
+  }
+};
+
+/// \brief One partition of operator output: rows or a columnar view.
+class PartitionData {
+ public:
+  PartitionData() : repr_(RowVec{}) {}
+  explicit PartitionData(RowVec rows) : repr_(std::move(rows)) {}
+  explicit PartitionData(ColumnarChunk chunk) : repr_(std::move(chunk)) {}
+
+  bool is_columnar() const { return std::holds_alternative<ColumnarChunk>(repr_); }
+  const RowVec& rows() const { return std::get<RowVec>(repr_); }
+  RowVec& mutable_rows() { return std::get<RowVec>(repr_); }
+  const ColumnarChunk& columnar() const { return std::get<ColumnarChunk>(repr_); }
+
+  size_t num_rows() const {
+    return is_columnar() ? columnar().num_rows() : rows().size();
+  }
+
+  /// Materializes this partition as rows (copies for columnar views).
+  RowVec ToRows() const;
+
+  /// Moves out rows, materializing first when columnar.
+  RowVec TakeRows() &&;
+
+ private:
+  std::variant<RowVec, ColumnarChunk> repr_;
+};
+
+using PartitionVec = std::vector<PartitionData>;
+
+/// Flattens all partitions into a single row vector.
+RowVec CollectRows(const PartitionVec& parts);
+
+size_t TotalRows(const PartitionVec& parts);
+
+/// \brief Executable physical operator.
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+
+  explicit PhysicalOp(SchemaPtr schema, std::vector<std::shared_ptr<PhysicalOp>> children = {})
+      : schema_(std::move(schema)), children_(std::move(children)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<std::shared_ptr<PhysicalOp>>& children() const {
+    return children_;
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Executes the whole subtree and returns this operator's partitions.
+  virtual Result<PartitionVec> Execute(ExecutorContext& ctx) = 0;
+
+  /// Indented tree rendering (physical EXPLAIN).
+  std::string TreeString() const;
+
+ private:
+  void AppendTree(std::string* out, int indent) const;
+
+  SchemaPtr schema_;
+  std::vector<std::shared_ptr<PhysicalOp>> children_;
+};
+
+using PhysicalOpPtr = std::shared_ptr<PhysicalOp>;
+
+}  // namespace idf

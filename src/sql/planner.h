@@ -1,0 +1,60 @@
+// Physical planner: lowers optimized logical plans to physical operators
+// via an ordered list of strategies, mirroring Catalyst's physical planning
+// layer. The Indexed DataFrame library registers an extra strategy that
+// handles the indexed logical operators (indexed/indexed_rules.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "sql/logical_plan.h"
+#include "sql/physical_plan.h"
+
+namespace idf {
+
+/// \brief One planning strategy. Plan() returns nullptr when the strategy
+/// does not handle `node`; the planner then tries the next strategy.
+class PhysicalStrategy {
+ public:
+  virtual ~PhysicalStrategy() = default;
+  virtual std::string name() const = 0;
+  virtual Result<PhysicalOpPtr> Plan(const LogicalPlanPtr& node,
+                                     std::vector<PhysicalOpPtr> children,
+                                     const EngineConfig& config) const = 0;
+};
+using PhysicalStrategyPtr = std::shared_ptr<const PhysicalStrategy>;
+
+/// Handles all regular plan nodes (scan/filter/project/join/aggregate/
+/// sort/limit); rejects indexed nodes so their strategy must be installed.
+class RegularExecutionStrategy : public PhysicalStrategy {
+ public:
+  std::string name() const override { return "RegularExecution"; }
+  Result<PhysicalOpPtr> Plan(const LogicalPlanPtr& node,
+                             std::vector<PhysicalOpPtr> children,
+                             const EngineConfig& config) const override;
+};
+
+class Planner {
+ public:
+  explicit Planner(EngineConfig config);
+
+  /// Prepends a strategy (custom strategies take precedence, as in Spark's
+  /// experimental extraStrategies).
+  void AddStrategy(PhysicalStrategyPtr strategy);
+
+  Result<PhysicalOpPtr> Plan(const LogicalPlanPtr& plan) const;
+
+ private:
+  EngineConfig config_;
+  std::vector<PhysicalStrategyPtr> strategies_;
+};
+
+/// Cardinality estimate used by join-strategy selection (rows).
+double EstimateRows(const LogicalPlanPtr& plan);
+
+/// Size estimate in bytes (rows x schema width heuristic).
+double EstimateBytes(const LogicalPlanPtr& plan);
+
+}  // namespace idf

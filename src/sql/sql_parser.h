@@ -1,0 +1,40 @@
+// SQL front-end: the paper's Figure 1 shows two entry points into the
+// engine — "Users write SQL queries or use the Dataframe API". This parser
+// provides the SQL one: SELECT statements are translated into the same
+// logical plans the DataFrame API builds, so queries over registered
+// Indexed DataFrames get index-aware optimization transparently.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//   SELECT select_list
+//   FROM table [alias] (JOIN table [alias] ON qual = qual)*
+//   [WHERE predicate]
+//   [GROUP BY expr_list] [HAVING predicate]
+//   [ORDER BY expr [ASC|DESC] (, ...)*]
+//   [LIMIT n]
+//
+//   select_list := * | item (, item)*       item := expr [AS name]
+//   expr        := OR / AND / NOT / comparisons (= != <> < <= > >=) /
+//                  IS [NOT] NULL / BETWEEN .. AND .. / IN (literals) /
+//                  + - * / / literals / [alias.]column /
+//                  COUNT(*) COUNT SUM MIN MAX AVG(expr)
+//
+// Qualified references (alias.column) are resolved against the FROM/JOIN
+// schemas at parse time; unqualified names are left to the analyzer
+// (first match wins, as in the DataFrame API).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/dataframe.h"
+
+namespace idf {
+
+class Session;
+
+/// Parses `sql` against the session's registered tables and returns the
+/// (lazy) DataFrame for it. Errors carry a position-annotated message.
+Result<DataFrame> ParseSql(const SessionPtr& session, const std::string& sql);
+
+}  // namespace idf

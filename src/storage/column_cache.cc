@@ -1,0 +1,98 @@
+#include "storage/column_cache.h"
+
+#include "common/logging.h"
+
+namespace idf {
+
+void CachedColumn::Append(const Value& v) {
+  bool valid = !v.is_null();
+  validity_.push_back(valid ? 1 : 0);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      ints_.push_back(valid ? v.AsInt64() : 0);
+      break;
+    case TypeId::kFloat64:
+      doubles_.push_back(valid ? v.AsDouble() : 0.0);
+      break;
+    case TypeId::kString:
+      strings_.push_back(valid ? v.string_value() : std::string());
+      break;
+  }
+}
+
+Value CachedColumn::GetValue(size_t row) const {
+  if (!validity_[row]) return Value::Null();
+  switch (type_) {
+    case TypeId::kBool:
+      return Value(ints_[row] != 0);
+    case TypeId::kInt32:
+      return Value(static_cast<int32_t>(ints_[row]));
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return Value(ints_[row]);
+    case TypeId::kFloat64:
+      return Value(doubles_[row]);
+    case TypeId::kString:
+      return Value(strings_[row]);
+  }
+  return Value::Null();
+}
+
+size_t CachedColumn::MemoryBytes() const {
+  size_t bytes = validity_.capacity() + ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double);
+  for (const std::string& s : strings_) bytes += sizeof(std::string) + s.capacity();
+  return bytes;
+}
+
+ColumnCache::ColumnCache(SchemaPtr schema, size_t reserve_rows)
+    : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_->num_fields()));
+  for (int i = 0; i < schema_->num_fields(); ++i) {
+    columns_.push_back(std::make_unique<CachedColumn>(schema_->field(i).type));
+  }
+  (void)reserve_rows;
+}
+
+Result<std::shared_ptr<ColumnCache>> ColumnCache::FromRows(SchemaPtr schema,
+                                                           const RowVec& rows) {
+  auto cache = std::make_shared<ColumnCache>(schema, rows.size());
+  for (const Row& row : rows) {
+    IDF_RETURN_NOT_OK(cache->AppendRow(row));
+  }
+  return cache;
+}
+
+Status ColumnCache::AppendRow(const Row& row) {
+  IDF_RETURN_NOT_OK(ValidateRow(*schema_, row));
+  for (int i = 0; i < schema_->num_fields(); ++i) {
+    columns_[static_cast<size_t>(i)]->Append(row[static_cast<size_t>(i)]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Row ColumnCache::GetRow(size_t i) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c->GetValue(i));
+  return out;
+}
+
+Row ColumnCache::GetRowProjected(size_t i, const std::vector<int>& cols) const {
+  Row out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(columns_[static_cast<size_t>(c)]->GetValue(i));
+  return out;
+}
+
+size_t ColumnCache::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace idf

@@ -1,0 +1,26 @@
+#include "storage/packed_pointer.h"
+
+namespace idf {
+
+PackedPointer PackedPointer::MakeChecked(uint64_t batch, uint64_t offset,
+                                         uint64_t prev_size) {
+  if (batch > kMaxBatch || offset > kMaxOffset || prev_size > kMaxRowSize) {
+    return Null();
+  }
+  PackedPointer p = Make(batch, offset, prev_size);
+  // Make() of in-range fields can never collide with the null sentinel,
+  // because kNullBits requires batch == kMaxBatch AND offset == kMaxOffset
+  // AND prev_size == kMaxRowSize simultaneously; that combination is
+  // rejected here to keep the sentinel unambiguous.
+  if (p.bits() == kNullBits) return Null();
+  return p;
+}
+
+std::string PackedPointer::ToString() const {
+  if (is_null()) return "ptr(null)";
+  return "ptr(batch=" + std::to_string(batch()) +
+         ", offset=" + std::to_string(offset()) +
+         ", prev_size=" + std::to_string(prev_size()) + ")";
+}
+
+}  // namespace idf

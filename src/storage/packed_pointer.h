@@ -1,0 +1,74 @@
+// PackedPointer: the paper's packed, dense 64-bit row pointer.
+//
+// "The pointers stored both in the cTrie and in the backward pointer data
+//  structure are packed, dense 64-bit numbers, each containing the row batch
+//  number, the offset within a row batch, and the size of the previous row
+//  indexed on the given key." (paper, Section 2)
+//
+// Bit layout (most-significant first):
+//   [ batch : 31 ][ offset : 22 ][ prev_size : 11 ]
+//
+// 31 bits of batch number and 22 bits of byte offset reproduce the paper's
+// "2^31 row batches, each of which may have up to 4 MB"; 11 bits of
+// previous-row size cover the 1 KB maximum row with headroom.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idf {
+
+class PackedPointer {
+ public:
+  static constexpr int kBatchBits = 31;
+  static constexpr int kOffsetBits = 22;
+  static constexpr int kPrevSizeBits = 11;
+  static_assert(kBatchBits + kOffsetBits + kPrevSizeBits == 64);
+
+  static constexpr uint64_t kMaxBatch = (1ULL << kBatchBits) - 1;
+  static constexpr uint64_t kMaxOffset = (1ULL << kOffsetBits) - 1;
+  static constexpr uint64_t kMaxRowSize = (1ULL << kPrevSizeBits) - 1;
+
+  /// All-ones is reserved as the null pointer (end of a backward chain).
+  static constexpr uint64_t kNullBits = ~0ULL;
+
+  constexpr PackedPointer() : bits_(kNullBits) {}
+  constexpr explicit PackedPointer(uint64_t bits) : bits_(bits) {}
+
+  static constexpr PackedPointer Null() { return PackedPointer(); }
+
+  /// Packs the three fields. Caller must respect the field ranges; checked
+  /// in debug builds by MakeChecked.
+  static constexpr PackedPointer Make(uint64_t batch, uint64_t offset,
+                                      uint64_t prev_size) {
+    return PackedPointer((batch << (kOffsetBits + kPrevSizeBits)) |
+                         (offset << kPrevSizeBits) | prev_size);
+  }
+
+  /// Packs with range validation; returns Null on out-of-range fields.
+  static PackedPointer MakeChecked(uint64_t batch, uint64_t offset,
+                                   uint64_t prev_size);
+
+  constexpr bool is_null() const { return bits_ == kNullBits; }
+  constexpr uint64_t bits() const { return bits_; }
+
+  constexpr uint32_t batch() const {
+    return static_cast<uint32_t>(bits_ >> (kOffsetBits + kPrevSizeBits));
+  }
+  constexpr uint32_t offset() const {
+    return static_cast<uint32_t>((bits_ >> kPrevSizeBits) & kMaxOffset);
+  }
+  constexpr uint32_t prev_size() const {
+    return static_cast<uint32_t>(bits_ & kMaxRowSize);
+  }
+
+  constexpr bool operator==(const PackedPointer& o) const { return bits_ == o.bits_; }
+  constexpr bool operator!=(const PackedPointer& o) const { return bits_ != o.bits_; }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace idf

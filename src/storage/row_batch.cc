@@ -1,0 +1,171 @@
+#include "storage/row_batch.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace idf {
+
+namespace {
+
+size_t BitmapBytes(int num_fields) {
+  return static_cast<size_t>((num_fields + 63) / 64) * 8;
+}
+
+bool IsNullAt(const uint8_t* base, int col) {
+  uint64_t word;
+  std::memcpy(&word, base + (col / 64) * 8, 8);
+  return (word >> (col % 64)) & 1;
+}
+
+uint64_t ReadSlot(const uint8_t* base, size_t bitmap_bytes, int col) {
+  uint64_t v;
+  std::memcpy(&v, base + bitmap_bytes + static_cast<size_t>(col) * 8, 8);
+  return v;
+}
+
+}  // namespace
+
+Status EncodeRow(const Schema& schema, const Row& row, std::vector<uint8_t>* out) {
+  IDF_RETURN_NOT_OK(ValidateRow(schema, row));
+  const int n = schema.num_fields();
+  const size_t bitmap_bytes = BitmapBytes(n);
+  const size_t fixed_bytes = static_cast<size_t>(n) * 8;
+
+  out->assign(bitmap_bytes + fixed_bytes, 0);
+
+  for (int i = 0; i < n; ++i) {
+    const Value& v = row[static_cast<size_t>(i)];
+    if (v.is_null()) {
+      (*out)[static_cast<size_t>(i / 64) * 8 + static_cast<size_t>((i % 64) / 8)] |=
+          static_cast<uint8_t>(1u << (i % 8));
+      continue;
+    }
+    uint64_t slot = 0;
+    switch (schema.field(i).type) {
+      case TypeId::kBool:
+        slot = v.bool_value() ? 1 : 0;
+        break;
+      case TypeId::kInt32: {
+        int32_t x = v.int32_value();
+        uint32_t ux;
+        std::memcpy(&ux, &x, 4);
+        slot = ux;
+        break;
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        int64_t x = v.AsInt64();
+        std::memcpy(&slot, &x, 8);
+        break;
+      }
+      case TypeId::kFloat64: {
+        double x = v.AsDouble();
+        std::memcpy(&slot, &x, 8);
+        break;
+      }
+      case TypeId::kString: {
+        const std::string& s = v.string_value();
+        uint64_t offset = out->size();
+        // Variable section grows at the tail; patch the slot now since the
+        // row base is offset 0 of `out`.
+        slot = (offset << 32) | static_cast<uint64_t>(s.size());
+        out->insert(out->end(), s.begin(), s.end());
+        break;
+      }
+    }
+    std::memcpy(out->data() + bitmap_bytes + static_cast<size_t>(i) * 8, &slot, 8);
+  }
+  return Status::OK();
+}
+
+Value DecodeColumn(const uint8_t* base, const Schema& schema, int col) {
+  const size_t bitmap_bytes = BitmapBytes(schema.num_fields());
+  if (IsNullAt(base, col)) return Value::Null();
+  uint64_t slot = ReadSlot(base, bitmap_bytes, col);
+  switch (schema.field(col).type) {
+    case TypeId::kBool:
+      return Value(slot != 0);
+    case TypeId::kInt32: {
+      int32_t x;
+      uint32_t ux = static_cast<uint32_t>(slot);
+      std::memcpy(&x, &ux, 4);
+      return Value(x);
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      int64_t x;
+      std::memcpy(&x, &slot, 8);
+      return Value(x);
+    }
+    case TypeId::kFloat64: {
+      double x;
+      std::memcpy(&x, &slot, 8);
+      return Value(x);
+    }
+    case TypeId::kString: {
+      uint64_t offset = slot >> 32;
+      uint64_t len = slot & 0xFFFFFFFFULL;
+      return Value(std::string(reinterpret_cast<const char*>(base + offset),
+                               static_cast<size_t>(len)));
+    }
+  }
+  return Value::Null();
+}
+
+Row DecodeRow(const uint8_t* base, const Schema& schema) {
+  Row out;
+  const int n = schema.num_fields();
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(DecodeColumn(base, schema, i));
+  return out;
+}
+
+uint32_t EncodedRowSize(const uint8_t* base, const Schema& schema) {
+  const int n = schema.num_fields();
+  const size_t bitmap_bytes = BitmapBytes(n);
+  uint32_t size = static_cast<uint32_t>(bitmap_bytes + static_cast<size_t>(n) * 8);
+  for (int i = 0; i < n; ++i) {
+    if (schema.field(i).type != TypeId::kString || IsNullAt(base, i)) continue;
+    uint64_t slot = ReadSlot(base, bitmap_bytes, i);
+    uint32_t end = static_cast<uint32_t>(slot >> 32) +
+                   static_cast<uint32_t>(slot & 0xFFFFFFFFULL);
+    if (end > size) size = end;
+  }
+  return size;
+}
+
+RowBatch::RowBatch(size_t capacity_bytes)
+    : capacity_(capacity_bytes), data_(new uint8_t[capacity_bytes]) {}
+
+Result<uint32_t> RowBatch::AppendEncoded(const uint8_t* payload, size_t payload_len,
+                                         PackedPointer back_pointer) {
+  // Align the 8-byte header (and therefore the payload) to 8 bytes.
+  size_t start = (write_size_ + 7) & ~size_t{7};
+  size_t total = 8 + payload_len;
+  if (start + total > capacity_) {
+    return Status::CapacityError("row batch full");
+  }
+  uint64_t header = back_pointer.bits();
+  std::memcpy(data_.get() + start, &header, 8);
+  std::memcpy(data_.get() + start + 8, payload, payload_len);
+  write_size_ = start + total;
+  ++num_rows_;
+  // Publish: readers holding a watermark >= write_size_ may now decode
+  // this row.
+  committed_size_.store(write_size_, std::memory_order_release);
+  return static_cast<uint32_t>(start);
+}
+
+uint32_t RowBatch::NextRowOffset(uint32_t offset, const Schema& schema) const {
+  uint32_t end = offset + 8 + EncodedRowSize(payload_at(offset), schema);
+  return (end + 7) & ~uint32_t{7};
+}
+
+PackedPointer RowBatch::back_pointer_at(uint32_t offset) const {
+  uint64_t header;
+  std::memcpy(&header, data_.get() + offset, 8);
+  return PackedPointer(header);
+}
+
+}  // namespace idf

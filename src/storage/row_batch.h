@@ -1,0 +1,92 @@
+// RowBatch: a fixed-capacity binary buffer of "unsafe" encoded rows,
+// reproducing the paper's "row batches ... collections of binary, unsafe
+// arrays (e.g., of 4 MB in size)".
+//
+// Row encoding (Spark UnsafeRow style):
+//   [ null bitmap : ceil(num_fields/64) * 8 bytes ]
+//   [ fixed section : 8 bytes per field ]
+//   [ variable section : string payloads ]
+// Fixed-width values live directly in their 8-byte slot; variable-width
+// slots hold (offset_from_row_base << 32) | length.
+//
+// Inside a batch, every row is preceded by an 8-byte header carrying the
+// packed backward pointer to the previous row with the same index key (the
+// paper's per-key linked list; see indexed/indexed_partition.h). Rows are
+// 8-byte aligned.
+//
+// Concurrency: one appender at a time; any number of concurrent readers.
+// The appender publishes each row by storing `committed_size_` with
+// release ordering after the bytes are written; readers never look past
+// an acquired committed size (their snapshot watermark).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/packed_pointer.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace idf {
+
+/// Encodes `row` (which must validate against `schema`) into `out`,
+/// replacing its contents. The encoding excludes the back-pointer header.
+Status EncodeRow(const Schema& schema, const Row& row, std::vector<uint8_t>* out);
+
+/// Decodes a full row from an encoded payload at `base`.
+Row DecodeRow(const uint8_t* base, const Schema& schema);
+
+/// Decodes only column `col` from an encoded payload at `base`. This is the
+/// hot path for index probes and filter evaluation over row batches.
+Value DecodeColumn(const uint8_t* base, const Schema& schema, int col);
+
+/// Returns the total encoded size (header excluded) of the row at `base`.
+/// Requires the schema used at encode time.
+uint32_t EncodedRowSize(const uint8_t* base, const Schema& schema);
+
+/// \brief One binary row batch with an 8-byte back-pointer header per row.
+class RowBatch {
+ public:
+  explicit RowBatch(size_t capacity_bytes);
+
+  size_t capacity() const { return capacity_; }
+
+  /// Bytes committed (readable); acquire-loads the publication watermark.
+  size_t committed_size() const {
+    return committed_size_.load(std::memory_order_acquire);
+  }
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Bytes still available to the appender.
+  size_t remaining() const { return capacity_ - write_size_; }
+
+  /// Appends an encoded payload with its back-pointer header.
+  /// Returns the byte offset of the row header within this batch, or
+  /// CapacityError when the row does not fit. Appender-only.
+  Result<uint32_t> AppendEncoded(const uint8_t* payload, size_t payload_len,
+                                 PackedPointer back_pointer);
+
+  /// Back-pointer header of the row whose header starts at `offset`.
+  PackedPointer back_pointer_at(uint32_t offset) const;
+
+  /// Pointer to the encoded payload of the row at header offset `offset`.
+  const uint8_t* payload_at(uint32_t offset) const { return data() + offset + 8; }
+
+  const uint8_t* data() const { return data_.get(); }
+
+  /// Offset of the row following the one at `offset` (walk-forward scan).
+  uint32_t NextRowOffset(uint32_t offset, const Schema& schema) const;
+
+ private:
+  size_t capacity_;
+  size_t write_size_ = 0;              // appender's private cursor
+  std::atomic<size_t> committed_size_{0};  // readers' watermark
+  size_t num_rows_ = 0;
+  std::unique_ptr<uint8_t[]> data_;
+};
+
+}  // namespace idf

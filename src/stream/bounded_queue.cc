@@ -1,0 +1,4 @@
+#include "stream/bounded_queue.h"
+
+// BoundedQueue is a header-only template; this translation unit anchors the
+// CMake target.

@@ -1,0 +1,160 @@
+// Topic: a partitioned, offset-addressed, append-only record log — the
+// Kafka model (paper §4 uses "the Apache Kafka engine to handle the
+// constant updating stream"). Unlike BoundedQueue (a transient pipe),
+// a Topic retains records, so consumers can replay from any offset and
+// several independent consumers can read at their own pace — which is how
+// the demo can feed both the Indexed DataFrame and a vanilla copy from one
+// stream.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace idf {
+
+template <typename T>
+class Topic {
+ public:
+  explicit Topic(int num_partitions)
+      : partitions_(static_cast<size_t>(num_partitions > 0 ? num_partitions : 1)) {}
+  IDF_DISALLOW_COPY_AND_ASSIGN(Topic);
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
+  /// Appends to an explicit partition; returns the record's offset.
+  uint64_t Append(int partition, T record) {
+    Partition& p = partitions_[static_cast<size_t>(partition)];
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.records.push_back(std::move(record));
+    p.cv.notify_all();
+    return p.records.size() - 1;
+  }
+
+  /// Appends routed by key hash (sticky per-key ordering, like Kafka).
+  uint64_t AppendKeyed(uint64_t key_hash, T record, int* partition_out = nullptr) {
+    int partition =
+        static_cast<int>(key_hash % static_cast<uint64_t>(partitions_.size()));
+    if (partition_out != nullptr) *partition_out = partition;
+    return Append(partition, std::move(record));
+  }
+
+  /// First offset past the end of `partition`.
+  uint64_t EndOffset(int partition) const {
+    const Partition& p = partitions_[static_cast<size_t>(partition)];
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.records.size();
+  }
+
+  /// Copies up to `max_records` starting at `offset`. When `block` is set
+  /// and no records are available, waits until one arrives or the topic
+  /// closes; otherwise returns immediately (possibly empty).
+  std::vector<T> Poll(int partition, uint64_t offset, size_t max_records,
+                      bool block = true) {
+    Partition& p = partitions_[static_cast<size_t>(partition)];
+    std::unique_lock<std::mutex> lock(p.mu);
+    if (block) {
+      p.cv.wait(lock, [&] { return closed_ || p.records.size() > offset; });
+    }
+    std::vector<T> out;
+    for (uint64_t i = offset; i < p.records.size() && out.size() < max_records;
+         ++i) {
+      out.push_back(p.records[i]);
+    }
+    return out;
+  }
+
+  /// Marks end-of-stream: blocked Poll calls return what is available.
+  void Close() {
+    closed_ = true;
+    for (Partition& p : partitions_) {
+      std::lock_guard<std::mutex> lock(p.mu);
+      p.cv.notify_all();
+    }
+  }
+
+  bool closed() const { return closed_; }
+
+  size_t TotalRecords() const {
+    size_t n = 0;
+    for (int p = 0; p < num_partitions(); ++p) n += EndOffset(p);
+    return n;
+  }
+
+ private:
+  struct Partition {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<T> records;
+  };
+  std::vector<Partition> partitions_;
+  std::atomic<bool> closed_{false};
+};
+
+/// \brief An independent reading position over all partitions of a Topic
+/// (one Kafka consumer-group member owning every partition). Each consumer
+/// progresses at its own pace; creating a second consumer replays the
+/// stream from the beginning.
+template <typename T>
+class TopicConsumer {
+ public:
+  explicit TopicConsumer(Topic<T>* topic)
+      : topic_(topic),
+        offsets_(static_cast<size_t>(topic->num_partitions()), 0) {}
+
+  /// Round-robins over partitions; returns up to `max_records` and
+  /// advances the consumed offsets. When `block` is set, waits for at
+  /// least one record unless the topic is closed and drained.
+  std::vector<T> Poll(size_t max_records, bool block = true) {
+    std::vector<T> out;
+    const int n = topic_->num_partitions();
+    for (int attempt = 0; attempt < n && out.size() < max_records; ++attempt) {
+      int p = next_partition_;
+      next_partition_ = (next_partition_ + 1) % n;
+      auto records = topic_->Poll(p, offsets_[static_cast<size_t>(p)],
+                                  max_records - out.size(), /*block=*/false);
+      offsets_[static_cast<size_t>(p)] += records.size();
+      for (T& r : records) out.push_back(std::move(r));
+    }
+    if (out.empty() && block && !AtEnd()) {
+      // Block on the partition with pending data expected next.
+      auto records =
+          topic_->Poll(next_partition_,
+                       offsets_[static_cast<size_t>(next_partition_)],
+                       max_records, /*block=*/true);
+      offsets_[static_cast<size_t>(next_partition_)] += records.size();
+      for (T& r : records) out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  /// True when the topic is closed and every record has been consumed.
+  bool AtEnd() const {
+    if (!topic_->closed()) return false;
+    for (int p = 0; p < topic_->num_partitions(); ++p) {
+      if (offsets_[static_cast<size_t>(p)] < topic_->EndOffset(p)) return false;
+    }
+    return true;
+  }
+
+  void SeekToBeginning() {
+    std::fill(offsets_.begin(), offsets_.end(), 0);
+  }
+
+  uint64_t position(int partition) const {
+    return offsets_[static_cast<size_t>(partition)];
+  }
+
+ private:
+  Topic<T>* topic_;
+  std::vector<uint64_t> offsets_;
+  int next_partition_ = 0;
+};
+
+}  // namespace idf

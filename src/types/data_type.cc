@@ -1,0 +1,46 @@
+#include "types/data_type.h"
+
+namespace idf {
+
+std::string TypeIdToString(TypeId id) {
+  switch (id) {
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+bool IsFixedWidth(TypeId id) { return id != TypeId::kString; }
+
+size_t FixedWidthBytes(TypeId id) {
+  switch (id) {
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+    case TypeId::kTimestamp:
+      return 8;
+    case TypeId::kString:
+      return 0;
+  }
+  return 0;
+}
+
+bool IsIntegerBacked(TypeId id) {
+  return id == TypeId::kBool || id == TypeId::kInt32 || id == TypeId::kInt64 ||
+         id == TypeId::kTimestamp;
+}
+
+}  // namespace idf

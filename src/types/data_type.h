@@ -1,0 +1,34 @@
+// Column data types supported by the engine.
+//
+// The paper recommends primitive column types for indexed columns:
+// (un)signed 32/64-bit integers, floating point, strings, datetime. We
+// support exactly that set plus booleans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idf {
+
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt32 = 1,
+  kInt64 = 2,
+  kFloat64 = 3,
+  kString = 4,
+  kTimestamp = 5,  // microseconds since the Unix epoch, stored as int64
+};
+
+/// Name as it appears in schema printouts, e.g. "int64".
+std::string TypeIdToString(TypeId id);
+
+/// True for types with a fixed-size binary representation.
+bool IsFixedWidth(TypeId id);
+
+/// Encoded width in bytes of a fixed-width type; 0 for variable-width.
+size_t FixedWidthBytes(TypeId id);
+
+/// True if the type is backed by an integer (Int32/Int64/Timestamp/Bool).
+bool IsIntegerBacked(TypeId id);
+
+}  // namespace idf

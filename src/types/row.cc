@@ -1,0 +1,63 @@
+#include "types/row.h"
+
+#include <algorithm>
+
+namespace idf {
+
+Status ValidateRow(const Schema& schema, const Row& row) {
+  if (static_cast<int>(row.size()) != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema.ToString());
+  }
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    const Field& f = schema.field(i);
+    const Value& v = row[static_cast<size_t>(i)];
+    if (v.is_null()) {
+      if (!f.nullable) {
+        return Status::InvalidArgument("null in non-nullable column '" + f.name +
+                                       "'");
+      }
+      continue;
+    }
+    IDF_RETURN_NOT_OK(v.CheckType(f.type));
+  }
+  return Status::OK();
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+bool RowLess::operator()(const Row& a, const Row& b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0x524f57ULL;  // "ROW"
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+void SortRows(RowVec* rows) { std::sort(rows->begin(), rows->end(), RowLess()); }
+
+}  // namespace idf

@@ -1,0 +1,38 @@
+// Row: a materialized tuple of Values, plus helpers for schema-checked
+// construction and pretty printing.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace idf {
+
+using Row = std::vector<Value>;
+using RowVec = std::vector<Row>;
+
+/// Validates that every cell of `row` is storable under `schema`
+/// (arity, types, nullability).
+Status ValidateRow(const Schema& schema, const Row& row);
+
+/// "(v1, v2, ...)" rendering.
+std::string RowToString(const Row& row);
+
+/// Concatenates two rows (join output).
+Row ConcatRows(const Row& left, const Row& right);
+
+/// Lexicographic Row comparison via Value::operator< (used by Sort and by
+/// tests that canonicalize result sets).
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+/// Combined hash of all cells.
+uint64_t HashRow(const Row& row);
+
+/// Sorts a row vector into a canonical order (testing helper).
+void SortRows(RowVec* rows);
+
+}  // namespace idf

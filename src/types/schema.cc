@@ -1,0 +1,45 @@
+#include "types/schema.h"
+
+namespace idf {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Schema::ResolveFieldIndex(const std::string& name) const {
+  int idx = FieldIndex(name);
+  if (idx < 0) {
+    return Status::KeyError("column not found: '" + name + "' in schema " +
+                            ToString());
+  }
+  return idx;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name + ":" + TypeIdToString(fields_[i].type);
+    if (fields_[i].nullable) out += "?";
+  }
+  out += "]";
+  return out;
+}
+
+std::shared_ptr<Schema> Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(fields_[static_cast<size_t>(i)]);
+  return Schema::Make(std::move(out));
+}
+
+std::shared_ptr<Schema> Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> out = left.fields();
+  for (const Field& f : right.fields()) out.push_back(f);
+  return Schema::Make(std::move(out));
+}
+
+}  // namespace idf

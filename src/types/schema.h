@@ -1,0 +1,62 @@
+// Schema: an ordered list of named, typed fields.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace idf {
+
+/// One column of a schema.
+struct Field {
+  std::string name;
+  TypeId type;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && nullable == other.nullable;
+  }
+};
+
+/// \brief Ordered collection of fields, shared immutably between plans.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static std::shared_ptr<Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<Schema>(std::move(fields));
+  }
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with this name, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Field index or a KeyError naming the missing column.
+  Result<int> ResolveFieldIndex(const std::string& name) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// "name:type[?], ..." rendering for diagnostics.
+  std::string ToString() const;
+
+  /// Schema of this projected to `indices` (in order).
+  std::shared_ptr<Schema> Project(const std::vector<int>& indices) const;
+
+  /// Concatenation of two schemas (join output), with name disambiguation
+  /// left to the caller.
+  static std::shared_ptr<Schema> Concat(const Schema& left, const Schema& right);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace idf

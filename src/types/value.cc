@@ -1,0 +1,130 @@
+#include "types/value.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace idf {
+
+int64_t Value::AsInt64() const {
+  if (is_int64()) return int64_value();
+  if (is_int32()) return int32_value();
+  if (is_bool()) return bool_value() ? 1 : 0;
+  IDF_LOG(Fatal) << "Value::AsInt64 on non-integer value " << ToString();
+  return 0;
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return double_value();
+  return static_cast<double>(AsInt64());
+}
+
+namespace {
+bool IsNumeric(const Value& v) {
+  return v.is_int32() || v.is_int64() || v.is_double() || v.is_bool();
+}
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_string() != other.is_string()) return false;
+  if (is_string()) return string_value() == other.string_value();
+  if (is_double() || other.is_double()) return AsDouble() == other.AsDouble();
+  return AsInt64() == other.AsInt64();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_null()) return !other.is_null();
+  if (other.is_null()) return false;
+  if (is_string() && other.is_string()) return string_value() < other.string_value();
+  if (is_string() != other.is_string()) return !is_string();  // numbers < strings
+  if (is_double() || other.is_double()) return AsDouble() < other.AsDouble();
+  return AsInt64() < other.AsInt64();
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x6e756c6cULL;  // "null"
+  if (is_string()) return Hash64(string_value());
+  if (is_double()) {
+    double d = double_value();
+    // Hash integral doubles like the equivalent integer so that 3.0 and 3
+    // partition identically.
+    int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) return Mix64(static_cast<uint64_t>(i));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(d));
+    return Mix64(bits);
+  }
+  return Mix64(static_cast<uint64_t>(AsInt64()));
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int32()) return std::to_string(int32_value());
+  if (is_int64()) return std::to_string(int64_value());
+  if (is_double()) return std::to_string(double_value());
+  return "\"" + string_value() + "\"";
+}
+
+Status Value::CheckType(TypeId type) const {
+  if (is_null()) return Status::OK();
+  switch (type) {
+    case TypeId::kBool:
+      if (is_bool()) return Status::OK();
+      break;
+    case TypeId::kInt32:
+      if (is_int32()) return Status::OK();
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      if (is_int64() || is_int32()) return Status::OK();
+      break;
+    case TypeId::kFloat64:
+      if (is_double() || is_int64() || is_int32()) return Status::OK();
+      break;
+    case TypeId::kString:
+      if (is_string()) return Status::OK();
+      break;
+  }
+  return Status::TypeError("value " + ToString() + " is not storable as " +
+                           TypeIdToString(type));
+}
+
+Result<Value> Value::CastTo(TypeId type) const {
+  if (is_null()) return Value::Null();
+  switch (type) {
+    case TypeId::kBool:
+      if (is_bool()) return *this;
+      if (IsNumeric(*this)) return Value(AsInt64() != 0);
+      break;
+    case TypeId::kInt32: {
+      if (is_int32()) return *this;
+      if (is_int64() || is_bool()) {
+        int64_t v = AsInt64();
+        if (v < INT32_MIN || v > INT32_MAX) {
+          return Status::InvalidArgument("int32 overflow casting " + ToString());
+        }
+        return Value(static_cast<int32_t>(v));
+      }
+      break;
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      if (is_int64()) return *this;
+      if (is_int32() || is_bool()) return Value(AsInt64());
+      break;
+    case TypeId::kFloat64:
+      if (is_double()) return *this;
+      if (IsNumeric(*this)) return Value(AsDouble());
+      break;
+    case TypeId::kString:
+      if (is_string()) return *this;
+      return Value(ToString());
+  }
+  return Status::TypeError("cannot cast " + ToString() + " to " +
+                           TypeIdToString(type));
+}
+
+}  // namespace idf

@@ -1,0 +1,76 @@
+// Value: a dynamically-typed cell used at API boundaries and inside
+// expression evaluation. The hot storage path uses binary RowBatch encoding
+// instead (storage/row_batch.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace idf {
+
+/// \brief One dynamically typed, nullable cell.
+///
+/// Null is represented by std::monostate. Timestamps are carried as int64
+/// microseconds; the schema distinguishes kInt64 from kTimestamp.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  Value(bool v) : repr_(v) {}                 // NOLINT
+  Value(int32_t v) : repr_(v) {}              // NOLINT
+  Value(int64_t v) : repr_(v) {}              // NOLINT
+  Value(double v) : repr_(v) {}               // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int32() const { return std::holds_alternative<int32_t>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int32_t int32_value() const { return std::get<int32_t>(repr_); }
+  int64_t int64_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  /// Numeric widening view: int32/int64/bool as int64. Aborts on other types.
+  int64_t AsInt64() const;
+  /// Numeric view as double (widens integers).
+  double AsDouble() const;
+
+  /// Strict equality: null == null is true here (used by tests and
+  /// group-by); SQL three-valued logic lives in expression evaluation.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total ordering for sorting: null first, then by numeric/string value.
+  /// Cross-type numeric comparison widens to double.
+  bool operator<(const Value& other) const;
+
+  /// Stable 64-bit hash used for index keys and hash partitioning.
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+  /// Checks that this value is storable in a column of `type`.
+  /// Integer values are accepted by wider integer columns.
+  Status CheckType(TypeId type) const;
+
+  /// Coerces to the exact runtime representation of `type`
+  /// (e.g. int32 literal into an int64 column). Fails on lossy coercions.
+  Result<Value> CastTo(TypeId type) const;
+
+ private:
+  std::variant<std::monostate, bool, int32_t, int64_t, double, std::string> repr_;
+};
+
+}  // namespace idf

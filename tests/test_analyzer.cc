@@ -1,0 +1,200 @@
+// Unit tests for the analysis layer: name resolution, schema computation,
+// and type checking across all plan node kinds.
+#include "sql/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+RawTablePtr MakeTable(const std::string& name, SchemaPtr schema, RowVec rows) {
+  auto t = std::make_shared<RawTable>();
+  t->name = name;
+  t->schema = std::move(schema);
+  t->partitions.push_back(std::move(rows));
+  return t;
+}
+
+SchemaPtr LeftSchema() {
+  return Schema::Make({{"id", TypeId::kInt64, false},
+                       {"name", TypeId::kString, true},
+                       {"score", TypeId::kFloat64, true}});
+}
+
+SchemaPtr RightSchema() {
+  return Schema::Make({{"ref", TypeId::kInt64, false},
+                       {"tag", TypeId::kString, true}});
+}
+
+LogicalPlanPtr LeftScan() {
+  return std::make_shared<ScanNode>(MakeTable("left", LeftSchema(), {}));
+}
+
+LogicalPlanPtr RightScan() {
+  return std::make_shared<ScanNode>(MakeTable("right", RightSchema(), {}));
+}
+
+TEST(AnalyzerTest, ScanIsBornAnalyzed) {
+  auto scan = LeftScan();
+  EXPECT_TRUE(scan->analyzed());
+  auto analyzed = Analyze(scan).ValueOrDie();
+  EXPECT_EQ(analyzed.get(), scan.get());
+}
+
+TEST(AnalyzerTest, FilterBindsPredicateAndKeepsSchema) {
+  auto plan = std::make_shared<FilterNode>(LeftScan(),
+                                           Eq(Col("id"), Lit(Value(int64_t{1}))));
+  EXPECT_FALSE(plan->analyzed());
+  auto analyzed = Analyze(plan).ValueOrDie();
+  EXPECT_TRUE(analyzed->analyzed());
+  EXPECT_TRUE(analyzed->output_schema()->Equals(*LeftSchema()));
+  const auto* filter = static_cast<const FilterNode*>(analyzed.get());
+  EXPECT_FALSE(HasUnboundRefs(filter->predicate()));
+}
+
+TEST(AnalyzerTest, FilterUnknownColumnIsKeyError) {
+  auto plan = std::make_shared<FilterNode>(LeftScan(),
+                                           Eq(Col("zz"), Lit(Value(int64_t{1}))));
+  EXPECT_TRUE(Analyze(plan).status().IsKeyError());
+}
+
+TEST(AnalyzerTest, FilterNonBooleanPredicateIsTypeError) {
+  auto plan = std::make_shared<FilterNode>(LeftScan(), Add(Col("id"), Col("id")));
+  EXPECT_TRUE(Analyze(plan).status().IsTypeError());
+}
+
+TEST(AnalyzerTest, ProjectComputesSchemaAndNames) {
+  auto plan = std::make_shared<ProjectNode>(
+      LeftScan(), std::vector<ExprPtr>{Col("name"), Add(Col("id"), Col("id"))},
+      std::vector<std::string>{});
+  auto analyzed = Analyze(plan).ValueOrDie();
+  const Schema& s = *analyzed->output_schema();
+  ASSERT_EQ(s.num_fields(), 2);
+  EXPECT_EQ(s.field(0).name, "name");
+  EXPECT_EQ(s.field(0).type, TypeId::kString);
+  EXPECT_EQ(s.field(1).type, TypeId::kInt64);
+  EXPECT_NE(s.field(1).name.find("+"), std::string::npos);  // derived name
+}
+
+TEST(AnalyzerTest, ProjectExplicitNames) {
+  auto plan = std::make_shared<ProjectNode>(
+      LeftScan(), std::vector<ExprPtr>{Col("id")},
+      std::vector<std::string>{"renamed"});
+  auto analyzed = Analyze(plan).ValueOrDie();
+  EXPECT_EQ(analyzed->output_schema()->field(0).name, "renamed");
+}
+
+TEST(AnalyzerTest, ProjectNameArityMismatchFails) {
+  auto plan = std::make_shared<ProjectNode>(
+      LeftScan(), std::vector<ExprPtr>{Col("id"), Col("name")},
+      std::vector<std::string>{"only_one"});
+  EXPECT_TRUE(Analyze(plan).status().IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, JoinConcatenatesSchemas) {
+  auto plan = std::make_shared<JoinNode>(LeftScan(), RightScan(), Col("id"),
+                                         Col("ref"));
+  auto analyzed = Analyze(plan).ValueOrDie();
+  const Schema& s = *analyzed->output_schema();
+  ASSERT_EQ(s.num_fields(), 5);
+  EXPECT_EQ(s.field(0).name, "id");
+  EXPECT_EQ(s.field(3).name, "ref");
+  const auto* join = static_cast<const JoinNode*>(analyzed.get());
+  EXPECT_FALSE(HasUnboundRefs(join->left_key()));
+  EXPECT_FALSE(HasUnboundRefs(join->right_key()));
+}
+
+TEST(AnalyzerTest, JoinKeysBindToTheirOwnSides) {
+  // "ref" exists only on the right; binding it as the left key must fail.
+  auto plan = std::make_shared<JoinNode>(LeftScan(), RightScan(), Col("ref"),
+                                         Col("id"));
+  EXPECT_TRUE(Analyze(plan).status().IsKeyError());
+}
+
+TEST(AnalyzerTest, JoinIncomparableKeyTypesFail) {
+  auto plan = std::make_shared<JoinNode>(LeftScan(), RightScan(), Col("name"),
+                                         Col("ref"));
+  EXPECT_TRUE(Analyze(plan).status().IsTypeError());
+}
+
+TEST(AnalyzerTest, AggregateSchema) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggFn::kCountStar, nullptr, "cnt"});
+  aggs.push_back(AggSpec{AggFn::kSum, Col("score"), "total"});
+  aggs.push_back(AggSpec{AggFn::kAvg, Col("id"), ""});
+  auto plan = std::make_shared<AggregateNode>(
+      LeftScan(), std::vector<ExprPtr>{Col("name")},
+      std::vector<std::string>{}, aggs);
+  auto analyzed = Analyze(plan).ValueOrDie();
+  const Schema& s = *analyzed->output_schema();
+  ASSERT_EQ(s.num_fields(), 4);
+  EXPECT_EQ(s.field(0).name, "name");
+  EXPECT_EQ(s.field(1).name, "cnt");
+  EXPECT_EQ(s.field(1).type, TypeId::kInt64);
+  EXPECT_EQ(s.field(2).type, TypeId::kFloat64);  // sum over float64
+  EXPECT_EQ(s.field(3).type, TypeId::kFloat64);  // avg
+  EXPECT_FALSE(s.field(3).name.empty());          // derived name
+}
+
+TEST(AnalyzerTest, AggregateSumOverStringFails) {
+  std::vector<AggSpec> aggs = {AggSpec{AggFn::kSum, Col("name"), "x"}};
+  auto plan = std::make_shared<AggregateNode>(LeftScan(), std::vector<ExprPtr>{},
+                                              std::vector<std::string>{}, aggs);
+  EXPECT_TRUE(Analyze(plan).status().IsTypeError());
+}
+
+TEST(AnalyzerTest, AggregateMissingArgFails) {
+  std::vector<AggSpec> aggs = {AggSpec{AggFn::kSum, nullptr, "x"}};
+  auto plan = std::make_shared<AggregateNode>(LeftScan(), std::vector<ExprPtr>{},
+                                              std::vector<std::string>{}, aggs);
+  EXPECT_TRUE(Analyze(plan).status().IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, SortAndLimitKeepChildSchema) {
+  auto sort = std::make_shared<SortNode>(
+      LeftScan(), std::vector<SortKey>{SortKey{Col("score"), false}});
+  auto analyzed_sort = Analyze(sort).ValueOrDie();
+  EXPECT_TRUE(analyzed_sort->output_schema()->Equals(*LeftSchema()));
+
+  auto limit = std::make_shared<LimitNode>(LeftScan(), 5);
+  auto analyzed_limit = Analyze(limit).ValueOrDie();
+  EXPECT_TRUE(analyzed_limit->output_schema()->Equals(*LeftSchema()));
+  EXPECT_EQ(static_cast<const LimitNode*>(analyzed_limit.get())->n(), 5u);
+}
+
+TEST(AnalyzerTest, SortUnknownKeyFails) {
+  auto sort = std::make_shared<SortNode>(
+      LeftScan(), std::vector<SortKey>{SortKey{Col("nope"), true}});
+  EXPECT_TRUE(Analyze(sort).status().IsKeyError());
+}
+
+TEST(AnalyzerTest, NestedPlanAnalyzesBottomUp) {
+  auto plan = std::make_shared<LimitNode>(
+      std::make_shared<SortNode>(
+          std::make_shared<FilterNode>(LeftScan(),
+                                       Gt(Col("score"), Lit(Value(0.0)))),
+          std::vector<SortKey>{SortKey{Col("id"), true}}),
+      3);
+  auto analyzed = Analyze(plan).ValueOrDie();
+  EXPECT_TRUE(analyzed->analyzed());
+  EXPECT_TRUE(analyzed->children()[0]->analyzed());
+  EXPECT_TRUE(analyzed->children()[0]->children()[0]->analyzed());
+}
+
+TEST(AnalyzerTest, TreeStringRendersHierarchy) {
+  auto plan = std::make_shared<FilterNode>(LeftScan(),
+                                           Eq(Col("id"), Lit(Value(int64_t{1}))));
+  auto analyzed = Analyze(LogicalPlanPtr(plan)).ValueOrDie();
+  std::string s = analyzed->TreeString();
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("  Scan"), std::string::npos);  // indented child
+}
+
+TEST(AnalyzerTest, DeriveColumnName) {
+  EXPECT_EQ(DeriveColumnName(Col("abc")), "abc");
+  EXPECT_NE(DeriveColumnName(Add(Col("a"), Col("b"))).find("+"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,103 @@
+// Unit tests for the columnar cache (the vanilla baseline's storage).
+#include "storage/column_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({
+      {"id", TypeId::kInt64, false},
+      {"name", TypeId::kString, true},
+      {"score", TypeId::kFloat64, true},
+      {"flag", TypeId::kBool, true},
+      {"small", TypeId::kInt32, true},
+  });
+}
+
+RowVec TestRows() {
+  return {
+      {Value(int64_t{1}), Value("a"), Value(0.5), Value(true), Value(int32_t{10})},
+      {Value(int64_t{2}), Value::Null(), Value(1.5), Value(false),
+       Value(int32_t{20})},
+      {Value(int64_t{3}), Value("c"), Value::Null(), Value::Null(), Value::Null()},
+  };
+}
+
+TEST(ColumnCacheTest, FromRowsRoundTrip) {
+  auto cache = ColumnCache::FromRows(TestSchema(), TestRows()).ValueOrDie();
+  EXPECT_EQ(cache->num_rows(), 3u);
+  RowVec expected = TestRows();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cache->GetRow(i), expected[i]) << i;
+  }
+}
+
+TEST(ColumnCacheTest, NullsTracked) {
+  auto cache = ColumnCache::FromRows(TestSchema(), TestRows()).ValueOrDie();
+  EXPECT_FALSE(cache->column(1).IsNull(0));
+  EXPECT_TRUE(cache->column(1).IsNull(1));
+  EXPECT_TRUE(cache->column(2).IsNull(2));
+}
+
+TEST(ColumnCacheTest, TypedVectorsExposeRawData) {
+  auto cache = ColumnCache::FromRows(TestSchema(), TestRows()).ValueOrDie();
+  EXPECT_EQ(cache->column(0).ints()[1], 2);
+  EXPECT_EQ(cache->column(1).strings()[0], "a");
+  EXPECT_DOUBLE_EQ(cache->column(2).doubles()[1], 1.5);
+  EXPECT_EQ(cache->column(3).ints()[0], 1);  // bool stored as int
+  EXPECT_EQ(cache->column(4).ints()[1], 20);  // int32 widened in storage
+}
+
+TEST(ColumnCacheTest, GetRowProjected) {
+  auto cache = ColumnCache::FromRows(TestSchema(), TestRows()).ValueOrDie();
+  Row projected = cache->GetRowProjected(0, {2, 0});
+  ASSERT_EQ(projected.size(), 2u);
+  EXPECT_EQ(projected[0], Value(0.5));
+  EXPECT_EQ(projected[1], Value(int64_t{1}));
+}
+
+TEST(ColumnCacheTest, AppendRowValidates) {
+  ColumnCache cache(TestSchema());
+  EXPECT_TRUE(cache.AppendRow({Value(int64_t{1})}).IsInvalidArgument());
+  EXPECT_TRUE(cache
+                  .AppendRow({Value::Null(), Value("x"), Value(0.0), Value(true),
+                              Value(int32_t{1})})
+                  .IsInvalidArgument());  // id non-nullable
+  EXPECT_EQ(cache.num_rows(), 0u);
+}
+
+TEST(ColumnCacheTest, Int32ValuesKeepTheirTypeOnRead) {
+  auto cache = ColumnCache::FromRows(TestSchema(), TestRows()).ValueOrDie();
+  Value v = cache->column(4).GetValue(0);
+  EXPECT_TRUE(v.is_int32());
+  EXPECT_EQ(v, Value(int32_t{10}));
+}
+
+TEST(ColumnCacheTest, TimestampReadBackAsInt64) {
+  auto schema = Schema::Make({{"ts", TypeId::kTimestamp, true}});
+  auto cache =
+      ColumnCache::FromRows(schema, {{Value(int64_t{123456789})}}).ValueOrDie();
+  EXPECT_EQ(cache->column(0).GetValue(0), Value(int64_t{123456789}));
+}
+
+TEST(ColumnCacheTest, MemoryBytesGrowsWithData) {
+  ColumnCache cache(TestSchema());
+  size_t empty = cache.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(cache
+                    .AppendRow({Value(int64_t{i}), Value("some name"), Value(1.0),
+                                Value(true), Value(int32_t{i})})
+                    .ok());
+  }
+  EXPECT_GT(cache.MemoryBytes(), empty + 1000 * 8);
+}
+
+TEST(ColumnCacheTest, EmptyCacheBehaves) {
+  auto cache = ColumnCache::FromRows(TestSchema(), {}).ValueOrDie();
+  EXPECT_EQ(cache->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace idf

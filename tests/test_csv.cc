@@ -1,0 +1,202 @@
+// Tests for the CSV reader/writer and SNB dataset persistence.
+#include "io/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "snb/snb_io.h"
+
+namespace idf {
+namespace {
+
+using io::CsvOptions;
+using io::FromCsvString;
+using io::ReadCsv;
+using io::ToCsvString;
+using io::WriteCsv;
+
+SchemaPtr TestSchema() {
+  return Schema::Make({{"id", TypeId::kInt64, false},
+                       {"name", TypeId::kString, true},
+                       {"score", TypeId::kFloat64, true},
+                       {"ok", TypeId::kBool, true},
+                       {"small", TypeId::kInt32, true},
+                       {"ts", TypeId::kTimestamp, true}});
+}
+
+RowVec TestRows() {
+  return {
+      {Value(int64_t{1}), Value("alice"), Value(0.5), Value(true),
+       Value(int32_t{7}), Value(int64_t{1600000000000000})},
+      {Value(int64_t{2}), Value::Null(), Value::Null(), Value::Null(),
+       Value::Null(), Value::Null()},
+      {Value(int64_t{3}), Value("has,comma"), Value(1.25), Value(false),
+       Value(int32_t{-9}), Value(int64_t{0})},
+  };
+}
+
+TEST(CsvTest, StringRoundTrip) {
+  SchemaPtr schema = TestSchema();
+  std::string data = ToCsvString(*schema, TestRows());
+  RowVec parsed = FromCsvString(data, *schema).ValueOrDie();
+  EXPECT_EQ(parsed, TestRows());
+}
+
+TEST(CsvTest, HeaderWrittenAndValidated) {
+  SchemaPtr schema = TestSchema();
+  std::string data = ToCsvString(*schema, {});
+  EXPECT_EQ(data, "id,name,score,ok,small,ts\n");
+  EXPECT_TRUE(FromCsvString(data, *schema).ValueOrDie().empty());
+  // Wrong header order fails.
+  auto bad = FromCsvString("name,id,score,ok,small,ts\n", *schema);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  SchemaPtr schema = TestSchema();
+  CsvOptions options;
+  options.header = false;
+  std::string data = ToCsvString(*schema, TestRows(), options);
+  EXPECT_EQ(data.find("id,name"), std::string::npos);
+  EXPECT_EQ(FromCsvString(data, *schema, options).ValueOrDie(), TestRows());
+}
+
+TEST(CsvTest, QuotingCommasQuotesNewlines) {
+  auto schema = Schema::Make({{"s", TypeId::kString, true}});
+  RowVec rows = {{Value("a,b")}, {Value("say \"hi\"")}, {Value("two\nlines")}};
+  std::string data = ToCsvString(*schema, rows);
+  RowVec parsed = FromCsvString(data, *schema).ValueOrDie();
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(CsvTest, EmptyUnquotedIsNullQuotedIsEmptyString) {
+  auto schema = Schema::Make({{"s", TypeId::kString, true}});
+  RowVec parsed = FromCsvString("s\n\"\"\n", *schema).ValueOrDie();
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0][0], Value(""));
+  // An unquoted empty field is NULL.
+  auto schema2 = Schema::Make({{"a", TypeId::kInt64, true},
+                               {"b", TypeId::kString, true}});
+  RowVec parsed2 = FromCsvString("a,b\n1,\n", *schema2).ValueOrDie();
+  ASSERT_EQ(parsed2.size(), 1u);
+  EXPECT_TRUE(parsed2[0][1].is_null());
+}
+
+TEST(CsvTest, NullTokenOption) {
+  auto schema = Schema::Make({{"a", TypeId::kInt64, true}});
+  CsvOptions options;
+  options.null_token = "NULL";
+  std::string data = ToCsvString(*schema, {{Value::Null()}}, options);
+  EXPECT_NE(data.find("NULL"), std::string::npos);
+  RowVec parsed = FromCsvString(data, *schema, options).ValueOrDie();
+  EXPECT_TRUE(parsed[0][0].is_null());
+}
+
+TEST(CsvTest, EmptyStringRoundTripsDistinctFromNull) {
+  auto schema = Schema::Make({{"s", TypeId::kString, true}});
+  RowVec rows = {{Value("")}, {Value::Null()}};
+  std::string data = ToCsvString(*schema, rows);
+  RowVec parsed = FromCsvString(data, *schema).ValueOrDie();
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0][0], Value(""));
+  EXPECT_TRUE(parsed[1][0].is_null());
+}
+
+TEST(CsvTest, StringEqualToNullTokenStaysString) {
+  auto schema = Schema::Make({{"s", TypeId::kString, true}});
+  CsvOptions options;
+  options.null_token = "NULL";
+  RowVec rows = {{Value("NULL")}, {Value::Null()}};
+  std::string data = ToCsvString(*schema, rows, options);
+  RowVec parsed = FromCsvString(data, *schema, options).ValueOrDie();
+  EXPECT_EQ(parsed[0][0], Value("NULL"));
+  EXPECT_TRUE(parsed[1][0].is_null());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  SchemaPtr schema = TestSchema();
+  CsvOptions options;
+  options.delimiter = '|';
+  std::string data = ToCsvString(*schema, TestRows(), options);
+  EXPECT_EQ(FromCsvString(data, *schema, options).ValueOrDie(), TestRows());
+}
+
+TEST(CsvTest, DoubleRoundTripsExactly) {
+  auto schema = Schema::Make({{"d", TypeId::kFloat64, true}});
+  RowVec rows = {{Value(1.0 / 3.0)}, {Value(1e-300)}, {Value(12345.6789)}};
+  std::string data = ToCsvString(*schema, rows);
+  EXPECT_EQ(FromCsvString(data, *schema).ValueOrDie(), rows);
+}
+
+TEST(CsvTest, TypeErrorsAreDescriptive) {
+  auto schema = Schema::Make({{"a", TypeId::kInt64, true}});
+  auto r = FromCsvString("a\nnot_a_number\n", *schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("record 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("not_a_number"), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  auto schema = Schema::Make({{"a", TypeId::kInt64, true},
+                              {"b", TypeId::kInt64, true}});
+  EXPECT_FALSE(FromCsvString("a,b\n1,2,3\n", *schema).ok());
+  EXPECT_FALSE(FromCsvString("a,b\n1\n", *schema).ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  auto schema = Schema::Make({{"s", TypeId::kString, true}});
+  EXPECT_FALSE(FromCsvString("s\n\"open\n", *schema).ok());
+}
+
+TEST(CsvTest, Int32RangeChecked) {
+  auto schema = Schema::Make({{"a", TypeId::kInt32, true}});
+  EXPECT_FALSE(FromCsvString("a\n99999999999\n", *schema).ok());
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto schema = Schema::Make({{"a", TypeId::kInt64, true}});
+  RowVec parsed = FromCsvString("a\r\n1\r\n2\r\n", *schema).ValueOrDie();
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1][0], Value(int64_t{2}));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  SchemaPtr schema = TestSchema();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "idf_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsv(path, *schema, TestRows()).ok());
+  EXPECT_EQ(ReadCsv(path, *schema).ValueOrDie(), TestRows());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsError) {
+  auto r = ReadCsv("/nonexistent/dir/f.csv", *TestSchema());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SnbIoTest, DatasetRoundTrip) {
+  snb::SnbConfig cfg;
+  cfg.scale_factor = 0.1;
+  snb::SnbDataset ds = snb::GenerateSnb(cfg);
+  auto dir = std::filesystem::temp_directory_path() / "idf_snb_io_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(snb::SaveDataset(dir.string(), ds).ok());
+  snb::SnbDataset loaded = snb::LoadDataset(dir.string(), cfg).ValueOrDie();
+  EXPECT_EQ(loaded.persons, ds.persons);
+  EXPECT_EQ(loaded.knows, ds.knows);
+  EXPECT_EQ(loaded.posts, ds.posts);
+  EXPECT_EQ(loaded.comments, ds.comments);
+  EXPECT_EQ(loaded.forums, ds.forums);
+  EXPECT_EQ(loaded.forum_members, ds.forum_members);
+  // Reconstructed metadata matches the generator's.
+  EXPECT_EQ(loaded.first_person_id, ds.first_person_id);
+  EXPECT_EQ(loaded.num_persons, ds.num_persons);
+  EXPECT_EQ(loaded.first_post_id, ds.first_post_id);
+  EXPECT_EQ(loaded.num_comments, ds.num_comments);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,204 @@
+// Concurrency tests for the CTrie: concurrent writers, readers racing
+// writers, and snapshot linearizability under mutation — the properties
+// the Indexed DataFrame's multi-version concurrency relies on.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "ctrie/ctrie.h"
+
+namespace idf {
+namespace {
+
+TEST(CTrieConcurrencyTest, DisjointWritersAllLand) {
+  CTrie t;
+  constexpr int kWriters = 8;
+  constexpr uint64_t kPerWriter = 20000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&t, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        t.Insert(static_cast<uint64_t>(w) * 1000000 + i, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.Size(), kWriters * kPerWriter);
+  for (int w = 0; w < kWriters; ++w) {
+    for (uint64_t i = 0; i < kPerWriter; i += 997) {
+      auto v = t.Lookup(static_cast<uint64_t>(w) * 1000000 + i);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);
+    }
+  }
+}
+
+TEST(CTrieConcurrencyTest, OverlappingWritersLastValueWins) {
+  CTrie t;
+  constexpr int kWriters = 6;
+  constexpr uint64_t kKeys = 512;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&t, w] {
+      for (int round = 0; round < 50; ++round) {
+        for (uint64_t k = 0; k < kKeys; ++k) {
+          t.Insert(k, static_cast<uint64_t>(w) * 1000 + static_cast<uint64_t>(round));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.Size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    auto v = t.Lookup(k);
+    ASSERT_TRUE(v.has_value());
+    // The surviving value must be one some writer actually wrote.
+    EXPECT_LT(*v % 1000, 50u);
+    EXPECT_LT(*v / 1000, static_cast<uint64_t>(kWriters));
+  }
+}
+
+TEST(CTrieConcurrencyTest, ReadersNeverSeeTornState) {
+  CTrie t;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> write_floor{0};
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < 200000; ++i) {
+      t.Insert(i, i + 1);
+      write_floor.store(i, std::memory_order_release);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> errors{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Random64 rng(static_cast<uint64_t>(r) + 1);
+      while (!stop.load()) {
+        uint64_t floor = write_floor.load(std::memory_order_acquire);
+        if (floor == 0) continue;
+        uint64_t k = rng.Uniform(floor);
+        auto v = t.Lookup(k);
+        // Keys below the write floor are guaranteed present, and a present
+        // value must be exactly k+1 (values are written once).
+        if (!v.has_value() || *v != k + 1) errors.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+TEST(CTrieConcurrencyTest, SnapshotsAreStableUnderConcurrentWrites) {
+  CTrie t;
+  for (uint64_t i = 0; i < 10000; ++i) t.Insert(i, i);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t next = 10000;
+    while (!stop.load()) {
+      t.Insert(next, next);
+      ++next;
+    }
+  });
+
+  // Take snapshots while the writer runs; each must keep a fixed size no
+  // matter how long we hold it.
+  for (int i = 0; i < 30; ++i) {
+    CTrie snap = t.ReadOnlySnapshot();
+    size_t size1 = snap.Size();
+    size_t size2 = snap.Size();
+    EXPECT_EQ(size1, size2);
+    EXPECT_GE(size1, 10000u);
+    // Original keys always present in any snapshot.
+    EXPECT_TRUE(snap.Lookup(1234).has_value());
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(CTrieConcurrencyTest, SnapshotSizesMonotonicInInsertOnlyWorkload) {
+  CTrie t;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t next = 0;
+    while (!stop.load()) t.Insert(next++, 1);
+  });
+  size_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    CTrie snap = t.ReadOnlySnapshot();
+    size_t size = snap.Size();
+    EXPECT_GE(size, last) << "snapshot went backwards";
+    last = size;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(CTrieConcurrencyTest, MixedRemoveInsertKeysStayConsistent) {
+  // Writer A inserts evens, writer B removes them, reader checks that odd
+  // sentinel keys (never touched) survive every interleaving.
+  CTrie t;
+  for (uint64_t i = 1; i < 2000; i += 2) t.Insert(i, i);
+  std::atomic<bool> stop{false};
+  std::thread inserter([&] {
+    Random64 rng(1);
+    while (!stop.load()) {
+      uint64_t k = rng.Uniform(1000) * 2;
+      t.Insert(k, k);
+    }
+  });
+  std::thread remover([&] {
+    Random64 rng(2);
+    while (!stop.load()) {
+      uint64_t k = rng.Uniform(1000) * 2;
+      t.Remove(k);
+    }
+  });
+  std::atomic<uint64_t> errors{0};
+  std::thread reader([&] {
+    Random64 rng(3);
+    for (int i = 0; i < 200000; ++i) {
+      uint64_t k = rng.Uniform(1000) * 2 + 1;
+      auto v = t.Lookup(k);
+      if (!v.has_value() || *v != k) errors.fetch_add(1);
+    }
+    stop.store(true);
+  });
+  reader.join();
+  inserter.join();
+  remover.join();
+  EXPECT_EQ(errors.load(), 0u);
+  for (uint64_t i = 1; i < 2000; i += 2) {
+    EXPECT_TRUE(t.Lookup(i).has_value()) << i;
+  }
+}
+
+TEST(CTrieConcurrencyTest, CollidingHashConcurrentWriters) {
+  // Degenerate hash forces all operations through shared LNode chains.
+  CTrie t([](uint64_t k) { return k & 0x7; });
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&t, w] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        t.Insert(static_cast<uint64_t>(w) * 10000 + i, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.Size(), 2000u);
+  for (int w = 0; w < 4; ++w) {
+    for (uint64_t i = 0; i < 500; ++i) {
+      auto v = t.Lookup(static_cast<uint64_t>(w) * 10000 + i);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,227 @@
+// API-level tests for Session and DataFrame (the vanilla engine surface).
+#include "sql/dataframe.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+class DataFrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig cfg;
+    cfg.num_partitions = 4;
+    cfg.num_threads = 2;
+    session_ = Session::Make(cfg).ValueOrDie();
+    schema_ = Schema::Make({{"id", TypeId::kInt64, false},
+                            {"grp", TypeId::kInt64, true},
+                            {"name", TypeId::kString, true},
+                            {"score", TypeId::kFloat64, true}});
+    RowVec rows;
+    for (int64_t i = 0; i < 100; ++i) {
+      rows.push_back({Value(i), Value(i % 5), Value("n" + std::to_string(i)),
+                      Value(static_cast<double>(i) / 2)});
+    }
+    df_ = session_->CreateDataFrame(schema_, rows, "people").ValueOrDie();
+  }
+
+  SessionPtr session_;
+  SchemaPtr schema_;
+  DataFrame df_;
+};
+
+TEST_F(DataFrameTest, CreateValidatesRows) {
+  auto bad = session_->CreateDataFrame(schema_, {{Value(int64_t{1})}}, "bad");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  auto bad_type = session_->CreateDataFrame(
+      schema_, {{Value("x"), Value(int64_t{0}), Value("n"), Value(0.0)}}, "bad2");
+  EXPECT_TRUE(bad_type.status().IsTypeError());
+}
+
+TEST_F(DataFrameTest, SchemaReflectsPlan) {
+  EXPECT_TRUE(df_.schema().ValueOrDie()->Equals(*schema_));
+  auto projected = df_.Select({"name"}).ValueOrDie();
+  auto s = projected.schema().ValueOrDie();
+  ASSERT_EQ(s->num_fields(), 1);
+  EXPECT_EQ(s->field(0).name, "name");
+}
+
+TEST_F(DataFrameTest, CountAndCollect) {
+  EXPECT_EQ(df_.Count().ValueOrDie(), 100u);
+  EXPECT_EQ(df_.Collect().ValueOrDie().size(), 100u);
+}
+
+TEST_F(DataFrameTest, FilterByEquality) {
+  auto f = df_.Filter(Eq(Col("grp"), Lit(Value(int64_t{2})))).ValueOrDie();
+  EXPECT_EQ(f.Count().ValueOrDie(), 20u);
+  for (const Row& row : f.Collect().ValueOrDie()) {
+    EXPECT_EQ(row[1], Value(int64_t{2}));
+  }
+}
+
+TEST_F(DataFrameTest, FilterComposition) {
+  auto f = df_.Filter(Gt(Col("id"), Lit(Value(int64_t{49}))))
+               .ValueOrDie()
+               .Filter(Lt(Col("id"), Lit(Value(int64_t{60}))))
+               .ValueOrDie();
+  EXPECT_EQ(f.Count().ValueOrDie(), 10u);
+}
+
+TEST_F(DataFrameTest, FilterUnknownColumnFailsAtAction) {
+  auto f = df_.Filter(Eq(Col("nope"), Lit(Value(int64_t{1})))).ValueOrDie();
+  EXPECT_TRUE(f.Collect().status().IsKeyError());
+}
+
+TEST_F(DataFrameTest, SelectAndSelectExprs) {
+  auto sel =
+      df_.SelectExprs({Col("id"), Mul(Col("grp"), Lit(Value(int64_t{10})))},
+                      {"id", "g10"})
+          .ValueOrDie();
+  RowVec rows = sel.Collect().ValueOrDie();
+  ASSERT_EQ(rows.size(), 100u);
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[1].AsInt64(), (row[0].AsInt64() % 5) * 10);
+  }
+}
+
+TEST_F(DataFrameTest, OrderByAndLimit) {
+  auto top = df_.OrderBy("score", /*ascending=*/false)
+                 .ValueOrDie()
+                 .Limit(3)
+                 .ValueOrDie();
+  RowVec rows = top.Collect().ValueOrDie();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value(int64_t{99}));
+  EXPECT_EQ(rows[1][0], Value(int64_t{98}));
+  EXPECT_EQ(rows[2][0], Value(int64_t{97}));
+}
+
+TEST_F(DataFrameTest, GroupByAgg) {
+  auto agg =
+      df_.GroupByAgg({"grp"}, {CountStar("cnt"), SumOf(Col("id"), "sum_id"),
+                               MaxOf(Col("score"), "max_score")})
+          .ValueOrDie();
+  RowVec rows = agg.Collect().ValueOrDie();
+  ASSERT_EQ(rows.size(), 5u);
+  SortRows(&rows);
+  for (int64_t g = 0; g < 5; ++g) {
+    const Row& row = rows[static_cast<size_t>(g)];
+    EXPECT_EQ(row[0], Value(g));
+    EXPECT_EQ(row[1], Value(int64_t{20}));
+    // ids for group g: g, g+5, ..., g+95 -> 20g + 5*(0+..+19)*... = 20g + 950.
+    EXPECT_EQ(row[2], Value(int64_t{20 * g + 950}));
+  }
+}
+
+TEST_F(DataFrameTest, GlobalAggregate) {
+  auto agg = df_.Aggregate({}, {CountStar("n"), AvgOf(Col("score"), "avg")})
+                 .ValueOrDie();
+  RowVec rows = agg.Collect().ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(int64_t{100}));
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 24.75);
+}
+
+TEST_F(DataFrameTest, JoinByColumnNames) {
+  auto dim_schema = Schema::Make({{"g", TypeId::kInt64, false},
+                                  {"label", TypeId::kString, false}});
+  RowVec dim_rows;
+  for (int64_t g = 0; g < 5; ++g) {
+    dim_rows.push_back({Value(g), Value("group" + std::to_string(g))});
+  }
+  auto dim = session_->CreateDataFrame(dim_schema, dim_rows, "dim").ValueOrDie();
+  auto joined = df_.Join(dim, "grp", "g").ValueOrDie();
+  RowVec rows = joined.Collect().ValueOrDie();
+  EXPECT_EQ(rows.size(), 100u);
+  for (const Row& row : rows) {
+    ASSERT_EQ(row.size(), 6u);
+    EXPECT_EQ(row[5].string_value(), "group" + row[1].ToString());
+  }
+}
+
+TEST_F(DataFrameTest, JoinAcrossSessionsRejected) {
+  auto other_session = Session::Make().ValueOrDie();
+  auto other =
+      other_session->CreateDataFrame(schema_, {}, "other").ValueOrDie();
+  EXPECT_TRUE(df_.Join(other, "id", "id").status().IsInvalidArgument());
+}
+
+TEST_F(DataFrameTest, CacheProducesSameData) {
+  auto cached = df_.Cache("people_cached").ValueOrDie();
+  EXPECT_EQ(cached.plan()->kind(), PlanKind::kCacheScan);
+  RowVec a = df_.Collect().ValueOrDie();
+  RowVec b = cached.Collect().ValueOrDie();
+  SortRows(&a);
+  SortRows(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(DataFrameTest, CacheOfDerivedPlan) {
+  auto derived = df_.Filter(Lt(Col("id"), Lit(Value(int64_t{10}))))
+                     .ValueOrDie()
+                     .Select({"id", "name"})
+                     .ValueOrDie();
+  auto cached = derived.Cache().ValueOrDie();
+  EXPECT_EQ(cached.Count().ValueOrDie(), 10u);
+  EXPECT_EQ(cached.schema().ValueOrDie()->num_fields(), 2);
+}
+
+TEST_F(DataFrameTest, ExplainShowsBothPlans) {
+  auto f = df_.Filter(Eq(Col("id"), Lit(Value(int64_t{1})))).ValueOrDie();
+  std::string e = f.Explain().ValueOrDie();
+  EXPECT_NE(e.find("Optimized Logical Plan"), std::string::npos);
+  EXPECT_NE(e.find("Physical Plan"), std::string::npos);
+  EXPECT_NE(e.find("Filter"), std::string::npos);
+}
+
+TEST_F(DataFrameTest, ExplainAnalyzeReportsExecution) {
+  auto f = df_.Filter(Lt(Col("id"), Lit(Value(int64_t{10})))).ValueOrDie();
+  std::string report = f.ExplainAnalyze().ValueOrDie();
+  EXPECT_NE(report.find("== Execution =="), std::string::npos);
+  EXPECT_NE(report.find("result_rows: 10"), std::string::npos);
+  EXPECT_NE(report.find("wall_time"), std::string::npos);
+  EXPECT_NE(report.find("metrics{"), std::string::npos);
+}
+
+TEST_F(DataFrameTest, EmptyHandleFailsGracefully) {
+  DataFrame empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_TRUE(empty.Collect().status().IsInvalidArgument());
+  EXPECT_TRUE(empty.Filter(Col("x")).status().IsInvalidArgument());
+  EXPECT_TRUE(empty.Count().status().IsInvalidArgument());
+}
+
+TEST_F(DataFrameTest, ChainedPipelineEndToEnd) {
+  // filter -> join -> groupby -> orderby -> limit, all composed.
+  auto dim_schema = Schema::Make({{"g", TypeId::kInt64, false},
+                                  {"weight", TypeId::kInt64, false}});
+  RowVec dim_rows;
+  for (int64_t g = 0; g < 5; ++g) dim_rows.push_back({Value(g), Value(g * 100)});
+  auto dim = session_->CreateDataFrame(dim_schema, dim_rows, "dim").ValueOrDie();
+
+  auto result = df_.Filter(Ge(Col("id"), Lit(Value(int64_t{50}))))
+                    .ValueOrDie()
+                    .Join(dim, "grp", "g")
+                    .ValueOrDie()
+                    .GroupByAgg({"weight"}, {CountStar("cnt")})
+                    .ValueOrDie()
+                    .OrderBy("weight")
+                    .ValueOrDie()
+                    .Limit(2)
+                    .ValueOrDie();
+  RowVec rows = result.Collect().ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value(int64_t{0}));
+  EXPECT_EQ(rows[0][1], Value(int64_t{10}));
+  EXPECT_EQ(rows[1][0], Value(int64_t{100}));
+}
+
+TEST_F(DataFrameTest, ColMethodMatchesFreeFunction) {
+  auto a = df_.col("id");
+  EXPECT_TRUE(ExprEquals(a, Col("id")));
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,257 @@
+// Unit tests for expression evaluation, binding, three-valued logic, and
+// the structural matchers the optimizer rules rely on.
+#include "sql/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({
+      {"a", TypeId::kInt64, true},
+      {"b", TypeId::kInt64, true},
+      {"s", TypeId::kString, true},
+      {"f", TypeId::kFloat64, true},
+  });
+}
+
+Result<Value> EvalOn(const ExprPtr& e, const Row& row) {
+  auto bound = BindExpr(e, *TestSchema());
+  IDF_RETURN_NOT_OK(bound.status());
+  return (*bound)->Eval(row);
+}
+
+Row SampleRow() { return {Value(int64_t{3}), Value(int64_t{4}), Value("x"), Value(2.5)}; }
+
+TEST(ExpressionTest, ColumnRefEvaluatesAfterBinding) {
+  EXPECT_EQ(EvalOn(Col("b"), SampleRow()).ValueOrDie(), Value(int64_t{4}));
+}
+
+TEST(ExpressionTest, UnboundColumnRefFails) {
+  auto r = Col("a")->Eval(SampleRow());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ExpressionTest, BindUnknownColumnIsKeyError) {
+  EXPECT_TRUE(BindExpr(Col("zz"), *TestSchema()).status().IsKeyError());
+}
+
+TEST(ExpressionTest, BindingIsRecursive) {
+  auto e = And(Eq(Col("a"), Lit(Value(int64_t{3}))), Gt(Col("b"), Col("a")));
+  auto bound = BindExpr(e, *TestSchema()).ValueOrDie();
+  EXPECT_FALSE(HasUnboundRefs(bound));
+  EXPECT_TRUE(HasUnboundRefs(e));
+  EXPECT_EQ(bound->Eval(SampleRow()).ValueOrDie(), Value(true));
+}
+
+TEST(ExpressionTest, LiteralEvaluatesToItself) {
+  EXPECT_EQ(Lit(Value("q"))->Eval({}).ValueOrDie(), Value("q"));
+}
+
+TEST(ExpressionTest, ComparisonOperators) {
+  Row row = SampleRow();
+  EXPECT_EQ(EvalOn(Eq(Col("a"), Lit(Value(int64_t{3}))), row).ValueOrDie(),
+            Value(true));
+  EXPECT_EQ(EvalOn(Ne(Col("a"), Lit(Value(int64_t{3}))), row).ValueOrDie(),
+            Value(false));
+  EXPECT_EQ(EvalOn(Lt(Col("a"), Col("b")), row).ValueOrDie(), Value(true));
+  EXPECT_EQ(EvalOn(Le(Col("a"), Lit(Value(int64_t{3}))), row).ValueOrDie(),
+            Value(true));
+  EXPECT_EQ(EvalOn(Gt(Col("a"), Col("b")), row).ValueOrDie(), Value(false));
+  EXPECT_EQ(EvalOn(Ge(Col("b"), Lit(Value(int64_t{4}))), row).ValueOrDie(),
+            Value(true));
+}
+
+TEST(ExpressionTest, ComparisonWithNullIsNull) {
+  Row row = {Value::Null(), Value(int64_t{4}), Value("x"), Value(1.0)};
+  EXPECT_TRUE(
+      EvalOn(Eq(Col("a"), Lit(Value(int64_t{3}))), row).ValueOrDie().is_null());
+  EXPECT_TRUE(EvalOn(Lt(Col("a"), Col("b")), row).ValueOrDie().is_null());
+}
+
+TEST(ExpressionTest, CrossWidthNumericComparison) {
+  EXPECT_EQ(EvalOn(Eq(Col("f"), Lit(Value(2.5))), SampleRow()).ValueOrDie(),
+            Value(true));
+  EXPECT_EQ(EvalOn(Gt(Col("f"), Col("a")), SampleRow()).ValueOrDie(),
+            Value(false));
+}
+
+TEST(ExpressionTest, StringComparison) {
+  EXPECT_EQ(EvalOn(Eq(Col("s"), Lit(Value("x"))), SampleRow()).ValueOrDie(),
+            Value(true));
+  EXPECT_EQ(EvalOn(Lt(Col("s"), Lit(Value("y"))), SampleRow()).ValueOrDie(),
+            Value(true));
+}
+
+TEST(ExpressionTest, ComparingStringWithNumberIsTypeError) {
+  auto e = Eq(Col("s"), Lit(Value(int64_t{1})));
+  EXPECT_TRUE(BindExpr(e, *TestSchema())
+                  .ValueOrDie()
+                  ->ResultType(*TestSchema())
+                  .status()
+                  .IsTypeError());
+}
+
+TEST(ExpressionTest, ThreeValuedAnd) {
+  Row null_a = {Value::Null(), Value(int64_t{4}), Value("x"), Value(1.0)};
+  auto null_cmp = Eq(Col("a"), Lit(Value(int64_t{1})));  // null
+  auto true_cmp = Eq(Col("b"), Lit(Value(int64_t{4})));  // true
+  auto false_cmp = Eq(Col("b"), Lit(Value(int64_t{5})));  // false
+  EXPECT_TRUE(EvalOn(And(null_cmp, true_cmp), null_a).ValueOrDie().is_null());
+  EXPECT_EQ(EvalOn(And(null_cmp, false_cmp), null_a).ValueOrDie(), Value(false));
+  EXPECT_EQ(EvalOn(And(true_cmp, false_cmp), null_a).ValueOrDie(), Value(false));
+}
+
+TEST(ExpressionTest, ThreeValuedOr) {
+  Row null_a = {Value::Null(), Value(int64_t{4}), Value("x"), Value(1.0)};
+  auto null_cmp = Eq(Col("a"), Lit(Value(int64_t{1})));
+  auto true_cmp = Eq(Col("b"), Lit(Value(int64_t{4})));
+  auto false_cmp = Eq(Col("b"), Lit(Value(int64_t{5})));
+  EXPECT_EQ(EvalOn(Or(null_cmp, true_cmp), null_a).ValueOrDie(), Value(true));
+  EXPECT_TRUE(EvalOn(Or(null_cmp, false_cmp), null_a).ValueOrDie().is_null());
+}
+
+TEST(ExpressionTest, NotAndIsNull) {
+  Row row = SampleRow();
+  EXPECT_EQ(EvalOn(Not(Eq(Col("a"), Lit(Value(int64_t{3})))), row).ValueOrDie(),
+            Value(false));
+  EXPECT_EQ(EvalOn(IsNull(Col("a")), row).ValueOrDie(), Value(false));
+  EXPECT_EQ(EvalOn(IsNotNull(Col("a")), row).ValueOrDie(), Value(true));
+  Row with_null = {Value::Null(), Value(int64_t{4}), Value("x"), Value(1.0)};
+  EXPECT_EQ(EvalOn(IsNull(Col("a")), with_null).ValueOrDie(), Value(true));
+  EXPECT_TRUE(EvalOn(Not(Eq(Col("a"), Lit(Value(int64_t{1})))), with_null)
+                  .ValueOrDie()
+                  .is_null());
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  Row row = SampleRow();
+  EXPECT_EQ(EvalOn(Add(Col("a"), Col("b")), row).ValueOrDie(), Value(int64_t{7}));
+  EXPECT_EQ(EvalOn(Sub(Col("b"), Col("a")), row).ValueOrDie(), Value(int64_t{1}));
+  EXPECT_EQ(EvalOn(Mul(Col("a"), Col("b")), row).ValueOrDie(), Value(int64_t{12}));
+  EXPECT_EQ(EvalOn(Div(Col("b"), Col("a")), row).ValueOrDie(),
+            Value(4.0 / 3.0));
+}
+
+TEST(ExpressionTest, DivisionByZeroYieldsNull) {
+  EXPECT_TRUE(EvalOn(Div(Col("a"), Lit(Value(int64_t{0}))), SampleRow())
+                  .ValueOrDie()
+                  .is_null());
+}
+
+TEST(ExpressionTest, ArithmeticWithNullIsNull) {
+  Row with_null = {Value::Null(), Value(int64_t{4}), Value("x"), Value(1.0)};
+  EXPECT_TRUE(
+      EvalOn(Add(Col("a"), Col("b")), with_null).ValueOrDie().is_null());
+}
+
+TEST(ExpressionTest, ArithmeticOnStringIsTypeError) {
+  auto bound = BindExpr(Add(Col("s"), Col("a")), *TestSchema()).ValueOrDie();
+  EXPECT_TRUE(bound->ResultType(*TestSchema()).status().IsTypeError());
+}
+
+TEST(ExpressionTest, ResultTypes) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(BindExpr(Col("a"), *s).ValueOrDie()->ResultType(*s).ValueOrDie(),
+            TypeId::kInt64);
+  EXPECT_EQ(BindExpr(Eq(Col("a"), Col("b")), *s)
+                .ValueOrDie()
+                ->ResultType(*s)
+                .ValueOrDie(),
+            TypeId::kBool);
+  EXPECT_EQ(BindExpr(Add(Col("a"), Col("f")), *s)
+                .ValueOrDie()
+                ->ResultType(*s)
+                .ValueOrDie(),
+            TypeId::kFloat64);
+  EXPECT_EQ(BindExpr(Add(Col("a"), Col("b")), *s)
+                .ValueOrDie()
+                ->ResultType(*s)
+                .ValueOrDie(),
+            TypeId::kInt64);
+}
+
+TEST(ExpressionTest, LikeMatcherSemantics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "hell"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_llo_"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+  EXPECT_TRUE(LikeMatch("10.0.3.7", "10.0.%"));
+  EXPECT_FALSE(LikeMatch("10.1.3.7", "10.0.%"));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  // Backtracking case: first % match must be retried.
+  EXPECT_TRUE(LikeMatch("aabab", "%ab"));
+}
+
+TEST(ExpressionTest, LikeExprEvalAndNulls) {
+  Row row = SampleRow();  // s == "x"
+  EXPECT_EQ(EvalOn(Like(Col("s"), "x"), row).ValueOrDie(), Value(true));
+  EXPECT_EQ(EvalOn(Like(Col("s"), "y%"), row).ValueOrDie(), Value(false));
+  EXPECT_EQ(EvalOn(NotLike(Col("s"), "y%"), row).ValueOrDie(), Value(true));
+  Row with_null = {Value(int64_t{1}), Value(int64_t{2}), Value::Null(),
+                   Value(1.0)};
+  EXPECT_TRUE(EvalOn(Like(Col("s"), "%"), with_null).ValueOrDie().is_null());
+}
+
+TEST(ExpressionTest, LikeOnNonStringIsTypeError) {
+  auto bound = BindExpr(Like(Col("a"), "%"), *TestSchema()).ValueOrDie();
+  EXPECT_TRUE(bound->ResultType(*TestSchema()).status().IsTypeError());
+}
+
+TEST(ExpressionTest, ExprEqualsStructural) {
+  auto e1 = And(Eq(Col("a"), Lit(Value(int64_t{1}))), Gt(Col("b"), Col("a")));
+  auto e2 = And(Eq(Col("a"), Lit(Value(int64_t{1}))), Gt(Col("b"), Col("a")));
+  auto e3 = And(Eq(Col("a"), Lit(Value(int64_t{2}))), Gt(Col("b"), Col("a")));
+  EXPECT_TRUE(ExprEquals(e1, e2));
+  EXPECT_FALSE(ExprEquals(e1, e3));
+  EXPECT_FALSE(ExprEquals(e1, Col("a")));
+}
+
+TEST(ExpressionTest, MatchEqualityFilterBothOrientations) {
+  SchemaPtr s = TestSchema();
+  int col = -1;
+  Value lit;
+  auto e1 = BindExpr(Eq(Col("a"), Lit(Value(int64_t{9}))), *s).ValueOrDie();
+  EXPECT_TRUE(MatchEqualityFilter(e1, &col, &lit));
+  EXPECT_EQ(col, 0);
+  EXPECT_EQ(lit, Value(int64_t{9}));
+
+  auto e2 = BindExpr(Eq(Lit(Value(int64_t{9})), Col("b")), *s).ValueOrDie();
+  EXPECT_TRUE(MatchEqualityFilter(e2, &col, &lit));
+  EXPECT_EQ(col, 1);
+}
+
+TEST(ExpressionTest, MatchEqualityFilterRejectsNonMatching) {
+  SchemaPtr s = TestSchema();
+  int col;
+  Value lit;
+  EXPECT_FALSE(MatchEqualityFilter(
+      BindExpr(Gt(Col("a"), Lit(Value(int64_t{1}))), *s).ValueOrDie(), &col,
+      &lit));
+  EXPECT_FALSE(MatchEqualityFilter(
+      BindExpr(Eq(Col("a"), Col("b")), *s).ValueOrDie(), &col, &lit));
+  // Unbound refs never match.
+  EXPECT_FALSE(MatchEqualityFilter(Eq(Col("a"), Lit(Value(int64_t{1}))), &col,
+                                   &lit));
+  // Null literal never matches (null = x is never true).
+  EXPECT_FALSE(MatchEqualityFilter(
+      BindExpr(Eq(Col("a"), Lit(Value::Null())), *s).ValueOrDie(), &col, &lit));
+}
+
+TEST(ExpressionTest, ToStringReadable) {
+  auto e = And(Eq(Col("a"), Lit(Value(int64_t{1}))), IsNull(Col("s")));
+  std::string s = e->ToString();
+  EXPECT_NE(s.find("a = 1"), std::string::npos);
+  EXPECT_NE(s.find("s IS NULL"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idf

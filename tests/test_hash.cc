@@ -1,0 +1,116 @@
+// Unit and property tests for hashing and the deterministic RNG.
+#include "common/hash.h"
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+TEST(Hash64Test, DeterministicForSameInput) {
+  std::string s = "hello world";
+  EXPECT_EQ(Hash64(s), Hash64(s));
+  EXPECT_EQ(Hash64(s, 7), Hash64(s, 7));
+}
+
+TEST(Hash64Test, SeedChangesOutput) {
+  std::string s = "hello world";
+  EXPECT_NE(Hash64(s, 0), Hash64(s, 1));
+}
+
+TEST(Hash64Test, DifferentInputsDiffer) {
+  EXPECT_NE(Hash64("a"), Hash64("b"));
+  EXPECT_NE(Hash64("abc"), Hash64("abd"));
+  EXPECT_NE(Hash64(""), Hash64("x"));
+}
+
+TEST(Hash64Test, EmptyInputIsStable) { EXPECT_EQ(Hash64(""), Hash64("")); }
+
+TEST(Hash64Test, CoversAllLengthBranches) {
+  // <4, 4-7, 8-31, >=32 byte paths must all produce distinct stable values.
+  std::set<uint64_t> seen;
+  for (size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u, 100u}) {
+    std::string s(len, 'q');
+    uint64_t h = Hash64(s);
+    EXPECT_EQ(h, Hash64(s)) << len;
+    seen.insert(h);
+  }
+  EXPECT_EQ(seen.size(), 11u);
+}
+
+TEST(Hash64Test, NoObviousCollisionsOverSequentialInts) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    uint64_t h = Hash64(&i, sizeof(i));
+    EXPECT_TRUE(seen.insert(h).second) << "collision at " << i;
+  }
+}
+
+TEST(Mix64Test, IsInjectiveOnSample) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 200000; ++i) {
+    EXPECT_TRUE(seen.insert(Mix64(i)).second) << i;
+  }
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Adjacent integers should land in different high bits most of the time.
+  int same_top_byte = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if ((Mix64(i) >> 56) == (Mix64(i + 1) >> 56)) ++same_top_byte;
+  }
+  EXPECT_LT(same_top_byte, 100);  // ~1/256 expected
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(Random64Test, DeterministicBySeed) {
+  Random64 a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Random64Test, UniformRespectsBound) {
+  Random64 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(Random64Test, NextDoubleInUnitInterval) {
+  Random64 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random64Test, SkewedRespectsBoundAndSkews) {
+  Random64 rng(3);
+  const uint64_t n = 1000;
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = rng.Skewed(n);
+    ASSERT_LT(v, n);
+    ++histogram[v * 10 / n];
+  }
+  // The first decile must dominate the last by a wide margin.
+  EXPECT_GT(histogram[0], 10 * histogram[9]);
+}
+
+TEST(Random64Test, SkewedDegenerateBounds) {
+  Random64 rng(4);
+  EXPECT_EQ(rng.Skewed(0), 0u);
+  EXPECT_EQ(rng.Skewed(1), 0u);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,218 @@
+// Unit tests for IndexedPartition: the cTrie + row batches + backward
+// pointers triple, chain semantics, and snapshot (MVCC) views.
+#include "indexed/indexed_partition.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+EngineConfig SmallConfig() {
+  EngineConfig cfg;
+  cfg.row_batch_bytes = 4096;
+  cfg.max_row_bytes = 512;
+  cfg.num_partitions = 1;
+  cfg.num_threads = 1;
+  return cfg.Resolved();
+}
+
+SchemaPtr KvSchema() {
+  return Schema::Make({{"k", TypeId::kInt64, true}, {"v", TypeId::kString, true}});
+}
+
+Row KvRow(int64_t k, const std::string& v) { return {Value(k), Value(v)}; }
+
+TEST(IndexedPartitionTest, AppendThenLookup) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  ASSERT_TRUE(part.Append(KvRow(1, "a")).ok());
+  RowVec rows = part.GetRows(Value(int64_t{1}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], KvRow(1, "a"));
+  EXPECT_TRUE(part.GetRows(Value(int64_t{2})).empty());
+}
+
+TEST(IndexedPartitionTest, NonUniqueKeysChainNewestFirst) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(part.Append(KvRow(7, "v" + std::to_string(i))).ok());
+  }
+  RowVec rows = part.GetRows(Value(int64_t{7}));
+  ASSERT_EQ(rows.size(), 5u);
+  // The cTrie points at the latest row; the backward chain yields rows
+  // newest-first.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[static_cast<size_t>(i)][1],
+              Value("v" + std::to_string(4 - i)));
+  }
+}
+
+TEST(IndexedPartitionTest, InterleavedKeysKeepSeparateChains) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(part.Append(KvRow(i % 3, "r" + std::to_string(i))).ok());
+  }
+  for (int64_t k = 0; k < 3; ++k) {
+    RowVec rows = part.GetRows(Value(k));
+    ASSERT_EQ(rows.size(), 10u) << k;
+    for (const Row& row : rows) {
+      EXPECT_EQ(row[0], Value(k));
+    }
+  }
+  EXPECT_EQ(part.distinct_keys(), 3u);
+  EXPECT_EQ(part.num_rows(), 30u);
+}
+
+TEST(IndexedPartitionTest, ChainsSpanBatchBoundaries) {
+  EngineConfig cfg = SmallConfig();
+  cfg.row_batch_bytes = 256;  // tiny batches force rollover
+  cfg.max_row_bytes = 128;
+  IndexedPartition part(KvSchema(), 0, cfg);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(part.Append(KvRow(i % 4, "value" + std::to_string(i))).ok());
+  }
+  EXPECT_GT(part.store().num_batches(), 1u);
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(part.GetRows(Value(k)).size(), 50u);
+  }
+}
+
+TEST(IndexedPartitionTest, BackwardPointersCarryPrevSize) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  ASSERT_TRUE(part.Append(KvRow(1, "first-row-payload")).ok());
+  ASSERT_TRUE(part.Append(KvRow(1, "x")).ok());
+  auto view = part.Snapshot();
+  std::vector<PackedPointer> chain;
+  view.ScanChain(Value(int64_t{1}),
+                 [&chain](PackedPointer p) { chain.push_back(p); });
+  ASSERT_EQ(chain.size(), 2u);
+  // The head pointer records the size of the previous row on the chain.
+  EXPECT_GT(chain[0].prev_size(), 0u);
+  EXPECT_EQ(chain[1].prev_size(), 0u);  // first row has no predecessor
+}
+
+TEST(IndexedPartitionTest, NullKeysStoredButUnindexed) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  ASSERT_TRUE(part.Append({Value::Null(), Value("ghost")}).ok());
+  ASSERT_TRUE(part.Append(KvRow(1, "real")).ok());
+  EXPECT_TRUE(part.GetRows(Value::Null()).empty());
+  EXPECT_EQ(part.num_rows(), 2u);
+  // Scans still see the unindexed row.
+  size_t scanned = 0;
+  part.Snapshot().Scan([&scanned](const Row&) { ++scanned; });
+  EXPECT_EQ(scanned, 2u);
+}
+
+TEST(IndexedPartitionTest, ScanVisitsAppendOrder) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(part.Append(KvRow(i, "s" + std::to_string(i))).ok());
+  }
+  std::vector<int64_t> seen;
+  part.Snapshot().Scan([&seen](const Row& row) { seen.push_back(row[0].AsInt64()); });
+  ASSERT_EQ(seen.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(IndexedPartitionTest, SnapshotIsolation) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(part.Append(KvRow(5, "old")).ok());
+  auto view = part.Snapshot();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(part.Append(KvRow(5, "new")).ok());
+  // The view still sees exactly the old rows.
+  EXPECT_EQ(view.GetRows(Value(int64_t{5})).size(), 10u);
+  EXPECT_EQ(view.num_rows(), 10u);
+  // The live partition sees all rows.
+  EXPECT_EQ(part.GetRows(Value(int64_t{5})).size(), 20u);
+  size_t scanned = 0;
+  view.Scan([&scanned](const Row&) { ++scanned; });
+  EXPECT_EQ(scanned, 10u);
+}
+
+TEST(IndexedPartitionTest, SnapshotSeesNewKeysOnlyAfterTaking) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  ASSERT_TRUE(part.Append(KvRow(1, "a")).ok());
+  auto v1 = part.Snapshot();
+  ASSERT_TRUE(part.Append(KvRow(2, "b")).ok());
+  auto v2 = part.Snapshot();
+  EXPECT_TRUE(v1.GetRows(Value(int64_t{2})).empty());
+  EXPECT_EQ(v2.GetRows(Value(int64_t{2})).size(), 1u);
+}
+
+TEST(IndexedPartitionTest, ConcurrentReadersDuringAppends) {
+  EngineConfig cfg = SmallConfig();
+  cfg.row_batch_bytes = 1024;
+  IndexedPartition part(KvSchema(), 0, cfg);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(part.Append(KvRow(i % 10, "seed")).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto view = part.Snapshot();
+        for (int64_t k = 0; k < 10; ++k) {
+          RowVec rows = view.GetRows(Value(k));
+          // Seed guarantees at least 10 rows per key; every row must carry
+          // the queried key.
+          if (rows.size() < 10) errors.fetch_add(1);
+          for (const Row& row : rows) {
+            if (!(row[0] == Value(k))) errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(part.Append(KvRow(i % 10, "live" + std::to_string(i))).ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(part.GetRows(Value(int64_t{0})).size(), 2010u);
+}
+
+TEST(IndexedPartitionTest, MemoryAccounting) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(part.Append(KvRow(i, "some payload string")).ok());
+  }
+  EXPECT_GT(part.data_bytes(), 500u * 24);
+  EXPECT_GT(part.index_bytes(), 0u);
+}
+
+TEST(IndexedPartitionTest, RejectsOversizedRows) {
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  Status st = part.Append(KvRow(1, std::string(4000, 'x')));
+  EXPECT_EQ(st.code(), StatusCode::kCapacityError);
+}
+
+TEST(IndexedPartitionTest, HashCollisionsAcrossValuesAreFiltered) {
+  // Two different int64 keys never collide under Mix64 (a bijection), but
+  // the chain-verify logic must also hold for equal-hash values; emulate by
+  // checking that lookups compare the actual column value.
+  IndexedPartition part(KvSchema(), 0, SmallConfig());
+  ASSERT_TRUE(part.Append(KvRow(1, "one")).ok());
+  ASSERT_TRUE(part.Append(KvRow(2, "two")).ok());
+  RowVec rows = part.GetRows(Value(int64_t{1}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value("one"));
+}
+
+TEST(IndexedPartitionTest, StringKeysWork) {
+  IndexedPartition part(KvSchema(), 1, SmallConfig());  // index on v (string)
+  ASSERT_TRUE(part.Append(KvRow(1, "alpha")).ok());
+  ASSERT_TRUE(part.Append(KvRow(2, "beta")).ok());
+  ASSERT_TRUE(part.Append(KvRow(3, "alpha")).ok());
+  RowVec rows = part.GetRows(Value("alpha"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value(int64_t{3}));  // newest first
+  EXPECT_EQ(rows[1][0], Value(int64_t{1}));
+}
+
+}  // namespace
+}  // namespace idf

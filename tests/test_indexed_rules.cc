@@ -1,0 +1,185 @@
+// Plan-level tests for the indexed Catalyst rules and the physical
+// strategy: exactly when do rewrites fire, and what do they produce.
+#include "indexed/indexed_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "indexed/indexed_relation.h"
+#include "sql/analyzer.h"
+
+namespace idf {
+namespace {
+
+class IndexedRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig cfg;
+    cfg.num_partitions = 2;
+    cfg.num_threads = 1;
+    ctx_ = ExecutorContext::Make(cfg).ValueOrDie();
+    schema_ = Schema::Make({{"k", TypeId::kInt64, true},
+                            {"v", TypeId::kString, true}});
+    RowVec rows;
+    for (int64_t i = 0; i < 20; ++i) {
+      rows.push_back({Value(i % 4), Value("x" + std::to_string(i))});
+    }
+    rel_ = IndexedRelation::Build(*ctx_, "rel", schema_, 0, rows).ValueOrDie();
+  }
+
+  LogicalPlanPtr IndexedScan() { return std::make_shared<IndexedScanNode>(rel_); }
+
+  LogicalPlanPtr RegularScan() {
+    auto t = std::make_shared<RawTable>();
+    t->name = "reg";
+    t->schema = Schema::Make({{"a", TypeId::kInt64, true}});
+    t->partitions.push_back({});
+    return std::make_shared<ScanNode>(std::move(t));
+  }
+
+  ExecutorContextPtr ctx_;
+  SchemaPtr schema_;
+  IndexedRelationPtr rel_;
+};
+
+TEST_F(IndexedRulesTest, FilterRuleRewritesEqualityOnIndexedColumn) {
+  auto plan = Analyze(std::make_shared<FilterNode>(
+                          IndexedScan(), Eq(Col("k"), Lit(Value(int64_t{2})))))
+                  .ValueOrDie();
+  auto rewritten = IndexedFilterRule().Apply(plan).ValueOrDie();
+  ASSERT_NE(rewritten, nullptr);
+  ASSERT_EQ(rewritten->kind(), PlanKind::kIndexedLookup);
+  EXPECT_EQ(static_cast<const IndexedLookupNode*>(rewritten.get())->key(),
+            Value(int64_t{2}));
+}
+
+TEST_F(IndexedRulesTest, FilterRuleHandlesMirroredLiteral) {
+  auto plan = Analyze(std::make_shared<FilterNode>(
+                          IndexedScan(), Eq(Lit(Value(int64_t{2})), Col("k"))))
+                  .ValueOrDie();
+  auto rewritten = IndexedFilterRule().Apply(plan).ValueOrDie();
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->kind(), PlanKind::kIndexedLookup);
+}
+
+TEST_F(IndexedRulesTest, FilterRuleExtractsConjunctAndKeepsResidual) {
+  auto pred = And(Gt(Col("v"), Lit(Value("a"))),
+                  Eq(Col("k"), Lit(Value(int64_t{1}))));
+  auto plan =
+      Analyze(std::make_shared<FilterNode>(IndexedScan(), pred)).ValueOrDie();
+  auto rewritten = IndexedFilterRule().Apply(plan).ValueOrDie();
+  ASSERT_NE(rewritten, nullptr);
+  ASSERT_EQ(rewritten->kind(), PlanKind::kFilter);
+  EXPECT_EQ(rewritten->children()[0]->kind(), PlanKind::kIndexedLookup);
+  // Residual predicate only mentions v.
+  const auto* f = static_cast<const FilterNode*>(rewritten.get());
+  EXPECT_EQ(f->predicate()->kind(), ExprKind::kComparison);
+}
+
+TEST_F(IndexedRulesTest, FilterRuleIgnoresNonIndexedColumn) {
+  auto plan = Analyze(std::make_shared<FilterNode>(
+                          IndexedScan(), Eq(Col("v"), Lit(Value("x1")))))
+                  .ValueOrDie();
+  EXPECT_EQ(IndexedFilterRule().Apply(plan).ValueOrDie(), nullptr);
+}
+
+TEST_F(IndexedRulesTest, FilterRuleIgnoresRangePredicates) {
+  auto plan = Analyze(std::make_shared<FilterNode>(
+                          IndexedScan(), Lt(Col("k"), Lit(Value(int64_t{2})))))
+                  .ValueOrDie();
+  EXPECT_EQ(IndexedFilterRule().Apply(plan).ValueOrDie(), nullptr);
+}
+
+TEST_F(IndexedRulesTest, FilterRuleIgnoresRegularScans) {
+  auto plan = Analyze(std::make_shared<FilterNode>(
+                          RegularScan(), Eq(Col("a"), Lit(Value(int64_t{1})))))
+                  .ValueOrDie();
+  EXPECT_EQ(IndexedFilterRule().Apply(plan).ValueOrDie(), nullptr);
+}
+
+TEST_F(IndexedRulesTest, JoinRuleRewritesIndexedLeftSide) {
+  auto plan = Analyze(std::make_shared<JoinNode>(IndexedScan(), RegularScan(),
+                                                 Col("k"), Col("a")))
+                  .ValueOrDie();
+  auto rewritten = IndexedJoinRule().Apply(plan).ValueOrDie();
+  ASSERT_NE(rewritten, nullptr);
+  ASSERT_EQ(rewritten->kind(), PlanKind::kIndexedJoin);
+  const auto* join = static_cast<const IndexedJoinNode*>(rewritten.get());
+  EXPECT_TRUE(join->indexed_on_left());
+  EXPECT_EQ(join->probe()->kind(), PlanKind::kScan);
+  // Output schema identical to the regular join's.
+  EXPECT_TRUE(join->output_schema()->Equals(*plan->output_schema()));
+}
+
+TEST_F(IndexedRulesTest, JoinRuleRewritesIndexedRightSide) {
+  auto plan = Analyze(std::make_shared<JoinNode>(RegularScan(), IndexedScan(),
+                                                 Col("a"), Col("k")))
+                  .ValueOrDie();
+  auto rewritten = IndexedJoinRule().Apply(plan).ValueOrDie();
+  ASSERT_NE(rewritten, nullptr);
+  const auto* join = static_cast<const IndexedJoinNode*>(rewritten.get());
+  EXPECT_FALSE(join->indexed_on_left());
+}
+
+TEST_F(IndexedRulesTest, JoinRuleIgnoresNonIndexedKey) {
+  // A relation with two int columns, indexed on the first; joining on the
+  // second must not trigger the rewrite.
+  auto schema2 = Schema::Make({{"k", TypeId::kInt64, true},
+                               {"w", TypeId::kInt64, true}});
+  auto rel2 =
+      IndexedRelation::Build(*ctx_, "rel2", schema2, 0,
+                             {{Value(int64_t{1}), Value(int64_t{10})}})
+          .ValueOrDie();
+  auto plan = Analyze(std::make_shared<JoinNode>(
+                          std::make_shared<IndexedScanNode>(rel2), RegularScan(),
+                          Col("w"), Col("a")))
+                  .ValueOrDie();
+  EXPECT_EQ(IndexedJoinRule().Apply(plan).ValueOrDie(), nullptr);
+}
+
+TEST_F(IndexedRulesTest, JoinRuleIgnoresRegularJoin) {
+  auto plan = Analyze(std::make_shared<JoinNode>(RegularScan(), RegularScan(),
+                                                 Col("a"), Col("a")))
+                  .ValueOrDie();
+  EXPECT_EQ(IndexedJoinRule().Apply(plan).ValueOrDie(), nullptr);
+}
+
+TEST_F(IndexedRulesTest, StrategyLowersIndexedNodes) {
+  IndexedExecutionStrategy strategy;
+  EngineConfig cfg = ctx_->config();
+
+  auto scan = Analyze(IndexedScan()).ValueOrDie();
+  auto scan_op = strategy.Plan(scan, {}, cfg).ValueOrDie();
+  ASSERT_NE(scan_op, nullptr);
+  EXPECT_NE(scan_op->name().find("IndexedScan"), std::string::npos);
+
+  auto lookup = LogicalPlanPtr(
+      std::make_shared<IndexedLookupNode>(rel_, Value(int64_t{1})));
+  auto lookup_op = strategy.Plan(lookup, {}, cfg).ValueOrDie();
+  ASSERT_NE(lookup_op, nullptr);
+  EXPECT_NE(lookup_op->name().find("IndexLookup"), std::string::npos);
+}
+
+TEST_F(IndexedRulesTest, StrategyIgnoresRegularNodes) {
+  IndexedExecutionStrategy strategy;
+  auto scan = Analyze(RegularScan()).ValueOrDie();
+  EXPECT_EQ(strategy.Plan(scan, {}, ctx_->config()).ValueOrDie(), nullptr);
+}
+
+TEST_F(IndexedRulesTest, InstallIsIdempotent) {
+  auto session = Session::Make().ValueOrDie();
+  InstallIndexedExtensions(*session);
+  InstallIndexedExtensions(*session);
+  EXPECT_TRUE(session->HasExtension("indexed-dataframe"));
+}
+
+TEST_F(IndexedRulesTest, LookupExecutesAgainstRelation) {
+  IndexedExecutionStrategy strategy;
+  auto lookup = LogicalPlanPtr(
+      std::make_shared<IndexedLookupNode>(rel_, Value(int64_t{1})));
+  auto op = strategy.Plan(lookup, {}, ctx_->config()).ValueOrDie();
+  auto parts = op->Execute(*ctx_).ValueOrDie();
+  EXPECT_EQ(TotalRows(parts), 5u);  // keys 0..3 over 20 rows
+}
+
+}  // namespace
+}  // namespace idf

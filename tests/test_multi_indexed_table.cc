@@ -1,0 +1,140 @@
+// Tests for MultiIndexedTable: several indexes over one logical table with
+// fan-out appends.
+#include "indexed/multi_indexed_table.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+class MultiIndexedTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig cfg;
+    cfg.num_partitions = 4;
+    cfg.num_threads = 2;
+    session_ = Session::Make(cfg).ValueOrDie();
+    schema_ = Schema::Make({{"id", TypeId::kInt64, false},
+                            {"creator", TypeId::kInt64, false},
+                            {"content", TypeId::kString, true}});
+    RowVec rows;
+    for (int64_t i = 0; i < 300; ++i) {
+      rows.push_back({Value(1000 + i), Value(i % 20),
+                      Value("post" + std::to_string(i))});
+    }
+    df_ = session_->CreateDataFrame(schema_, rows, "posts").ValueOrDie();
+    table_ = std::make_shared<MultiIndexedTable>(
+        MultiIndexedTable::Create(df_, {"id", "creator"}, "posts").ValueOrDie());
+  }
+
+  SessionPtr session_;
+  SchemaPtr schema_;
+  DataFrame df_;
+  std::shared_ptr<MultiIndexedTable> table_;
+};
+
+TEST_F(MultiIndexedTableTest, CreateBuildsAllIndexes) {
+  EXPECT_EQ(table_->IndexedColumns(), (std::vector<std::string>{"id", "creator"}));
+  EXPECT_TRUE(table_->HasIndexOn("id"));
+  EXPECT_TRUE(table_->HasIndexOn("creator"));
+  EXPECT_FALSE(table_->HasIndexOn("content"));
+  EXPECT_EQ(table_->NumRows(), 300u);
+}
+
+TEST_F(MultiIndexedTableTest, CreateRejectsBadInput) {
+  EXPECT_TRUE(
+      MultiIndexedTable::Create(df_, {}, "x").status().IsInvalidArgument());
+  EXPECT_TRUE(MultiIndexedTable::Create(df_, {"id", "id"}, "x")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      MultiIndexedTable::Create(df_, {"missing"}, "x").status().IsKeyError());
+}
+
+TEST_F(MultiIndexedTableTest, LookupsRouteToTheRightIndex) {
+  EXPECT_EQ(table_->GetRows("id", Value(int64_t{1042}))
+                .ValueOrDie()
+                .Count()
+                .ValueOrDie(),
+            1u);
+  EXPECT_EQ(table_->GetRows("creator", Value(int64_t{7}))
+                .ValueOrDie()
+                .Count()
+                .ValueOrDie(),
+            15u);  // 300 posts / 20 creators
+  EXPECT_TRUE(table_->GetRows("content", Value("post1")).status().IsKeyError());
+}
+
+TEST_F(MultiIndexedTableTest, AppendFansOutToAllIndexes) {
+  RowVec extra = {{Value(int64_t{9999}), Value(int64_t{7}), Value("fresh")}};
+  ASSERT_TRUE(table_->AppendRowsDirect(extra).ok());
+  EXPECT_EQ(table_->NumRows(), 301u);
+  // Visible through BOTH indexes.
+  EXPECT_EQ(table_->GetRows("id", Value(int64_t{9999}))
+                .ValueOrDie()
+                .Count()
+                .ValueOrDie(),
+            1u);
+  EXPECT_EQ(table_->GetRows("creator", Value(int64_t{7}))
+                .ValueOrDie()
+                .Count()
+                .ValueOrDie(),
+            16u);
+}
+
+TEST_F(MultiIndexedTableTest, AppendRowsValidatesSchema) {
+  auto other = session_
+                   ->CreateDataFrame(Schema::Make({{"x", TypeId::kInt64, false}}),
+                                     {{Value(int64_t{1})}}, "o")
+                   .ValueOrDie();
+  EXPECT_TRUE(table_->AppendRows(other).IsInvalidArgument());
+}
+
+TEST_F(MultiIndexedTableTest, JoinPicksMatchingIndex) {
+  auto probe_schema = Schema::Make({{"pid", TypeId::kInt64, false}});
+  RowVec probe_rows = {{Value(int64_t{1003})}, {Value(int64_t{1007})}};
+  auto probe =
+      session_->CreateDataFrame(probe_schema, probe_rows, "probe").ValueOrDie();
+  auto joined = table_->Join(probe, "id", "pid").ValueOrDie();
+  std::string plan = joined.Explain().ValueOrDie();
+  EXPECT_NE(plan.find("IndexedJoin [posts_by_id]"), std::string::npos) << plan;
+  EXPECT_EQ(joined.Count().ValueOrDie(), 2u);
+}
+
+TEST_F(MultiIndexedTableTest, JoinOnUnindexedColumnFallsBack) {
+  auto probe_schema = Schema::Make({{"c", TypeId::kString, false}});
+  RowVec probe_rows = {{Value("post5")}};
+  auto probe =
+      session_->CreateDataFrame(probe_schema, probe_rows, "probe").ValueOrDie();
+  auto joined = table_->Join(probe, "content", "c").ValueOrDie();
+  std::string plan = joined.Explain().ValueOrDie();
+  EXPECT_EQ(plan.find("IndexedJoin"), std::string::npos);
+  EXPECT_EQ(joined.Count().ValueOrDie(), 1u);
+}
+
+TEST_F(MultiIndexedTableTest, ScanViewSeesAllRows) {
+  auto scan = table_->ToDataFrame().ValueOrDie();
+  EXPECT_EQ(scan.Count().ValueOrDie(), 300u);
+}
+
+TEST_F(MultiIndexedTableTest, StorageCostScalesWithIndexCount) {
+  // Each index keeps its own partitioned copy: the documented cost of
+  // multi-indexing in this design.
+  auto single =
+      MultiIndexedTable::Create(df_, {"id"}, "single").ValueOrDie();
+  EXPECT_GT(table_->TotalDataBytes(), single.TotalDataBytes());
+  EXPECT_GT(table_->TotalIndexBytes(), 0u);
+}
+
+TEST_F(MultiIndexedTableTest, IndexAccessorExposesIndexedDataFrame) {
+  auto by_creator = table_->Index("creator").ValueOrDie();
+  EXPECT_EQ(by_creator.relation()->indexed_column(), 1);
+  auto filtered = by_creator.ToDataFrame()
+                      .Filter(Eq(Col("creator"), Lit(Value(int64_t{3}))))
+                      .ValueOrDie();
+  std::string plan = filtered.Explain().ValueOrDie();
+  EXPECT_NE(plan.find("IndexedLookup"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,212 @@
+// Tests for LEFT OUTER JOIN semantics across all physical join strategies
+// and the SQL front-end.
+#include <gtest/gtest.h>
+
+#include "indexed/indexed_dataframe.h"
+#include "sql/physical_operators.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+class OuterJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig cfg;
+    cfg.num_partitions = 4;
+    cfg.num_threads = 2;
+    session_ = Session::Make(cfg).ValueOrDie();
+    auto order_schema = Schema::Make({{"oid", TypeId::kInt64, false},
+                                      {"customer", TypeId::kInt64, true}});
+    RowVec orders = {
+        {Value(int64_t{1}), Value(int64_t{10})},
+        {Value(int64_t{2}), Value(int64_t{20})},
+        {Value(int64_t{3}), Value(int64_t{99})},  // no matching customer
+        {Value(int64_t{4}), Value::Null()},       // null key
+        {Value(int64_t{5}), Value(int64_t{10})},
+    };
+    orders_ = session_->CreateDataFrame(order_schema, orders, "orders")
+                  .ValueOrDie();
+    auto customer_schema = Schema::Make({{"cid", TypeId::kInt64, false},
+                                         {"cname", TypeId::kString, false}});
+    RowVec customers = {
+        {Value(int64_t{10}), Value("alice")},
+        {Value(int64_t{20}), Value("bob")},
+        {Value(int64_t{30}), Value("carol")},  // never referenced
+    };
+    customers_ = session_->CreateDataFrame(customer_schema, customers,
+                                           "customers")
+                     .ValueOrDie();
+    ASSERT_TRUE(session_->RegisterTable("orders", orders_).ok());
+    ASSERT_TRUE(session_->RegisterTable("customers", customers_).ok());
+  }
+
+  /// Expected left-outer result over the fixture, canonically sorted.
+  RowVec Expected() {
+    RowVec out = {
+        {Value(int64_t{1}), Value(int64_t{10}), Value(int64_t{10}),
+         Value("alice")},
+        {Value(int64_t{2}), Value(int64_t{20}), Value(int64_t{20}), Value("bob")},
+        {Value(int64_t{3}), Value(int64_t{99}), Value::Null(), Value::Null()},
+        {Value(int64_t{4}), Value::Null(), Value::Null(), Value::Null()},
+        {Value(int64_t{5}), Value(int64_t{10}), Value(int64_t{10}),
+         Value("alice")},
+    };
+    SortRows(&out);
+    return out;
+  }
+
+  SessionPtr session_;
+  DataFrame orders_;
+  DataFrame customers_;
+};
+
+TEST_F(OuterJoinTest, ApiLeftOuterJoin) {
+  auto joined = orders_.Join(customers_, "customer", "cid",
+                             JoinType::kLeftOuter)
+                    .ValueOrDie();
+  RowVec rows = joined.Collect().ValueOrDie();
+  SortRows(&rows);
+  EXPECT_EQ(rows, Expected());
+}
+
+TEST_F(OuterJoinTest, RightColumnsBecomeNullable) {
+  auto joined =
+      orders_.Join(customers_, "customer", "cid", JoinType::kLeftOuter)
+          .ValueOrDie();
+  auto schema = joined.schema().ValueOrDie();
+  EXPECT_TRUE(schema->field(2).nullable);  // cid was non-nullable
+  EXPECT_TRUE(schema->field(3).nullable);
+}
+
+TEST_F(OuterJoinTest, AllThreeStrategiesAgree) {
+  auto run = [&](PhysicalOpPtr op) {
+    RowVec rows = CollectRows(op->Execute(session_->exec()).ValueOrDie());
+    SortRows(&rows);
+    return rows;
+  };
+  auto plan = orders_.Join(customers_, "customer", "cid", JoinType::kLeftOuter)
+                  .ValueOrDie()
+                  .plan();
+  auto analyzed = session_->OptimizeOnly(plan).ValueOrDie();
+  const auto* join = static_cast<const JoinNode*>(analyzed.get());
+  ASSERT_EQ(analyzed->kind(), PlanKind::kJoin);
+  auto left_op = session_->PlanQuery(join->left()).ValueOrDie();
+  auto right_op = session_->PlanQuery(join->right()).ValueOrDie();
+
+  auto shj = std::make_shared<ShuffledHashJoinOp>(
+      left_op, right_op, join->left_key(), join->right_key(),
+      analyzed->output_schema(), JoinType::kLeftOuter);
+  auto smj = std::make_shared<SortMergeJoinOp>(
+      left_op, right_op, join->left_key(), join->right_key(),
+      analyzed->output_schema(), JoinType::kLeftOuter);
+  auto bhj = std::make_shared<BroadcastHashJoinOp>(
+      left_op, right_op, join->left_key(), join->right_key(),
+      /*broadcast_left=*/false, analyzed->output_schema(),
+      JoinType::kLeftOuter);
+  EXPECT_EQ(run(shj), Expected());
+  EXPECT_EQ(run(smj), Expected());
+  EXPECT_EQ(run(bhj), Expected());
+}
+
+TEST_F(OuterJoinTest, BroadcastLeftOuterRejectsBroadcastingLeft) {
+  auto plan = orders_.Join(customers_, "customer", "cid", JoinType::kLeftOuter)
+                  .ValueOrDie()
+                  .plan();
+  auto analyzed = session_->OptimizeOnly(plan).ValueOrDie();
+  const auto* join = static_cast<const JoinNode*>(analyzed.get());
+  auto left_op = session_->PlanQuery(join->left()).ValueOrDie();
+  auto right_op = session_->PlanQuery(join->right()).ValueOrDie();
+  auto bad = std::make_shared<BroadcastHashJoinOp>(
+      left_op, right_op, join->left_key(), join->right_key(),
+      /*broadcast_left=*/true, analyzed->output_schema(), JoinType::kLeftOuter);
+  EXPECT_TRUE(bad->Execute(session_->exec()).status().IsInternal());
+}
+
+TEST_F(OuterJoinTest, SqlLeftJoin) {
+  auto df = session_
+                ->Sql("SELECT o.oid, o.customer, c.cid, c.cname FROM orders o "
+                      "LEFT JOIN customers c ON o.customer = c.cid")
+                .ValueOrDie();
+  RowVec rows = df.Collect().ValueOrDie();
+  SortRows(&rows);
+  EXPECT_EQ(rows, Expected());
+}
+
+TEST_F(OuterJoinTest, SqlLeftOuterJoinKeywordVariant) {
+  auto a = session_
+               ->Sql("SELECT * FROM orders o LEFT OUTER JOIN customers c ON "
+                     "o.customer = c.cid")
+               .ValueOrDie()
+               .Collect()
+               .ValueOrDie();
+  auto b = session_
+               ->Sql("SELECT * FROM orders o LEFT JOIN customers c ON "
+                     "o.customer = c.cid")
+               .ValueOrDie()
+               .Collect()
+               .ValueOrDie();
+  SortRows(&a);
+  SortRows(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(OuterJoinTest, SqlInnerJoinKeyword) {
+  auto rows = session_
+                  ->Sql("SELECT o.oid FROM orders o INNER JOIN customers c ON "
+                        "o.customer = c.cid")
+                  .ValueOrDie()
+                  .Collect()
+                  .ValueOrDie();
+  EXPECT_EQ(rows.size(), 3u);  // orders 1, 2, 5
+}
+
+TEST_F(OuterJoinTest, LeftPredicatePushedRightPredicateKept) {
+  // WHERE o.oid < 4 (left side) is pushable; WHERE c.cname = 'alice'
+  // (right side) must NOT be pushed below a left-outer join.
+  auto df = session_
+                ->Sql("SELECT o.oid, c.cname FROM orders o LEFT JOIN "
+                      "customers c ON o.customer = c.cid WHERE o.oid < 4")
+                .ValueOrDie();
+  RowVec rows = df.Collect().ValueOrDie();
+  EXPECT_EQ(rows.size(), 3u);
+
+  auto filtered = session_
+                      ->Sql("SELECT o.oid, c.cname FROM orders o LEFT JOIN "
+                            "customers c ON o.customer = c.cid WHERE c.cname "
+                            "= 'alice'")
+                      .ValueOrDie();
+  RowVec alice_rows = filtered.Collect().ValueOrDie();
+  // Filtering after the outer join keeps only real alice matches.
+  EXPECT_EQ(alice_rows.size(), 2u);
+  for (const Row& row : alice_rows) {
+    EXPECT_EQ(row[1], Value("alice"));
+  }
+}
+
+TEST_F(OuterJoinTest, IndexedJoinRuleSkipsOuterJoins) {
+  auto indexed =
+      IndexedDataFrame::CreateIndex(customers_, "cid", "cust_idx").ValueOrDie();
+  auto joined = orders_.Join(indexed.ToDataFrame(), "customer", "cid",
+                             JoinType::kLeftOuter)
+                    .ValueOrDie();
+  std::string plan = joined.Explain().ValueOrDie();
+  EXPECT_EQ(plan.find("IndexedJoin"), std::string::npos);
+  RowVec rows = joined.Collect().ValueOrDie();
+  SortRows(&rows);
+  EXPECT_EQ(rows, Expected());
+}
+
+TEST_F(OuterJoinTest, EveryLeftRowAppearsAtLeastOnce) {
+  // Property: the left side's keys all survive a left-outer join.
+  auto joined = orders_.Join(customers_, "customer", "cid",
+                             JoinType::kLeftOuter)
+                    .ValueOrDie();
+  RowVec rows = joined.Collect().ValueOrDie();
+  std::set<int64_t> oids;
+  for (const Row& row : rows) oids.insert(row[0].AsInt64());
+  EXPECT_EQ(oids.size(), 5u);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,107 @@
+// Unit and property tests for the packed 64-bit row pointer.
+#include "storage/packed_pointer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace idf {
+namespace {
+
+TEST(PackedPointerTest, BitBudgetMatchesPaper) {
+  // "2^31 row batches, each of which may have up to 4 MB" plus the size of
+  // the previous row on the key's chain.
+  EXPECT_EQ(PackedPointer::kBatchBits, 31);
+  EXPECT_EQ(PackedPointer::kMaxBatch, (1ULL << 31) - 1);
+  EXPECT_EQ(PackedPointer::kMaxOffset + 1, 4ULL * 1024 * 1024);
+  EXPECT_GE(PackedPointer::kMaxRowSize, 1024u);  // rows up to 1 KB
+}
+
+TEST(PackedPointerTest, DefaultIsNull) {
+  PackedPointer p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_EQ(p.bits(), PackedPointer::kNullBits);
+  EXPECT_TRUE(PackedPointer::Null().is_null());
+}
+
+TEST(PackedPointerTest, RoundTripFields) {
+  PackedPointer p = PackedPointer::Make(12345, 678901, 512);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(p.batch(), 12345u);
+  EXPECT_EQ(p.offset(), 678901u);
+  EXPECT_EQ(p.prev_size(), 512u);
+}
+
+TEST(PackedPointerTest, ZeroFieldsAreValid) {
+  PackedPointer p = PackedPointer::Make(0, 0, 0);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(p.bits(), 0u);
+}
+
+TEST(PackedPointerTest, MaxFieldsRoundTrip) {
+  PackedPointer p = PackedPointer::Make(PackedPointer::kMaxBatch,
+                                        PackedPointer::kMaxOffset, 0);
+  EXPECT_EQ(p.batch(), PackedPointer::kMaxBatch);
+  EXPECT_EQ(p.offset(), PackedPointer::kMaxOffset);
+  EXPECT_EQ(p.prev_size(), 0u);
+  EXPECT_FALSE(p.is_null());
+}
+
+TEST(PackedPointerTest, MakeCheckedRejectsOutOfRange) {
+  EXPECT_TRUE(
+      PackedPointer::MakeChecked(PackedPointer::kMaxBatch + 1, 0, 0).is_null());
+  EXPECT_TRUE(
+      PackedPointer::MakeChecked(0, PackedPointer::kMaxOffset + 1, 0).is_null());
+  EXPECT_TRUE(
+      PackedPointer::MakeChecked(0, 0, PackedPointer::kMaxRowSize + 1).is_null());
+}
+
+TEST(PackedPointerTest, MakeCheckedRejectsNullSentinelCollision) {
+  // All-max fields would collide with the null sentinel.
+  EXPECT_TRUE(PackedPointer::MakeChecked(PackedPointer::kMaxBatch,
+                                         PackedPointer::kMaxOffset,
+                                         PackedPointer::kMaxRowSize)
+                  .is_null());
+}
+
+TEST(PackedPointerTest, BitsRoundTrip) {
+  PackedPointer p = PackedPointer::Make(7, 9, 11);
+  PackedPointer q(p.bits());
+  EXPECT_EQ(p, q);
+}
+
+TEST(PackedPointerTest, EqualityOperators) {
+  EXPECT_EQ(PackedPointer::Make(1, 2, 3), PackedPointer::Make(1, 2, 3));
+  EXPECT_NE(PackedPointer::Make(1, 2, 3), PackedPointer::Make(1, 2, 4));
+}
+
+TEST(PackedPointerTest, ToStringRendersFields) {
+  EXPECT_EQ(PackedPointer::Null().ToString(), "ptr(null)");
+  std::string s = PackedPointer::Make(1, 2, 3).ToString();
+  EXPECT_NE(s.find("batch=1"), std::string::npos);
+  EXPECT_NE(s.find("offset=2"), std::string::npos);
+  EXPECT_NE(s.find("prev_size=3"), std::string::npos);
+}
+
+TEST(PackedPointerPropertyTest, RandomizedRoundTrip) {
+  Random64 rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t batch = rng.Uniform(PackedPointer::kMaxBatch + 1);
+    uint64_t offset = rng.Uniform(PackedPointer::kMaxOffset + 1);
+    uint64_t prev = rng.Uniform(PackedPointer::kMaxRowSize + 1);
+    PackedPointer p = PackedPointer::MakeChecked(batch, offset, prev);
+    if (p.is_null()) {
+      // Only the all-max sentinel collision may be rejected in-range.
+      EXPECT_EQ(batch, PackedPointer::kMaxBatch);
+      EXPECT_EQ(offset, PackedPointer::kMaxOffset);
+      EXPECT_EQ(prev, PackedPointer::kMaxRowSize);
+      continue;
+    }
+    EXPECT_EQ(p.batch(), batch);
+    EXPECT_EQ(p.offset(), offset);
+    EXPECT_EQ(p.prev_size(), prev);
+  }
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,122 @@
+// Unit tests for RowBatchStore: pointer addressing, batch rollover,
+// watermarks, capacity limits.
+#include "storage/row_batch_store.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+SchemaPtr KvSchema() {
+  return Schema::Make({{"k", TypeId::kInt64, false}, {"v", TypeId::kString, true}});
+}
+
+Row KvRow(int64_t k, const std::string& v) { return {Value(k), Value(v)}; }
+
+TEST(RowBatchStoreTest, AppendReturnsDereferenceablePointer) {
+  RowBatchStore store(4096, 1024);
+  SchemaPtr schema = KvSchema();
+  auto ptr = store.AppendRow(*schema, KvRow(7, "seven"), PackedPointer::Null(), 0);
+  ASSERT_TRUE(ptr.ok());
+  EXPECT_EQ(DecodeRow(store.PayloadAt(*ptr), *schema), KvRow(7, "seven"));
+  EXPECT_TRUE(store.BackPointerAt(*ptr).is_null());
+  EXPECT_EQ(store.num_rows(), 1u);
+}
+
+TEST(RowBatchStoreTest, BackPointerAndPrevSizeArePreserved) {
+  RowBatchStore store(4096, 1024);
+  SchemaPtr schema = KvSchema();
+  auto first = store.AppendRow(*schema, KvRow(1, "a"), PackedPointer::Null(), 0);
+  ASSERT_TRUE(first.ok());
+  uint32_t first_size = EncodedRowSize(store.PayloadAt(*first), *schema);
+  auto second = store.AppendRow(*schema, KvRow(1, "bb"), *first, first_size);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(store.BackPointerAt(*second), *first);
+  EXPECT_EQ(second->prev_size(), first_size);
+}
+
+TEST(RowBatchStoreTest, RollsOverToNewBatches) {
+  RowBatchStore store(256, 128);
+  SchemaPtr schema = KvSchema();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        store.AppendRow(*schema, KvRow(i, "value"), PackedPointer::Null(), 0).ok());
+  }
+  EXPECT_GT(store.num_batches(), 1u);
+  EXPECT_EQ(store.num_rows(), 100u);
+}
+
+TEST(RowBatchStoreTest, PointersValidAcrossBatches) {
+  RowBatchStore store(256, 128);
+  SchemaPtr schema = KvSchema();
+  std::vector<PackedPointer> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    auto p = store.AppendRow(*schema, KvRow(i, "v" + std::to_string(i)),
+                             PackedPointer::Null(), 0);
+    ASSERT_TRUE(p.ok());
+    ptrs.push_back(*p);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(DecodeRow(store.PayloadAt(ptrs[static_cast<size_t>(i)]), *schema),
+              KvRow(i, "v" + std::to_string(i)));
+  }
+}
+
+TEST(RowBatchStoreTest, RejectsOversizedRow) {
+  RowBatchStore store(4096, 64);
+  SchemaPtr schema = KvSchema();
+  auto r = store.AppendRow(*schema, KvRow(1, std::string(200, 'x')),
+                           PackedPointer::Null(), 0);
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacityError);
+}
+
+TEST(RowBatchStoreTest, DirectoryCapacityError) {
+  RowBatchStore store(64, 48, /*max_batches=*/2);
+  SchemaPtr schema = KvSchema();
+  Status last = Status::OK();
+  int appended = 0;
+  for (int i = 0; i < 100; ++i) {
+    Status st =
+        store.AppendRow(*schema, KvRow(i, "x"), PackedPointer::Null(), 0).status();
+    if (!st.ok()) {
+      last = st;
+      break;
+    }
+    ++appended;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kCapacityError);
+  EXPECT_GT(appended, 0);
+  EXPECT_LE(store.num_batches(), 2u);
+}
+
+TEST(RowBatchStoreTest, WatermarkTracksAppends) {
+  RowBatchStore store(4096, 1024);
+  SchemaPtr schema = KvSchema();
+  StoreWatermark w0 = store.Watermark();
+  EXPECT_EQ(w0.num_batches, 0u);
+  EXPECT_EQ(w0.num_rows, 0u);
+  ASSERT_TRUE(
+      store.AppendRow(*schema, KvRow(1, "a"), PackedPointer::Null(), 0).ok());
+  StoreWatermark w1 = store.Watermark();
+  EXPECT_EQ(w1.num_batches, 1u);
+  EXPECT_EQ(w1.num_rows, 1u);
+  EXPECT_GT(w1.last_batch_bytes, 0u);
+  ASSERT_TRUE(
+      store.AppendRow(*schema, KvRow(2, "b"), PackedPointer::Null(), 0).ok());
+  StoreWatermark w2 = store.Watermark();
+  EXPECT_GT(w2.last_batch_bytes, w1.last_batch_bytes);
+}
+
+TEST(RowBatchStoreTest, UsedAndAllocatedBytes) {
+  RowBatchStore store(1024, 512);
+  SchemaPtr schema = KvSchema();
+  EXPECT_EQ(store.allocated_bytes(), 0u);
+  ASSERT_TRUE(
+      store.AppendRow(*schema, KvRow(1, "a"), PackedPointer::Null(), 0).ok());
+  EXPECT_EQ(store.allocated_bytes(), 1024u);
+  EXPECT_GT(store.used_bytes(), 0u);
+  EXPECT_LE(store.used_bytes(), store.allocated_bytes());
+}
+
+}  // namespace
+}  // namespace idf

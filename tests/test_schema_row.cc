@@ -1,0 +1,127 @@
+// Unit tests for Schema and Row helpers.
+#include "types/row.h"
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({
+      {"id", TypeId::kInt64, false},
+      {"name", TypeId::kString, true},
+      {"score", TypeId::kFloat64, true},
+  });
+}
+
+TEST(SchemaTest, FieldAccess) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(s->num_fields(), 3);
+  EXPECT_EQ(s->field(0).name, "id");
+  EXPECT_EQ(s->field(1).type, TypeId::kString);
+  EXPECT_FALSE(s->field(0).nullable);
+}
+
+TEST(SchemaTest, FieldIndexByName) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(s->FieldIndex("id"), 0);
+  EXPECT_EQ(s->FieldIndex("score"), 2);
+  EXPECT_EQ(s->FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, ResolveFieldIndexErrors) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(s->ResolveFieldIndex("name").ValueOrDie(), 1);
+  auto r = s->ResolveFieldIndex("nope");
+  EXPECT_TRUE(r.status().IsKeyError());
+  EXPECT_NE(r.status().message().find("nope"), std::string::npos);
+}
+
+TEST(SchemaTest, DuplicateNamesResolveToFirst) {
+  auto s = Schema::Make({{"x", TypeId::kInt64, false}, {"x", TypeId::kString, true}});
+  EXPECT_EQ(s->FieldIndex("x"), 0);
+}
+
+TEST(SchemaTest, Equals) {
+  EXPECT_TRUE(TestSchema()->Equals(*TestSchema()));
+  auto other = Schema::Make({{"id", TypeId::kInt32, false}});
+  EXPECT_FALSE(TestSchema()->Equals(*other));
+}
+
+TEST(SchemaTest, ToStringRendersTypesAndNullability) {
+  std::string s = TestSchema()->ToString();
+  EXPECT_NE(s.find("id:int64"), std::string::npos);
+  EXPECT_NE(s.find("name:string?"), std::string::npos);
+}
+
+TEST(SchemaTest, Project) {
+  auto p = TestSchema()->Project({2, 0});
+  EXPECT_EQ(p->num_fields(), 2);
+  EXPECT_EQ(p->field(0).name, "score");
+  EXPECT_EQ(p->field(1).name, "id");
+}
+
+TEST(SchemaTest, Concat) {
+  auto c = Schema::Concat(*TestSchema(), *TestSchema());
+  EXPECT_EQ(c->num_fields(), 6);
+  EXPECT_EQ(c->field(3).name, "id");
+}
+
+TEST(RowTest, ValidateRowAcceptsConforming) {
+  SchemaPtr s = TestSchema();
+  EXPECT_TRUE(ValidateRow(*s, {Value(int64_t{1}), Value("a"), Value(0.5)}).ok());
+  EXPECT_TRUE(
+      ValidateRow(*s, {Value(int64_t{1}), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(RowTest, ValidateRowRejectsArityMismatch) {
+  EXPECT_TRUE(ValidateRow(*TestSchema(), {Value(int64_t{1})})
+                  .IsInvalidArgument());
+}
+
+TEST(RowTest, ValidateRowRejectsNullInNonNullable) {
+  EXPECT_TRUE(
+      ValidateRow(*TestSchema(), {Value::Null(), Value("a"), Value(0.5)})
+          .IsInvalidArgument());
+}
+
+TEST(RowTest, ValidateRowRejectsTypeMismatch) {
+  EXPECT_TRUE(ValidateRow(*TestSchema(), {Value("s"), Value("a"), Value(0.5)})
+                  .IsTypeError());
+}
+
+TEST(RowTest, ConcatRows) {
+  Row r = ConcatRows({Value(int64_t{1})}, {Value("x"), Value(2.0)});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], Value(int64_t{1}));
+  EXPECT_EQ(r[2], Value(2.0));
+}
+
+TEST(RowTest, RowLessLexicographic) {
+  RowLess less;
+  EXPECT_TRUE(less({Value(int64_t{1}), Value(int64_t{9})},
+                   {Value(int64_t{2}), Value(int64_t{0})}));
+  EXPECT_TRUE(less({Value(int64_t{1})}, {Value(int64_t{1}), Value(int64_t{0})}));
+  EXPECT_FALSE(less({Value(int64_t{1})}, {Value(int64_t{1})}));
+}
+
+TEST(RowTest, HashRowDistinguishesOrder) {
+  EXPECT_NE(HashRow({Value(int64_t{1}), Value(int64_t{2})}),
+            HashRow({Value(int64_t{2}), Value(int64_t{1})}));
+  EXPECT_EQ(HashRow({Value("a")}), HashRow({Value("a")}));
+}
+
+TEST(RowTest, SortRowsCanonicalizes) {
+  RowVec rows = {{Value(int64_t{3})}, {Value(int64_t{1})}, {Value(int64_t{2})}};
+  SortRows(&rows);
+  EXPECT_EQ(rows[0][0], Value(int64_t{1}));
+  EXPECT_EQ(rows[2][0], Value(int64_t{3}));
+}
+
+TEST(RowTest, RowToString) {
+  EXPECT_EQ(RowToString({Value(int64_t{1}), Value("a")}), "(1, \"a\")");
+}
+
+}  // namespace
+}  // namespace idf

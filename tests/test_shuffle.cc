@@ -1,0 +1,146 @@
+// Unit tests for hash partitioning and shuffle invariants.
+#include "engine/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/broadcast.h"
+
+namespace idf {
+namespace {
+
+ExecutorContextPtr MakeCtx(int partitions = 4, int threads = 2) {
+  EngineConfig cfg;
+  cfg.num_partitions = partitions;
+  cfg.num_threads = threads;
+  return ExecutorContext::Make(cfg).ValueOrDie();
+}
+
+TEST(PartitionerTest, StableAndInRange) {
+  HashPartitioner p(7);
+  for (int64_t i = 0; i < 1000; ++i) {
+    int a = p.PartitionOf(Value(i));
+    int b = p.PartitionOf(Value(i));
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 7);
+  }
+}
+
+TEST(PartitionerTest, MixedWidthKeysRouteIdentically) {
+  HashPartitioner p(8);
+  EXPECT_EQ(p.PartitionOf(Value(int32_t{42})), p.PartitionOf(Value(int64_t{42})));
+  EXPECT_EQ(p.PartitionOf(Value(42.0)), p.PartitionOf(Value(int64_t{42})));
+}
+
+TEST(PartitionerTest, SpreadsKeysReasonably) {
+  HashPartitioner p(8);
+  std::vector<int> counts(8, 0);
+  for (int64_t i = 0; i < 8000; ++i) ++counts[static_cast<size_t>(p.PartitionOf(Value(i)))];
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(SplitRoundRobinTest, BalancesAndPreservesRows) {
+  RowVec rows;
+  for (int64_t i = 0; i < 103; ++i) rows.push_back({Value(i)});
+  PartitionedRows parts = SplitRoundRobin(rows, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(CountRows(parts), 103u);
+  for (const RowVec& p : parts) {
+    EXPECT_GE(p.size(), 25u);
+    EXPECT_LE(p.size(), 26u);
+  }
+  RowVec flat = FlattenPartitions(parts);
+  SortRows(&flat);
+  SortRows(&rows);
+  EXPECT_EQ(flat, rows);
+}
+
+TEST(ShuffleTest, EveryRowLandsInItsKeyPartition) {
+  auto ctx = MakeCtx(5);
+  RowVec rows;
+  for (int64_t i = 0; i < 500; ++i) rows.push_back({Value(i % 37), Value(i)});
+  PartitionedRows input = SplitRoundRobin(rows, 3);
+  HashPartitioner partitioner(5);
+  PartitionedRows output = ShuffleByKey(*ctx, input, 0, partitioner);
+  ASSERT_EQ(output.size(), 5u);
+  EXPECT_EQ(CountRows(output), 500u);
+  for (size_t p = 0; p < output.size(); ++p) {
+    for (const Row& row : output[p]) {
+      EXPECT_EQ(partitioner.PartitionOf(row[0]), static_cast<int>(p));
+    }
+  }
+}
+
+TEST(ShuffleTest, SameKeySameOutputPartition) {
+  auto ctx = MakeCtx(4);
+  RowVec rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back({Value(int64_t{7}), Value(i)});
+  PartitionedRows output =
+      ShuffleByKey(*ctx, SplitRoundRobin(rows, 4), 0, HashPartitioner(4));
+  int non_empty = 0;
+  for (const RowVec& p : output) {
+    if (!p.empty()) {
+      ++non_empty;
+      EXPECT_EQ(p.size(), 100u);
+    }
+  }
+  EXPECT_EQ(non_empty, 1);
+}
+
+TEST(ShuffleTest, NullKeysGoToPartitionZero) {
+  auto ctx = MakeCtx(4);
+  RowVec rows = {{Value::Null(), Value(int64_t{1})},
+                 {Value::Null(), Value(int64_t{2})}};
+  PartitionedRows output =
+      ShuffleByKey(*ctx, SplitRoundRobin(rows, 2), 0, HashPartitioner(4));
+  EXPECT_EQ(output[0].size(), 2u);
+}
+
+TEST(ShuffleTest, MetricsAccountVolume) {
+  auto ctx = MakeCtx(4);
+  ctx->metrics().Reset();
+  RowVec rows;
+  for (int64_t i = 0; i < 50; ++i) rows.push_back({Value(i)});
+  ShuffleByKey(*ctx, SplitRoundRobin(rows, 2), 0, HashPartitioner(4));
+  EXPECT_EQ(ctx->metrics().shuffled_rows(), 50u);
+  EXPECT_GT(ctx->metrics().shuffled_bytes(), 0u);
+  EXPECT_GT(ctx->metrics().tasks_run(), 0u);
+}
+
+TEST(BroadcastTest, SharesRowsAndAccountsBytes) {
+  auto ctx = MakeCtx(4, 3);
+  ctx->metrics().Reset();
+  RowVec rows;
+  for (int64_t i = 0; i < 10; ++i) rows.push_back({Value(i), Value("payload")});
+  BroadcastRows bc = MakeBroadcast(*ctx, std::move(rows));
+  EXPECT_EQ(bc.rows->size(), 10u);
+  // Simulated cluster transmission: bytes x executors.
+  EXPECT_GT(ctx->metrics().broadcast_bytes(), 0u);
+  uint64_t per_copy = ctx->metrics().broadcast_bytes() / 3;
+  EXPECT_GT(per_copy, 10u * 16);
+}
+
+TEST(EstimateRowBytesTest, GrowsWithStringPayload) {
+  size_t small = EstimateRowBytes({Value(int64_t{1})});
+  size_t big = EstimateRowBytes({Value(std::string(1000, 'x'))});
+  EXPECT_GT(big, small + 900);
+}
+
+TEST(MetricsTest, ResetClearsCounters) {
+  QueryMetrics m;
+  m.AddShuffledRows(5);
+  m.AddIndexProbes(2);
+  m.AddRowsProduced(9);
+  EXPECT_EQ(m.shuffled_rows(), 5u);
+  m.Reset();
+  EXPECT_EQ(m.shuffled_rows(), 0u);
+  EXPECT_EQ(m.index_probes(), 0u);
+  EXPECT_EQ(m.rows_produced(), 0u);
+  EXPECT_NE(m.ToString().find("shuffled_rows=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idf

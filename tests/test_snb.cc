@@ -1,0 +1,246 @@
+// Tests for the SNB-like datagen, the update stream, and — crucially — the
+// equivalence of the vanilla and indexed implementations of all seven
+// short-read queries.
+#include "snb/short_queries.h"
+#include "snb/update_stream.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace snb {
+namespace {
+
+SnbConfig SmallConfig() {
+  SnbConfig cfg;
+  cfg.scale_factor = 0.2;  // 200 persons
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(SnbDatagenTest, DeterministicForSameSeed) {
+  SnbDataset a = GenerateSnb(SmallConfig());
+  SnbDataset b = GenerateSnb(SmallConfig());
+  ASSERT_EQ(a.persons.size(), b.persons.size());
+  ASSERT_EQ(a.knows.size(), b.knows.size());
+  EXPECT_EQ(a.persons[0], b.persons[0]);
+  EXPECT_EQ(a.knows.back(), b.knows.back());
+  EXPECT_EQ(a.posts[a.posts.size() / 2], b.posts[b.posts.size() / 2]);
+}
+
+TEST(SnbDatagenTest, DifferentSeedsDiffer) {
+  SnbConfig c1 = SmallConfig();
+  SnbConfig c2 = SmallConfig();
+  c2.seed = 8;
+  SnbDataset a = GenerateSnb(c1);
+  SnbDataset b = GenerateSnb(c2);
+  EXPECT_NE(a.persons[0], b.persons[0]);
+}
+
+TEST(SnbDatagenTest, SizesScaleWithFactor) {
+  SnbConfig small = SmallConfig();
+  SnbConfig big = SmallConfig();
+  big.scale_factor = 1.0;
+  SnbDataset a = GenerateSnb(small);
+  SnbDataset b = GenerateSnb(big);
+  EXPECT_EQ(a.persons.size(), 200u);
+  EXPECT_EQ(b.persons.size(), 1000u);
+  EXPECT_GT(b.knows.size(), a.knows.size() * 3);
+  EXPECT_EQ(b.posts.size(), 12000u);
+  EXPECT_EQ(b.comments.size(), 18000u);
+}
+
+TEST(SnbDatagenTest, RowsValidateAgainstSchemas) {
+  SnbDataset ds = GenerateSnb(SmallConfig());
+  for (const Row& r : ds.persons) ASSERT_TRUE(ValidateRow(*PersonSchema(), r).ok());
+  for (const Row& r : ds.knows) ASSERT_TRUE(ValidateRow(*KnowsSchema(), r).ok());
+  for (const Row& r : ds.posts) ASSERT_TRUE(ValidateRow(*PostSchema(), r).ok());
+  for (const Row& r : ds.comments) {
+    ASSERT_TRUE(ValidateRow(*CommentSchema(), r).ok());
+  }
+  for (const Row& r : ds.forums) ASSERT_TRUE(ValidateRow(*ForumSchema(), r).ok());
+  for (const Row& r : ds.forum_members) {
+    ASSERT_TRUE(ValidateRow(*ForumMemberSchema(), r).ok());
+  }
+}
+
+TEST(SnbDatagenTest, ForeignKeysResolve) {
+  SnbDataset ds = GenerateSnb(SmallConfig());
+  std::set<int64_t> person_ids;
+  for (const Row& r : ds.persons) person_ids.insert(r[person::kId].AsInt64());
+  for (const Row& r : ds.knows) {
+    ASSERT_TRUE(person_ids.count(r[knows::kPerson1].AsInt64()));
+    ASSERT_TRUE(person_ids.count(r[knows::kPerson2].AsInt64()));
+    ASSERT_NE(r[knows::kPerson1], r[knows::kPerson2]);  // no self-loops
+  }
+  std::set<int64_t> post_ids;
+  for (const Row& r : ds.posts) {
+    post_ids.insert(r[post::kId].AsInt64());
+    ASSERT_TRUE(person_ids.count(r[post::kCreatorId].AsInt64()));
+  }
+  for (const Row& r : ds.comments) {
+    ASSERT_TRUE(post_ids.count(r[comment::kReplyOfPostId].AsInt64()));
+    ASSERT_TRUE(person_ids.count(r[comment::kCreatorId].AsInt64()));
+  }
+}
+
+TEST(SnbDatagenTest, KnowsEdgesAreSymmetric) {
+  SnbDataset ds = GenerateSnb(SmallConfig());
+  std::set<std::pair<int64_t, int64_t>> edges;
+  for (const Row& r : ds.knows) {
+    edges.insert({r[knows::kPerson1].AsInt64(), r[knows::kPerson2].AsInt64()});
+  }
+  for (const auto& [a, b] : edges) {
+    EXPECT_TRUE(edges.count({b, a})) << a << "-" << b;
+  }
+}
+
+TEST(SnbDatagenTest, AuthorshipIsSkewed) {
+  SnbDataset ds = GenerateSnb(SmallConfig());
+  std::map<int64_t, int> posts_per_person;
+  for (const Row& r : ds.posts) ++posts_per_person[r[post::kCreatorId].AsInt64()];
+  int max_posts = 0;
+  for (const auto& [id, n] : posts_per_person) max_posts = std::max(max_posts, n);
+  double avg = static_cast<double>(ds.posts.size()) /
+               static_cast<double>(ds.persons.size());
+  EXPECT_GT(max_posts, 3 * avg);  // heavy hitters exist
+}
+
+TEST(UpdateStreamTest, FreshIdsContinueBeyondBase) {
+  SnbDataset ds = GenerateSnb(SmallConfig());
+  UpdateStreamGenerator gen(ds);
+  RowVec posts = gen.NextPostBatch(10);
+  ASSERT_EQ(posts.size(), 10u);
+  for (const Row& r : posts) {
+    EXPECT_GE(r[post::kId].AsInt64(), ds.first_post_id + ds.num_posts);
+    ASSERT_TRUE(ValidateRow(*PostSchema(), r).ok());
+  }
+  RowVec comments = gen.NextCommentBatch(10);
+  for (const Row& r : comments) {
+    EXPECT_GE(r[comment::kId].AsInt64(), ds.first_comment_id + ds.num_comments);
+    ASSERT_TRUE(ValidateRow(*CommentSchema(), r).ok());
+  }
+}
+
+TEST(UpdateStreamTest, KnowsBatchesAreSymmetricPairs) {
+  SnbDataset ds = GenerateSnb(SmallConfig());
+  UpdateStreamGenerator gen(ds);
+  RowVec edges = gen.NextKnowsBatch(5);
+  ASSERT_EQ(edges.size(), 10u);
+  for (size_t i = 0; i < edges.size(); i += 2) {
+    EXPECT_EQ(edges[i][knows::kPerson1], edges[i + 1][knows::kPerson2]);
+    EXPECT_EQ(edges[i][knows::kPerson2], edges[i + 1][knows::kPerson1]);
+    ASSERT_TRUE(ValidateRow(*KnowsSchema(), edges[i]).ok());
+  }
+}
+
+class SnbQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    EngineConfig cfg;
+    cfg.num_partitions = 4;
+    cfg.num_threads = 2;
+    cfg.row_batch_bytes = 256 * 1024;
+    auto session = Session::Make(cfg).ValueOrDie();
+    ctx_ = new SnbContext(
+        MakeSnbContext(session, GenerateSnb(SmallConfig())).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    ctx_ = nullptr;
+  }
+  static SnbContext* ctx_;
+};
+
+SnbContext* SnbQueryTest::ctx_ = nullptr;
+
+class SnbQueryEquivalence : public SnbQueryTest,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(SnbQueryEquivalence, IndexedMatchesVanilla) {
+  const int q = GetParam();
+  // Exercise several parameters per query, including misses.
+  std::vector<int64_t> params = {DefaultParam(*ctx_, q)};
+  if (q <= 3) {
+    params.push_back(ctx_->dataset.first_person_id);
+    params.push_back(ctx_->dataset.first_person_id + 7);
+    params.push_back(-1);  // miss
+  } else if (q == 4 || q == 7) {
+    params.push_back(ctx_->dataset.first_post_id);
+    params.push_back(-1);
+  } else {
+    params.push_back(ctx_->dataset.first_comment_id);
+    params.push_back(-1);
+  }
+  for (int64_t param : params) {
+    RowVec vanilla = RunShortQuery(*ctx_, q, /*indexed=*/false, param).ValueOrDie();
+    RowVec indexed = RunShortQuery(*ctx_, q, /*indexed=*/true, param).ValueOrDie();
+    SortRows(&vanilla);
+    SortRows(&indexed);
+    EXPECT_EQ(vanilla, indexed) << "SQ" << q << " param " << param;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSevenQueries, SnbQueryEquivalence,
+                         ::testing::Range(1, 8));
+
+TEST_F(SnbQueryTest, DefaultParamsProduceNonEmptyResultsWhereExpected) {
+  // SQ1 (profile), SQ4 (message) always hit with the default parameter.
+  EXPECT_EQ(RunShortQuery(*ctx_, 1, true, DefaultParam(*ctx_, 1))
+                .ValueOrDie()
+                .size(),
+            1u);
+  EXPECT_EQ(RunShortQuery(*ctx_, 4, true, DefaultParam(*ctx_, 4))
+                .ValueOrDie()
+                .size(),
+            1u);
+  EXPECT_FALSE(RunShortQuery(*ctx_, 7, true, DefaultParam(*ctx_, 7))
+                   .ValueOrDie()
+                   .empty());
+}
+
+TEST_F(SnbQueryTest, InvalidQueryNumberRejected) {
+  EXPECT_TRUE(RunShortQuery(*ctx_, 0, true, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(RunShortQuery(*ctx_, 8, true, 1).status().IsInvalidArgument());
+}
+
+TEST_F(SnbQueryTest, IndexedPointQueriesUseTheIndex) {
+  ctx_->session->metrics().Reset();
+  RunShortQuery(*ctx_, 1, /*indexed=*/true, DefaultParam(*ctx_, 1)).ValueOrDie();
+  EXPECT_GE(ctx_->session->metrics().index_probes(), 1u);
+}
+
+TEST_F(SnbQueryTest, VanillaQueriesDoNotTouchTheIndex) {
+  ctx_->session->metrics().Reset();
+  RunShortQuery(*ctx_, 1, /*indexed=*/false, DefaultParam(*ctx_, 1)).ValueOrDie();
+  EXPECT_EQ(ctx_->session->metrics().index_probes(), 0u);
+}
+
+TEST_F(SnbQueryTest, QueriesReflectAppendedData) {
+  // Append a fresh burst of replies to the SQ7 post; the indexed query
+  // must see them immediately (the paper's updatable-cache claim).
+  int64_t post_id = DefaultParam(*ctx_, 7);
+  size_t before =
+      RunShortQuery(*ctx_, 7, true, post_id).ValueOrDie().size();
+  UpdateStreamGenerator gen(ctx_->dataset);
+  RowVec burst;
+  for (int i = 0; i < 5; ++i) {
+    RowVec batch = gen.NextCommentBatch(1);
+    batch[0][comment::kReplyOfPostId] = Value(post_id);
+    burst.push_back(batch[0]);
+  }
+  ASSERT_TRUE(ctx_->comment_by_reply->AppendRowsDirect(burst).ok());
+  size_t after = RunShortQuery(*ctx_, 7, true, post_id).ValueOrDie().size();
+  EXPECT_EQ(after, before + 5);
+}
+
+TEST_F(SnbQueryTest, DescriptionsExist) {
+  for (int q = 1; q <= 7; ++q) {
+    EXPECT_NE(std::string(ShortQueryDescription(q)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace snb
+}  // namespace idf

@@ -1,0 +1,138 @@
+// Unit tests for Status and Result<T>.
+#include "common/result.h"
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::KeyError("x").code(), StatusCode::kKeyError);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::IndexError("x").code(), StatusCode::kIndexError);
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::CapacityError("x").code(), StatusCode::kCapacityError);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::KeyError("x").IsKeyError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::OK().IsKeyError());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::KeyError("missing");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kKeyError);
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_EQ(st.message(), "missing");
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status st = Status::KeyError("missing");
+  Status moved = std::move(st);
+  EXPECT_EQ(moved.code(), StatusCode::kKeyError);
+}
+
+TEST(StatusTest, AssignOverwrites) {
+  Status st = Status::KeyError("a");
+  st = Status::OK();
+  EXPECT_TRUE(st.ok());
+  st = Status::Internal("b");
+  EXPECT_EQ(st.message(), "b");
+}
+
+TEST(StatusTest, CodeToString) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCapacityError), "CapacityError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::KeyError("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+}
+
+TEST(ResultTest, ValueOrReturnsAlternative) {
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> val = 3;
+  EXPECT_EQ(val.ValueOr(7), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).ValueUnsafe();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueUnsafe();
+  EXPECT_EQ(*p, 5);
+}
+
+Status FailingFn() { return Status::TypeError("inner"); }
+
+Status Propagates() {
+  IDF_RETURN_NOT_OK(FailingFn());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  Status st = Propagates();
+  EXPECT_TRUE(st.IsTypeError());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  IDF_ASSIGN_OR_RETURN(int h, Half(x));
+  IDF_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(Quarter(8).ValueOrDie(), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,91 @@
+// Unit tests for the executor thread pool.
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      if (count.fetch_add(1) + 1 == 100) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return count.load() == 100; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIterationRunsInline) {
+  ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed;
+  pool.ParallelFor(1, [&](size_t) { executed = std::this_thread::get_id(); });
+  EXPECT_EQ(executed, caller);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForMoreIterationsThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(5000, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 5000);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForsReusePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> total{0};
+    pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+    ASSERT_EQ(total.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.ParallelFor(64, [&](size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NumThreadsReported) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,151 @@
+// Tests for the Kafka-like partitioned Topic and TopicConsumer.
+#include "stream/topic.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+TEST(TopicTest, AppendAssignsSequentialOffsets) {
+  Topic<int> topic(2);
+  EXPECT_EQ(topic.Append(0, 10), 0u);
+  EXPECT_EQ(topic.Append(0, 11), 1u);
+  EXPECT_EQ(topic.Append(1, 20), 0u);
+  EXPECT_EQ(topic.EndOffset(0), 2u);
+  EXPECT_EQ(topic.EndOffset(1), 1u);
+  EXPECT_EQ(topic.TotalRecords(), 3u);
+}
+
+TEST(TopicTest, PollFromOffset) {
+  Topic<int> topic(1);
+  for (int i = 0; i < 10; ++i) topic.Append(0, i);
+  auto records = topic.Poll(0, 4, 3, /*block=*/false);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], 4);
+  EXPECT_EQ(records[2], 6);
+}
+
+TEST(TopicTest, PollPastEndIsEmptyNonBlocking) {
+  Topic<int> topic(1);
+  topic.Append(0, 1);
+  EXPECT_TRUE(topic.Poll(0, 5, 10, /*block=*/false).empty());
+}
+
+TEST(TopicTest, KeyedAppendIsSticky) {
+  Topic<int> topic(4);
+  int p1 = -1;
+  int p2 = -1;
+  topic.AppendKeyed(12345, 1, &p1);
+  topic.AppendKeyed(12345, 2, &p2);
+  EXPECT_EQ(p1, p2);
+  auto records = topic.Poll(p1, 0, 10, /*block=*/false);
+  ASSERT_EQ(records.size(), 2u);
+}
+
+TEST(TopicTest, RecordsAreRetainedForReplay) {
+  Topic<int> topic(1);
+  for (int i = 0; i < 5; ++i) topic.Append(0, i);
+  auto first = topic.Poll(0, 0, 10, /*block=*/false);
+  auto again = topic.Poll(0, 0, 10, /*block=*/false);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first.size(), 5u);
+}
+
+TEST(TopicTest, BlockingPollWakesOnAppend) {
+  Topic<int> topic(1);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto records = topic.Poll(0, 0, 1, /*block=*/true);
+    got.store(!records.empty() && records[0] == 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  topic.Append(0, 42);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(TopicTest, CloseReleasesBlockedConsumers) {
+  Topic<int> topic(1);
+  std::thread consumer([&] {
+    auto records = topic.Poll(0, 0, 1, /*block=*/true);
+    EXPECT_TRUE(records.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  topic.Close();
+  consumer.join();
+}
+
+TEST(TopicConsumerTest, ConsumesAcrossPartitionsExactlyOnce) {
+  Topic<int> topic(3);
+  std::set<int> sent;
+  for (int i = 0; i < 30; ++i) {
+    topic.AppendKeyed(static_cast<uint64_t>(i), i);
+    sent.insert(i);
+  }
+  topic.Close();
+  TopicConsumer<int> consumer(&topic);
+  std::set<int> seen;
+  while (!consumer.AtEnd()) {
+    for (int r : consumer.Poll(7, /*block=*/false)) {
+      EXPECT_TRUE(seen.insert(r).second) << "duplicate " << r;
+    }
+  }
+  EXPECT_EQ(seen, sent);
+}
+
+TEST(TopicConsumerTest, IndependentConsumersReplayTheStream) {
+  Topic<int> topic(2);
+  for (int i = 0; i < 10; ++i) topic.Append(i % 2, i);
+  topic.Close();
+  TopicConsumer<int> a(&topic);
+  TopicConsumer<int> b(&topic);
+  size_t a_total = 0;
+  while (!a.AtEnd()) a_total += a.Poll(3, false).size();
+  size_t b_total = 0;
+  while (!b.AtEnd()) b_total += b.Poll(5, false).size();
+  EXPECT_EQ(a_total, 10u);
+  EXPECT_EQ(b_total, 10u);
+}
+
+TEST(TopicConsumerTest, SeekToBeginningReplays) {
+  Topic<int> topic(1);
+  for (int i = 0; i < 4; ++i) topic.Append(0, i);
+  topic.Close();
+  TopicConsumer<int> consumer(&topic);
+  while (!consumer.AtEnd()) consumer.Poll(10, false);
+  EXPECT_EQ(consumer.position(0), 4u);
+  consumer.SeekToBeginning();
+  EXPECT_EQ(consumer.position(0), 0u);
+  EXPECT_EQ(consumer.Poll(10, false).size(), 4u);
+}
+
+TEST(TopicTest, ConcurrentProducersAndConsumers) {
+  Topic<int> topic(4);
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int w = 0; w < 3; ++w) {
+    producers.emplace_back([&topic, w] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        topic.AppendKeyed(static_cast<uint64_t>(w * kPerProducer + i),
+                          w * kPerProducer + i);
+      }
+    });
+  }
+  std::atomic<size_t> consumed{0};
+  std::thread consumer([&] {
+    TopicConsumer<int> c(&topic);
+    while (!c.AtEnd()) consumed.fetch_add(c.Poll(64, false).size());
+  });
+  for (auto& t : producers) t.join();
+  topic.Close();
+  consumer.join();
+  EXPECT_EQ(consumed.load(), 3u * kPerProducer);
+  EXPECT_EQ(topic.TotalRecords(), 3u * kPerProducer);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,149 @@
+// Unit tests for the dynamically typed Value cell.
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace idf {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int32_t{1}).is_int32());
+  EXPECT_TRUE(Value(int64_t{1}).is_int64());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(true).bool_value(), true);
+  EXPECT_EQ(Value(int32_t{-3}).int32_value(), -3);
+  EXPECT_EQ(Value(int64_t{1} << 40).int64_value(), int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(Value(2.25).double_value(), 2.25);
+  EXPECT_EQ(Value("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, AsInt64WidensIntegers) {
+  EXPECT_EQ(Value(int32_t{7}).AsInt64(), 7);
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_EQ(Value(true).AsInt64(), 1);
+  EXPECT_EQ(Value(false).AsInt64(), 0);
+}
+
+TEST(ValueTest, AsDoubleWidens) {
+  EXPECT_DOUBLE_EQ(Value(int32_t{3}).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDouble(), 1.5);
+}
+
+TEST(ValueTest, EqualityWithinTypes) {
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_NE(Value(int64_t{5}), Value(int64_t{6}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, EqualityAcrossNumericWidths) {
+  EXPECT_EQ(Value(int32_t{5}), Value(int64_t{5}));
+  EXPECT_EQ(Value(int64_t{5}), Value(5.0));
+  EXPECT_NE(Value(int64_t{5}), Value(5.5));
+}
+
+TEST(ValueTest, NullEqualsNullInStrictSemantics) {
+  // Strict (group-by) equality, not SQL 3VL (which lives in ComparisonExpr).
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+}
+
+TEST(ValueTest, StringNeverEqualsNumber) {
+  EXPECT_NE(Value("5"), Value(int64_t{5}));
+}
+
+TEST(ValueTest, OrderingNumeric) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{1}));
+  EXPECT_LT(Value(int32_t{1}), Value(1.5));
+}
+
+TEST(ValueTest, OrderingStrings) {
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value(int64_t{-100}));
+  EXPECT_FALSE(Value(int64_t{-100}) < Value::Null());
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, NumbersSortBeforeStrings) {
+  EXPECT_LT(Value(int64_t{999}), Value("0"));
+}
+
+TEST(ValueTest, HashConsistentWithNumericEquality) {
+  // 3 (int32), 3 (int64) and 3.0 must hash identically so that mixed-width
+  // keys partition and index consistently.
+  EXPECT_EQ(Value(int32_t{3}).Hash(), Value(int64_t{3}).Hash());
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_NE(Value(int64_t{3}).Hash(), Value(int64_t{4}).Hash());
+}
+
+TEST(ValueTest, HashStringsStable) {
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+  EXPECT_NE(Value("abc").Hash(), Value("abd").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{12}).ToString(), "12");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueTest, CheckTypeAcceptsMatching) {
+  EXPECT_TRUE(Value(int64_t{1}).CheckType(TypeId::kInt64).ok());
+  EXPECT_TRUE(Value(int32_t{1}).CheckType(TypeId::kInt64).ok());  // widening
+  EXPECT_TRUE(Value(int64_t{1}).CheckType(TypeId::kTimestamp).ok());
+  EXPECT_TRUE(Value("x").CheckType(TypeId::kString).ok());
+  EXPECT_TRUE(Value::Null().CheckType(TypeId::kInt32).ok());
+  EXPECT_TRUE(Value(int64_t{1}).CheckType(TypeId::kFloat64).ok());
+}
+
+TEST(ValueTest, CheckTypeRejectsMismatched) {
+  EXPECT_TRUE(Value("x").CheckType(TypeId::kInt64).IsTypeError());
+  EXPECT_TRUE(Value(1.5).CheckType(TypeId::kInt64).IsTypeError());
+  EXPECT_TRUE(Value(int64_t{1}).CheckType(TypeId::kString).IsTypeError());
+  EXPECT_TRUE(Value(int64_t{1}).CheckType(TypeId::kBool).IsTypeError());
+}
+
+TEST(ValueTest, CastWideningAndNarrowing) {
+  EXPECT_EQ(Value(int32_t{5}).CastTo(TypeId::kInt64).ValueOrDie(),
+            Value(int64_t{5}));
+  EXPECT_EQ(Value(int64_t{5}).CastTo(TypeId::kInt32).ValueOrDie(),
+            Value(int32_t{5}));
+  EXPECT_TRUE(Value(int64_t{1} << 40)
+                  .CastTo(TypeId::kInt32)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(Value(int64_t{5}).CastTo(TypeId::kFloat64).ValueOrDie(), Value(5.0));
+}
+
+TEST(ValueTest, CastNullIsNull) {
+  EXPECT_TRUE(Value::Null().CastTo(TypeId::kString).ValueOrDie().is_null());
+}
+
+TEST(ValueTest, CastToStringRenders) {
+  EXPECT_EQ(Value(int64_t{7}).CastTo(TypeId::kString).ValueOrDie(), Value("7"));
+}
+
+TEST(ValueTest, CastStringToNumberFails) {
+  EXPECT_TRUE(Value("7").CastTo(TypeId::kInt64).status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace idf
