@@ -7,6 +7,9 @@
 // compares both indexed strategies against the vanilla shuffled hash join.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "indexed/indexed_dataframe.h"
 #include "indexed/indexed_operators.h"
 #include "sql/session.h"
@@ -158,4 +161,27 @@ BENCHMARK(BM_Vanilla_ShuffledHashJoin)->Arg(50000)->Unit(benchmark::kMillisecond
 }  // namespace
 }  // namespace idf
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to also writing machine-readable
+// JSON results to BENCH_join_strategies.json (consumed by CI) when the
+// caller passes no --benchmark_out of their own.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_join_strategies.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

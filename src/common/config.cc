@@ -33,6 +33,9 @@ Status EngineConfig::Validate() const {
   if (num_partitions < 0 || num_threads < 0) {
     return Status::InvalidArgument("partition/thread counts must be >= 0");
   }
+  if (morsel_rows == 0) {
+    return Status::InvalidArgument("morsel_rows must be positive");
+  }
   return Status::OK();
 }
 

@@ -28,6 +28,12 @@ struct EngineConfig {
   /// Worker threads in the executor pool. 0 means hardware concurrency.
   int num_threads = 0;
 
+  /// Upper bound on rows per morsel for intra-partition parallelism
+  /// (scans, join probes, multi-key lookups). The effective grain shrinks
+  /// on small inputs so every worker still gets several morsels; see
+  /// ExecutorContext::MorselGrain.
+  size_t morsel_rows = 64 * 1024;
+
   /// Probe relations at most this many bytes are broadcast instead of
   /// shuffled in indexed joins (paper §2 "Scheduling Physical Operators").
   /// The same threshold selects broadcast joins on the vanilla path

@@ -1,6 +1,13 @@
 #include "engine/executor_context.h"
 
+#include <algorithm>
+
 namespace idf {
+
+namespace {
+// Below this many rows a morsel is not worth a pool dispatch.
+constexpr size_t kMinMorselRows = 256;
+}  // namespace
 
 ExecutorContext::ExecutorContext(EngineConfig config)
     : config_(config), pool_(std::make_unique<ThreadPool>(config.num_threads)) {}
@@ -10,6 +17,14 @@ Result<std::shared_ptr<ExecutorContext>> ExecutorContext::Make(
   EngineConfig resolved = config.Resolved();
   IDF_RETURN_NOT_OK(resolved.Validate());
   return std::shared_ptr<ExecutorContext>(new ExecutorContext(resolved));
+}
+
+size_t ExecutorContext::MorselGrain(size_t n) const {
+  const size_t threads = static_cast<size_t>(config_.num_threads);
+  // ~4 chunks per worker keeps the atomic cursor balancing skewed work.
+  const size_t balanced = (n + threads * 4 - 1) / (threads * 4);
+  return std::max<size_t>(
+      1, std::min(config_.morsel_rows, std::max(balanced, kMinMorselRows)));
 }
 
 }  // namespace idf

@@ -23,6 +23,12 @@ class ExecutorContext {
 
   int num_partitions() const { return config_.num_partitions; }
 
+  /// Rows per morsel for a job of `n` rows: the configured ceiling
+  /// (`morsel_rows`), shrunk so every worker gets several chunks to pull
+  /// from the shared cursor, floored so tiny jobs stay in one inline chunk
+  /// instead of paying dispatch overhead per handful of rows.
+  size_t MorselGrain(size_t n) const;
+
  private:
   explicit ExecutorContext(EngineConfig config);
 

@@ -11,6 +11,9 @@ void QueryMetrics::Reset() {
   index_hits_ = 0;
   rows_scanned_ = 0;
   rows_produced_ = 0;
+  morsels_dispatched_ = 0;
+  shuffle_encoded_bytes_ = 0;
+  decodes_avoided_ = 0;
 }
 
 std::string QueryMetrics::ToString() const {
@@ -21,7 +24,10 @@ std::string QueryMetrics::ToString() const {
          ", index_probes=" + std::to_string(index_probes()) +
          ", index_hits=" + std::to_string(index_hits()) +
          ", rows_scanned=" + std::to_string(rows_scanned()) +
-         ", rows_produced=" + std::to_string(rows_produced()) + "}";
+         ", rows_produced=" + std::to_string(rows_produced()) +
+         ", morsels=" + std::to_string(morsels_dispatched()) +
+         ", shuffle_encoded_bytes=" + std::to_string(shuffle_encoded_bytes()) +
+         ", decodes_avoided=" + std::to_string(decodes_avoided()) + "}";
 }
 
 }  // namespace idf

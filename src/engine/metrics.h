@@ -21,6 +21,9 @@ class QueryMetrics {
   void AddIndexHits(uint64_t n) { index_hits_ += n; }
   void AddRowsScanned(uint64_t n) { rows_scanned_ += n; }
   void AddRowsProduced(uint64_t n) { rows_produced_ += n; }
+  void AddMorsels(uint64_t n) { morsels_dispatched_ += n; }
+  void AddShuffleEncodedBytes(uint64_t n) { shuffle_encoded_bytes_ += n; }
+  void AddDecodesAvoided(uint64_t n) { decodes_avoided_ += n; }
 
   uint64_t shuffled_rows() const { return shuffled_rows_; }
   uint64_t shuffled_bytes() const { return shuffled_bytes_; }
@@ -30,6 +33,9 @@ class QueryMetrics {
   uint64_t index_hits() const { return index_hits_; }
   uint64_t rows_scanned() const { return rows_scanned_; }
   uint64_t rows_produced() const { return rows_produced_; }
+  uint64_t morsels_dispatched() const { return morsels_dispatched_; }
+  uint64_t shuffle_encoded_bytes() const { return shuffle_encoded_bytes_; }
+  uint64_t decodes_avoided() const { return decodes_avoided_; }
 
   std::string ToString() const;
 
@@ -42,6 +48,9 @@ class QueryMetrics {
   std::atomic<uint64_t> index_hits_{0};
   std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<uint64_t> rows_produced_{0};
+  std::atomic<uint64_t> morsels_dispatched_{0};
+  std::atomic<uint64_t> shuffle_encoded_bytes_{0};
+  std::atomic<uint64_t> decodes_avoided_{0};
 };
 
 }  // namespace idf

@@ -1,8 +1,103 @@
 #include "engine/shuffle.h"
 
+#include <cstring>
 #include <mutex>
 
 namespace idf {
+
+uint32_t BinaryRows::payload_size(size_t i) const {
+  uint32_t len;
+  std::memcpy(&len, bytes_.data() + offsets_[i] - 4, 4);
+  return len;
+}
+
+void BinaryRows::Reserve(size_t rows, size_t bytes) {
+  offsets_.reserve(offsets_.size() + rows);
+  bytes_.reserve(bytes_.size() + bytes);
+}
+
+void BinaryRows::Append(const uint8_t* payload, uint32_t len) {
+  const size_t start = bytes_.size();
+  bytes_.resize(start + 4 + len);
+  std::memcpy(bytes_.data() + start, &len, 4);
+  std::memcpy(bytes_.data() + start + 4, payload, len);
+  offsets_.push_back(start + 4);
+}
+
+void BinaryRows::Append(const BinaryRows& other) {
+  const size_t base = bytes_.size();
+  bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
+  offsets_.reserve(offsets_.size() + other.offsets_.size());
+  for (size_t off : other.offsets_) offsets_.push_back(base + off);
+}
+
+Status BinaryRows::AppendRow(const Schema& schema, const Row& row,
+                             std::vector<uint8_t>* scratch) {
+  // Rows reaching the exchange conform to their operator's output schema by
+  // construction (ingestion already validated them), so skip the per-row
+  // ValidateRow pass the general EncodeRow performs — it shows up in join
+  // profiles at ~4% on encode-heavy shapes.
+  EncodeRowUnchecked(schema, row, scratch);
+  Append(scratch->data(), static_cast<uint32_t>(scratch->size()));
+  return Status::OK();
+}
+
+Result<BinaryPartitions> ShuffleByKeyBinary(ExecutorContext& ctx,
+                                            const PartitionedRows& input,
+                                            const Schema& schema, int key_col,
+                                            const HashPartitioner& partitioner) {
+  const int num_out = partitioner.num_partitions();
+  // Map side: each input partition encodes its rows once into
+  // per-destination byte buffers.
+  std::vector<BinaryPartitions> buckets(input.size());
+  uint64_t total_rows = 0;
+  uint64_t total_bytes = 0;
+  Status first_error;
+  std::mutex mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    BinaryPartitions local(static_cast<size_t>(num_out));
+    std::vector<uint8_t> scratch;
+    uint64_t rows = 0;
+    uint64_t bytes = 0;
+    for (const Row& row : input[p]) {
+      const Value& key = row[static_cast<size_t>(key_col)];
+      int target = key.is_null() ? 0 : partitioner.PartitionOf(key);
+      Status st = local[static_cast<size_t>(target)].AppendRow(schema, row, &scratch);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+      bytes += scratch.size();
+      ++rows;
+    }
+    buckets[p] = std::move(local);
+    std::lock_guard<std::mutex> lock(mu);
+    total_rows += rows;
+    total_bytes += bytes;
+  });
+  IDF_RETURN_NOT_OK(first_error);
+  ctx.metrics().AddShuffledRows(total_rows);
+  ctx.metrics().AddShuffledBytes(total_bytes);
+  ctx.metrics().AddShuffleEncodedBytes(total_bytes);
+
+  // Reduce side: concatenate the buffers destined for each output
+  // partition (whole-buffer memcpy, no per-row work).
+  BinaryPartitions output(static_cast<size_t>(num_out));
+  ctx.pool().ParallelFor(static_cast<size_t>(num_out), [&](size_t out) {
+    ctx.metrics().AddTask();
+    size_t rows = 0;
+    size_t bytes = 0;
+    for (const BinaryPartitions& b : buckets) {
+      rows += b[out].num_rows();
+      bytes += b[out].byte_size();
+    }
+    output[out].Reserve(rows, bytes);
+    for (const BinaryPartitions& b : buckets) output[out].Append(b[out]);
+  });
+  return output;
+}
 
 size_t EstimateRowBytes(const Row& row) {
   size_t bytes = sizeof(Row);
@@ -57,8 +152,7 @@ PartitionedRows ShuffleByKey(ExecutorContext& ctx, const PartitionedRows& input,
     for (const auto& b : buckets) total += b[out].size();
     output[out].reserve(total);
     for (auto& b : buckets) {
-      RowVec& src = const_cast<RowVec&>(b[out]);
-      for (Row& row : src) output[out].push_back(std::move(row));
+      for (Row& row : b[out]) output[out].push_back(std::move(row));
     }
   });
   return output;
@@ -66,8 +160,11 @@ PartitionedRows ShuffleByKey(ExecutorContext& ctx, const PartitionedRows& input,
 
 PartitionedRows SplitRoundRobin(const RowVec& rows, int num_partitions) {
   PartitionedRows out(static_cast<size_t>(num_partitions));
-  size_t per = rows.size() / static_cast<size_t>(num_partitions) + 1;
-  for (auto& p : out) p.reserve(per);
+  const size_t parts = static_cast<size_t>(num_partitions);
+  // Partition i receives exactly one extra row when i < rows % parts.
+  for (size_t i = 0; i < parts; ++i) {
+    out[i].reserve(rows.size() / parts + (i < rows.size() % parts ? 1 : 0));
+  }
   for (size_t i = 0; i < rows.size(); ++i) {
     out[i % static_cast<size_t>(num_partitions)].push_back(rows[i]);
   }

@@ -1,14 +1,22 @@
 // Shuffle: redistributes partitioned rows by the hash of a key column,
 // modelling Spark's exchange. The data movement (hash, route, copy) is real
 // work and is what the indexed join avoids on its build side.
+//
+// Two exchanges exist: the legacy row exchange (materialized `Row` cells,
+// two deep copies) and the binary exchange, where map tasks encode each row
+// once into per-destination byte buffers, reduce tasks concatenate whole
+// buffers, and operators decode lazily (per column) on the far side.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/executor_context.h"
 #include "engine/partitioner.h"
+#include "storage/row_batch.h"
 #include "types/row.h"
+#include "types/schema.h"
 
 namespace idf {
 
@@ -24,6 +32,52 @@ size_t EstimatePartitionedBytes(const PartitionedRows& parts);
 /// `partitioner.PartitionOf(row[key_col])`. Null keys go to partition 0.
 PartitionedRows ShuffleByKey(ExecutorContext& ctx, const PartitionedRows& input,
                              int key_col, const HashPartitioner& partitioner);
+
+/// \brief Encoded rows of one shuffle destination: UnsafeRow payloads
+/// packed back-to-back into a single buffer, each preceded by a 4-byte
+/// length prefix. Rows are addressable by index, so probe-side operators
+/// can split a buffer into morsels and decode columns lazily.
+class BinaryRows {
+ public:
+  size_t num_rows() const { return offsets_.size(); }
+  size_t byte_size() const { return bytes_.size(); }
+  bool empty() const { return offsets_.empty(); }
+
+  /// Pointer to the encoded payload of row `i` (valid until mutation).
+  const uint8_t* payload(size_t i) const { return bytes_.data() + offsets_[i]; }
+  uint32_t payload_size(size_t i) const;
+
+  void Reserve(size_t rows, size_t bytes);
+  void Append(const uint8_t* payload, uint32_t len);
+  /// Concatenates all of `other` (one buffer memcpy — the reduce side).
+  void Append(const BinaryRows& other);
+
+  /// Encodes `row` once (via `scratch`, reused across calls) and appends it.
+  Status AppendRow(const Schema& schema, const Row& row,
+                   std::vector<uint8_t>* scratch);
+
+  /// Materializes row `i` (the non-lazy fallback).
+  Row Decode(size_t i, const Schema& schema) const {
+    return DecodeRow(payload(i), schema);
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;   // [u32 length][payload] ...
+  std::vector<size_t> offsets_;  // payload start of row i (prefix excluded)
+};
+
+/// One BinaryRows buffer per shuffle destination.
+using BinaryPartitions = std::vector<BinaryRows>;
+
+/// Binary exchange with ShuffleByKey's routing (hash of `key_col`, null
+/// keys to partition 0): map tasks encode rows into per-task,
+/// per-destination buffers; reduce tasks concatenate. Produces row-for-row
+/// the same partition contents and order as ShuffleByKey, without the two
+/// deep Row copies and per-cell Value allocations.
+Result<BinaryPartitions> ShuffleByKeyBinary(ExecutorContext& ctx,
+                                            const PartitionedRows& input,
+                                            const Schema& schema, int key_col,
+                                            const HashPartitioner& partitioner);
 
 /// Splits a flat row vector into `num_partitions` round-robin chunks
 /// (initial placement of un-partitioned data).

@@ -1,5 +1,6 @@
 #include "engine/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/logging.h"
@@ -84,6 +85,49 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock,
                  [&] { return state->done.load(std::memory_order_acquire) == n; });
+}
+
+size_t ThreadPool::ParallelForRange(size_t n, size_t grain,
+                                    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1 || is_worker_) {
+    // Single chunk (no dispatch overhead for small jobs) or nested call
+    // from a worker, which must run inline to avoid pool exhaustion.
+    for (size_t begin = 0; begin < n; begin += grain) {
+      fn(begin, std::min(n, begin + grain));
+    }
+    return num_chunks;
+  }
+  struct SharedState {
+    std::atomic<size_t> cursor{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void(size_t, size_t)> body;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->body = fn;
+  size_t shards = std::min(num_chunks, static_cast<size_t>(num_threads()));
+  for (size_t s = 0; s < shards; ++s) {
+    Submit([state, n, grain, num_chunks] {
+      for (;;) {
+        size_t begin = state->cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) break;
+        state->body(begin, std::min(n, begin + grain));
+        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == num_chunks;
+  });
+  return num_chunks;
 }
 
 }  // namespace idf

@@ -30,6 +30,16 @@ class ThreadPool {
   /// inline to avoid deadlock.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Morsel-driven variant: runs fn(begin, end) over chunks of `grain`
+  /// indices carved out of [0, n) by an atomic cursor, so workers that
+  /// finish early keep pulling chunks (one skewed chunk cannot serialize
+  /// the rest). Chunk k is exactly [k*grain, min(n, (k+1)*grain)), so
+  /// callers may index per-chunk state by `begin / grain`. Returns the
+  /// number of chunks dispatched (the morsel count). Blocks until all
+  /// chunks finish; reentrant calls from worker threads run inline.
+  size_t ParallelForRange(size_t n, size_t grain,
+                          const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

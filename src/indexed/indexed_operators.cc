@@ -1,106 +1,247 @@
 #include "indexed/indexed_operators.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace idf {
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Morsel-driven execution helpers
+//
+// Operators flatten the rows of all partitions into one global index space
+// and let ThreadPool::ParallelForRange hand out ~MorselGrain-row chunks via
+// an atomic cursor. A skewed partition is then processed by many workers
+// instead of serializing the query on one partition-granular task. Chunk
+// outputs are tagged with their partition and reassembled in chunk order,
+// which preserves append order within every partition.
+// ---------------------------------------------------------------------------
+
+/// Payload pointers of every row, per partition, plus cumulative row counts
+/// (`part_end[p]` = rows of partitions 0..p) defining the flat index space.
+struct FlatRaw {
+  std::vector<std::vector<const uint8_t*>> per_part;
+  std::vector<size_t> part_end;
+  size_t total = 0;
+};
+
+FlatRaw CollectRaw(ExecutorContext& ctx, const IndexedRelationSnapshot& snap) {
+  FlatRaw flat;
+  const size_t num_parts = static_cast<size_t>(snap.num_partitions());
+  flat.per_part.resize(num_parts);
+  ctx.pool().ParallelFor(num_parts, [&](size_t p) {
+    std::vector<const uint8_t*>& refs = flat.per_part[p];
+    refs.reserve(snap.view(static_cast<int>(p)).num_rows());
+    snap.view(static_cast<int>(p)).ScanRaw([&refs](const uint8_t* payload) {
+      refs.push_back(payload);
+    });
+  });
+  flat.part_end.resize(num_parts);
+  for (size_t p = 0; p < num_parts; ++p) {
+    flat.total += flat.per_part[p].size();
+    flat.part_end[p] = flat.total;
+  }
+  return flat;
+}
+
+/// Output of one morsel restricted to one partition.
+struct MorselPiece {
+  size_t partition;
+  RowVec rows;
+};
+
+/// First partition whose flat range contains index `i`.
+size_t PartitionOfIndex(const std::vector<size_t>& part_end, size_t i) {
+  return static_cast<size_t>(
+      std::upper_bound(part_end.begin(), part_end.end(), i) - part_end.begin());
+}
+
+/// Reassembles per-chunk pieces into per-partition row vectors; chunk order
+/// preserves the original row order within each partition.
+PartitionVec AssemblePieces(ExecutorContext& ctx, size_t num_parts,
+                            std::vector<std::vector<MorselPiece>>& chunks) {
+  // Size pass first: reserving each partition's exact total makes the
+  // reassembly a single move per row instead of a realloc chain.
+  std::vector<size_t> totals(num_parts, 0);
+  uint64_t produced = 0;
+  for (const auto& pieces : chunks) {
+    for (const MorselPiece& piece : pieces) {
+      totals[piece.partition] += piece.rows.size();
+      produced += piece.rows.size();
+    }
+  }
+  std::vector<RowVec> rows(num_parts);
+  for (auto& pieces : chunks) {
+    for (MorselPiece& piece : pieces) {
+      RowVec& dst = rows[piece.partition];
+      if (dst.empty() && piece.rows.size() == totals[piece.partition]) {
+        dst = std::move(piece.rows);  // sole piece: adopt the buffer
+        continue;
+      }
+      if (dst.capacity() < totals[piece.partition]) {
+        dst.reserve(totals[piece.partition]);
+      }
+      dst.insert(dst.end(), std::make_move_iterator(piece.rows.begin()),
+                 std::make_move_iterator(piece.rows.end()));
+    }
+  }
+  ctx.metrics().AddRowsProduced(produced);
+  PartitionVec out;
+  out.reserve(num_parts);
+  for (RowVec& r : rows) out.push_back(PartitionData(std::move(r)));
+  return out;
+}
+
+/// Morsel-driven scan driver for 1:1 row transforms (`per_row(payload)`
+/// returns the output row): every output position is known up front, so
+/// morsels write directly into the preallocated result — no per-chunk
+/// buffers, no reassembly.
+template <typename PerRow>
+PartitionVec MorselScanDense(ExecutorContext& ctx,
+                             const IndexedRelationSnapshot& snap,
+                             const PerRow& per_row) {
+  FlatRaw flat = CollectRaw(ctx, snap);
+  const size_t num_parts = static_cast<size_t>(snap.num_partitions());
+  const size_t n = flat.total;
+  ctx.metrics().AddRowsScanned(n);
+  std::vector<RowVec> rows(num_parts);
+  for (size_t p = 0; p < num_parts; ++p) rows[p].resize(flat.per_part[p].size());
+  size_t dispatched = ctx.pool().ParallelForRange(
+      n, ctx.MorselGrain(n), [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        size_t i = begin;
+        size_t p = PartitionOfIndex(flat.part_end, begin);
+        while (i < end) {
+          const size_t pstart = p == 0 ? 0 : flat.part_end[p - 1];
+          const size_t pend = std::min(end, flat.part_end[p]);
+          RowVec& dst = rows[p];
+          for (; i < pend; ++i) dst[i - pstart] = per_row(flat.per_part[p][i - pstart]);
+          ++p;
+        }
+      });
+  ctx.metrics().AddMorsels(dispatched);
+  ctx.metrics().AddRowsProduced(n);
+  PartitionVec out;
+  out.reserve(num_parts);
+  for (RowVec& r : rows) out.push_back(PartitionData(std::move(r)));
+  return out;
+}
+
+/// Morsel-driven scan driver for filtering transforms: runs
+/// `per_row(payload, &out_rows)` over every row, collecting per-chunk
+/// (partition, rows) pieces that are reassembled in chunk order.
+template <typename PerRow>
+PartitionVec MorselScan(ExecutorContext& ctx, const IndexedRelationSnapshot& snap,
+                        const PerRow& per_row) {
+  FlatRaw flat = CollectRaw(ctx, snap);
+  const size_t num_parts = static_cast<size_t>(snap.num_partitions());
+  const size_t n = flat.total;
+  ctx.metrics().AddRowsScanned(n);
+  const size_t grain = ctx.MorselGrain(n);
+  std::vector<std::vector<MorselPiece>> chunks(n == 0 ? 0 : (n + grain - 1) / grain);
+  size_t dispatched = ctx.pool().ParallelForRange(n, grain, [&](size_t begin,
+                                                                size_t end) {
+    ctx.metrics().AddTask();
+    std::vector<MorselPiece> pieces;
+    size_t i = begin;
+    size_t p = PartitionOfIndex(flat.part_end, begin);
+    while (i < end) {
+      const size_t pstart = p == 0 ? 0 : flat.part_end[p - 1];
+      const size_t pend = std::min(end, flat.part_end[p]);
+      MorselPiece piece{p, {}};
+      piece.rows.reserve(pend - i);  // exact for scans, upper bound for filters
+      for (; i < pend; ++i) per_row(flat.per_part[p][i - pstart], &piece.rows);
+      if (!piece.rows.empty()) pieces.push_back(std::move(piece));
+      ++p;
+    }
+    chunks[begin / grain] = std::move(pieces);
+  });
+  ctx.metrics().AddMorsels(dispatched);
+  return AssemblePieces(ctx, num_parts, chunks);
+}
+
+}  // namespace
+
 Result<PartitionVec> IndexedScanOp::Execute(ExecutorContext& ctx) {
   IndexedRelationSnapshot snap = rel_->Snapshot();
-  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
-  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
-    ctx.metrics().AddTask();
-    RowVec rows;
-    rows.reserve(snap.view(static_cast<int>(p)).num_rows());
-    snap.view(static_cast<int>(p)).Scan([&rows](const Row& row) {
-      rows.push_back(row);
-    });
-    ctx.metrics().AddRowsScanned(rows.size());
-    out[p] = PartitionData(std::move(rows));
+  const Schema& schema = *rel_->schema();
+  return MorselScanDense(ctx, snap, [&schema](const uint8_t* payload) {
+    return DecodeRow(payload, schema);
   });
-  return out;
 }
 
 Result<PartitionVec> SnapshotScanOp::Execute(ExecutorContext& ctx) {
   const IndexedRelationSnapshot& snap = snapshot_->snapshot();
-  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
-  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
-    ctx.metrics().AddTask();
-    RowVec rows;
-    rows.reserve(snap.view(static_cast<int>(p)).num_rows());
-    snap.view(static_cast<int>(p)).Scan([&rows](const Row& row) {
-      rows.push_back(row);
-    });
-    ctx.metrics().AddRowsScanned(rows.size());
-    out[p] = PartitionData(std::move(rows));
+  const Schema& schema = *snapshot_->schema();
+  return MorselScanDense(ctx, snap, [&schema](const uint8_t* payload) {
+    return DecodeRow(payload, schema);
   });
-  return out;
 }
 
 Result<PartitionVec> IndexedScanFilterOp::Execute(ExecutorContext& ctx) {
   IndexedRelationSnapshot snap = rel_->Snapshot();
   const Schema& schema = *rel_->schema();
-  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
-  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
-    ctx.metrics().AddTask();
-    RowVec rows;
-    uint64_t scanned = 0;
-    snap.view(static_cast<int>(p)).ScanRaw([&](const uint8_t* payload) {
-      ++scanned;
-      // Lazy decode: only the filter column, then — on a match — the full
-      // row or just the projected columns.
-      Value v = DecodeColumn(payload, schema, filter_col_);
-      if (v.is_null()) return;
-      if (!CompareWithOp(compare_op_, v, literal_)) return;
-      if (project_cols_.empty()) {
-        rows.push_back(DecodeRow(payload, schema));
-      } else {
-        Row row;
-        row.reserve(project_cols_.size());
-        for (int c : project_cols_) {
-          row.push_back(DecodeColumn(payload, schema, c));
-        }
-        rows.push_back(std::move(row));
+  return MorselScan(ctx, snap, [this, &schema](const uint8_t* payload, RowVec* out) {
+    // Lazy decode: only the filter column, then — on a match — the full
+    // row or just the projected columns.
+    Value v = DecodeColumn(payload, schema, filter_col_);
+    if (v.is_null()) return;
+    if (!CompareWithOp(compare_op_, v, literal_)) return;
+    if (project_cols_.empty()) {
+      out->push_back(DecodeRow(payload, schema));
+    } else {
+      Row row;
+      row.reserve(project_cols_.size());
+      for (int c : project_cols_) {
+        row.push_back(DecodeColumn(payload, schema, c));
       }
-    });
-    ctx.metrics().AddRowsScanned(scanned);
-    ctx.metrics().AddRowsProduced(rows.size());
-    out[p] = PartitionData(std::move(rows));
+      out->push_back(std::move(row));
+    }
   });
-  return out;
 }
 
 Result<PartitionVec> IndexedScanProjectOp::Execute(ExecutorContext& ctx) {
   IndexedRelationSnapshot snap = rel_->Snapshot();
   const Schema& schema = *rel_->schema();
-  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
-  ctx.pool().ParallelFor(out.size(), [&](size_t p) {
-    ctx.metrics().AddTask();
-    RowVec rows;
-    rows.reserve(snap.view(static_cast<int>(p)).num_rows());
-    snap.view(static_cast<int>(p)).ScanRaw([&](const uint8_t* payload) {
-      Row row;
-      row.reserve(cols_.size());
-      for (int c : cols_) row.push_back(DecodeColumn(payload, schema, c));
-      rows.push_back(std::move(row));
-    });
-    ctx.metrics().AddRowsScanned(rows.size());
-    out[p] = PartitionData(std::move(rows));
+  return MorselScanDense(ctx, snap, [this, &schema](const uint8_t* payload) {
+    Row row;
+    row.reserve(cols_.size());
+    for (int c : cols_) row.push_back(DecodeColumn(payload, schema, c));
+    return row;
   });
-  return out;
 }
 
 Result<PartitionVec> IndexLookupOp::Execute(ExecutorContext& ctx) {
-  ctx.metrics().AddTask();
   IndexedRelationSnapshot snap = rel_->Snapshot();
+  const size_t n = keys_.size();
+  // Lookups are heavier per item than scan rows (trie descent + chain
+  // walk), so an IN-list splits into small per-task key ranges instead of
+  // counting as one task.
+  const size_t threads = static_cast<size_t>(ctx.config().num_threads);
+  const size_t grain = std::max<size_t>(
+      1, std::min(ctx.config().morsel_rows, (n + threads * 4 - 1) / (threads * 4)));
+  std::vector<RowVec> chunks(n == 0 ? 0 : (n + grain - 1) / grain);
+  size_t dispatched =
+      ctx.pool().ParallelForRange(n, grain, [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        RowVec rows;
+        uint64_t hits = 0;
+        for (size_t k = begin; k < end; ++k) {
+          RowVec matches = snap.GetRows(keys_[k]);
+          if (!matches.empty()) ++hits;
+          for (Row& row : matches) rows.push_back(std::move(row));
+        }
+        ctx.metrics().AddIndexProbes(end - begin);
+        ctx.metrics().AddIndexHits(hits);
+        chunks[begin / grain] = std::move(rows);
+      });
+  ctx.metrics().AddMorsels(dispatched);
   RowVec rows;
-  uint64_t hits = 0;
-  for (const Value& key : keys_) {
-    RowVec matches = snap.GetRows(key);
-    if (!matches.empty()) ++hits;
-    for (Row& row : matches) rows.push_back(std::move(row));
+  for (RowVec& c : chunks) {
+    rows.insert(rows.end(), std::make_move_iterator(c.begin()),
+                std::make_move_iterator(c.end()));
   }
-  ctx.metrics().AddIndexProbes(keys_.size());
-  ctx.metrics().AddIndexHits(hits);
   ctx.metrics().AddRowsProduced(rows.size());
   PartitionVec out;
   out.push_back(PartitionData(std::move(rows)));
@@ -110,78 +251,159 @@ Result<PartitionVec> IndexLookupOp::Execute(ExecutorContext& ctx) {
 Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
   IDF_ASSIGN_OR_RETURN(PartitionVec probe_parts, children()[0]->Execute(ctx));
   IndexedRelationSnapshot snap = rel_->Snapshot();
+  const Schema& build_schema = *rel_->schema();
+  const Schema& probe_schema = *children()[0]->schema();
+  const size_t num_parts = static_cast<size_t>(snap.num_partitions());
 
-  // Produce one output partition per index partition. For each probe row,
-  // evaluate the key and probe that key's home partition's cTrie; matched
-  // build rows are concatenated with the probe row in the original
-  // left/right order.
+  // Bound column-ref probe keys decode only the key column from the binary
+  // exchange; other key expressions fall back to full-row decode + Eval.
+  int probe_key_col = -1;
+  if (probe_key_->kind() == ExprKind::kColumnRef) {
+    const auto* ref = static_cast<const ColumnRefExpr*>(probe_key_.get());
+    if (ref->bound()) probe_key_col = ref->index();
+  }
+
+  if (broadcast_probe_) {
+    // Broadcast the probe rows; each key is evaluated once and routed to
+    // the partition that owns it (hash partitioning makes ownership
+    // exact), then probing is split into morsels across partitions.
+    BroadcastRows bc = MakeBroadcast(ctx, CollectRows(probe_parts));
+    const RowVec& rows = *bc.rows;
+    std::vector<Value> keys(rows.size());
+    std::vector<std::vector<size_t>> owned(num_parts);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      IDF_ASSIGN_OR_RETURN(Value key, probe_key_->Eval(rows[r]));
+      if (key.is_null()) continue;
+      owned[static_cast<size_t>(snap.partitioner().PartitionOf(key))].push_back(r);
+      keys[r] = std::move(key);
+    }
+    std::vector<size_t> part_end(num_parts);
+    size_t total = 0;
+    for (size_t p = 0; p < num_parts; ++p) {
+      total += owned[p].size();
+      part_end[p] = total;
+    }
+    const size_t grain = ctx.MorselGrain(total);
+    std::vector<std::vector<MorselPiece>> chunks(
+        total == 0 ? 0 : (total + grain - 1) / grain);
+    size_t dispatched =
+        ctx.pool().ParallelForRange(total, grain, [&](size_t begin, size_t end) {
+          ctx.metrics().AddTask();
+          std::vector<MorselPiece> pieces;
+          uint64_t probes = 0;
+          uint64_t hits = 0;
+          size_t i = begin;
+          size_t p = PartitionOfIndex(part_end, begin);
+          while (i < end) {
+            const size_t pstart = p == 0 ? 0 : part_end[p - 1];
+            const size_t pend = std::min(end, part_end[p]);
+            const IndexedPartition::View& view = snap.view(static_cast<int>(p));
+            MorselPiece piece{p, {}};
+            for (; i < pend; ++i) {
+              const size_t r = owned[p][i - pstart];
+              ++probes;
+              size_t matched =
+                  view.ForEachRawRow(keys[r], [&](const uint8_t* payload) {
+                    Row build_row = DecodeRow(payload, build_schema);
+                    piece.rows.push_back(indexed_on_left_
+                                             ? ConcatRows(build_row, rows[r])
+                                             : ConcatRows(rows[r], build_row));
+                  });
+              if (matched > 0) ++hits;
+            }
+            if (!piece.rows.empty()) pieces.push_back(std::move(piece));
+            ++p;
+          }
+          ctx.metrics().AddIndexProbes(probes);
+          ctx.metrics().AddIndexHits(hits);
+          chunks[begin / grain] = std::move(pieces);
+        });
+    ctx.metrics().AddMorsels(dispatched);
+    return AssemblePieces(ctx, num_parts, chunks);
+  }
+
+  // Shuffled probe: the probe side crosses the exchange as encoded binary
+  // buffers (no materialized Rows); the build side moves nothing (it is
+  // the index). Probe rows decode lazily — only the key column until a
+  // match requires the full row.
+  IDF_ASSIGN_OR_RETURN(BinaryPartitions shuffled,
+                       ShuffleEncodedByKeyExpr(ctx, probe_parts, probe_schema,
+                                               probe_key_, snap.partitioner()));
+  std::vector<size_t> part_end(num_parts);
+  size_t total = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    total += shuffled[p].num_rows();
+    part_end[p] = total;
+  }
+  const size_t grain = ctx.MorselGrain(total);
+  std::vector<std::vector<MorselPiece>> chunks(
+      total == 0 ? 0 : (total + grain - 1) / grain);
   Status first_error;
   std::mutex error_mu;
-  auto probe_into = [&](const RowVec& probes, int index_partition,
-                        bool check_ownership, RowVec* out) -> Status {
-    const IndexedPartition::View& view = snap.view(index_partition);
-    uint64_t probes_done = 0;
-    uint64_t hits = 0;
-    for (const Row& row : probes) {
-      IDF_ASSIGN_OR_RETURN(Value key, probe_key_->Eval(row));
-      if (key.is_null()) continue;
-      if (check_ownership &&
-          snap.partitioner().PartitionOf(key) != index_partition) {
-        continue;
-      }
-      ++probes_done;
-      RowVec matches = view.GetRows(key);
-      if (!matches.empty()) ++hits;
-      for (Row& build_row : matches) {
-        out->push_back(indexed_on_left_ ? ConcatRows(build_row, row)
-                                        : ConcatRows(row, build_row));
-      }
-    }
-    ctx.metrics().AddIndexProbes(probes_done);
-    ctx.metrics().AddIndexHits(hits);
-    return Status::OK();
-  };
-
-  PartitionVec out(static_cast<size_t>(snap.num_partitions()));
-  if (broadcast_probe_) {
-    // Broadcast the probe rows; every partition probes only the keys it
-    // owns (hash partitioning makes ownership exact).
-    BroadcastRows bc = MakeBroadcast(ctx, CollectRows(probe_parts));
-    ctx.pool().ParallelFor(out.size(), [&](size_t p) {
-      ctx.metrics().AddTask();
-      RowVec joined;
-      Status st = probe_into(*bc.rows, static_cast<int>(p),
-                             /*check_ownership=*/true, &joined);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = st;
-        return;
-      }
-      ctx.metrics().AddRowsProduced(joined.size());
-      out[p] = PartitionData(std::move(joined));
-    });
-  } else {
-    // Shuffle the probe side to the index's partitioning; the build side
-    // moves nothing (it is the index).
-    IDF_ASSIGN_OR_RETURN(
-        std::vector<RowVec> shuffled,
-        ShuffleRowsByKeyExpr(ctx, probe_parts, probe_key_, snap.partitioner()));
-    ctx.pool().ParallelFor(out.size(), [&](size_t p) {
-      ctx.metrics().AddTask();
-      RowVec joined;
-      Status st = probe_into(shuffled[p], static_cast<int>(p),
-                             /*check_ownership=*/false, &joined);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = st;
-        return;
-      }
-      ctx.metrics().AddRowsProduced(joined.size());
-      out[p] = PartitionData(std::move(joined));
-    });
-  }
+  size_t dispatched =
+      ctx.pool().ParallelForRange(total, grain, [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        std::vector<MorselPiece> pieces;
+        uint64_t probes = 0;
+        uint64_t hits = 0;
+        uint64_t avoided = 0;
+        size_t i = begin;
+        size_t p = PartitionOfIndex(part_end, begin);
+        while (i < end) {
+          const size_t pstart = p == 0 ? 0 : part_end[p - 1];
+          const size_t pend = std::min(end, part_end[p]);
+          const BinaryRows& buf = shuffled[p];
+          const IndexedPartition::View& view = snap.view(static_cast<int>(p));
+          MorselPiece piece{p, {}};
+          for (; i < pend; ++i) {
+            const uint8_t* payload = buf.payload(i - pstart);
+            Row probe_row;
+            bool decoded = false;
+            Value key;
+            if (probe_key_col >= 0) {
+              key = DecodeColumn(payload, probe_schema, probe_key_col);
+            } else {
+              probe_row = DecodeRow(payload, probe_schema);
+              decoded = true;
+              auto v = probe_key_->Eval(probe_row);
+              if (!v.ok()) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (first_error.ok()) first_error = v.status();
+                return;
+              }
+              key = std::move(v).ValueUnsafe();
+            }
+            // Null keys were dropped on the map side of the exchange.
+            ++probes;
+            size_t matched =
+                view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
+                  // The probe row materializes on the first match only.
+                  if (!decoded) {
+                    probe_row = DecodeRow(payload, probe_schema);
+                    decoded = true;
+                  }
+                  Row build_row = DecodeRow(build_payload, build_schema);
+                  piece.rows.push_back(indexed_on_left_
+                                           ? ConcatRows(build_row, probe_row)
+                                           : ConcatRows(probe_row, build_row));
+                });
+            if (matched > 0) {
+              ++hits;
+            } else if (!decoded) {
+              ++avoided;  // never materialized past the key column
+            }
+          }
+          if (!piece.rows.empty()) pieces.push_back(std::move(piece));
+          ++p;
+        }
+        ctx.metrics().AddIndexProbes(probes);
+        ctx.metrics().AddIndexHits(hits);
+        ctx.metrics().AddDecodesAvoided(avoided);
+        chunks[begin / grain] = std::move(pieces);
+      });
   IDF_RETURN_NOT_OK(first_error);
-  return out;
+  ctx.metrics().AddMorsels(dispatched);
+  return AssemblePieces(ctx, num_parts, chunks);
 }
 
 }  // namespace idf

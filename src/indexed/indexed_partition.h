@@ -50,6 +50,39 @@ class IndexedPartition {
     /// chain order). `probes`/`hits` metrics counters may be null.
     RowVec GetRows(const Value& key) const;
 
+    /// Encoded payload pointers of all rows whose indexed column equals
+    /// `key`, newest first, appended to `out`. Callers decode lazily —
+    /// e.g. a join materializes the build row only when concatenating a
+    /// match. Returns the number of appended pointers.
+    size_t GetRawRows(const Value& key,
+                      std::vector<const uint8_t*>* out) const;
+
+    /// Single-pass variant of GetRawRows: invokes `fn(payload)` for every
+    /// row whose indexed column equals `key`, newest first, while the
+    /// chain node is still cache-hot (revisiting scattered row-batch
+    /// memory in a second pass costs a miss per row). Returns the match
+    /// count.
+    template <typename Fn>
+    size_t ForEachRawRow(const Value& key, Fn&& fn) const {
+      if (key.is_null()) return 0;
+      std::optional<uint64_t> head = trie_.Lookup(key.Hash());
+      if (!head.has_value()) return 0;
+      const Schema& schema = *part_->schema_;
+      const int col = part_->indexed_col_;
+      size_t matched = 0;
+      for (PackedPointer ptr(*head); !ptr.is_null();
+           ptr = part_->store_.BackPointerAt(ptr)) {
+        const uint8_t* payload = part_->store_.PayloadAt(ptr);
+        // Verify the actual value: chains link rows with equal key *hash*.
+        Value actual = DecodeColumn(payload, schema, col);
+        if (actual == key) {
+          fn(payload);
+          ++matched;
+        }
+      }
+      return matched;
+    }
+
     /// Visits every row in this view, in append order. Includes rows with
     /// null keys (which are stored but unindexed).
     void Scan(const std::function<void(const Row&)>& fn) const;

@@ -748,6 +748,70 @@ Result<std::vector<RowVec>> ShuffleRowsByKeyExpr(ExecutorContext& ctx,
   return output;
 }
 
+Result<BinaryPartitions> ShuffleEncodedByKeyExpr(
+    ExecutorContext& ctx, const PartitionVec& input, const Schema& schema,
+    const ExprPtr& key, const HashPartitioner& partitioner,
+    bool keep_null_keys) {
+  const int num_out = partitioner.num_partitions();
+  std::vector<BinaryPartitions> buckets(input.size());
+  uint64_t total_rows = 0;
+  uint64_t total_bytes = 0;
+  Status first_error;
+  std::mutex mu;
+  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
+    ctx.metrics().AddTask();
+    BinaryPartitions local(static_cast<size_t>(num_out));
+    std::vector<uint8_t> scratch;
+    uint64_t rows = 0;
+    uint64_t bytes = 0;
+    // Row-represented partitions are routed by reference; only columnar
+    // chunks materialize an intermediate RowVec.
+    RowVec materialized;
+    if (input[p].is_columnar()) materialized = input[p].ToRows();
+    const RowVec& src = input[p].is_columnar() ? materialized : input[p].rows();
+    auto route = [&]() -> Status {
+      for (const Row& row : src) {
+        IDF_ASSIGN_OR_RETURN(Value kv, key->Eval(row));
+        if (kv.is_null() && !keep_null_keys) continue;  // inner: never match
+        int target = kv.is_null() ? 0 : partitioner.PartitionOf(kv);
+        IDF_RETURN_NOT_OK(
+            local[static_cast<size_t>(target)].AppendRow(schema, row, &scratch));
+        bytes += scratch.size();
+        ++rows;
+      }
+      return Status::OK();
+    };
+    Status st = route();
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = st;
+      return;
+    }
+    buckets[p] = std::move(local);
+    std::lock_guard<std::mutex> lock(mu);
+    total_rows += rows;
+    total_bytes += bytes;
+  });
+  IDF_RETURN_NOT_OK(first_error);
+  ctx.metrics().AddShuffledRows(total_rows);
+  ctx.metrics().AddShuffledBytes(total_bytes);
+  ctx.metrics().AddShuffleEncodedBytes(total_bytes);
+
+  BinaryPartitions output(static_cast<size_t>(num_out));
+  ctx.pool().ParallelFor(static_cast<size_t>(num_out), [&](size_t out) {
+    ctx.metrics().AddTask();
+    size_t rows = 0;
+    size_t bytes = 0;
+    for (const BinaryPartitions& b : buckets) {
+      rows += b[out].num_rows();
+      bytes += b[out].byte_size();
+    }
+    output[out].Reserve(rows, bytes);
+    for (const BinaryPartitions& b : buckets) output[out].Append(b[out]);
+  });
+  return output;
+}
+
 namespace {
 
 Row NullPad(size_t width) { return Row(width, Value::Null()); }

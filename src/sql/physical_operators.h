@@ -228,6 +228,17 @@ Result<std::vector<RowVec>> ShuffleRowsByKeyExpr(ExecutorContext& ctx,
                                                  const HashPartitioner& partitioner,
                                                  bool keep_null_keys = false);
 
+/// Binary exchange variant of ShuffleRowsByKeyExpr: map tasks evaluate the
+/// key, encode each surviving row once (`EncodeRow` against `schema`) into
+/// per-task, per-destination byte buffers; reduce tasks concatenate whole
+/// buffers. The far side decodes lazily (per column) — no materialized Row
+/// ever crosses the exchange. Null keys are dropped (inner-join
+/// semantics) unless `keep_null_keys` routes them to partition 0.
+Result<BinaryPartitions> ShuffleEncodedByKeyExpr(
+    ExecutorContext& ctx, const PartitionVec& input, const Schema& schema,
+    const ExprPtr& key, const HashPartitioner& partitioner,
+    bool keep_null_keys = false);
+
 /// Hash table from key value to row indices (equi-join build side).
 struct JoinHashTable {
   std::vector<Row> rows;

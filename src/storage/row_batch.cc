@@ -28,6 +28,12 @@ uint64_t ReadSlot(const uint8_t* base, size_t bitmap_bytes, int col) {
 
 Status EncodeRow(const Schema& schema, const Row& row, std::vector<uint8_t>* out) {
   IDF_RETURN_NOT_OK(ValidateRow(schema, row));
+  EncodeRowUnchecked(schema, row, out);
+  return Status::OK();
+}
+
+void EncodeRowUnchecked(const Schema& schema, const Row& row,
+                        std::vector<uint8_t>* out) {
   const int n = schema.num_fields();
   const size_t bitmap_bytes = BitmapBytes(n);
   const size_t fixed_bytes = static_cast<size_t>(n) * 8;
@@ -76,7 +82,6 @@ Status EncodeRow(const Schema& schema, const Row& row, std::vector<uint8_t>* out
     }
     std::memcpy(out->data() + bitmap_bytes + static_cast<size_t>(i) * 8, &slot, 8);
   }
-  return Status::OK();
 }
 
 Value DecodeColumn(const uint8_t* base, const Schema& schema, int col) {

@@ -36,6 +36,12 @@ namespace idf {
 /// replacing its contents. The encoding excludes the back-pointer header.
 Status EncodeRow(const Schema& schema, const Row& row, std::vector<uint8_t>* out);
 
+/// EncodeRow without the per-row ValidateRow pass. For engine-internal hot
+/// paths (e.g. the binary shuffle) whose rows were already validated at
+/// ingestion; encoding a row that does not conform to `schema` is UB.
+void EncodeRowUnchecked(const Schema& schema, const Row& row,
+                        std::vector<uint8_t>* out);
+
 /// Decodes a full row from an encoded payload at `base`.
 Row DecodeRow(const uint8_t* base, const Schema& schema);
 

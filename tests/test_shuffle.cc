@@ -110,6 +110,103 @@ TEST(ShuffleTest, MetricsAccountVolume) {
   EXPECT_GT(ctx->metrics().tasks_run(), 0u);
 }
 
+SchemaPtr BinarySchema() {
+  return Schema::Make({{"k", TypeId::kInt64, true},
+                       {"s", TypeId::kString, true},
+                       {"d", TypeId::kFloat64, true}});
+}
+
+RowVec BinaryRowsFixture() {
+  RowVec rows;
+  for (int64_t i = 0; i < 300; ++i) {
+    rows.push_back({Value(i % 37), Value("s" + std::to_string(i)),
+                    Value(static_cast<double>(i) * 0.5)});
+  }
+  rows.push_back({Value::Null(), Value("null-key"), Value::Null()});
+  rows.push_back({Value(int64_t{5}), Value::Null(), Value(1.25)});
+  return rows;
+}
+
+TEST(BinaryShuffleTest, MatchesRowShuffleRowForRow) {
+  auto ctx = MakeCtx(5, 3);
+  SchemaPtr schema = BinarySchema();
+  PartitionedRows input = SplitRoundRobin(BinaryRowsFixture(), 3);
+  HashPartitioner partitioner(5);
+  PartitionedRows expected = ShuffleByKey(*ctx, input, 0, partitioner);
+  BinaryPartitions actual =
+      ShuffleByKeyBinary(*ctx, input, *schema, 0, partitioner).ValueOrDie();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t p = 0; p < expected.size(); ++p) {
+    ASSERT_EQ(actual[p].num_rows(), expected[p].size()) << "partition " << p;
+    for (size_t i = 0; i < expected[p].size(); ++i) {
+      EXPECT_EQ(actual[p].Decode(i, *schema), expected[p][i])
+          << "partition " << p << " row " << i;
+    }
+  }
+}
+
+TEST(BinaryShuffleTest, NullKeysGoToPartitionZero) {
+  auto ctx = MakeCtx(4);
+  SchemaPtr schema = BinarySchema();
+  RowVec rows = {{Value::Null(), Value("a"), Value(1.0)},
+                 {Value::Null(), Value("b"), Value::Null()}};
+  BinaryPartitions out =
+      ShuffleByKeyBinary(*ctx, SplitRoundRobin(rows, 2), *schema, 0,
+                         HashPartitioner(4))
+          .ValueOrDie();
+  EXPECT_EQ(out[0].num_rows(), 2u);
+  EXPECT_EQ(out[1].num_rows() + out[2].num_rows() + out[3].num_rows(), 0u);
+}
+
+TEST(BinaryShuffleTest, LazyColumnDecodeSeesShuffledValues) {
+  auto ctx = MakeCtx(3);
+  SchemaPtr schema = BinarySchema();
+  PartitionedRows input = SplitRoundRobin(BinaryRowsFixture(), 2);
+  HashPartitioner partitioner(3);
+  BinaryPartitions out =
+      ShuffleByKeyBinary(*ctx, input, *schema, 0, partitioner).ValueOrDie();
+  size_t total = 0;
+  for (size_t p = 0; p < out.size(); ++p) {
+    for (size_t i = 0; i < out[p].num_rows(); ++i) {
+      Value k = DecodeColumn(out[p].payload(i), *schema, 0);
+      if (!k.is_null()) {
+        EXPECT_EQ(partitioner.PartitionOf(k), static_cast<int>(p));
+      }
+      EXPECT_GT(out[p].payload_size(i), 0u);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 302u);
+}
+
+TEST(BinaryShuffleTest, MetricsAccountEncodedVolume) {
+  auto ctx = MakeCtx(4);
+  ctx->metrics().Reset();
+  SchemaPtr schema = BinarySchema();
+  ShuffleByKeyBinary(*ctx, SplitRoundRobin(BinaryRowsFixture(), 2), *schema, 0,
+                     HashPartitioner(4))
+      .ValueOrDie();
+  EXPECT_EQ(ctx->metrics().shuffled_rows(), 302u);
+  EXPECT_GT(ctx->metrics().shuffle_encoded_bytes(), 0u);
+  EXPECT_GT(ctx->metrics().shuffled_bytes(), 0u);
+}
+
+TEST(BinaryRowsTest, AppendBuffersConcatenates) {
+  SchemaPtr schema = Schema::Make({{"k", TypeId::kInt64, false}});
+  std::vector<uint8_t> scratch;
+  BinaryRows a;
+  BinaryRows b;
+  ASSERT_TRUE(a.AppendRow(*schema, {Value(int64_t{1})}, &scratch).ok());
+  ASSERT_TRUE(b.AppendRow(*schema, {Value(int64_t{2})}, &scratch).ok());
+  ASSERT_TRUE(b.AppendRow(*schema, {Value(int64_t{3})}, &scratch).ok());
+  a.Append(b);
+  ASSERT_EQ(a.num_rows(), 3u);
+  EXPECT_EQ(a.Decode(0, *schema)[0], Value(int64_t{1}));
+  EXPECT_EQ(a.Decode(1, *schema)[0], Value(int64_t{2}));
+  EXPECT_EQ(a.Decode(2, *schema)[0], Value(int64_t{3}));
+  EXPECT_EQ(a.byte_size(), 3 * (4 + a.payload_size(0)));
+}
+
 TEST(BroadcastTest, SharesRowsAndAccountsBytes) {
   auto ctx = MakeCtx(4, 3);
   ctx->metrics().Reset();
@@ -134,12 +231,22 @@ TEST(MetricsTest, ResetClearsCounters) {
   m.AddShuffledRows(5);
   m.AddIndexProbes(2);
   m.AddRowsProduced(9);
+  m.AddMorsels(3);
+  m.AddShuffleEncodedBytes(77);
+  m.AddDecodesAvoided(4);
   EXPECT_EQ(m.shuffled_rows(), 5u);
+  EXPECT_EQ(m.morsels_dispatched(), 3u);
+  EXPECT_EQ(m.shuffle_encoded_bytes(), 77u);
+  EXPECT_EQ(m.decodes_avoided(), 4u);
   m.Reset();
   EXPECT_EQ(m.shuffled_rows(), 0u);
   EXPECT_EQ(m.index_probes(), 0u);
   EXPECT_EQ(m.rows_produced(), 0u);
+  EXPECT_EQ(m.morsels_dispatched(), 0u);
+  EXPECT_EQ(m.shuffle_encoded_bytes(), 0u);
+  EXPECT_EQ(m.decodes_avoided(), 0u);
   EXPECT_NE(m.ToString().find("shuffled_rows=0"), std::string::npos);
+  EXPECT_NE(m.ToString().find("morsels=0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 // Unit tests for the executor thread pool.
 #include "engine/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -85,6 +87,84 @@ TEST(ThreadPoolTest, DestructorDrainsCleanly) {
 TEST(ThreadPoolTest, NumThreadsReported) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ParallelForRangeTest, CoversRangeExactlyOnceWithAlignedChunks) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10007;  // prime: the last chunk is ragged
+  constexpr size_t kGrain = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<int> bad_chunks{0};
+  size_t chunks = pool.ParallelForRange(kN, kGrain, [&](size_t begin, size_t end) {
+    if (begin % kGrain != 0 || end != std::min(kN, begin + kGrain)) {
+      bad_chunks.fetch_add(1);
+    }
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(chunks, (kN + kGrain - 1) / kGrain);
+  EXPECT_EQ(bad_chunks.load(), 0);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForRangeTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  bool ran = false;
+  size_t chunks = pool.ParallelForRange(0, 64, [&](size_t, size_t) { ran = true; });
+  EXPECT_EQ(chunks, 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForRangeTest, SmallerThanGrainRunsInlineAsOneChunk) {
+  ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed;
+  size_t seen_begin = 99;
+  size_t seen_end = 0;
+  size_t chunks = pool.ParallelForRange(10, 64, [&](size_t begin, size_t end) {
+    executed = std::this_thread::get_id();
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(chunks, 1u);
+  EXPECT_EQ(executed, caller);
+  EXPECT_EQ(seen_begin, 0u);
+  EXPECT_EQ(seen_end, 10u);
+}
+
+TEST(ParallelForRangeTest, ZeroGrainTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<size_t> covered{0};
+  size_t chunks = pool.ParallelForRange(17, 0, [&](size_t begin, size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(chunks, 17u);
+  EXPECT_EQ(covered.load(), 17u);
+}
+
+TEST(ParallelForRangeTest, NestedCallsFromWorkersRunInline) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  pool.ParallelForRange(256, 16, [&](size_t begin, size_t end) {
+    // Reentrant use from a worker must not deadlock on the pool.
+    pool.ParallelForRange(end - begin, 4, [&](size_t b, size_t e) {
+      total.fetch_add(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 256u);
+}
+
+TEST(ParallelForRangeTest, SkewedPerChunkWorkCompletes) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  // Chunk 0 does ~all the work; the cursor hands the rest to idle workers.
+  pool.ParallelForRange(4096, 64, [&](size_t begin, size_t end) {
+    uint64_t local = 0;
+    size_t spins = begin == 0 ? 200000 : 10;
+    for (size_t s = 0; s < spins; ++s) local += s % 7;
+    for (size_t i = begin; i < end; ++i) local += 1;
+    sum.fetch_add(local >= (end - begin) ? end - begin : 0);
+  });
+  EXPECT_EQ(sum.load(), 4096u);
 }
 
 }  // namespace
