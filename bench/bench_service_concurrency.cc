@@ -1,0 +1,220 @@
+// Service concurrency benchmark: N reader threads issuing point-lookup
+// SQL through the QueryService, first against an idle table, then with a
+// live appender streaming batches into the same table. Reports exact
+// (sort-based) p50/p95/p99 reader latency for both phases and the
+// live/idle p99 ratio — the demo's "low-latency queries on updatable
+// data" claim quantified: MVCC snapshot pinning must keep reader tails
+// within a small factor of the idle tails while the index ingests.
+//
+// Like the other benches, writes machine-readable JSON (consumed by CI)
+// to BENCH_service_concurrency.json unless --benchmark_out is given.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "indexed/indexed_dataframe.h"
+#include "service/query_service.h"
+
+namespace idf {
+namespace {
+
+constexpr int64_t kTableRows = 100000;
+constexpr int kQueriesPerReader = 400;
+// The live append stream: one batch per millisecond. Small batches keep
+// the epoch-gate hold (and thus the reader pin wait) short — the paper's
+// streaming scenario, not a bulk load.
+constexpr int64_t kAppendBatchRows = 128;
+constexpr std::chrono::milliseconds kAppendInterval{1};
+
+SchemaPtr PostSchema() {
+  return Schema::Make({{"id", TypeId::kInt64, false},
+                       {"creator", TypeId::kInt64, false},
+                       {"content", TypeId::kString, false}});
+}
+
+RowVec MakeRows(int64_t begin, int64_t end) {
+  RowVec rows;
+  rows.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    rows.push_back(
+        {Value(i), Value(i % 1000), Value("content-" + std::to_string(i))});
+  }
+  return rows;
+}
+
+QueryServicePtr BuildService(size_t max_inflight) {
+  ServiceConfig cfg;
+  cfg.max_inflight = max_inflight;
+  cfg.max_queue = 256;
+  auto service = QueryService::Make(cfg).ValueOrDie();
+  auto session = Session::Make(cfg.engine).ValueOrDie();
+  auto df = session->CreateDataFrame(PostSchema(), MakeRows(0, kTableRows),
+                                     "posts")
+                .ValueOrDie();
+  auto rel =
+      IndexedDataFrame::CreateIndex(df, 0, "posts_by_id").ValueOrDie().relation();
+  IDF_CHECK(service->RegisterTable("posts", rel).ok());
+  return service;
+}
+
+uint64_t Pct(std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+/// Runs `readers` threads of point lookups; returns sorted latencies (us).
+/// With `appender_rows` non-null, a 1-thread append stream runs alongside
+/// and its committed row count is reported there.
+std::vector<uint64_t> RunReaders(const QueryServicePtr& service, int readers,
+                                 int64_t* appender_rows) {
+  std::atomic<bool> stop{false};
+  std::thread appender;
+  if (appender_rows != nullptr) {
+    appender = std::thread([&] {
+      int64_t next = kTableRows;
+      while (!stop.load(std::memory_order_acquire)) {
+        IDF_CHECK(
+            service->Append("posts", MakeRows(next, next + kAppendBatchRows))
+                .ok());
+        next += kAppendBatchRows;
+        std::this_thread::sleep_for(kAppendInterval);
+      }
+      *appender_rows = next - kTableRows;
+    });
+  }
+
+  std::vector<std::vector<uint64_t>> per_reader(static_cast<size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<uint64_t>& lat = per_reader[static_cast<size_t>(r)];
+      lat.reserve(kQueriesPerReader);
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        // Spread lookups over the whole id range, distinct per reader.
+        int64_t id = (static_cast<int64_t>(q) * 7919 + r * 13) % kTableRows;
+        QueryResult res = service->Execute(
+            "SELECT content FROM posts WHERE id = " + std::to_string(id));
+        IDF_CHECK(res.ok());
+        IDF_CHECK(res.rows.size() == 1);
+        lat.push_back(res.total_micros);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  if (appender.joinable()) appender.join();
+
+  std::vector<uint64_t> all;
+  all.reserve(static_cast<size_t>(readers) * kQueriesPerReader);
+  for (const auto& v : per_reader) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+/// Idle phase then live-append phase over the same fresh service; exports
+/// both latency profiles and the live/idle p99 ratio as counters.
+void BM_ReadersUnderLiveAppend(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    QueryServicePtr service = BuildService(/*max_inflight=*/readers);
+
+    std::vector<uint64_t> idle = RunReaders(service, readers, nullptr);
+    int64_t appended = 0;
+    std::vector<uint64_t> live = RunReaders(service, readers, &appended);
+
+    state.counters["idle_p50_us"] = static_cast<double>(Pct(idle, 0.50));
+    state.counters["idle_p95_us"] = static_cast<double>(Pct(idle, 0.95));
+    state.counters["idle_p99_us"] = static_cast<double>(Pct(idle, 0.99));
+    state.counters["live_p50_us"] = static_cast<double>(Pct(live, 0.50));
+    state.counters["live_p95_us"] = static_cast<double>(Pct(live, 0.95));
+    state.counters["live_p99_us"] = static_cast<double>(Pct(live, 0.99));
+    const double idle_p99 = std::max(1.0, static_cast<double>(Pct(idle, 0.99)));
+    state.counters["p99_ratio_live_vs_idle"] =
+        static_cast<double>(Pct(live, 0.99)) / idle_p99;
+    state.counters["appended_rows"] = static_cast<double>(appended);
+    state.counters["queries"] = static_cast<double>(idle.size() + live.size());
+  }
+}
+
+BENCHMARK(BM_ReadersUnderLiveAppend)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Admission control under oversubscription: far more client threads than
+/// slots. Everything must drain — queued or rejected, never stuck.
+void BM_AdmissionOversubscribed(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ServiceConfig cfg;
+    cfg.max_inflight = 4;
+    cfg.max_queue = 8;
+    QueryServicePtr service = BuildService(cfg.max_inflight);
+    std::atomic<int64_t> ok{0};
+    std::atomic<int64_t> rejected{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int q = 0; q < 25; ++q) {
+          QueryResult r = service->Execute(
+              "SELECT content FROM posts WHERE id = " +
+              std::to_string((c * 101 + q) % kTableRows));
+          if (r.ok()) {
+            ok.fetch_add(1);
+          } else {
+            IDF_CHECK(r.status.IsCapacityError());
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.counters["ok"] = static_cast<double>(ok.load());
+    state.counters["rejected"] = static_cast<double>(rejected.load());
+  }
+}
+
+BENCHMARK(BM_AdmissionOversubscribed)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace idf
+
+// Like BENCHMARK_MAIN(), but defaults to also writing machine-readable
+// JSON results to BENCH_service_concurrency.json (consumed by CI) when
+// the caller passes no --benchmark_out of their own.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_service_concurrency.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

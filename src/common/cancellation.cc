@@ -1,0 +1,24 @@
+#include "common/cancellation.h"
+
+namespace idf {
+
+CancellationTokenPtr CancellationToken::WithDeadline(Clock::time_point deadline) {
+  auto token = std::make_shared<CancellationToken>();
+  token->SetDeadline(deadline);
+  return token;
+}
+
+CancellationTokenPtr CancellationToken::WithTimeout(
+    std::chrono::nanoseconds timeout) {
+  return WithDeadline(Clock::now() + timeout);
+}
+
+Status CancellationToken::CheckStatus() const {
+  if (deadline_expired()) {
+    return Status::DeadlineExceeded("query deadline expired");
+  }
+  if (cancelled()) return Status::Cancelled("query cancelled");
+  return Status::OK();
+}
+
+}  // namespace idf

@@ -1,0 +1,71 @@
+// CancellationToken: cooperative cancellation plus an optional deadline,
+// shared between a query's client (who may Cancel()) and the workers
+// executing it (who poll stop_requested() at morsel boundaries). A token
+// never interrupts a running morsel; it stops the next one from starting,
+// so a cancelled query stops consuming pool workers within one morsel
+// grain of the request.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace idf {
+
+class CancellationToken;
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+
+  static CancellationTokenPtr Make() {
+    return std::make_shared<CancellationToken>();
+  }
+  static CancellationTokenPtr WithDeadline(Clock::time_point deadline);
+  static CancellationTokenPtr WithTimeout(std::chrono::nanoseconds timeout);
+
+  /// Requests stop (client-side cancel). Idempotent; thread-safe.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Sets/overrides the deadline. Thread-safe (the query service arms a
+  /// default deadline on caller-supplied tokens that may be shared
+  /// already). A deadline equal to the clock epoch is treated as "none".
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+  Clock::time_point deadline() const {
+    return Clock::time_point(
+        Clock::duration(deadline_ns_.load(std::memory_order_acquire)));
+  }
+  bool deadline_expired() const {
+    const int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+    return ns != 0 && Clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// True once work should stop: explicit cancel or expired deadline.
+  bool stop_requested() const { return cancelled() || deadline_expired(); }
+
+  /// OK while running; Cancelled / DeadlineExceeded once stopped. The
+  /// deadline is reported in preference to a cancel that raced with it
+  /// only when it actually expired (cancel wins otherwise).
+  Status CheckStatus() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Deadline as steady-clock nanoseconds-since-epoch; 0 means no deadline
+  /// (the steady clock's epoch is process start, so 0 is never a real
+  /// deadline in practice).
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace idf

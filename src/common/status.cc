@@ -38,6 +38,8 @@ std::string StatusCodeToString(StatusCode code) {
       return "CapacityError";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : char {
   kInternal = 7,
   kCapacityError = 8,
   kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Operation outcome: OK, or an error code plus message.
@@ -70,6 +71,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -82,6 +86,10 @@ class Status {
   bool IsCapacityError() const { return code() == StatusCode::kCapacityError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// Human-readable "<Code>: <message>" rendering.
   std::string ToString() const;

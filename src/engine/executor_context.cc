@@ -9,14 +9,29 @@ namespace {
 constexpr size_t kMinMorselRows = 256;
 }  // namespace
 
-ExecutorContext::ExecutorContext(EngineConfig config)
-    : config_(config), pool_(std::make_unique<ThreadPool>(config.num_threads)) {}
+ExecutorContext::ExecutorContext(EngineConfig config,
+                                 std::shared_ptr<ThreadPool> pool)
+    : config_(config), pool_(std::move(pool)) {}
 
 Result<std::shared_ptr<ExecutorContext>> ExecutorContext::Make(
     const EngineConfig& config) {
   EngineConfig resolved = config.Resolved();
   IDF_RETURN_NOT_OK(resolved.Validate());
-  return std::shared_ptr<ExecutorContext>(new ExecutorContext(resolved));
+  auto pool = std::make_shared<ThreadPool>(resolved.num_threads);
+  return std::shared_ptr<ExecutorContext>(
+      new ExecutorContext(resolved, std::move(pool)));
+}
+
+Result<std::shared_ptr<ExecutorContext>> ExecutorContext::MakeWithPool(
+    const EngineConfig& config, std::shared_ptr<ThreadPool> pool) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("MakeWithPool: null thread pool");
+  }
+  EngineConfig resolved = config.Resolved();
+  resolved.num_threads = pool->num_threads();
+  IDF_RETURN_NOT_OK(resolved.Validate());
+  return std::shared_ptr<ExecutorContext>(
+      new ExecutorContext(resolved, std::move(pool)));
 }
 
 size_t ExecutorContext::MorselGrain(size_t n) const {

@@ -1,10 +1,16 @@
 // ExecutorContext: the per-session runtime — resolved configuration, the
 // executor thread pool, and query metrics. One context is shared by all
 // DataFrames of a Session.
+//
+// The thread pool is shareable: the query service derives one lightweight
+// context per admitted query (own metrics, own cancellation token) over
+// the base session's pool, so concurrent queries interleave morsels on the
+// same workers without sharing mutable per-query state.
 #pragma once
 
 #include <memory>
 
+#include "common/cancellation.h"
 #include "common/config.h"
 #include "common/result.h"
 #include "engine/metrics.h"
@@ -17,9 +23,30 @@ class ExecutorContext {
   /// `config` is resolved (auto fields filled) and validated here.
   static Result<std::shared_ptr<ExecutorContext>> Make(const EngineConfig& config);
 
+  /// Derived context sharing an existing pool: fresh metrics and
+  /// cancellation slot, same workers. `config` is resolved and validated;
+  /// its num_threads is overridden by the pool's actual size (morsel
+  /// sizing must reflect the real worker count).
+  static Result<std::shared_ptr<ExecutorContext>> MakeWithPool(
+      const EngineConfig& config, std::shared_ptr<ThreadPool> pool);
+
   const EngineConfig& config() const { return config_; }
   ThreadPool& pool() { return *pool_; }
+  const std::shared_ptr<ThreadPool>& shared_pool() const { return pool_; }
   QueryMetrics& metrics() { return metrics_; }
+
+  /// Per-query cancellation. Null token (the default) never cancels.
+  /// Install before execution starts; not thread-safe against a running
+  /// query on this context.
+  void SetCancellation(CancellationTokenPtr token) { cancel_ = std::move(token); }
+  const CancellationToken* cancellation() const { return cancel_.get(); }
+
+  /// OK unless this context's token requests stop (operators call this at
+  /// entry and after each parallel region, turning a drained job into
+  /// Status::Cancelled / DeadlineExceeded).
+  Status CheckCancelled() const {
+    return cancel_ == nullptr ? Status::OK() : cancel_->CheckStatus();
+  }
 
   int num_partitions() const { return config_.num_partitions; }
 
@@ -30,11 +57,12 @@ class ExecutorContext {
   size_t MorselGrain(size_t n) const;
 
  private:
-  explicit ExecutorContext(EngineConfig config);
+  ExecutorContext(EngineConfig config, std::shared_ptr<ThreadPool> pool);
 
   EngineConfig config_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<ThreadPool> pool_;
   QueryMetrics metrics_;
+  CancellationTokenPtr cancel_;
 };
 
 using ExecutorContextPtr = std::shared_ptr<ExecutorContext>;

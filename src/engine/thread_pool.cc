@@ -49,12 +49,16 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const CancellationToken* cancel) {
   if (n == 0) return;
   if (n == 1 || is_worker_) {
     // Nested parallelism runs inline: a worker blocking on sub-tasks could
     // exhaust the pool and deadlock.
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->stop_requested()) break;
+      fn(i);
+    }
     return;
   }
   // Shared state outlives this call: trailing shard tasks may still touch
@@ -70,11 +74,13 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   state->body = fn;
   size_t shards = std::min(n, static_cast<size_t>(num_threads()));
   for (size_t s = 0; s < shards; ++s) {
-    Submit([state, n] {
+    Submit([state, n, cancel] {
       for (;;) {
         size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
-        state->body(i);
+        // A stopped job drains its remaining iterations without running
+        // the body, so the completion count still reaches n.
+        if (cancel == nullptr || !cancel->stop_requested()) state->body(i);
         if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
           std::lock_guard<std::mutex> lock(state->mu);
           state->cv.notify_all();
@@ -88,7 +94,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 size_t ThreadPool::ParallelForRange(size_t n, size_t grain,
-                                    const std::function<void(size_t, size_t)>& fn) {
+                                    const std::function<void(size_t, size_t)>& fn,
+                                    const CancellationToken* cancel) {
   if (n == 0) return 0;
   if (grain == 0) grain = 1;
   const size_t num_chunks = (n + grain - 1) / grain;
@@ -96,6 +103,7 @@ size_t ThreadPool::ParallelForRange(size_t n, size_t grain,
     // Single chunk (no dispatch overhead for small jobs) or nested call
     // from a worker, which must run inline to avoid pool exhaustion.
     for (size_t begin = 0; begin < n; begin += grain) {
+      if (cancel != nullptr && cancel->stop_requested()) break;
       fn(begin, std::min(n, begin + grain));
     }
     return num_chunks;
@@ -111,11 +119,16 @@ size_t ThreadPool::ParallelForRange(size_t n, size_t grain,
   state->body = fn;
   size_t shards = std::min(num_chunks, static_cast<size_t>(num_threads()));
   for (size_t s = 0; s < shards; ++s) {
-    Submit([state, n, grain, num_chunks] {
+    Submit([state, n, grain, num_chunks, cancel] {
       for (;;) {
         size_t begin = state->cursor.fetch_add(grain, std::memory_order_relaxed);
         if (begin >= n) break;
-        state->body(begin, std::min(n, begin + grain));
+        // Cancellation check at the morsel boundary: a stopped job drains
+        // its remaining chunks (counting them done) without running the
+        // body, freeing the workers within one morsel.
+        if (cancel == nullptr || !cancel->stop_requested()) {
+          state->body(begin, std::min(n, begin + grain));
+        }
         if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
           std::lock_guard<std::mutex> lock(state->mu);
           state->cv.notify_all();

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/macros.h"
 
 namespace idf {
@@ -27,8 +28,12 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
   /// until all iterations finish. Reentrant calls from worker threads run
-  /// inline to avoid deadlock.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// inline to avoid deadlock. When `cancel` requests stop, remaining
+  /// iterations are drained without running `fn` (already-started
+  /// iterations finish); the caller is responsible for turning the token
+  /// state into a Status.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const CancellationToken* cancel = nullptr);
 
   /// Morsel-driven variant: runs fn(begin, end) over chunks of `grain`
   /// indices carved out of [0, n) by an atomic cursor, so workers that
@@ -37,8 +42,14 @@ class ThreadPool {
   /// callers may index per-chunk state by `begin / grain`. Returns the
   /// number of chunks dispatched (the morsel count). Blocks until all
   /// chunks finish; reentrant calls from worker threads run inline.
+  ///
+  /// `cancel` makes the job cooperative: the token is polled before every
+  /// chunk, and once stop is requested the remaining chunks are drained
+  /// without running `fn` — a cancelled or timed-out query stops consuming
+  /// workers within one morsel, instead of scanning to completion.
   size_t ParallelForRange(size_t n, size_t grain,
-                          const std::function<void(size_t, size_t)>& fn);
+                          const std::function<void(size_t, size_t)>& fn,
+                          const CancellationToken* cancel = nullptr);
 
  private:
   void WorkerLoop();

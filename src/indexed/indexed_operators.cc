@@ -16,6 +16,11 @@ namespace {
 // instead of serializing the query on one partition-granular task. Chunk
 // outputs are tagged with their partition and reassembled in chunk order,
 // which preserves append order within every partition.
+//
+// Every parallel region is given the context's cancellation token: a
+// cancelled or timed-out query drains its remaining morsels without running
+// them, and the driver converts the token state into Cancelled /
+// DeadlineExceeded instead of returning partial output.
 // ---------------------------------------------------------------------------
 
 /// Payload pointers of every row, per partition, plus cumulative row counts
@@ -30,13 +35,16 @@ FlatRaw CollectRaw(ExecutorContext& ctx, const IndexedRelationSnapshot& snap) {
   FlatRaw flat;
   const size_t num_parts = static_cast<size_t>(snap.num_partitions());
   flat.per_part.resize(num_parts);
-  ctx.pool().ParallelFor(num_parts, [&](size_t p) {
-    std::vector<const uint8_t*>& refs = flat.per_part[p];
-    refs.reserve(snap.view(static_cast<int>(p)).num_rows());
-    snap.view(static_cast<int>(p)).ScanRaw([&refs](const uint8_t* payload) {
-      refs.push_back(payload);
-    });
-  });
+  ctx.pool().ParallelFor(
+      num_parts,
+      [&](size_t p) {
+        std::vector<const uint8_t*>& refs = flat.per_part[p];
+        refs.reserve(snap.view(static_cast<int>(p)).num_rows());
+        snap.view(static_cast<int>(p)).ScanRaw([&refs](const uint8_t* payload) {
+          refs.push_back(payload);
+        });
+      },
+      ctx.cancellation());
   flat.part_end.resize(num_parts);
   for (size_t p = 0; p < num_parts; ++p) {
     flat.total += flat.per_part[p].size();
@@ -98,9 +106,10 @@ PartitionVec AssemblePieces(ExecutorContext& ctx, size_t num_parts,
 /// morsels write directly into the preallocated result — no per-chunk
 /// buffers, no reassembly.
 template <typename PerRow>
-PartitionVec MorselScanDense(ExecutorContext& ctx,
-                             const IndexedRelationSnapshot& snap,
-                             const PerRow& per_row) {
+Result<PartitionVec> MorselScanDense(ExecutorContext& ctx,
+                                     const IndexedRelationSnapshot& snap,
+                                     const PerRow& per_row) {
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   FlatRaw flat = CollectRaw(ctx, snap);
   const size_t num_parts = static_cast<size_t>(snap.num_partitions());
   const size_t n = flat.total;
@@ -108,7 +117,8 @@ PartitionVec MorselScanDense(ExecutorContext& ctx,
   std::vector<RowVec> rows(num_parts);
   for (size_t p = 0; p < num_parts; ++p) rows[p].resize(flat.per_part[p].size());
   size_t dispatched = ctx.pool().ParallelForRange(
-      n, ctx.MorselGrain(n), [&](size_t begin, size_t end) {
+      n, ctx.MorselGrain(n),
+      [&](size_t begin, size_t end) {
         ctx.metrics().AddTask();
         size_t i = begin;
         size_t p = PartitionOfIndex(flat.part_end, begin);
@@ -119,7 +129,9 @@ PartitionVec MorselScanDense(ExecutorContext& ctx,
           for (; i < pend; ++i) dst[i - pstart] = per_row(flat.per_part[p][i - pstart]);
           ++p;
         }
-      });
+      },
+      ctx.cancellation());
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   ctx.metrics().AddMorsels(dispatched);
   ctx.metrics().AddRowsProduced(n);
   PartitionVec out;
@@ -132,33 +144,81 @@ PartitionVec MorselScanDense(ExecutorContext& ctx,
 /// `per_row(payload, &out_rows)` over every row, collecting per-chunk
 /// (partition, rows) pieces that are reassembled in chunk order.
 template <typename PerRow>
-PartitionVec MorselScan(ExecutorContext& ctx, const IndexedRelationSnapshot& snap,
-                        const PerRow& per_row) {
+Result<PartitionVec> MorselScan(ExecutorContext& ctx,
+                                const IndexedRelationSnapshot& snap,
+                                const PerRow& per_row) {
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   FlatRaw flat = CollectRaw(ctx, snap);
   const size_t num_parts = static_cast<size_t>(snap.num_partitions());
   const size_t n = flat.total;
   ctx.metrics().AddRowsScanned(n);
   const size_t grain = ctx.MorselGrain(n);
   std::vector<std::vector<MorselPiece>> chunks(n == 0 ? 0 : (n + grain - 1) / grain);
-  size_t dispatched = ctx.pool().ParallelForRange(n, grain, [&](size_t begin,
-                                                                size_t end) {
-    ctx.metrics().AddTask();
-    std::vector<MorselPiece> pieces;
-    size_t i = begin;
-    size_t p = PartitionOfIndex(flat.part_end, begin);
-    while (i < end) {
-      const size_t pstart = p == 0 ? 0 : flat.part_end[p - 1];
-      const size_t pend = std::min(end, flat.part_end[p]);
-      MorselPiece piece{p, {}};
-      piece.rows.reserve(pend - i);  // exact for scans, upper bound for filters
-      for (; i < pend; ++i) per_row(flat.per_part[p][i - pstart], &piece.rows);
-      if (!piece.rows.empty()) pieces.push_back(std::move(piece));
-      ++p;
-    }
-    chunks[begin / grain] = std::move(pieces);
-  });
+  size_t dispatched = ctx.pool().ParallelForRange(
+      n, grain,
+      [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        std::vector<MorselPiece> pieces;
+        size_t i = begin;
+        size_t p = PartitionOfIndex(flat.part_end, begin);
+        while (i < end) {
+          const size_t pstart = p == 0 ? 0 : flat.part_end[p - 1];
+          const size_t pend = std::min(end, flat.part_end[p]);
+          MorselPiece piece{p, {}};
+          piece.rows.reserve(pend - i);  // exact for scans, upper bound for filters
+          for (; i < pend; ++i) per_row(flat.per_part[p][i - pstart], &piece.rows);
+          if (!piece.rows.empty()) pieces.push_back(std::move(piece));
+          ++p;
+        }
+        chunks[begin / grain] = std::move(pieces);
+      },
+      ctx.cancellation());
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   ctx.metrics().AddMorsels(dispatched);
   return AssemblePieces(ctx, num_parts, chunks);
+}
+
+/// Shared driver for point lookups (live and pinned): each key routes to
+/// its home partition and the backward-pointer chain is walked. Lookups
+/// are heavier per item than scan rows (trie descent + chain walk), so an
+/// IN-list splits into small per-task key ranges instead of counting as
+/// one task.
+Result<PartitionVec> LookupKeys(ExecutorContext& ctx,
+                                const IndexedRelationSnapshot& snap,
+                                const std::vector<Value>& keys) {
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  const size_t n = keys.size();
+  const size_t threads = static_cast<size_t>(ctx.config().num_threads);
+  const size_t grain = std::max<size_t>(
+      1, std::min(ctx.config().morsel_rows, (n + threads * 4 - 1) / (threads * 4)));
+  std::vector<RowVec> chunks(n == 0 ? 0 : (n + grain - 1) / grain);
+  size_t dispatched = ctx.pool().ParallelForRange(
+      n, grain,
+      [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        RowVec rows;
+        uint64_t hits = 0;
+        for (size_t k = begin; k < end; ++k) {
+          RowVec matches = snap.GetRows(keys[k]);
+          if (!matches.empty()) ++hits;
+          for (Row& row : matches) rows.push_back(std::move(row));
+        }
+        ctx.metrics().AddIndexProbes(end - begin);
+        ctx.metrics().AddIndexHits(hits);
+        chunks[begin / grain] = std::move(rows);
+      },
+      ctx.cancellation());
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  ctx.metrics().AddMorsels(dispatched);
+  RowVec rows;
+  for (RowVec& c : chunks) {
+    rows.insert(rows.end(), std::make_move_iterator(c.begin()),
+                std::make_move_iterator(c.end()));
+  }
+  ctx.metrics().AddRowsProduced(rows.size());
+  PartitionVec out;
+  out.push_back(PartitionData(std::move(rows)));
+  return out;
 }
 
 }  // namespace
@@ -180,8 +240,9 @@ Result<PartitionVec> SnapshotScanOp::Execute(ExecutorContext& ctx) {
 }
 
 Result<PartitionVec> IndexedScanFilterOp::Execute(ExecutorContext& ctx) {
-  IndexedRelationSnapshot snap = rel_->Snapshot();
-  const Schema& schema = *rel_->schema();
+  std::optional<IndexedRelationSnapshot> scratch;
+  const IndexedRelationSnapshot& snap = source_.Snapshot(&scratch);
+  const Schema& schema = *source_.schema();
   return MorselScan(ctx, snap, [this, &schema](const uint8_t* payload, RowVec* out) {
     // Lazy decode: only the filter column, then — on a match — the full
     // row or just the projected columns.
@@ -202,8 +263,9 @@ Result<PartitionVec> IndexedScanFilterOp::Execute(ExecutorContext& ctx) {
 }
 
 Result<PartitionVec> IndexedScanProjectOp::Execute(ExecutorContext& ctx) {
-  IndexedRelationSnapshot snap = rel_->Snapshot();
-  const Schema& schema = *rel_->schema();
+  std::optional<IndexedRelationSnapshot> scratch;
+  const IndexedRelationSnapshot& snap = source_.Snapshot(&scratch);
+  const Schema& schema = *source_.schema();
   return MorselScanDense(ctx, snap, [this, &schema](const uint8_t* payload) {
     Row row;
     row.reserve(cols_.size());
@@ -214,41 +276,15 @@ Result<PartitionVec> IndexedScanProjectOp::Execute(ExecutorContext& ctx) {
 
 Result<PartitionVec> IndexLookupOp::Execute(ExecutorContext& ctx) {
   IndexedRelationSnapshot snap = rel_->Snapshot();
-  const size_t n = keys_.size();
-  // Lookups are heavier per item than scan rows (trie descent + chain
-  // walk), so an IN-list splits into small per-task key ranges instead of
-  // counting as one task.
-  const size_t threads = static_cast<size_t>(ctx.config().num_threads);
-  const size_t grain = std::max<size_t>(
-      1, std::min(ctx.config().morsel_rows, (n + threads * 4 - 1) / (threads * 4)));
-  std::vector<RowVec> chunks(n == 0 ? 0 : (n + grain - 1) / grain);
-  size_t dispatched =
-      ctx.pool().ParallelForRange(n, grain, [&](size_t begin, size_t end) {
-        ctx.metrics().AddTask();
-        RowVec rows;
-        uint64_t hits = 0;
-        for (size_t k = begin; k < end; ++k) {
-          RowVec matches = snap.GetRows(keys_[k]);
-          if (!matches.empty()) ++hits;
-          for (Row& row : matches) rows.push_back(std::move(row));
-        }
-        ctx.metrics().AddIndexProbes(end - begin);
-        ctx.metrics().AddIndexHits(hits);
-        chunks[begin / grain] = std::move(rows);
-      });
-  ctx.metrics().AddMorsels(dispatched);
-  RowVec rows;
-  for (RowVec& c : chunks) {
-    rows.insert(rows.end(), std::make_move_iterator(c.begin()),
-                std::make_move_iterator(c.end()));
-  }
-  ctx.metrics().AddRowsProduced(rows.size());
-  PartitionVec out;
-  out.push_back(PartitionData(std::move(rows)));
-  return out;
+  return LookupKeys(ctx, snap, keys_);
+}
+
+Result<PartitionVec> SnapshotLookupOp::Execute(ExecutorContext& ctx) {
+  return LookupKeys(ctx, snapshot_->snapshot(), keys_);
 }
 
 Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   IDF_ASSIGN_OR_RETURN(PartitionVec probe_parts, children()[0]->Execute(ctx));
   IndexedRelationSnapshot snap = rel_->Snapshot();
   const Schema& build_schema = *rel_->schema();
@@ -286,8 +322,9 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
     const size_t grain = ctx.MorselGrain(total);
     std::vector<std::vector<MorselPiece>> chunks(
         total == 0 ? 0 : (total + grain - 1) / grain);
-    size_t dispatched =
-        ctx.pool().ParallelForRange(total, grain, [&](size_t begin, size_t end) {
+    size_t dispatched = ctx.pool().ParallelForRange(
+        total, grain,
+        [&](size_t begin, size_t end) {
           ctx.metrics().AddTask();
           std::vector<MorselPiece> pieces;
           uint64_t probes = 0;
@@ -317,7 +354,81 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           ctx.metrics().AddIndexProbes(probes);
           ctx.metrics().AddIndexHits(hits);
           chunks[begin / grain] = std::move(pieces);
-        });
+        },
+        ctx.cancellation());
+    IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+    ctx.metrics().AddMorsels(dispatched);
+    return AssemblePieces(ctx, num_parts, chunks);
+  }
+
+  // Small shuffled probes take the legacy row exchange: when every probe
+  // row is decoded anyway (the all-hit case, e.g. the 2k-row fig2 join)
+  // the encode pass of the binary exchange is pure overhead, and at this
+  // scale it dominates. Large probes amortize encoding via lazy decode.
+  if (TotalRows(probe_parts) < ctx.config().binary_shuffle_min_rows) {
+    IDF_ASSIGN_OR_RETURN(
+        std::vector<RowVec> shuffled,
+        ShuffleRowsByKeyExpr(ctx, probe_parts, probe_key_, snap.partitioner()));
+    std::vector<size_t> part_end(num_parts);
+    size_t total = 0;
+    for (size_t p = 0; p < num_parts; ++p) {
+      total += shuffled[p].size();
+      part_end[p] = total;
+    }
+    const size_t grain = ctx.MorselGrain(total);
+    std::vector<std::vector<MorselPiece>> chunks(
+        total == 0 ? 0 : (total + grain - 1) / grain);
+    Status first_error;
+    std::mutex error_mu;
+    size_t dispatched = ctx.pool().ParallelForRange(
+        total, grain,
+        [&](size_t begin, size_t end) {
+          ctx.metrics().AddTask();
+          std::vector<MorselPiece> pieces;
+          uint64_t probes = 0;
+          uint64_t hits = 0;
+          size_t i = begin;
+          size_t p = PartitionOfIndex(part_end, begin);
+          while (i < end) {
+            const size_t pstart = p == 0 ? 0 : part_end[p - 1];
+            const size_t pend = std::min(end, part_end[p]);
+            const RowVec& rows = shuffled[p];
+            const IndexedPartition::View& view = snap.view(static_cast<int>(p));
+            MorselPiece piece{p, {}};
+            for (; i < pend; ++i) {
+              const Row& probe_row = rows[i - pstart];
+              Value key;
+              if (probe_key_col >= 0) {
+                key = probe_row[static_cast<size_t>(probe_key_col)];
+              } else {
+                auto v = probe_key_->Eval(probe_row);
+                if (!v.ok()) {
+                  std::lock_guard<std::mutex> lock(error_mu);
+                  if (first_error.ok()) first_error = v.status();
+                  return;
+                }
+                key = std::move(v).ValueUnsafe();
+              }
+              ++probes;
+              size_t matched =
+                  view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
+                    Row build_row = DecodeRow(build_payload, build_schema);
+                    piece.rows.push_back(indexed_on_left_
+                                             ? ConcatRows(build_row, probe_row)
+                                             : ConcatRows(probe_row, build_row));
+                  });
+              if (matched > 0) ++hits;
+            }
+            if (!piece.rows.empty()) pieces.push_back(std::move(piece));
+            ++p;
+          }
+          ctx.metrics().AddIndexProbes(probes);
+          ctx.metrics().AddIndexHits(hits);
+          chunks[begin / grain] = std::move(pieces);
+        },
+        ctx.cancellation());
+    IDF_RETURN_NOT_OK(first_error);
+    IDF_RETURN_NOT_OK(ctx.CheckCancelled());
     ctx.metrics().AddMorsels(dispatched);
     return AssemblePieces(ctx, num_parts, chunks);
   }
@@ -340,8 +451,9 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
       total == 0 ? 0 : (total + grain - 1) / grain);
   Status first_error;
   std::mutex error_mu;
-  size_t dispatched =
-      ctx.pool().ParallelForRange(total, grain, [&](size_t begin, size_t end) {
+  size_t dispatched = ctx.pool().ParallelForRange(
+      total, grain,
+      [&](size_t begin, size_t end) {
         ctx.metrics().AddTask();
         std::vector<MorselPiece> pieces;
         uint64_t probes = 0;
@@ -400,8 +512,10 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
         ctx.metrics().AddIndexHits(hits);
         ctx.metrics().AddDecodesAvoided(avoided);
         chunks[begin / grain] = std::move(pieces);
-      });
+      },
+      ctx.cancellation());
   IDF_RETURN_NOT_OK(first_error);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   ctx.metrics().AddMorsels(dispatched);
   return AssemblePieces(ctx, num_parts, chunks);
 }

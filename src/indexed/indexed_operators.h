@@ -4,6 +4,8 @@
 // shuffle or broadcast against the pre-built index).
 #pragma once
 
+#include <optional>
+
 #include "indexed/indexed_relation.h"
 #include "sql/physical_operators.h"
 #include "sql/physical_plan.h"
@@ -39,35 +41,63 @@ class SnapshotScanOp : public PhysicalOp {
   PinnedSnapshotPtr snapshot_;
 };
 
+/// The data a fused scan operator reads: a live indexed relation (fresh
+/// snapshot per execution) or a pinned one (always the frozen version).
+/// Exactly one of the two is set.
+struct ScanSource {
+  IndexedRelationPtr rel;
+  PinnedSnapshotPtr pin;
+
+  ScanSource(IndexedRelationPtr r) : rel(std::move(r)) {}  // NOLINT(runtime/explicit)
+  ScanSource(PinnedSnapshotPtr p) : pin(std::move(p)) {}   // NOLINT(runtime/explicit)
+
+  bool valid() const { return rel != nullptr || pin != nullptr; }
+
+  const std::string& name() const { return rel ? rel->name() : pin->name(); }
+  const SchemaPtr& schema() const { return rel ? rel->schema() : pin->schema(); }
+
+  /// The snapshot to read: freshly captured for a live relation (parked in
+  /// `scratch`, which must outlive the returned reference), the frozen one
+  /// for a pin. Snapshots are move-only (the per-partition views hold trie
+  /// roots), hence the out-parameter instead of a by-value return.
+  const IndexedRelationSnapshot& Snapshot(
+      std::optional<IndexedRelationSnapshot>* scratch) const {
+    if (pin) return pin->snapshot();
+    scratch->emplace(rel->Snapshot());
+    return **scratch;
+  }
+};
+
 /// Fused scan + single-column comparison filter over the row batches:
 /// decodes only the filter column per row and materializes (optionally
 /// only the projected columns of) the row on a match. This is the
 /// lazy-decoding advantage of the binary row layout; the planner fuses
-/// `[Project over] Filter(col <op> lit)` over an IndexedScan into this
-/// operator when the filter cannot use the index itself.
+/// `[Project over] Filter(col <op> lit)` over an IndexedScan (or a pinned
+/// SnapshotScan) into this operator when the filter cannot use the index
+/// itself.
 class IndexedScanFilterOp : public PhysicalOp {
  public:
   /// `project_cols` empty means "all columns" (then `schema` must be the
   /// relation's schema).
-  IndexedScanFilterOp(IndexedRelationPtr rel, ExprPtr predicate,
+  IndexedScanFilterOp(ScanSource source, ExprPtr predicate,
                       CompareOp compare_op, int filter_col, Value literal,
                       std::vector<int> project_cols = {},
                       SchemaPtr schema = nullptr)
-      : PhysicalOp(schema ? std::move(schema) : rel->schema()),
-        rel_(std::move(rel)),
+      : PhysicalOp(schema ? std::move(schema) : source.schema()),
+        source_(std::move(source)),
         predicate_(std::move(predicate)),
         compare_op_(compare_op),
         filter_col_(filter_col),
         literal_(std::move(literal)),
         project_cols_(std::move(project_cols)) {}
   std::string name() const override {
-    return "IndexedScanFilter[" + rel_->name() + "] " + predicate_->ToString() +
+    return "IndexedScanFilter[" + source_.name() + "] " + predicate_->ToString() +
            (project_cols_.empty() ? "" : " (pruned)");
   }
   Result<PartitionVec> Execute(ExecutorContext& ctx) override;
 
  private:
-  IndexedRelationPtr rel_;
+  ScanSource source_;
   ExprPtr predicate_;
   CompareOp compare_op_;
   int filter_col_;
@@ -79,18 +109,18 @@ class IndexedScanFilterOp : public PhysicalOp {
 /// projected columns per row (column pruning for the row store).
 class IndexedScanProjectOp : public PhysicalOp {
  public:
-  IndexedScanProjectOp(IndexedRelationPtr rel, std::vector<int> cols,
+  IndexedScanProjectOp(ScanSource source, std::vector<int> cols,
                        SchemaPtr schema)
       : PhysicalOp(std::move(schema)),
-        rel_(std::move(rel)),
+        source_(std::move(source)),
         cols_(std::move(cols)) {}
   std::string name() const override {
-    return "IndexedScanProject[" + rel_->name() + "]";
+    return "IndexedScanProject[" + source_.name() + "]";
   }
   Result<PartitionVec> Execute(ExecutorContext& ctx) override;
 
  private:
-  IndexedRelationPtr rel_;
+  ScanSource source_;
   std::vector<int> cols_;
 };
 
@@ -110,6 +140,27 @@ class IndexLookupOp : public PhysicalOp {
 
  private:
   IndexedRelationPtr rel_;
+  std::vector<Value> keys_;
+};
+
+/// Point lookup against a pinned snapshot: identical chain walk, but over
+/// the frozen per-partition views, so a service query reads its epoch's
+/// version at index speed while appends keep landing in the live relation.
+class SnapshotLookupOp : public PhysicalOp {
+ public:
+  SnapshotLookupOp(PinnedSnapshotPtr snapshot, std::vector<Value> keys)
+      : PhysicalOp(snapshot->schema()),
+        snapshot_(std::move(snapshot)),
+        keys_(std::move(keys)) {}
+  std::string name() const override {
+    std::string out = "SnapshotLookup[" + snapshot_->name() + "] key=";
+    if (keys_.size() == 1) return out + keys_[0].ToString();
+    return out + "{" + std::to_string(keys_.size()) + " keys}";
+  }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  PinnedSnapshotPtr snapshot_;
   std::vector<Value> keys_;
 };
 

@@ -66,6 +66,7 @@ class PinnedSnapshot : public SnapshotRelationBase {
 
   const std::string& name() const override { return name_; }
   const SchemaPtr& schema() const override { return snapshot_.schema(); }
+  int indexed_column() const override { return snapshot_.indexed_column(); }
   uint64_t version() const override { return version_; }
   size_t num_rows() const override { return snapshot_.num_rows(); }
 

@@ -53,8 +53,22 @@ Result<LogicalPlanPtr> IndexedFilterRule::Apply(const LogicalPlanPtr& node) cons
   if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
   const auto* filter = static_cast<const FilterNode*>(node.get());
   const LogicalPlanPtr& child = filter->children()[0];
-  if (child->kind() != PlanKind::kIndexedScan) return LogicalPlanPtr(nullptr);
-  const auto& rel = static_cast<const IndexedScanNode*>(child.get())->relation();
+  // The rewrite applies to live indexed scans and to pinned snapshot scans
+  // alike: a pinned snapshot keeps the per-partition tries, so an equality
+  // on the indexed column stays a point lookup (this is what keeps service
+  // queries at index speed while they read a frozen epoch).
+  int indexed_col = -1;
+  if (child->kind() == PlanKind::kIndexedScan) {
+    indexed_col = static_cast<const IndexedScanNode*>(child.get())
+                      ->relation()
+                      ->indexed_column();
+  } else if (child->kind() == PlanKind::kSnapshotScan) {
+    indexed_col = static_cast<const SnapshotScanNode*>(child.get())
+                      ->snapshot()
+                      ->indexed_column();
+  } else {
+    return LogicalPlanPtr(nullptr);
+  }
 
   std::vector<ExprPtr> conjuncts;
   CollectConjuncts(filter->predicate(), &conjuncts);
@@ -62,9 +76,17 @@ Result<LogicalPlanPtr> IndexedFilterRule::Apply(const LogicalPlanPtr& node) cons
     // Single equality, or an OR-of-equalities on the indexed column (the
     // desugared `col IN (...)`) — both become (multi-key) index lookups.
     std::vector<Value> keys;
-    if (!MatchInList(conjuncts[i], rel->indexed_column(), &keys)) continue;
-    LogicalPlanPtr lookup =
-        std::make_shared<IndexedLookupNode>(rel, std::move(keys));
+    if (!MatchInList(conjuncts[i], indexed_col, &keys)) continue;
+    LogicalPlanPtr lookup;
+    if (child->kind() == PlanKind::kIndexedScan) {
+      lookup = std::make_shared<IndexedLookupNode>(
+          static_cast<const IndexedScanNode*>(child.get())->relation(),
+          std::move(keys));
+    } else {
+      lookup = std::make_shared<SnapshotLookupNode>(
+          static_cast<const SnapshotScanNode*>(child.get())->snapshot(),
+          std::move(keys));
+    }
     std::vector<ExprPtr> rest;
     for (size_t j = 0; j < conjuncts.size(); ++j) {
       if (j != i) rest.push_back(conjuncts[j]);
@@ -120,9 +142,21 @@ bool AllColumnRefs(const std::vector<ExprPtr>& exprs, std::vector<int>* cols) {
   return true;
 }
 
-IndexedRelationPtr RelOfScan(const LogicalPlanPtr& scan) {
-  return std::dynamic_pointer_cast<IndexedRelation>(
-      static_cast<const IndexedScanNode*>(scan.get())->relation());
+/// True for the two leaf kinds a scan-filter / scan-project can fuse over.
+bool IsFusableScan(const LogicalPlanPtr& node) {
+  return node->kind() == PlanKind::kIndexedScan ||
+         node->kind() == PlanKind::kSnapshotScan;
+}
+
+/// ScanSource of an IndexedScan or SnapshotScan node. Invalid (both null)
+/// when the node holds a foreign relation/snapshot implementation.
+ScanSource SourceOfScan(const LogicalPlanPtr& scan) {
+  if (scan->kind() == PlanKind::kIndexedScan) {
+    return ScanSource(std::dynamic_pointer_cast<IndexedRelation>(
+        static_cast<const IndexedScanNode*>(scan.get())->relation()));
+  }
+  return ScanSource(std::dynamic_pointer_cast<PinnedSnapshot>(
+      static_cast<const SnapshotScanNode*>(scan.get())->snapshot()));
 }
 
 }  // namespace
@@ -130,51 +164,52 @@ IndexedRelationPtr RelOfScan(const LogicalPlanPtr& scan) {
 Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
     const LogicalPlanPtr& node, std::vector<PhysicalOpPtr> children,
     const EngineConfig& config) const {
-  // Fuse `Filter(col <op> literal)` directly over an IndexedScan into a
-  // lazy-decoding scan-filter (the index itself only serves equality on
-  // the indexed column; that case was already rewritten to IndexedLookup
-  // by the optimizer rule and never reaches this branch).
-  if (node->kind() == PlanKind::kFilter &&
-      node->children()[0]->kind() == PlanKind::kIndexedScan) {
+  // Fuse `Filter(col <op> literal)` directly over an IndexedScan or a
+  // pinned SnapshotScan into a lazy-decoding scan-filter (the index itself
+  // only serves equality on the indexed column; that case was already
+  // rewritten to IndexedLookup/SnapshotLookup by the optimizer rule and
+  // never reaches this branch).
+  if (node->kind() == PlanKind::kFilter && IsFusableScan(node->children()[0])) {
     const auto* filter = static_cast<const FilterNode*>(node.get());
     CompareOp op;
     int col = -1;
     Value literal;
     if (MatchComparisonFilter(filter->predicate(), &op, &col, &literal)) {
-      auto rel = RelOfScan(node->children()[0]);
-      if (rel) {
+      ScanSource source = SourceOfScan(node->children()[0]);
+      if (source.valid()) {
         return PhysicalOpPtr(std::make_shared<IndexedScanFilterOp>(
-            std::move(rel), filter->predicate(), op, col, std::move(literal)));
+            std::move(source), filter->predicate(), op, col,
+            std::move(literal)));
       }
     }
-    return PhysicalOpPtr(nullptr);  // fall back to Filter over IndexedScan
+    return PhysicalOpPtr(nullptr);  // fall back to Filter over the scan
   }
-  // Column pruning: Project(colrefs) over IndexedScan decodes only the
-  // projected columns; Project(colrefs) over Filter(cmp) over IndexedScan
+  // Column pruning: Project(colrefs) over a scan decodes only the
+  // projected columns; Project(colrefs) over Filter(cmp) over a scan
   // fuses all three.
   if (node->kind() == PlanKind::kProject) {
     const auto* project = static_cast<const ProjectNode*>(node.get());
     std::vector<int> cols;
     if (AllColumnRefs(project->exprs(), &cols)) {
       const LogicalPlanPtr& child = node->children()[0];
-      if (child->kind() == PlanKind::kIndexedScan) {
-        auto rel = RelOfScan(child);
-        if (rel) {
+      if (IsFusableScan(child)) {
+        ScanSource source = SourceOfScan(child);
+        if (source.valid()) {
           return PhysicalOpPtr(std::make_shared<IndexedScanProjectOp>(
-              std::move(rel), std::move(cols), node->output_schema()));
+              std::move(source), std::move(cols), node->output_schema()));
         }
       }
       if (child->kind() == PlanKind::kFilter &&
-          child->children()[0]->kind() == PlanKind::kIndexedScan) {
+          IsFusableScan(child->children()[0])) {
         const auto* filter = static_cast<const FilterNode*>(child.get());
         CompareOp op;
         int fcol = -1;
         Value literal;
         if (MatchComparisonFilter(filter->predicate(), &op, &fcol, &literal)) {
-          auto rel = RelOfScan(child->children()[0]);
-          if (rel) {
+          ScanSource source = SourceOfScan(child->children()[0]);
+          if (source.valid()) {
             return PhysicalOpPtr(std::make_shared<IndexedScanFilterOp>(
-                std::move(rel), filter->predicate(), op, fcol,
+                std::move(source), filter->predicate(), op, fcol,
                 std::move(literal), std::move(cols), node->output_schema()));
           }
         }
@@ -207,6 +242,15 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
         return Status::Internal("SnapshotScan over a foreign snapshot type");
       }
       return PhysicalOpPtr(std::make_shared<SnapshotScanOp>(std::move(snap)));
+    }
+    case PlanKind::kSnapshotLookup: {
+      const auto* lookup = static_cast<const SnapshotLookupNode*>(node.get());
+      auto snap = std::dynamic_pointer_cast<PinnedSnapshot>(lookup->snapshot());
+      if (!snap) {
+        return Status::Internal("SnapshotLookup over a foreign snapshot type");
+      }
+      return PhysicalOpPtr(
+          std::make_shared<SnapshotLookupOp>(std::move(snap), lookup->keys()));
     }
     case PlanKind::kIndexedJoin: {
       const auto* join = static_cast<const IndexedJoinNode*>(node.get());

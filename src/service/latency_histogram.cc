@@ -1,0 +1,88 @@
+#include "service/latency_histogram.h"
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+namespace idf {
+
+int LatencyHistogram::BucketOf(uint64_t micros) {
+  if (micros < kSub) return static_cast<int>(micros);  // octaves 0..1 are exact
+  const int octave = std::bit_width(micros) - 1;  // floor(log2)
+  const uint64_t base = uint64_t{1} << octave;
+  // Linear position of `micros` within [base, 2*base), scaled to kSub.
+  const int sub = static_cast<int>(((micros - base) * kSub) >> octave);
+  const int bucket = octave * kSub + sub;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(int bucket) {
+  const int octave = bucket / kSub;
+  const int sub = bucket % kSub;
+  if (octave == 0) return static_cast<uint64_t>(sub);
+  const uint64_t base = uint64_t{1} << octave;
+  return base + (base >> 2) * static_cast<uint64_t>(sub);
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (micros > prev &&
+         !max_.compare_exchange_weak(prev, micros, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Percentile(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  // Rank of the quantile sample (1-based), then walk the CDF to it.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      // Midpoint between this bucket's bounds: halves the worst-case error
+      // versus reporting the lower bound. Successor buckets inside the
+      // (unused) low octaves can have a smaller nominal lower bound, so
+      // clamp the upper bound to at least lo + 1.
+      const uint64_t lo = BucketLowerBound(b);
+      uint64_t hi = b + 1 < kBuckets ? BucketLowerBound(b + 1) : lo + (lo >> 2);
+      if (hi <= lo) hi = lo + 1;
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return BucketLowerBound(kBuckets - 1);
+}
+
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  Summary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.mean_micros = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                    static_cast<double>(s.count);
+  }
+  s.p50_micros = Percentile(0.50);
+  s.p95_micros = Percentile(0.95);
+  s.p99_micros = Percentile(0.99);
+  s.max_micros = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string LatencyHistogram::Summary::ToJson() const {
+  std::ostringstream out;
+  out << "{\"count\": " << count << ", \"mean_us\": " << mean_micros
+      << ", \"p50_us\": " << p50_micros << ", \"p95_us\": " << p95_micros
+      << ", \"p99_us\": " << p99_micros << ", \"max_us\": " << max_micros << "}";
+  return out.str();
+}
+
+}  // namespace idf

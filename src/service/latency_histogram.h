@@ -1,0 +1,66 @@
+// LatencyHistogram: a lock-free, fixed-size latency histogram for the
+// query service's tail-latency reporting. Record() is a single relaxed
+// fetch_add on one of ~256 bucket counters (plus count/sum and a CAS max),
+// so concurrent queries never serialize on stats. Percentiles are computed
+// on demand from a consistent-enough sweep of the counters — the histogram
+// is monotone (no decrements), so a sweep concurrent with writers can only
+// under-count the newest samples, never misorder the distribution.
+//
+// Bucketing: one octave per power of two of microseconds, each octave cut
+// into 4 linear sub-buckets. Relative quantile error is therefore bounded
+// by ~1/4 of the value — plenty for p50/p95/p99 of millisecond-scale
+// queries — while the whole histogram stays a few KB of atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace idf {
+
+class LatencyHistogram {
+ public:
+  /// A point-in-time summary of the recorded distribution.
+  struct Summary {
+    uint64_t count = 0;
+    double mean_micros = 0;
+    uint64_t p50_micros = 0;
+    uint64_t p95_micros = 0;
+    uint64_t p99_micros = 0;
+    uint64_t max_micros = 0;
+
+    std::string ToJson() const;
+  };
+
+  LatencyHistogram() = default;
+
+  /// Records one sample. Lock-free; safe from any number of threads.
+  void Record(uint64_t micros);
+
+  /// Sweeps the counters into a summary. Safe to call concurrently with
+  /// Record (late samples may be missed; nothing is double-counted).
+  Summary Summarize() const;
+
+  /// Quantile in [0,1] of the swept distribution (convenience for tests).
+  uint64_t Percentile(double q) const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  // 40 octaves cover [1us, 2^40us ≈ 12.7 days]; larger samples clamp into
+  // the last bucket.
+  static constexpr int kOctaves = 40;
+  static constexpr int kSub = 4;
+  static constexpr int kBuckets = kOctaves * kSub;
+
+  static int BucketOf(uint64_t micros);
+  /// Inclusive lower bound (in micros) of a bucket.
+  static uint64_t BucketLowerBound(int bucket);
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace idf

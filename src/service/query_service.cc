@@ -1,0 +1,212 @@
+#include "service/query_service.h"
+
+#include <sstream>
+
+#include "indexed/indexed_rules.h"
+
+namespace idf {
+
+namespace {
+
+using Clock = CancellationToken::Clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+          .count());
+}
+
+// Parked submissions re-check their token at this cadence: a client
+// Cancel() cannot signal the service's condition variable, so the wait
+// polls. 1ms keeps cancel-while-queued prompt without measurable load.
+constexpr std::chrono::milliseconds kAdmissionPoll{1};
+
+}  // namespace
+
+Status ServiceConfig::Validate() const {
+  if (max_inflight == 0) {
+    return Status::InvalidArgument("max_inflight must be at least 1");
+  }
+  return Status::OK();
+}
+
+QueryService::QueryService(ServiceConfig config, ExecutorContextPtr base_exec)
+    : config_(std::move(config)),
+      base_exec_(std::move(base_exec)),
+      snapshots_(std::make_unique<SnapshotManager>(base_exec_)) {}
+
+Result<QueryServicePtr> QueryService::Make(const ServiceConfig& config) {
+  IDF_RETURN_NOT_OK(config.Validate());
+  IDF_ASSIGN_OR_RETURN(ExecutorContextPtr exec,
+                       ExecutorContext::Make(config.engine));
+  return QueryServicePtr(new QueryService(config, std::move(exec)));
+}
+
+Status QueryService::RegisterTable(const std::string& name,
+                                   IndexedRelationPtr relation) {
+  return snapshots_->RegisterTable(name, std::move(relation));
+}
+
+Status QueryService::RegisterTable(const std::string& name,
+                                   std::shared_ptr<MultiIndexedTable> table) {
+  return snapshots_->RegisterTable(name, std::move(table));
+}
+
+Status QueryService::Append(const std::string& table, const RowVec& rows) {
+  return snapshots_->Append(table, rows);
+}
+
+Status QueryService::Admit(const CancellationToken* token) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < config_.max_inflight) {
+    ++inflight_;
+    return Status::OK();
+  }
+  if (waiting_ >= config_.max_queue) {
+    return Status::CapacityError(
+        "query rejected: " + std::to_string(inflight_) + " in flight and " +
+        std::to_string(waiting_) + " queued (max_queue=" +
+        std::to_string(config_.max_queue) + ")");
+  }
+  ++waiting_;
+  while (inflight_ >= config_.max_inflight) {
+    cv_.wait_for(lock, kAdmissionPoll);
+    if (token != nullptr && token->stop_requested()) {
+      --waiting_;
+      return token->CheckStatus();
+    }
+  }
+  --waiting_;
+  ++inflight_;
+  return Status::OK();
+}
+
+void QueryService::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+size_t QueryService::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t QueryService::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+Status QueryService::RunAdmitted(const std::string& sql,
+                                 const CancellationTokenPtr& token,
+                                 QueryResult* result) {
+  // Pin the epoch snapshot first: everything the query sees is decided
+  // here, before planning, so planning time does not widen the window in
+  // which concurrent appends could slip into some tables but not others.
+  ServiceSnapshot snap = snapshots_->PinAll();
+  result->epoch = snap.epoch;
+
+  // A per-query planning session over the shared worker pool: private
+  // metrics, private cancellation, shared threads.
+  IDF_ASSIGN_OR_RETURN(
+      ExecutorContextPtr exec,
+      ExecutorContext::MakeWithPool(config_.engine, base_exec_->shared_pool()));
+  exec->SetCancellation(token);
+  IDF_ASSIGN_OR_RETURN(SessionPtr session, Session::MakeWithContext(exec));
+  InstallIndexedExtensions(*session);
+  for (const PinnedTable& table : snap.tables) {
+    IDF_RETURN_NOT_OK(session->RegisterTable(
+        table.table, session->FromPlan(std::make_shared<SnapshotScanNode>(
+                         table.primary()))));
+  }
+
+  IDF_ASSIGN_OR_RETURN(DataFrame df, session->Sql(sql));
+  IDF_ASSIGN_OR_RETURN(result->rows, session->ExecuteCollect(df.plan()));
+  IDF_ASSIGN_OR_RETURN(result->schema, df.schema());
+  // The deadline may have expired after the last operator finished; a
+  // final check keeps "completed" and "timed out" mutually exclusive.
+  return exec->CheckCancelled();
+}
+
+QueryResult QueryService::Execute(const std::string& sql,
+                                  const QueryOptions& options) {
+  const Clock::time_point start = Clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  CancellationTokenPtr token =
+      options.cancel != nullptr ? options.cancel : CancellationToken::Make();
+  const auto timeout =
+      options.timeout.count() > 0 ? options.timeout : config_.default_timeout;
+  // An explicit deadline on a caller token wins over the service default.
+  if (timeout.count() > 0 && !token->has_deadline()) {
+    token->SetDeadline(start + timeout);
+  }
+
+  QueryResult result;
+  result.status = Admit(token.get());
+  if (result.status.ok()) {
+    result.queue_micros = MicrosSince(start);
+    const Clock::time_point exec_start = Clock::now();
+    result.status = RunAdmitted(sql, token, &result);
+    result.exec_micros = MicrosSince(exec_start);
+    Release();
+  }
+  result.total_micros = MicrosSince(start);
+
+  if (result.status.ok()) {
+    succeeded_.fetch_add(1, std::memory_order_relaxed);
+    queue_hist_.Record(result.queue_micros);
+    exec_hist_.Record(result.exec_micros);
+    total_hist_.Record(result.total_micros);
+  } else if (result.status.IsCapacityError()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status.IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status.IsDeadlineExceeded()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!result.status.ok()) result.rows.clear();
+  return result;
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.succeeded = succeeded_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.queue = queue_hist_.Summarize();
+  stats.exec = exec_hist_.Summarize();
+  stats.total = total_hist_.Summarize();
+  return stats;
+}
+
+std::string ServiceStats::ToJson() const {
+  std::ostringstream out;
+  out << "{\"submitted\": " << submitted << ", \"succeeded\": " << succeeded
+      << ", \"rejected\": " << rejected << ", \"cancelled\": " << cancelled
+      << ", \"deadline_exceeded\": " << deadline_exceeded
+      << ", \"failed\": " << failed << ", \"queue\": " << queue.ToJson()
+      << ", \"exec\": " << exec.ToJson() << ", \"total\": " << total.ToJson()
+      << "}";
+  return out.str();
+}
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream out;
+  out << "queries: " << succeeded << "/" << submitted << " ok, " << rejected
+      << " rejected, " << cancelled << " cancelled, " << deadline_exceeded
+      << " past deadline, " << failed << " failed\n"
+      << "total latency: p50=" << total.p50_micros
+      << "us p95=" << total.p95_micros << "us p99=" << total.p99_micros
+      << "us max=" << total.max_micros << "us (n=" << total.count << ")";
+  return out.str();
+}
+
+}  // namespace idf

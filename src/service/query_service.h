@@ -1,0 +1,135 @@
+// QueryService: a concurrent SQL front-end over the indexed storage. Many
+// client threads submit SQL; the service
+//
+//  1. admits up to `max_inflight` queries at once, parking up to
+//     `max_queue` more behind a condition variable and rejecting the rest
+//     with CapacityError (backpressure instead of collapse),
+//  2. pins an MVCC snapshot of every registered table at one epoch
+//     boundary (SnapshotManager), so the query reads a frozen, mutually
+//     consistent version while the append stream keeps landing in the
+//     live indexes,
+//  3. plans the SQL in a per-query Session that shares the base executor's
+//     thread pool but carries its own metrics and cancellation token —
+//     queries interleave morsels on the same workers, and a cancel or an
+//     expired deadline stops a query within one morsel,
+//  4. records per-query latency into lock-free histograms, exported as
+//     p50/p95/p99 via Stats().
+//
+// All methods are thread-safe.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/latency_histogram.h"
+#include "service/query_context.h"
+#include "service/snapshot_manager.h"
+#include "sql/session.h"
+
+namespace idf {
+
+struct ServiceConfig {
+  EngineConfig engine;
+
+  /// Queries executing at once. Beyond it, submissions queue.
+  size_t max_inflight = 8;
+
+  /// Submissions allowed to wait for a slot. Beyond it, submissions are
+  /// rejected with CapacityError immediately (bounded queueing delay).
+  size_t max_queue = 32;
+
+  /// Deadline applied to queries that don't bring their own timeout.
+  /// Zero: no default deadline.
+  std::chrono::nanoseconds default_timeout{0};
+
+  Status Validate() const;
+};
+
+/// A point-in-time view of the service's counters and latency
+/// distributions.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t succeeded = 0;
+  uint64_t rejected = 0;           ///< queue full (CapacityError)
+  uint64_t cancelled = 0;          ///< stopped by client Cancel()
+  uint64_t deadline_exceeded = 0;  ///< stopped by deadline
+  uint64_t failed = 0;             ///< any other error
+
+  LatencyHistogram::Summary queue;  ///< admission wait, completed queries
+  LatencyHistogram::Summary exec;   ///< pin + plan + execute
+  LatencyHistogram::Summary total;  ///< submission to completion
+
+  std::string ToJson() const;
+  std::string ToString() const;
+};
+
+class QueryService {
+ public:
+  static Result<std::shared_ptr<QueryService>> Make(
+      const ServiceConfig& config = ServiceConfig());
+
+  /// Registers an updatable table for SQL access and epoch-gated appends.
+  Status RegisterTable(const std::string& name, IndexedRelationPtr relation);
+  Status RegisterTable(const std::string& name,
+                       std::shared_ptr<MultiIndexedTable> table);
+
+  /// Appends one batch to `table` as a single epoch step (all indexes of a
+  /// multi-indexed table land atomically w.r.t. snapshot pinning). Safe
+  /// from any number of appender threads, concurrent with queries.
+  Status Append(const std::string& table, const RowVec& rows);
+
+  /// Executes `sql` against a snapshot pinned at the current epoch
+  /// boundary. Blocks while waiting for admission (bounded by deadline /
+  /// cancel / slot availability). The outcome — including rejection and
+  /// cancellation — is reported in the returned QueryResult's status.
+  QueryResult Execute(const std::string& sql,
+                      const QueryOptions& options = QueryOptions());
+
+  ServiceStats Stats() const;
+
+  SnapshotManager& snapshots() { return *snapshots_; }
+  uint64_t epoch() const { return snapshots_->epoch(); }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Instantaneous admission state (monitoring and tests).
+  size_t inflight() const;
+  size_t queued() const;
+
+ private:
+  QueryService(ServiceConfig config, ExecutorContextPtr base_exec);
+
+  /// Blocks until a slot is free (then holds it), the token requests stop,
+  /// or the wait queue is full. The caller must Release() iff OK.
+  Status Admit(const CancellationToken* token);
+  void Release();
+
+  /// The admitted path: pin, plan, execute. Factored out so Execute can
+  /// uniformly time and classify the outcome.
+  Status RunAdmitted(const std::string& sql, const CancellationTokenPtr& token,
+                     QueryResult* result);
+
+  ServiceConfig config_;
+  ExecutorContextPtr base_exec_;
+  std::unique_ptr<SnapshotManager> snapshots_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t inflight_ = 0;
+  size_t waiting_ = 0;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> succeeded_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> failed_{0};
+  LatencyHistogram queue_hist_;
+  LatencyHistogram exec_hist_;
+  LatencyHistogram total_hist_;
+};
+
+using QueryServicePtr = std::shared_ptr<QueryService>;
+
+}  // namespace idf

@@ -18,6 +18,7 @@ Result<LogicalPlanPtr> AnalyzeNode(const LogicalPlanPtr& plan) {
     case PlanKind::kIndexedScan:
     case PlanKind::kIndexedLookup:
     case PlanKind::kSnapshotScan:
+    case PlanKind::kSnapshotLookup:
       // Leaf nodes are born analyzed: their schema comes from the table.
       return plan;
 

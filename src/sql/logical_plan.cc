@@ -32,6 +32,8 @@ std::string PlanKindToString(PlanKind kind) {
       return "IndexedJoin";
     case PlanKind::kSnapshotScan:
       return "SnapshotScan";
+    case PlanKind::kSnapshotLookup:
+      return "SnapshotLookup";
     case PlanKind::kUnionAll:
       return "UnionAll";
   }
@@ -230,6 +232,18 @@ LogicalPlanPtr SnapshotScanNode::WithChildren(
     std::vector<LogicalPlanPtr> children) const {
   IDF_CHECK(children.empty());
   return std::make_shared<SnapshotScanNode>(snapshot_);
+}
+
+std::string SnapshotLookupNode::ToString() const {
+  std::string out = "SnapshotLookup [" + snapshot_->name() + "] key=";
+  if (keys_.size() == 1) return out + keys_[0].ToString();
+  return out + "{" + std::to_string(keys_.size()) + " keys}";
+}
+
+LogicalPlanPtr SnapshotLookupNode::WithChildren(
+    std::vector<LogicalPlanPtr> children) const {
+  IDF_CHECK(children.empty());
+  return std::make_shared<SnapshotLookupNode>(snapshot_, keys_);
 }
 
 std::string IndexedLookupNode::ToString() const {

@@ -84,6 +84,7 @@ enum class PlanKind : uint8_t {
   kIndexedLookup,
   kIndexedJoin,
   kSnapshotScan,
+  kSnapshotLookup,
   kUnionAll,
 };
 
@@ -342,6 +343,9 @@ class SnapshotRelationBase {
   virtual ~SnapshotRelationBase() = default;
   virtual const std::string& name() const = 0;
   virtual const SchemaPtr& schema() const = 0;
+  /// Ordinal of the indexed column (the frozen index still serves point
+  /// lookups on it).
+  virtual int indexed_column() const = 0;
   virtual uint64_t version() const = 0;
   virtual size_t num_rows() const = 0;
 };
@@ -360,6 +364,28 @@ class SnapshotScanNode : public LogicalPlan {
 
  private:
   SnapshotRelationBasePtr snapshot_;
+};
+
+/// Point lookup of one or more keys against a pinned snapshot — the same
+/// rewrite as IndexedLookupNode, but reading the frozen version: produced
+/// by the indexed filter rule for `Filter(col = lit)` / `col IN (...)`
+/// over a SnapshotScan, so service queries against an MVCC snapshot keep
+/// index-speed point reads instead of degrading to full scans.
+class SnapshotLookupNode : public LogicalPlan {
+ public:
+  SnapshotLookupNode(SnapshotRelationBasePtr snapshot, std::vector<Value> keys)
+      : LogicalPlan(PlanKind::kSnapshotLookup, {}, snapshot->schema()),
+        snapshot_(std::move(snapshot)),
+        keys_(std::move(keys)) {}
+
+  const SnapshotRelationBasePtr& snapshot() const { return snapshot_; }
+  const std::vector<Value>& keys() const { return keys_; }
+  std::string ToString() const override;
+  LogicalPlanPtr WithChildren(std::vector<LogicalPlanPtr> children) const override;
+
+ private:
+  SnapshotRelationBasePtr snapshot_;
+  std::vector<Value> keys_;
 };
 
 /// Point lookup of one or more keys on an indexed relation: produced by

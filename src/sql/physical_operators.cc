@@ -733,8 +733,9 @@ Result<std::vector<RowVec>> ShuffleRowsByKeyExpr(ExecutorContext& ctx,
     }
     ctx.metrics().AddShuffledBytes(bytes);
     buckets[p] = std::move(local);
-  });
+  }, ctx.cancellation());
   IDF_RETURN_NOT_OK(first_error);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
 
   std::vector<RowVec> output(static_cast<size_t>(num_out));
   uint64_t total_rows = 0;
@@ -791,8 +792,9 @@ Result<BinaryPartitions> ShuffleEncodedByKeyExpr(
     std::lock_guard<std::mutex> lock(mu);
     total_rows += rows;
     total_bytes += bytes;
-  });
+  }, ctx.cancellation());
   IDF_RETURN_NOT_OK(first_error);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   ctx.metrics().AddShuffledRows(total_rows);
   ctx.metrics().AddShuffledBytes(total_bytes);
   ctx.metrics().AddShuffleEncodedBytes(total_bytes);
@@ -808,7 +810,8 @@ Result<BinaryPartitions> ShuffleEncodedByKeyExpr(
     }
     output[out].Reserve(rows, bytes);
     for (const BinaryPartitions& b : buckets) output[out].Append(b[out]);
-  });
+  }, ctx.cancellation());
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   return output;
 }
 

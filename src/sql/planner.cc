@@ -61,6 +61,7 @@ double EstimateRows(const LogicalPlanPtr& plan) {
       return static_cast<double>(
           static_cast<const IndexedScanNode*>(plan.get())->relation()->num_rows());
     case PlanKind::kIndexedLookup:
+    case PlanKind::kSnapshotLookup:
       return 8;  // point lookup: a handful of rows per key
     case PlanKind::kSnapshotScan:
       return static_cast<double>(
@@ -212,6 +213,7 @@ Result<PhysicalOpPtr> RegularExecutionStrategy::Plan(
     case PlanKind::kIndexedLookup:
     case PlanKind::kIndexedJoin:
     case PlanKind::kSnapshotScan:
+    case PlanKind::kSnapshotLookup:
       // Handled by the indexed execution strategy; not installed here.
       return PhysicalOpPtr(nullptr);
   }

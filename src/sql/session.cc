@@ -18,6 +18,13 @@ Result<SessionPtr> Session::Make(const EngineConfig& config) {
   return SessionPtr(new Session(std::move(exec)));
 }
 
+Result<SessionPtr> Session::MakeWithContext(ExecutorContextPtr exec) {
+  if (exec == nullptr) {
+    return Status::InvalidArgument("MakeWithContext: null executor context");
+  }
+  return SessionPtr(new Session(std::move(exec)));
+}
+
 void Session::AddOptimizerRule(OptimizerRulePtr rule) {
   optimizer_.AddRule(std::move(rule));
 }

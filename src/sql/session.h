@@ -20,6 +20,14 @@ class Session : public std::enable_shared_from_this<Session> {
  public:
   static Result<SessionPtr> Make(const EngineConfig& config = EngineConfig());
 
+  /// Builds a session over an existing executor context. The query
+  /// service uses this for per-query planning sessions: the context shares
+  /// the base session's thread pool (via ExecutorContext::MakeWithPool)
+  /// but carries its own metrics and cancellation token, so many such
+  /// sessions can plan and execute concurrently without creating a thread
+  /// pool per query or racing on shared state.
+  static Result<SessionPtr> MakeWithContext(ExecutorContextPtr exec);
+
   ExecutorContext& exec() { return *exec_; }
   const EngineConfig& config() const { return exec_->config(); }
   QueryMetrics& metrics() { return exec_->metrics(); }

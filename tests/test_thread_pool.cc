@@ -18,7 +18,12 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   std::condition_variable cv;
   for (int i = 0; i < 100; ++i) {
     pool.Submit([&] {
-      if (count.fetch_add(1) + 1 == 100) cv.notify_all();
+      if (count.fetch_add(1) + 1 == 100) {
+        // Notify under the mutex: otherwise the waiter can observe the
+        // count, finish the test, and destroy the cv mid-notify.
+        std::lock_guard<std::mutex> guard(mu);
+        cv.notify_all();
+      }
     });
   }
   std::unique_lock<std::mutex> lock(mu);
@@ -151,6 +156,67 @@ TEST(ParallelForRangeTest, NestedCallsFromWorkersRunInline) {
     });
   });
   EXPECT_EQ(total.load(), 256u);
+}
+
+TEST(ParallelForCancelTest, PreCancelledTokenSkipsAllIterations) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<int> ran{0};
+  pool.ParallelFor(1000, [&](size_t) { ran.fetch_add(1); }, &token);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelForCancelTest, MidFlightCancelDrainsAndReturns) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  // Cancel from inside iteration 100-ish; the call must still return (the
+  // drain keeps the completion count moving) having skipped most work.
+  pool.ParallelFor(100000, [&](size_t) {
+    if (ran.fetch_add(1) == 100) token.Cancel();
+  }, &token);
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ParallelForRangeCancelTest, PreCancelledTokenSkipsAllChunks) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<int> ran{0};
+  pool.ParallelForRange(10000, 64, [&](size_t, size_t) { ran.fetch_add(1); },
+                        &token);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelForRangeCancelTest, MidFlightCancelStopsWithinFewChunks) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  std::atomic<int> chunks_run{0};
+  pool.ParallelForRange(1 << 20, 256, [&](size_t, size_t) {
+    if (chunks_run.fetch_add(1) == 3) token.Cancel();
+  }, &token);
+  // 2^20/256 = 4096 chunks total; after the cancel at chunk ~4, only
+  // chunks already claimed by the workers may still run.
+  EXPECT_LT(chunks_run.load(), 4096);
+}
+
+TEST(ParallelForRangeCancelTest, InlinePathChecksTokenBetweenChunks) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  int chunks_run = 0;
+  // n <= grain*1? Use grain so the range runs inline on the caller: a
+  // 10-row job with grain 64 is a single inline chunk, so cancel before.
+  token.Cancel();
+  pool.ParallelForRange(10, 64, [&](size_t, size_t) { ++chunks_run; }, &token);
+  EXPECT_EQ(chunks_run, 0);
+}
+
+TEST(ParallelForCancelTest, NullTokenMeansNeverCancelled) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(500, [&](size_t) { ran.fetch_add(1); }, nullptr);
+  EXPECT_EQ(ran.load(), 500);
 }
 
 TEST(ParallelForRangeTest, SkewedPerChunkWorkCompletes) {
