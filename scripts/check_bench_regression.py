@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a Google-Benchmark JSON run against a committed baseline.
+
+Report-only: emits GitHub Actions ::warning annotations for benchmarks
+whose real_time regressed by more than the threshold (default 15%), plus a
+human-readable table, and always exits 0 — CI perf numbers on shared
+runners are too noisy to block merges on, the annotations are a prompt to
+look, not a gate.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs).
+        if b.get("run_type") == "aggregate":
+            continue
+        ns = b["real_time"] * UNIT_NS.get(b.get("time_unit", "ns"), 1)
+        out[b["name"]] = ns
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="regression ratio that triggers a warning")
+    args = parser.parse_args()
+
+    try:
+        base = load(args.baseline)
+    except OSError as e:
+        print(f"::warning::benchmark baseline missing ({e}); skipping diff")
+        return 0
+    cur = load(args.current)
+
+    regressions = []
+    rows = []
+    for name, base_ns in sorted(base.items()):
+        cur_ns = cur.get(name)
+        if cur_ns is None:
+            rows.append((name, base_ns, None, None))
+            continue
+        ratio = (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        rows.append((name, base_ns, cur_ns, ratio))
+        if ratio > args.threshold:
+            regressions.append((name, base_ns, cur_ns, ratio))
+
+    print(f"{'benchmark':<50} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name, base_ns, cur_ns, ratio in rows:
+        if cur_ns is None:
+            print(f"{name:<50} {base_ns / 1e6:>10.3f}ms {'absent':>12} {'':>8}")
+        else:
+            print(f"{name:<50} {base_ns / 1e6:>10.3f}ms {cur_ns / 1e6:>10.3f}ms "
+                  f"{ratio:>+7.1%}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<50} {'(new)':>12} {cur[name] / 1e6:>10.3f}ms")
+
+    for name, base_ns, cur_ns, ratio in regressions:
+        print(f"::warning::perf regression {name}: "
+              f"{base_ns / 1e6:.3f}ms -> {cur_ns / 1e6:.3f}ms ({ratio:+.1%}, "
+              f"threshold {args.threshold:.0%})")
+    if not regressions:
+        print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

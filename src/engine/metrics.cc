@@ -14,6 +14,8 @@ void QueryMetrics::Reset() {
   morsels_dispatched_ = 0;
   shuffle_encoded_bytes_ = 0;
   decodes_avoided_ = 0;
+  predicates_compiled_ = 0;
+  rows_filtered_encoded_ = 0;
 }
 
 std::string QueryMetrics::ToString() const {
@@ -27,7 +29,10 @@ std::string QueryMetrics::ToString() const {
          ", rows_produced=" + std::to_string(rows_produced()) +
          ", morsels=" + std::to_string(morsels_dispatched()) +
          ", shuffle_encoded_bytes=" + std::to_string(shuffle_encoded_bytes()) +
-         ", decodes_avoided=" + std::to_string(decodes_avoided()) + "}";
+         ", decodes_avoided=" + std::to_string(decodes_avoided()) +
+         ", predicates_compiled=" + std::to_string(predicates_compiled()) +
+         ", rows_filtered_encoded=" + std::to_string(rows_filtered_encoded()) +
+         "}";
 }
 
 }  // namespace idf

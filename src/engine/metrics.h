@@ -24,6 +24,8 @@ class QueryMetrics {
   void AddMorsels(uint64_t n) { morsels_dispatched_ += n; }
   void AddShuffleEncodedBytes(uint64_t n) { shuffle_encoded_bytes_ += n; }
   void AddDecodesAvoided(uint64_t n) { decodes_avoided_ += n; }
+  void AddPredicatesCompiled(uint64_t n) { predicates_compiled_ += n; }
+  void AddRowsFilteredEncoded(uint64_t n) { rows_filtered_encoded_ += n; }
 
   uint64_t shuffled_rows() const { return shuffled_rows_; }
   uint64_t shuffled_bytes() const { return shuffled_bytes_; }
@@ -36,6 +38,8 @@ class QueryMetrics {
   uint64_t morsels_dispatched() const { return morsels_dispatched_; }
   uint64_t shuffle_encoded_bytes() const { return shuffle_encoded_bytes_; }
   uint64_t decodes_avoided() const { return decodes_avoided_; }
+  uint64_t predicates_compiled() const { return predicates_compiled_; }
+  uint64_t rows_filtered_encoded() const { return rows_filtered_encoded_; }
 
   std::string ToString() const;
 
@@ -51,6 +55,8 @@ class QueryMetrics {
   std::atomic<uint64_t> morsels_dispatched_{0};
   std::atomic<uint64_t> shuffle_encoded_bytes_{0};
   std::atomic<uint64_t> decodes_avoided_{0};
+  std::atomic<uint64_t> predicates_compiled_{0};
+  std::atomic<uint64_t> rows_filtered_encoded_{0};
 };
 
 }  // namespace idf

@@ -59,6 +59,26 @@ struct MorselPiece {
   RowVec rows;
 };
 
+/// Chunk-local filter bookkeeping: rows the compiled predicate rejected on
+/// the encoded payload (never decoded) and the first interpreter-residual
+/// error. Flushed to the shared metrics/error state once per chunk so the
+/// hot loop touches no atomics.
+struct ChunkStats {
+  uint64_t filtered_encoded = 0;
+  Status error;
+};
+
+/// Residual check on a decoded row: TRUE passes, NULL/false rejects, the
+/// first Eval error lands in `*error` and rejects.
+bool ResidualPasses(const Expr* residual, const Row& row, Status* error) {
+  auto v = residual->Eval(row);
+  if (!v.ok()) {
+    if (error->ok()) *error = v.status();
+    return false;
+  }
+  return !v->is_null() && v->bool_value();
+}
+
 /// First partition whose flat range contains index `i`.
 size_t PartitionOfIndex(const std::vector<size_t>& part_end, size_t i) {
   return static_cast<size_t>(
@@ -141,8 +161,10 @@ Result<PartitionVec> MorselScanDense(ExecutorContext& ctx,
 }
 
 /// Morsel-driven scan driver for filtering transforms: runs
-/// `per_row(payload, &out_rows)` over every row, collecting per-chunk
-/// (partition, rows) pieces that are reassembled in chunk order.
+/// `per_row(payload, &out_rows, &chunk_stats)` over every row, collecting
+/// per-chunk (partition, rows) pieces that are reassembled in chunk order.
+/// Chunk stats flush to the metrics once per chunk; the first residual
+/// error aborts the scan.
 template <typename PerRow>
 Result<PartitionVec> MorselScan(ExecutorContext& ctx,
                                 const IndexedRelationSnapshot& snap,
@@ -154,11 +176,14 @@ Result<PartitionVec> MorselScan(ExecutorContext& ctx,
   ctx.metrics().AddRowsScanned(n);
   const size_t grain = ctx.MorselGrain(n);
   std::vector<std::vector<MorselPiece>> chunks(n == 0 ? 0 : (n + grain - 1) / grain);
+  Status first_error;
+  std::mutex error_mu;
   size_t dispatched = ctx.pool().ParallelForRange(
       n, grain,
       [&](size_t begin, size_t end) {
         ctx.metrics().AddTask();
         std::vector<MorselPiece> pieces;
+        ChunkStats stats;
         size_t i = begin;
         size_t p = PartitionOfIndex(flat.part_end, begin);
         while (i < end) {
@@ -166,48 +191,89 @@ Result<PartitionVec> MorselScan(ExecutorContext& ctx,
           const size_t pend = std::min(end, flat.part_end[p]);
           MorselPiece piece{p, {}};
           piece.rows.reserve(pend - i);  // exact for scans, upper bound for filters
-          for (; i < pend; ++i) per_row(flat.per_part[p][i - pstart], &piece.rows);
+          for (; i < pend; ++i) {
+            per_row(flat.per_part[p][i - pstart], &piece.rows, &stats);
+          }
           if (!piece.rows.empty()) pieces.push_back(std::move(piece));
           ++p;
+        }
+        if (stats.filtered_encoded > 0) {
+          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
+          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
+        }
+        if (!stats.error.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = stats.error;
         }
         chunks[begin / grain] = std::move(pieces);
       },
       ctx.cancellation());
+  IDF_RETURN_NOT_OK(first_error);
   IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   ctx.metrics().AddMorsels(dispatched);
   return AssemblePieces(ctx, num_parts, chunks);
 }
 
 /// Shared driver for point lookups (live and pinned): each key routes to
-/// its home partition and the backward-pointer chain is walked. Lookups
-/// are heavier per item than scan rows (trie descent + chain walk), so an
-/// IN-list splits into small per-task key ranges instead of counting as
-/// one task.
+/// its home partition and the backward-pointer chain is walked, applying a
+/// pushed filter while each node is cache-hot — the compiled part against
+/// the encoded payload (rejects never decode), the residual on the decoded
+/// row. Lookups are heavier per item than scan rows (trie descent + chain
+/// walk), so an IN-list splits into small per-task key ranges instead of
+/// counting as one task.
 Result<PartitionVec> LookupKeys(ExecutorContext& ctx,
                                 const IndexedRelationSnapshot& snap,
-                                const std::vector<Value>& keys) {
+                                const std::vector<Value>& keys,
+                                const PushedFilter& filter) {
   IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  if (filter.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  const Schema& schema = *snap.schema();
+  const CompiledPredicate* compiled =
+      filter.compiled ? &*filter.compiled : nullptr;
+  const Expr* residual = filter.residual.get();
   const size_t n = keys.size();
   const size_t threads = static_cast<size_t>(ctx.config().num_threads);
   const size_t grain = std::max<size_t>(
       1, std::min(ctx.config().morsel_rows, (n + threads * 4 - 1) / (threads * 4)));
   std::vector<RowVec> chunks(n == 0 ? 0 : (n + grain - 1) / grain);
+  Status first_error;
+  std::mutex error_mu;
   size_t dispatched = ctx.pool().ParallelForRange(
       n, grain,
       [&](size_t begin, size_t end) {
         ctx.metrics().AddTask();
         RowVec rows;
         uint64_t hits = 0;
+        ChunkStats stats;
         for (size_t k = begin; k < end; ++k) {
-          RowVec matches = snap.GetRows(keys[k]);
-          if (!matches.empty()) ++hits;
-          for (Row& row : matches) rows.push_back(std::move(row));
+          const Value& key = keys[k];
+          const IndexedPartition::View& view =
+              snap.view(snap.partitioner().PartitionOf(key));
+          size_t matched = view.ForEachRawRow(key, [&](const uint8_t* payload) {
+            if (compiled && !compiled->Matches(payload)) {
+              ++stats.filtered_encoded;
+              return;
+            }
+            Row row = DecodeRow(payload, schema);
+            if (residual && !ResidualPasses(residual, row, &stats.error)) return;
+            rows.push_back(std::move(row));
+          });
+          if (matched > 0) ++hits;
         }
         ctx.metrics().AddIndexProbes(end - begin);
         ctx.metrics().AddIndexHits(hits);
+        if (stats.filtered_encoded > 0) {
+          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
+          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
+        }
+        if (!stats.error.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = stats.error;
+        }
         chunks[begin / grain] = std::move(rows);
       },
       ctx.cancellation());
+  IDF_RETURN_NOT_OK(first_error);
   IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   ctx.metrics().AddMorsels(dispatched);
   RowVec rows;
@@ -243,20 +309,40 @@ Result<PartitionVec> IndexedScanFilterOp::Execute(ExecutorContext& ctx) {
   std::optional<IndexedRelationSnapshot> scratch;
   const IndexedRelationSnapshot& snap = source_.Snapshot(&scratch);
   const Schema& schema = *source_.schema();
-  return MorselScan(ctx, snap, [this, &schema](const uint8_t* payload, RowVec* out) {
-    // Lazy decode: only the filter column, then — on a match — the full
-    // row or just the projected columns.
-    Value v = DecodeColumn(payload, schema, filter_col_);
-    if (v.is_null()) return;
-    if (!CompareWithOp(compare_op_, v, literal_)) return;
+  if (filter_.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  const CompiledPredicate* compiled =
+      filter_.compiled ? &*filter_.compiled : nullptr;
+  const Expr* residual = filter_.residual.get();
+  return MorselScan(ctx, snap,
+                    [this, &schema, compiled, residual](
+                        const uint8_t* payload, RowVec* out, ChunkStats* stats) {
+    // Encoded-first: the compiled program reads the payload directly, so
+    // rows it rejects are never decoded. Survivors materialize the full
+    // row (or just the projected columns); the residual — if any — runs on
+    // the decoded row.
+    if (compiled && !compiled->Matches(payload)) {
+      ++stats->filtered_encoded;
+      return;
+    }
+    if (residual) {
+      Row row = DecodeRow(payload, schema);
+      if (!ResidualPasses(residual, row, &stats->error)) return;
+      if (project_cols_.empty()) {
+        out->push_back(std::move(row));
+      } else {
+        Row pruned;
+        pruned.reserve(project_cols_.size());
+        for (int c : project_cols_) pruned.push_back(row[static_cast<size_t>(c)]);
+        out->push_back(std::move(pruned));
+      }
+      return;
+    }
     if (project_cols_.empty()) {
       out->push_back(DecodeRow(payload, schema));
     } else {
       Row row;
       row.reserve(project_cols_.size());
-      for (int c : project_cols_) {
-        row.push_back(DecodeColumn(payload, schema, c));
-      }
+      for (int c : project_cols_) row.push_back(DecodeColumn(payload, schema, c));
       out->push_back(std::move(row));
     }
   });
@@ -276,11 +362,11 @@ Result<PartitionVec> IndexedScanProjectOp::Execute(ExecutorContext& ctx) {
 
 Result<PartitionVec> IndexLookupOp::Execute(ExecutorContext& ctx) {
   IndexedRelationSnapshot snap = rel_->Snapshot();
-  return LookupKeys(ctx, snap, keys_);
+  return LookupKeys(ctx, snap, keys_, filter_);
 }
 
 Result<PartitionVec> SnapshotLookupOp::Execute(ExecutorContext& ctx) {
-  return LookupKeys(ctx, snapshot_->snapshot(), keys_);
+  return LookupKeys(ctx, snapshot_->snapshot(), keys_, filter_);
 }
 
 Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
@@ -290,6 +376,15 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
   const Schema& build_schema = *rel_->schema();
   const Schema& probe_schema = *children()[0]->schema();
   const size_t num_parts = static_cast<size_t>(snap.num_partitions());
+
+  // Build-side filter from a pushed-down predicate on the indexed
+  // relation: the compiled part runs on the encoded build row during the
+  // chain walk (rejects are never decoded or concatenated), the residual
+  // on the decoded build row.
+  if (build_filter_.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  const CompiledPredicate* build_compiled =
+      build_filter_.compiled ? &*build_filter_.compiled : nullptr;
+  const Expr* build_residual = build_filter_.residual.get();
 
   // Bound column-ref probe keys decode only the key column from the binary
   // exchange; other key expressions fall back to full-row decode + Eval.
@@ -322,6 +417,8 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
     const size_t grain = ctx.MorselGrain(total);
     std::vector<std::vector<MorselPiece>> chunks(
         total == 0 ? 0 : (total + grain - 1) / grain);
+    Status first_error;
+    std::mutex error_mu;
     size_t dispatched = ctx.pool().ParallelForRange(
         total, grain,
         [&](size_t begin, size_t end) {
@@ -329,6 +426,7 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           std::vector<MorselPiece> pieces;
           uint64_t probes = 0;
           uint64_t hits = 0;
+          ChunkStats stats;
           size_t i = begin;
           size_t p = PartitionOfIndex(part_end, begin);
           while (i < end) {
@@ -341,7 +439,15 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
               ++probes;
               size_t matched =
                   view.ForEachRawRow(keys[r], [&](const uint8_t* payload) {
+                    if (build_compiled && !build_compiled->Matches(payload)) {
+                      ++stats.filtered_encoded;
+                      return;
+                    }
                     Row build_row = DecodeRow(payload, build_schema);
+                    if (build_residual &&
+                        !ResidualPasses(build_residual, build_row, &stats.error)) {
+                      return;
+                    }
                     piece.rows.push_back(indexed_on_left_
                                              ? ConcatRows(build_row, rows[r])
                                              : ConcatRows(rows[r], build_row));
@@ -353,9 +459,18 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           }
           ctx.metrics().AddIndexProbes(probes);
           ctx.metrics().AddIndexHits(hits);
+          if (stats.filtered_encoded > 0) {
+            ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
+            ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
+          }
+          if (!stats.error.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = stats.error;
+          }
           chunks[begin / grain] = std::move(pieces);
         },
         ctx.cancellation());
+    IDF_RETURN_NOT_OK(first_error);
     IDF_RETURN_NOT_OK(ctx.CheckCancelled());
     ctx.metrics().AddMorsels(dispatched);
     return AssemblePieces(ctx, num_parts, chunks);
@@ -387,6 +502,7 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           std::vector<MorselPiece> pieces;
           uint64_t probes = 0;
           uint64_t hits = 0;
+          ChunkStats stats;
           size_t i = begin;
           size_t p = PartitionOfIndex(part_end, begin);
           while (i < end) {
@@ -412,7 +528,15 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
               ++probes;
               size_t matched =
                   view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
+                    if (build_compiled && !build_compiled->Matches(build_payload)) {
+                      ++stats.filtered_encoded;
+                      return;
+                    }
                     Row build_row = DecodeRow(build_payload, build_schema);
+                    if (build_residual &&
+                        !ResidualPasses(build_residual, build_row, &stats.error)) {
+                      return;
+                    }
                     piece.rows.push_back(indexed_on_left_
                                              ? ConcatRows(build_row, probe_row)
                                              : ConcatRows(probe_row, build_row));
@@ -424,6 +548,14 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           }
           ctx.metrics().AddIndexProbes(probes);
           ctx.metrics().AddIndexHits(hits);
+          if (stats.filtered_encoded > 0) {
+            ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
+            ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
+          }
+          if (!stats.error.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = stats.error;
+          }
           chunks[begin / grain] = std::move(pieces);
         },
         ctx.cancellation());
@@ -459,6 +591,7 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
         uint64_t probes = 0;
         uint64_t hits = 0;
         uint64_t avoided = 0;
+        ChunkStats stats;
         size_t i = begin;
         size_t p = PartitionOfIndex(part_end, begin);
         while (i < end) {
@@ -489,19 +622,30 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
             ++probes;
             size_t matched =
                 view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
-                  // The probe row materializes on the first match only.
+                  // The build filter runs on the encoded build row first: a
+                  // reject decodes neither side.
+                  if (build_compiled && !build_compiled->Matches(build_payload)) {
+                    ++stats.filtered_encoded;
+                    return;
+                  }
+                  // The probe row materializes on the first surviving match.
                   if (!decoded) {
                     probe_row = DecodeRow(payload, probe_schema);
                     decoded = true;
                   }
                   Row build_row = DecodeRow(build_payload, build_schema);
+                  if (build_residual &&
+                      !ResidualPasses(build_residual, build_row, &stats.error)) {
+                    return;
+                  }
                   piece.rows.push_back(indexed_on_left_
                                            ? ConcatRows(build_row, probe_row)
                                            : ConcatRows(probe_row, build_row));
                 });
             if (matched > 0) {
               ++hits;
-            } else if (!decoded) {
+            }
+            if (!decoded) {
               ++avoided;  // never materialized past the key column
             }
           }
@@ -511,6 +655,14 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
         ctx.metrics().AddIndexProbes(probes);
         ctx.metrics().AddIndexHits(hits);
         ctx.metrics().AddDecodesAvoided(avoided);
+        if (stats.filtered_encoded > 0) {
+          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
+          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
+        }
+        if (!stats.error.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = stats.error;
+        }
         chunks[begin / grain] = std::move(pieces);
       },
       ctx.cancellation());

@@ -9,8 +9,24 @@
 #include "indexed/indexed_relation.h"
 #include "sql/physical_operators.h"
 #include "sql/physical_plan.h"
+#include "sql/predicate_compiler.h"
 
 namespace idf {
+
+/// A filter pushed into a physical read path: an optional compiled program
+/// evaluated against the encoded payload (rejected rows are never decoded)
+/// plus an optional interpreter residual evaluated on the decoded row. A
+/// row survives iff the compiled part Matches() and the residual is TRUE.
+struct PushedFilter {
+  std::optional<CompiledPredicate> compiled;
+  ExprPtr residual;
+
+  bool has_any() const { return compiled.has_value() || residual != nullptr; }
+
+  static PushedFilter FromSplit(PredicateSplit split) {
+    return PushedFilter{std::move(split.compiled), std::move(split.residual)};
+  }
+};
 
 /// Full scan of an indexed relation's row batches (decodes binary rows:
 /// the row-major representation the paper notes is slower to project than
@@ -68,30 +84,29 @@ struct ScanSource {
   }
 };
 
-/// Fused scan + single-column comparison filter over the row batches:
-/// decodes only the filter column per row and materializes (optionally
-/// only the projected columns of) the row on a match. This is the
-/// lazy-decoding advantage of the binary row layout; the planner fuses
-/// `[Project over] Filter(col <op> lit)` over an IndexedScan (or a pinned
-/// SnapshotScan) into this operator when the filter cannot use the index
-/// itself.
+/// Fused scan + compiled filter over the row batches: the compiled program
+/// runs against the encoded payload (rows it rejects are never decoded),
+/// the interpreter residual — if any — runs on the decoded survivors, and
+/// only matches materialize (optionally just the projected columns). This
+/// is the lazy-decoding advantage of the binary row layout; the planner
+/// fuses `[Project over] Filter(pred)` over an IndexedScan (or a pinned
+/// SnapshotScan) into this operator whenever at least one conjunct of the
+/// predicate compiles.
 class IndexedScanFilterOp : public PhysicalOp {
  public:
   /// `project_cols` empty means "all columns" (then `schema` must be the
   /// relation's schema).
-  IndexedScanFilterOp(ScanSource source, ExprPtr predicate,
-                      CompareOp compare_op, int filter_col, Value literal,
+  IndexedScanFilterOp(ScanSource source, ExprPtr predicate, PushedFilter filter,
                       std::vector<int> project_cols = {},
                       SchemaPtr schema = nullptr)
       : PhysicalOp(schema ? std::move(schema) : source.schema()),
         source_(std::move(source)),
         predicate_(std::move(predicate)),
-        compare_op_(compare_op),
-        filter_col_(filter_col),
-        literal_(std::move(literal)),
+        filter_(std::move(filter)),
         project_cols_(std::move(project_cols)) {}
   std::string name() const override {
     return "IndexedScanFilter[" + source_.name() + "] " + predicate_->ToString() +
+           (filter_.compiled ? " (compiled)" : "") +
            (project_cols_.empty() ? "" : " (pruned)");
   }
   Result<PartitionVec> Execute(ExecutorContext& ctx) override;
@@ -99,9 +114,7 @@ class IndexedScanFilterOp : public PhysicalOp {
  private:
   ScanSource source_;
   ExprPtr predicate_;
-  CompareOp compare_op_;
-  int filter_col_;
-  Value literal_;
+  PushedFilter filter_;
   std::vector<int> project_cols_;
 };
 
@@ -126,13 +139,20 @@ class IndexedScanProjectOp : public PhysicalOp {
 
 /// Point lookup of one or more keys: each key routes to its home partition
 /// and the backward-pointer chain is walked. A consistent snapshot covers
-/// all keys of a multi-key (IN-list) lookup.
+/// all keys of a multi-key (IN-list) lookup. A pushed residual filter is
+/// applied during the chain walk while the node is cache-hot (the compiled
+/// part before decoding, the interpreted part on the decoded row).
 class IndexLookupOp : public PhysicalOp {
  public:
-  IndexLookupOp(IndexedRelationPtr rel, std::vector<Value> keys)
-      : PhysicalOp(rel->schema()), rel_(std::move(rel)), keys_(std::move(keys)) {}
+  IndexLookupOp(IndexedRelationPtr rel, std::vector<Value> keys,
+                PushedFilter filter = {})
+      : PhysicalOp(rel->schema()),
+        rel_(std::move(rel)),
+        keys_(std::move(keys)),
+        filter_(std::move(filter)) {}
   std::string name() const override {
     std::string out = "IndexLookup[" + rel_->name() + "] key=";
+    if (filter_.has_any()) out = "Filtered" + out;
     if (keys_.size() == 1) return out + keys_[0].ToString();
     return out + "{" + std::to_string(keys_.size()) + " keys}";
   }
@@ -141,6 +161,7 @@ class IndexLookupOp : public PhysicalOp {
  private:
   IndexedRelationPtr rel_;
   std::vector<Value> keys_;
+  PushedFilter filter_;
 };
 
 /// Point lookup against a pinned snapshot: identical chain walk, but over
@@ -148,12 +169,15 @@ class IndexLookupOp : public PhysicalOp {
 /// version at index speed while appends keep landing in the live relation.
 class SnapshotLookupOp : public PhysicalOp {
  public:
-  SnapshotLookupOp(PinnedSnapshotPtr snapshot, std::vector<Value> keys)
+  SnapshotLookupOp(PinnedSnapshotPtr snapshot, std::vector<Value> keys,
+                   PushedFilter filter = {})
       : PhysicalOp(snapshot->schema()),
         snapshot_(std::move(snapshot)),
-        keys_(std::move(keys)) {}
+        keys_(std::move(keys)),
+        filter_(std::move(filter)) {}
   std::string name() const override {
     std::string out = "SnapshotLookup[" + snapshot_->name() + "] key=";
+    if (filter_.has_any()) out = "Filtered" + out;
     if (keys_.size() == 1) return out + keys_[0].ToString();
     return out + "{" + std::to_string(keys_.size()) + " keys}";
   }
@@ -162,24 +186,31 @@ class SnapshotLookupOp : public PhysicalOp {
  private:
   PinnedSnapshotPtr snapshot_;
   std::vector<Value> keys_;
+  PushedFilter filter_;
 };
 
 /// Indexed equi-join. The indexed relation is always the build side ("as it
 /// is actually pre-built due to the index"); the probe side is shuffled to
 /// the index's hash partitioning, or — when small enough to broadcast
 /// efficiently — broadcast to all partitions (paper §2, Indexed Join).
+/// An optional build-side filter (from a pushed-down predicate on the
+/// indexed relation) runs against the encoded build row during the chain
+/// walk, before the row is decoded or concatenated.
 class IndexedJoinOp : public PhysicalOp {
  public:
   IndexedJoinOp(IndexedRelationPtr rel, PhysicalOpPtr probe, ExprPtr probe_key,
-                bool indexed_on_left, bool broadcast_probe, SchemaPtr schema)
+                bool indexed_on_left, bool broadcast_probe, SchemaPtr schema,
+                PushedFilter build_filter = {})
       : PhysicalOp(std::move(schema), {probe}),
         rel_(std::move(rel)),
         probe_key_(std::move(probe_key)),
         indexed_on_left_(indexed_on_left),
-        broadcast_probe_(broadcast_probe) {}
+        broadcast_probe_(broadcast_probe),
+        build_filter_(std::move(build_filter)) {}
   std::string name() const override {
     return std::string("IndexedEquiJoin[") + rel_->name() + "] (" +
-           (broadcast_probe_ ? "broadcast" : "shuffled") + " probe)";
+           (broadcast_probe_ ? "broadcast" : "shuffled") + " probe)" +
+           (build_filter_.has_any() ? " (build filtered)" : "");
   }
   Result<PartitionVec> Execute(ExecutorContext& ctx) override;
 
@@ -188,6 +219,7 @@ class IndexedJoinOp : public PhysicalOp {
   ExprPtr probe_key_;
   bool indexed_on_left_;
   bool broadcast_probe_;
+  PushedFilter build_filter_;
 };
 
 }  // namespace idf

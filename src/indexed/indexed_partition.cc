@@ -51,41 +51,17 @@ bool IndexedPartition::View::InView(PackedPointer ptr) const {
 
 RowVec IndexedPartition::View::GetRows(const Value& key) const {
   RowVec out;
-  if (key.is_null()) return out;
-  std::optional<uint64_t> head = trie_.Lookup(key.Hash());
-  if (!head.has_value()) return out;
   const Schema& schema = *part_->schema_;
-  const int col = part_->indexed_col_;
-  for (PackedPointer ptr(*head); !ptr.is_null();
-       ptr = part_->store_.BackPointerAt(ptr)) {
-    const uint8_t* payload = part_->store_.PayloadAt(ptr);
-    // The chain links rows with equal key *hash*; verify the actual value
-    // (64-bit hash collisions across distinct values share a chain).
-    Value actual = DecodeColumn(payload, schema, col);
-    if (actual == key) out.push_back(DecodeRow(payload, schema));
-  }
+  ForEachRawRow(key, [&out, &schema](const uint8_t* payload) {
+    out.push_back(DecodeRow(payload, schema));
+  });
   return out;
 }
 
 size_t IndexedPartition::View::GetRawRows(
     const Value& key, std::vector<const uint8_t*>* out) const {
-  if (key.is_null()) return 0;
-  std::optional<uint64_t> head = trie_.Lookup(key.Hash());
-  if (!head.has_value()) return 0;
-  const Schema& schema = *part_->schema_;
-  const int col = part_->indexed_col_;
-  size_t appended = 0;
-  for (PackedPointer ptr(*head); !ptr.is_null();
-       ptr = part_->store_.BackPointerAt(ptr)) {
-    const uint8_t* payload = part_->store_.PayloadAt(ptr);
-    // Verify the actual value: chains link rows with equal key *hash*.
-    Value actual = DecodeColumn(payload, schema, col);
-    if (actual == key) {
-      out->push_back(payload);
-      ++appended;
-    }
-  }
-  return appended;
+  return ForEachRawRow(key,
+                       [out](const uint8_t* payload) { out->push_back(payload); });
 }
 
 void IndexedPartition::View::ScanChain(

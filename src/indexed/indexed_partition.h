@@ -69,13 +69,25 @@ class IndexedPartition {
       if (!head.has_value()) return 0;
       const Schema& schema = *part_->schema_;
       const int col = part_->indexed_col_;
+      // Fast path: for integer-backed indexed columns the key's 8-byte slot
+      // image is compared against the raw encoded slot per chain node — no
+      // Value materialization. Float and string columns stay on the decode
+      // path (0.0 and -0.0 compare equal but differ in bits; strings are
+      // out-of-line).
+      uint64_t want_slot = 0;
+      const bool raw_eq =
+          EncodeFixedKeySlot(schema.field(col).type, key, &want_slot);
+      const size_t bitmap_bytes = EncodedBitmapBytes(schema.num_fields());
       size_t matched = 0;
       for (PackedPointer ptr(*head); !ptr.is_null();
            ptr = part_->store_.BackPointerAt(ptr)) {
         const uint8_t* payload = part_->store_.PayloadAt(ptr);
         // Verify the actual value: chains link rows with equal key *hash*.
-        Value actual = DecodeColumn(payload, schema, col);
-        if (actual == key) {
+        const bool match =
+            raw_eq ? !RawColumnIsNull(payload, col) &&
+                         RawColumnSlot(payload, bitmap_bytes, col) == want_slot
+                   : DecodeColumn(payload, schema, col) == key;
+        if (match) {
           fn(payload);
           ++matched;
         }

@@ -98,6 +98,32 @@ Result<LogicalPlanPtr> IndexedFilterRule::Apply(const LogicalPlanPtr& node) cons
   return LogicalPlanPtr(nullptr);
 }
 
+namespace {
+
+/// Matches a join side that is an IndexedScan, possibly under a Filter
+/// (whose predicate is then bound to the relation's own schema, since the
+/// FilterNode's child is the scan). A matched filter becomes the join's
+/// build-side predicate, evaluated against the encoded build rows during
+/// the chain walk instead of as a separate pass over a materialized scan.
+bool MatchBuildSide(const LogicalPlanPtr& side, IndexedRelationBasePtr* rel,
+                    ExprPtr* build_pred) {
+  if (side->kind() == PlanKind::kIndexedScan) {
+    *rel = static_cast<const IndexedScanNode*>(side.get())->relation();
+    *build_pred = nullptr;
+    return true;
+  }
+  if (side->kind() == PlanKind::kFilter &&
+      side->children()[0]->kind() == PlanKind::kIndexedScan) {
+    *rel = static_cast<const IndexedScanNode*>(side->children()[0].get())
+               ->relation();
+    *build_pred = static_cast<const FilterNode*>(side.get())->predicate();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<LogicalPlanPtr> IndexedJoinRule::Apply(const LogicalPlanPtr& node) const {
   if (node->kind() != PlanKind::kJoin) return LogicalPlanPtr(nullptr);
   const auto* join = static_cast<const JoinNode*>(node.get());
@@ -105,24 +131,23 @@ Result<LogicalPlanPtr> IndexedJoinRule::Apply(const LogicalPlanPtr& node) const 
   if (join->join_type() != JoinType::kInner) return LogicalPlanPtr(nullptr);
 
   // "In case of the indexed join, the indexed relation is always the build
-  //  side" — prefer the left side when both are indexed.
-  if (join->left()->kind() == PlanKind::kIndexedScan) {
-    const auto& rel =
-        static_cast<const IndexedScanNode*>(join->left().get())->relation();
-    if (KeyIsIndexedColumn(join->left_key(), rel)) {
-      return LogicalPlanPtr(std::make_shared<IndexedJoinNode>(
-          rel, join->right(), join->right_key(), /*indexed_on_left=*/true,
-          node->output_schema()));
-    }
+  //  side" — prefer the left side when both are indexed. A Filter over the
+  //  build-side scan is absorbed as the join's build predicate (children
+  //  are optimized before parents, so an indexed-column equality filter has
+  //  already become a lookup and no longer matches here).
+  IndexedRelationBasePtr rel;
+  ExprPtr build_pred;
+  if (MatchBuildSide(join->left(), &rel, &build_pred) &&
+      KeyIsIndexedColumn(join->left_key(), rel)) {
+    return LogicalPlanPtr(std::make_shared<IndexedJoinNode>(
+        rel, join->right(), join->right_key(), /*indexed_on_left=*/true,
+        node->output_schema(), std::move(build_pred)));
   }
-  if (join->right()->kind() == PlanKind::kIndexedScan) {
-    const auto& rel =
-        static_cast<const IndexedScanNode*>(join->right().get())->relation();
-    if (KeyIsIndexedColumn(join->right_key(), rel)) {
-      return LogicalPlanPtr(std::make_shared<IndexedJoinNode>(
-          rel, join->left(), join->left_key(), /*indexed_on_left=*/false,
-          node->output_schema()));
-    }
+  if (MatchBuildSide(join->right(), &rel, &build_pred) &&
+      KeyIsIndexedColumn(join->right_key(), rel)) {
+    return LogicalPlanPtr(std::make_shared<IndexedJoinNode>(
+        rel, join->left(), join->left_key(), /*indexed_on_left=*/false,
+        node->output_schema(), std::move(build_pred)));
   }
   return LogicalPlanPtr(nullptr);
 }
@@ -164,25 +189,55 @@ ScanSource SourceOfScan(const LogicalPlanPtr& scan) {
 Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
     const LogicalPlanPtr& node, std::vector<PhysicalOpPtr> children,
     const EngineConfig& config) const {
-  // Fuse `Filter(col <op> literal)` directly over an IndexedScan or a
-  // pinned SnapshotScan into a lazy-decoding scan-filter (the index itself
-  // only serves equality on the indexed column; that case was already
-  // rewritten to IndexedLookup/SnapshotLookup by the optimizer rule and
-  // never reaches this branch).
-  if (node->kind() == PlanKind::kFilter && IsFusableScan(node->children()[0])) {
+  // Fuse a Filter directly over an IndexedScan or a pinned SnapshotScan
+  // into a lazy-decoding scan-filter whenever at least one conjunct of the
+  // predicate compiles to an encoded-row program (the index itself only
+  // serves equality on the indexed column; that case was already rewritten
+  // to IndexedLookup/SnapshotLookup by the optimizer rule and never
+  // reaches this branch). A filter over a lookup pushes into the chain
+  // walk instead. Predicates where nothing compiles (LIKE, arithmetic,
+  // col-vs-col) fall back to the generic FilterOp over the scan.
+  if (node->kind() == PlanKind::kFilter) {
     const auto* filter = static_cast<const FilterNode*>(node.get());
-    CompareOp op;
-    int col = -1;
-    Value literal;
-    if (MatchComparisonFilter(filter->predicate(), &op, &col, &literal)) {
-      ScanSource source = SourceOfScan(node->children()[0]);
+    const LogicalPlanPtr& child = node->children()[0];
+    if (IsFusableScan(child)) {
+      ScanSource source = SourceOfScan(child);
       if (source.valid()) {
-        return PhysicalOpPtr(std::make_shared<IndexedScanFilterOp>(
-            std::move(source), filter->predicate(), op, col,
-            std::move(literal)));
+        PredicateSplit split =
+            SplitForCompilation(filter->predicate(), *source.schema());
+        if (split.compiled.has_value()) {
+          return PhysicalOpPtr(std::make_shared<IndexedScanFilterOp>(
+              std::move(source), filter->predicate(),
+              PushedFilter::FromSplit(std::move(split))));
+        }
       }
+      return PhysicalOpPtr(nullptr);  // fall back to Filter over the scan
     }
-    return PhysicalOpPtr(nullptr);  // fall back to Filter over the scan
+    if (child->kind() == PlanKind::kIndexedLookup) {
+      const auto* lookup = static_cast<const IndexedLookupNode*>(child.get());
+      auto rel = std::dynamic_pointer_cast<IndexedRelation>(lookup->relation());
+      if (rel) {
+        PredicateSplit split =
+            SplitForCompilation(filter->predicate(), *rel->schema());
+        return PhysicalOpPtr(std::make_shared<IndexLookupOp>(
+            std::move(rel), lookup->keys(),
+            PushedFilter::FromSplit(std::move(split))));
+      }
+      return PhysicalOpPtr(nullptr);
+    }
+    if (child->kind() == PlanKind::kSnapshotLookup) {
+      const auto* lookup = static_cast<const SnapshotLookupNode*>(child.get());
+      auto snap = std::dynamic_pointer_cast<PinnedSnapshot>(lookup->snapshot());
+      if (snap) {
+        PredicateSplit split =
+            SplitForCompilation(filter->predicate(), *snap->schema());
+        return PhysicalOpPtr(std::make_shared<SnapshotLookupOp>(
+            std::move(snap), lookup->keys(),
+            PushedFilter::FromSplit(std::move(split))));
+      }
+      return PhysicalOpPtr(nullptr);
+    }
+    return PhysicalOpPtr(nullptr);
   }
   // Column pruning: Project(colrefs) over a scan decodes only the
   // projected columns; Project(colrefs) over Filter(cmp) over a scan
@@ -202,15 +257,15 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
       if (child->kind() == PlanKind::kFilter &&
           IsFusableScan(child->children()[0])) {
         const auto* filter = static_cast<const FilterNode*>(child.get());
-        CompareOp op;
-        int fcol = -1;
-        Value literal;
-        if (MatchComparisonFilter(filter->predicate(), &op, &fcol, &literal)) {
-          ScanSource source = SourceOfScan(child->children()[0]);
-          if (source.valid()) {
+        ScanSource source = SourceOfScan(child->children()[0]);
+        if (source.valid()) {
+          PredicateSplit split =
+              SplitForCompilation(filter->predicate(), *source.schema());
+          if (split.compiled.has_value()) {
             return PhysicalOpPtr(std::make_shared<IndexedScanFilterOp>(
-                std::move(source), filter->predicate(), op, fcol,
-                std::move(literal), std::move(cols), node->output_schema()));
+                std::move(source), filter->predicate(),
+                PushedFilter::FromSplit(std::move(split)), std::move(cols),
+                node->output_schema()));
           }
         }
       }
@@ -261,9 +316,14 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
       bool broadcast_probe =
           EstimateBytes(join->probe()) <=
           static_cast<double>(config.broadcast_threshold_bytes);
+      PushedFilter build_filter;
+      if (join->build_predicate()) {
+        build_filter = PushedFilter::FromSplit(
+            SplitForCompilation(join->build_predicate(), *rel->schema()));
+      }
       return PhysicalOpPtr(std::make_shared<IndexedJoinOp>(
           std::move(rel), children[0], join->probe_key(), join->indexed_on_left(),
-          broadcast_probe, node->output_schema()));
+          broadcast_probe, node->output_schema(), std::move(build_filter)));
     }
     default:
       return PhysicalOpPtr(nullptr);

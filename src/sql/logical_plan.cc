@@ -265,14 +265,16 @@ LogicalPlanPtr IndexedLookupNode::WithChildren(
 
 std::string IndexedJoinNode::ToString() const {
   return "IndexedJoin [" + rel_->name() + "] probe_key=" + probe_key_->ToString() +
-         (indexed_on_left_ ? " (indexed side: left)" : " (indexed side: right)");
+         (indexed_on_left_ ? " (indexed side: left)" : " (indexed side: right)") +
+         (build_predicate_ ? " build_filter=" + build_predicate_->ToString() : "");
 }
 
 LogicalPlanPtr IndexedJoinNode::WithChildren(
     std::vector<LogicalPlanPtr> children) const {
   IDF_CHECK_EQ(children.size(), 1u);
   return std::make_shared<IndexedJoinNode>(rel_, std::move(children[0]), probe_key_,
-                                           indexed_on_left_, output_schema());
+                                           indexed_on_left_, output_schema(),
+                                           build_predicate_);
 }
 
 }  // namespace idf

@@ -419,19 +419,25 @@ class IndexedLookupNode : public LogicalPlan {
 class IndexedJoinNode : public LogicalPlan {
  public:
   /// `indexed_on_left` records which side of the original join the indexed
-  /// relation was on, which fixes the output column order.
+  /// relation was on, which fixes the output column order. `build_predicate`
+  /// (may be null) is a filter on the indexed relation — bound to its
+  /// schema — absorbed from a pushed-down Filter over the build-side scan;
+  /// the physical join evaluates it against the encoded build rows during
+  /// the chain walk.
   IndexedJoinNode(IndexedRelationBasePtr rel, LogicalPlanPtr probe,
                   ExprPtr probe_key, bool indexed_on_left,
-                  SchemaPtr schema = nullptr)
+                  SchemaPtr schema = nullptr, ExprPtr build_predicate = nullptr)
       : LogicalPlan(PlanKind::kIndexedJoin, {std::move(probe)}, std::move(schema)),
         rel_(std::move(rel)),
         probe_key_(std::move(probe_key)),
-        indexed_on_left_(indexed_on_left) {}
+        indexed_on_left_(indexed_on_left),
+        build_predicate_(std::move(build_predicate)) {}
 
   const IndexedRelationBasePtr& relation() const { return rel_; }
   const LogicalPlanPtr& probe() const { return children()[0]; }
   const ExprPtr& probe_key() const { return probe_key_; }
   bool indexed_on_left() const { return indexed_on_left_; }
+  const ExprPtr& build_predicate() const { return build_predicate_; }
   std::string ToString() const override;
   LogicalPlanPtr WithChildren(std::vector<LogicalPlanPtr> children) const override;
 
@@ -439,6 +445,7 @@ class IndexedJoinNode : public LogicalPlan {
   IndexedRelationBasePtr rel_;
   ExprPtr probe_key_;
   bool indexed_on_left_;
+  ExprPtr build_predicate_;
 };
 
 }  // namespace idf

@@ -6,26 +6,6 @@
 
 namespace idf {
 
-namespace {
-
-size_t BitmapBytes(int num_fields) {
-  return static_cast<size_t>((num_fields + 63) / 64) * 8;
-}
-
-bool IsNullAt(const uint8_t* base, int col) {
-  uint64_t word;
-  std::memcpy(&word, base + (col / 64) * 8, 8);
-  return (word >> (col % 64)) & 1;
-}
-
-uint64_t ReadSlot(const uint8_t* base, size_t bitmap_bytes, int col) {
-  uint64_t v;
-  std::memcpy(&v, base + bitmap_bytes + static_cast<size_t>(col) * 8, 8);
-  return v;
-}
-
-}  // namespace
-
 Status EncodeRow(const Schema& schema, const Row& row, std::vector<uint8_t>* out) {
   IDF_RETURN_NOT_OK(ValidateRow(schema, row));
   EncodeRowUnchecked(schema, row, out);
@@ -35,7 +15,7 @@ Status EncodeRow(const Schema& schema, const Row& row, std::vector<uint8_t>* out
 void EncodeRowUnchecked(const Schema& schema, const Row& row,
                         std::vector<uint8_t>* out) {
   const int n = schema.num_fields();
-  const size_t bitmap_bytes = BitmapBytes(n);
+  const size_t bitmap_bytes = EncodedBitmapBytes(n);
   const size_t fixed_bytes = static_cast<size_t>(n) * 8;
 
   out->assign(bitmap_bytes + fixed_bytes, 0);
@@ -85,9 +65,9 @@ void EncodeRowUnchecked(const Schema& schema, const Row& row,
 }
 
 Value DecodeColumn(const uint8_t* base, const Schema& schema, int col) {
-  const size_t bitmap_bytes = BitmapBytes(schema.num_fields());
-  if (IsNullAt(base, col)) return Value::Null();
-  uint64_t slot = ReadSlot(base, bitmap_bytes, col);
+  const size_t bitmap_bytes = EncodedBitmapBytes(schema.num_fields());
+  if (RawColumnIsNull(base, col)) return Value::Null();
+  uint64_t slot = RawColumnSlot(base, bitmap_bytes, col);
   switch (schema.field(col).type) {
     case TypeId::kBool:
       return Value(slot != 0);
@@ -128,16 +108,67 @@ Row DecodeRow(const uint8_t* base, const Schema& schema) {
 
 uint32_t EncodedRowSize(const uint8_t* base, const Schema& schema) {
   const int n = schema.num_fields();
-  const size_t bitmap_bytes = BitmapBytes(n);
+  const size_t bitmap_bytes = EncodedBitmapBytes(n);
   uint32_t size = static_cast<uint32_t>(bitmap_bytes + static_cast<size_t>(n) * 8);
   for (int i = 0; i < n; ++i) {
-    if (schema.field(i).type != TypeId::kString || IsNullAt(base, i)) continue;
-    uint64_t slot = ReadSlot(base, bitmap_bytes, i);
+    if (schema.field(i).type != TypeId::kString || RawColumnIsNull(base, i)) continue;
+    uint64_t slot = RawColumnSlot(base, bitmap_bytes, i);
     uint32_t end = static_cast<uint32_t>(slot >> 32) +
                    static_cast<uint32_t>(slot & 0xFFFFFFFFULL);
     if (end > size) size = end;
   }
   return size;
+}
+
+bool EncodeFixedKeySlot(TypeId type, const Value& key, uint64_t* slot) {
+  if (key.is_null() || key.is_string()) return false;
+  switch (type) {
+    case TypeId::kBool: {
+      // A decoded bool compares to a numeric key via widening (false=0,
+      // true=1), so only keys equal to exactly 0 or 1 have a slot image.
+      const double d = key.AsDouble();
+      if (d != 0.0 && d != 1.0) return false;
+      *slot = d == 1.0 ? 1 : 0;
+      return true;
+    }
+    case TypeId::kInt32: {
+      int64_t i;
+      if (key.is_double()) {
+        const double d = key.double_value();
+        if (!(d >= -2147483648.0 && d <= 2147483647.0)) return false;
+        i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) != d) return false;  // fractional key
+      } else {
+        i = key.AsInt64();
+        if (i < INT32_MIN || i > INT32_MAX) return false;
+      }
+      const int32_t x = static_cast<int32_t>(i);
+      uint32_t ux;
+      std::memcpy(&ux, &x, 4);
+      *slot = ux;
+      return true;
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      int64_t i;
+      if (key.is_double()) {
+        const double d = key.double_value();
+        // Beyond 2^53 the int->double widening is not injective: one double
+        // compares equal to several int64s, so no single slot image exists.
+        if (!(d >= -9007199254740992.0 && d <= 9007199254740992.0)) return false;
+        i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) != d) return false;  // fractional key
+      } else {
+        i = key.AsInt64();
+      }
+      std::memcpy(slot, &i, 8);
+      return true;
+    }
+    case TypeId::kFloat64:  // 0.0 == -0.0 but their bit patterns differ
+    case TypeId::kString:
+      return false;
+  }
+  return false;
 }
 
 RowBatch::RowBatch(size_t capacity_bytes)

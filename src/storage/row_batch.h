@@ -22,7 +22,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -31,6 +33,49 @@
 #include "types/schema.h"
 
 namespace idf {
+
+// ---------------------------------------------------------------------------
+// Raw encoded-payload accessors (the fixed-prefix layout above). Shared by
+// DecodeColumn, the compiled-predicate VM (sql/predicate_compiler.h) and
+// the indexed chain-walk fast path — these read straight from the encoded
+// bytes without materializing a Value.
+// ---------------------------------------------------------------------------
+
+/// Bytes of the null bitmap for a schema with `num_fields` columns.
+inline size_t EncodedBitmapBytes(int num_fields) {
+  return static_cast<size_t>((num_fields + 63) / 64) * 8;
+}
+
+/// Null bit of column `col` in the payload at `base`.
+inline bool RawColumnIsNull(const uint8_t* base, int col) {
+  uint64_t word;
+  std::memcpy(&word, base + (col / 64) * 8, 8);
+  return (word >> (col % 64)) & 1;
+}
+
+/// The 8-byte fixed slot of column `col` (value bits for fixed-width types,
+/// (offset << 32) | length for strings). Callers check the null bit first.
+inline uint64_t RawColumnSlot(const uint8_t* base, size_t bitmap_bytes, int col) {
+  uint64_t v;
+  std::memcpy(&v, base + bitmap_bytes + static_cast<size_t>(col) * 8, 8);
+  return v;
+}
+
+/// View over the variable-length bytes a string slot points into; valid as
+/// long as the payload is.
+inline std::string_view RawColumnString(const uint8_t* base, uint64_t slot) {
+  return std::string_view(reinterpret_cast<const char*>(base + (slot >> 32)),
+                          static_cast<size_t>(slot & 0xFFFFFFFFULL));
+}
+
+/// Encodes `key` into the 8-byte slot image it would occupy in a column of
+/// integer-backed `type` (bool/int32/int64/timestamp), iff raw slot
+/// equality is then exactly equivalent to the engine's Value equality
+/// against a decoded column value. Returns false when no unique slot image
+/// exists (string/float columns, fractional or out-of-range keys, doubles
+/// beyond 2^53 where the widening comparison is not injective) — callers
+/// fall back to decode-and-compare.
+bool EncodeFixedKeySlot(TypeId type, const Value& key, uint64_t* slot);
 
 /// Encodes `row` (which must validate against `schema`) into `out`,
 /// replacing its contents. The encoding excludes the back-pointer header.

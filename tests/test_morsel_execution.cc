@@ -125,8 +125,9 @@ TEST_F(MorselExecutionTest, FusedFilterScanDispatchesMorsels) {
 
   ExprPtr pred =
       BindExpr(Gt(Col("k"), Lit(Value(int64_t{49}))), *build_schema_).ValueOrDie();
-  IndexedScanFilterOp scan(rel_, pred, CompareOp::kGt, /*filter_col=*/0,
-                           Value(int64_t{49}));
+  IndexedScanFilterOp scan(rel_, pred,
+                           PushedFilter::FromSplit(
+                               SplitForCompilation(pred, *build_schema_)));
   session_->metrics().Reset();
   PartitionVec parts = scan.Execute(session_->exec()).ValueOrDie();
   // 100-row seed + 5000 extra, keys uniform over 0..99: half pass.

@@ -1,0 +1,277 @@
+// Unit tests for the compiled-predicate subsystem: per-type compilation
+// and evaluation against encoded payloads, SQL three-valued logic, the
+// compilable-subset boundary (what falls back), and SplitForCompilation's
+// conjunct splitting. The differential fuzzer in test_property_fuzz.cc
+// covers the same contract with random trees; these are the directed cases.
+#include "sql/predicate_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/row_batch.h"
+
+namespace idf {
+namespace {
+
+class PredicateCompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = Schema::Make({{"i64", TypeId::kInt64, true},
+                            {"i32", TypeId::kInt32, true},
+                            {"f64", TypeId::kFloat64, true},
+                            {"b", TypeId::kBool, true},
+                            {"s", TypeId::kString, true},
+                            {"ts", TypeId::kTimestamp, true}});
+  }
+
+  // Encodes `row` and returns the payload bytes (no back-pointer header).
+  std::vector<uint8_t> Encode(const Row& row) {
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(EncodeRow(*schema_, row, &out).ok());
+    return out;
+  }
+
+  // The interpreter's filter decision: TRUE keeps the row.
+  bool InterpreterKeeps(const ExprPtr& bound, const Row& row) {
+    Result<Value> v = bound->Eval(row);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return !v.ValueOrDie().is_null() && v.ValueOrDie().bool_value();
+  }
+
+  // Compiles `expr` (must succeed) and checks Matches() against the
+  // interpreter on every row.
+  void ExpectAgrees(const ExprPtr& expr, const RowVec& rows) {
+    ExprPtr bound = BindExpr(expr, *schema_).ValueOrDie();
+    std::optional<CompiledPredicate> compiled =
+        CompiledPredicate::Compile(bound, *schema_);
+    ASSERT_TRUE(compiled.has_value()) << bound->ToString();
+    for (const Row& row : rows) {
+      std::vector<uint8_t> payload = Encode(row);
+      EXPECT_EQ(compiled->Matches(payload.data()), InterpreterKeeps(bound, row))
+          << bound->ToString() << " on row 0: " << row[0].ToString();
+    }
+  }
+
+  void ExpectNotCompilable(const ExprPtr& expr) {
+    ExprPtr bound = BindExpr(expr, *schema_).ValueOrDie();
+    EXPECT_FALSE(CompiledPredicate::Compile(bound, *schema_).has_value())
+        << bound->ToString();
+  }
+
+  RowVec SampleRows() {
+    return {
+        {Value(int64_t{5}), Value(int32_t{5}), Value(2.5), Value(true),
+         Value("abc"), Value(int64_t{100})},
+        {Value(int64_t{-7}), Value(int32_t{-7}), Value(-0.0), Value(false),
+         Value(""), Value(int64_t{-100})},
+        {Value(int64_t{0}), Value(int32_t{0}), Value(0.0), Value(true),
+         Value("abd"), Value(int64_t{0})},
+        {Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+         Value::Null(), Value::Null()},
+        {Value(int64_t{1} << 40), Value(int32_t{2147483647}), Value(1e300),
+         Value(false), Value("ab"), Value(int64_t{1})},
+    };
+  }
+
+  SchemaPtr schema_;
+};
+
+TEST_F(PredicateCompilerTest, AllComparisonOpsOnAllTypes) {
+  RowVec rows = SampleRows();
+  struct Case {
+    const char* col;
+    Value lit;
+  };
+  std::vector<Case> cases = {{"i64", Value(int64_t{5})},
+                             {"i32", Value(int64_t{-7})},
+                             {"f64", Value(0.0)},
+                             {"b", Value(true)},
+                             {"s", Value("abc")},
+                             {"ts", Value(int64_t{0})}};
+  using Builder = ExprPtr (*)(ExprPtr, ExprPtr);
+  std::vector<Builder> ops = {&Eq, &Ne, &Lt, &Le, &Gt, &Ge};
+  for (const Case& c : cases) {
+    for (Builder op : ops) {
+      ExpectAgrees(op(Col(c.col), Lit(c.lit)), rows);
+      // Mirrored: literal on the left compiles with the flipped operator.
+      ExpectAgrees(op(Lit(c.lit), Col(c.col)), rows);
+    }
+  }
+}
+
+TEST_F(PredicateCompilerTest, IntColumnVsDoubleLiteralWidens) {
+  RowVec rows = SampleRows();
+  // Fractional literal: no int64 is equal, but ordering still splits rows.
+  ExpectAgrees(Gt(Col("i64"), Lit(Value(2.5))), rows);
+  ExpectAgrees(Eq(Col("i64"), Lit(Value(5.0))), rows);
+  ExpectAgrees(Le(Col("i32"), Lit(Value(-6.5))), rows);
+  ExpectAgrees(Eq(Col("b"), Lit(Value(1.0))), rows);
+  // Double column vs integer literal compares as double.
+  ExpectAgrees(Lt(Col("f64"), Lit(Value(int64_t{1}))), rows);
+}
+
+TEST_F(PredicateCompilerTest, NaNLiteralMatchesInterpreter) {
+  RowVec rows = SampleRows();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  using Builder = ExprPtr (*)(ExprPtr, ExprPtr);
+  for (Builder op : std::vector<Builder>{&Eq, &Ne, &Lt, &Le, &Gt, &Ge}) {
+    ExpectAgrees(op(Col("f64"), Lit(Value(nan))), rows);
+    ExpectAgrees(op(Col("i64"), Lit(Value(nan))), rows);
+  }
+}
+
+TEST_F(PredicateCompilerTest, ThreeValuedLogic) {
+  RowVec rows = SampleRows();
+  ExprPtr cmp = Gt(Col("i64"), Lit(Value(int64_t{0})));
+  // NULL comparison operand: NOT(NULL) is NULL, row dropped either way;
+  // NULL OR TRUE is TRUE; NULL AND x is never TRUE.
+  ExpectAgrees(Not(cmp), rows);
+  ExpectAgrees(Or(cmp, Eq(Col("b"), Lit(Value(true)))), rows);
+  ExpectAgrees(And(cmp, Col("b")), rows);
+  ExpectAgrees(IsNull(Col("s")), rows);
+  ExpectAgrees(IsNotNull(Col("s")), rows);
+  ExpectAgrees(Not(IsNull(Col("i64"))), rows);
+  // A bare bool column and bool/null literals act as predicates.
+  ExpectAgrees(Col("b"), rows);
+  ExpectAgrees(Lit(Value(true)), rows);
+  ExpectAgrees(Lit(Value(false)), rows);
+  ExpectAgrees(Lit(Value::Null()), rows);
+  // Comparison against a NULL literal is NULL for every row.
+  ExpectAgrees(Eq(Col("i64"), Lit(Value::Null())), rows);
+}
+
+TEST_F(PredicateCompilerTest, NonCompilableShapesFallBack) {
+  ExpectNotCompilable(Like(Col("s"), "a%"));
+  ExpectNotCompilable(Gt(Add(Col("i64"), Lit(Value(int64_t{1}))),
+                         Lit(Value(int64_t{3}))));
+  ExpectNotCompilable(Eq(Col("i64"), Col("ts")));       // col vs col
+  ExpectNotCompilable(Eq(Col("s"), Lit(Value(int64_t{1}))));  // string vs int
+  ExpectNotCompilable(Eq(Col("i64"), Lit(Value("x"))));       // int vs string
+  ExpectNotCompilable(Lit(Value(int64_t{1})));  // non-bool literal predicate
+  // Unbound column references never compile.
+  EXPECT_FALSE(
+      CompiledPredicate::Compile(Gt(Col("i64"), Lit(Value(int64_t{0}))),
+                                 *schema_)
+          .has_value());
+}
+
+TEST_F(PredicateCompilerTest, DeepNestingExceedsStackAndFallsBack) {
+  // A right-deep OR tree needs one stack slot per nesting level; past
+  // kMaxStack the compiler refuses and the interpreter takes over.
+  ExprPtr deep = Col("b");
+  for (int i = 0; i < 70; ++i) deep = Or(Col("b"), deep);
+  ExprPtr bound = BindExpr(deep, *schema_).ValueOrDie();
+  EXPECT_FALSE(CompiledPredicate::Compile(bound, *schema_).has_value());
+  // A left-deep tree of the same size stays shallow and compiles.
+  ExprPtr wide = Col("b");
+  for (int i = 0; i < 70; ++i) wide = Or(wide, Col("b"));
+  bound = BindExpr(wide, *schema_).ValueOrDie();
+  EXPECT_TRUE(CompiledPredicate::Compile(bound, *schema_).has_value());
+}
+
+TEST_F(PredicateCompilerTest, SplitSeparatesResidualConjuncts) {
+  ExprPtr mixed = And(Gt(Col("i64"), Lit(Value(int64_t{0}))),
+                      And(Like(Col("s"), "a%"),
+                          IsNotNull(Col("f64"))));
+  ExprPtr bound = BindExpr(mixed, *schema_).ValueOrDie();
+  PredicateSplit split = SplitForCompilation(bound, *schema_);
+  ASSERT_TRUE(split.compiled.has_value());
+  ASSERT_NE(split.residual, nullptr);
+  EXPECT_NE(split.residual->ToString().find("LIKE"), std::string::npos);
+  // compiled AND residual must reproduce the original filter decision.
+  RowVec rows = SampleRows();
+  for (const Row& row : rows) {
+    std::vector<uint8_t> payload = Encode(row);
+    bool split_keeps = split.compiled->Matches(payload.data()) &&
+                       InterpreterKeeps(split.residual, row);
+    EXPECT_EQ(split_keeps, InterpreterKeeps(bound, row));
+  }
+}
+
+TEST_F(PredicateCompilerTest, SplitAllCompiledAndNoneCompiled) {
+  ExprPtr all = BindExpr(And(Gt(Col("i64"), Lit(Value(int64_t{0}))),
+                             Lt(Col("f64"), Lit(Value(9.0)))),
+                         *schema_)
+                    .ValueOrDie();
+  PredicateSplit s1 = SplitForCompilation(all, *schema_);
+  EXPECT_TRUE(s1.compiled.has_value());
+  EXPECT_EQ(s1.residual, nullptr);
+
+  ExprPtr none = BindExpr(Like(Col("s"), "a%"), *schema_).ValueOrDie();
+  PredicateSplit s2 = SplitForCompilation(none, *schema_);
+  EXPECT_FALSE(s2.compiled.has_value());
+  ASSERT_NE(s2.residual, nullptr);
+  EXPECT_NE(s2.residual->ToString().find("LIKE"), std::string::npos);
+}
+
+// The split must NOT distribute over OR: a disjunction with one
+// non-compilable branch is a single conjunct and falls back whole.
+TEST_F(PredicateCompilerTest, DisjunctionWithNonCompilableBranchFallsBackWhole) {
+  ExprPtr pred = Or(Gt(Col("i64"), Lit(Value(int64_t{0}))),
+                    Like(Col("s"), "a%"));
+  ExprPtr bound = BindExpr(pred, *schema_).ValueOrDie();
+  PredicateSplit split = SplitForCompilation(bound, *schema_);
+  EXPECT_FALSE(split.compiled.has_value());
+  ASSERT_NE(split.residual, nullptr);
+  RowVec rows = SampleRows();
+  for (const Row& row : rows) {
+    EXPECT_EQ(InterpreterKeeps(split.residual, row),
+              InterpreterKeeps(bound, row));
+  }
+}
+
+TEST_F(PredicateCompilerTest, StringOrderingUsesBytewiseCompare) {
+  RowVec rows = {
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null(), Value("a"),
+       Value::Null()},
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null(), Value("ab"),
+       Value::Null()},
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null(), Value("b"),
+       Value::Null()},
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null(), Value(""),
+       Value::Null()},
+      // Bytes above 0x7F must compare unsigned, as std::string does.
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+       Value(std::string("\x80\xff")), Value::Null()},
+  };
+  using Builder = ExprPtr (*)(ExprPtr, ExprPtr);
+  for (Builder op : std::vector<Builder>{&Eq, &Ne, &Lt, &Le, &Gt, &Ge}) {
+    ExpectAgrees(op(Col("s"), Lit(Value("ab"))), rows);
+    ExpectAgrees(op(Col("s"), Lit(Value(std::string("\x81")))), rows);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EncodeFixedKeySlot: the raw-equality fast path for the indexed chain walk.
+// ---------------------------------------------------------------------------
+
+TEST(EncodeFixedKeySlotTest, AcceptsOnlyUniqueSlotImages) {
+  uint64_t slot = 0;
+  // int64 column: int keys encode directly; integral doubles within 2^53 too.
+  EXPECT_TRUE(EncodeFixedKeySlot(TypeId::kInt64, Value(int64_t{-3}), &slot));
+  EXPECT_EQ(static_cast<int64_t>(slot), -3);
+  EXPECT_TRUE(EncodeFixedKeySlot(TypeId::kInt64, Value(4.0), &slot));
+  EXPECT_EQ(static_cast<int64_t>(slot), 4);
+  EXPECT_FALSE(EncodeFixedKeySlot(TypeId::kInt64, Value(4.5), &slot));
+  EXPECT_FALSE(EncodeFixedKeySlot(TypeId::kInt64, Value(1e300), &slot));
+  // Beyond 2^53 one double equals several int64s: no unique image.
+  EXPECT_FALSE(EncodeFixedKeySlot(TypeId::kInt64, Value(9.2233720368547758e18),
+                                  &slot));
+  // int32 column stores the value zero-extended as uint32.
+  EXPECT_TRUE(EncodeFixedKeySlot(TypeId::kInt32, Value(int64_t{-1}), &slot));
+  uint32_t u32;
+  int32_t want = -1;
+  std::memcpy(&u32, &want, 4);
+  EXPECT_EQ(slot, static_cast<uint64_t>(u32));
+  EXPECT_FALSE(
+      EncodeFixedKeySlot(TypeId::kInt32, Value(int64_t{1} << 40), &slot));
+  // bool column holds only 0/1.
+  EXPECT_TRUE(EncodeFixedKeySlot(TypeId::kBool, Value(true), &slot));
+  EXPECT_EQ(slot, 1u);
+  EXPECT_FALSE(EncodeFixedKeySlot(TypeId::kBool, Value(int64_t{2}), &slot));
+  // float64 (0.0 vs -0.0) and strings (out-of-line) never qualify.
+  EXPECT_FALSE(EncodeFixedKeySlot(TypeId::kFloat64, Value(1.0), &slot));
+  EXPECT_FALSE(EncodeFixedKeySlot(TypeId::kString, Value("x"), &slot));
+}
+
+}  // namespace
+}  // namespace idf

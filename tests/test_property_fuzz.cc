@@ -7,7 +7,9 @@
 
 #include "common/hash.h"
 #include "ctrie/ctrie.h"
+#include "indexed/indexed_partition.h"
 #include "io/csv.h"
+#include "sql/predicate_compiler.h"
 #include "sql/session.h"
 #include "storage/row_batch.h"
 
@@ -225,6 +227,269 @@ TEST(SqlFuzzTest, RandomBytesNeverCrashLexer) {
     (void)session->Sql(q);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Compiled predicates vs the interpreter: random schemas, rows (with
+// nulls), and predicate trees. The compiled program must match Expr::Eval
+// bit-for-bit (three-valued result, not just the filter decision), and
+// SplitForCompilation must reproduce the original filter decision as
+// compiled-part AND residual even when some conjuncts fall back.
+// ---------------------------------------------------------------------------
+
+// A type-disciplined random literal that lands near the row-value pools so
+// comparisons hit equality, both zero signs, and type-widening boundaries.
+Value RandomLiteral(Random64& rng, TypeId col_type) {
+  switch (rng.Uniform(6)) {
+    case 0:
+      return Value(static_cast<int64_t>(rng.Uniform(7)) - 3);
+    case 1:
+      return Value(static_cast<int32_t>(rng.Uniform(7)) - 3);
+    case 2: {
+      const double pool[] = {-0.0, 0.0, 0.5, 1.0, 2.5, -1.0,
+                             std::numeric_limits<double>::quiet_NaN()};
+      return Value(pool[rng.Uniform(7)]);
+    }
+    case 3:
+      return Value(rng.Uniform(2) == 0);
+    case 4: {
+      const char* pool[] = {"", "a", "ab", "abc", "b", "\x80z"};
+      return Value(std::string(pool[rng.Uniform(6)]));
+    }
+    default:
+      // Bias toward the column's own type for frequent equal/compare hits.
+      switch (col_type) {
+        case TypeId::kBool:
+          return Value(rng.Uniform(2) == 0);
+        case TypeId::kInt32:
+          return Value(static_cast<int32_t>(rng.Uniform(7)) - 3);
+        case TypeId::kInt64:
+        case TypeId::kTimestamp:
+          return Value(static_cast<int64_t>(rng.Uniform(7)) - 3);
+        case TypeId::kFloat64:
+          return Value(static_cast<double>(rng.Uniform(5)) - 1.5);
+        case TypeId::kString: {
+          const char* pool[] = {"", "a", "ab", "abc", "b", "\x80z"};
+          return Value(std::string(pool[rng.Uniform(6)]));
+        }
+      }
+      return Value::Null();
+  }
+}
+
+Value RandomCell(Random64& rng, TypeId type) {
+  if (rng.Uniform(5) == 0) return Value::Null();
+  switch (type) {
+    case TypeId::kBool:
+      return Value(rng.Uniform(2) == 0);
+    case TypeId::kInt32:
+      return Value(static_cast<int32_t>(rng.Uniform(9)) - 4);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return Value(static_cast<int64_t>(rng.Uniform(9)) - 4);
+    case TypeId::kFloat64: {
+      const double pool[] = {-0.0, 0.0, 0.5, 1.0, 2.5, -1.0, 3.0};
+      return Value(pool[rng.Uniform(7)]);
+    }
+    case TypeId::kString: {
+      const char* pool[] = {"", "a", "ab", "abc", "b", "\x80z"};
+      return Value(std::string(pool[rng.Uniform(6)]));
+    }
+  }
+  return Value::Null();
+}
+
+// A random predicate tree. Leaves mix compilable shapes (column-vs-literal
+// comparisons, IS [NOT] NULL, bool columns, bool/null literals) with
+// interpreter-only ones (LIKE on string columns, double arithmetic on
+// numeric columns) so the split path is exercised, not just whole-tree
+// compilation.
+ExprPtr RandomPredicate(Random64& rng, const Schema& schema, int depth) {
+  if (depth > 0 && rng.Uniform(3) != 0) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        return And(RandomPredicate(rng, schema, depth - 1),
+                   RandomPredicate(rng, schema, depth - 1));
+      case 1:
+        return Or(RandomPredicate(rng, schema, depth - 1),
+                  RandomPredicate(rng, schema, depth - 1));
+      default:
+        return Not(RandomPredicate(rng, schema, depth - 1));
+    }
+  }
+  int col = static_cast<int>(rng.Uniform(static_cast<uint64_t>(schema.num_fields())));
+  const Field& field = schema.field(col);
+  switch (rng.Uniform(8)) {
+    case 0:
+      return IsNull(Col(field.name));
+    case 1:
+      return IsNotNull(Col(field.name));
+    case 2:
+      if (field.type == TypeId::kBool) return Col(field.name);
+      break;
+    case 3:
+      if (rng.Uniform(4) == 0) return Lit(Value::Null());
+      return Lit(Value(rng.Uniform(2) == 0));
+    case 4:  // interpreter-only: LIKE
+      if (field.type == TypeId::kString) {
+        const char* pats[] = {"a%", "%b", "_b%", "", "%"};
+        return Like(Col(field.name), pats[rng.Uniform(5)]);
+      }
+      break;
+    case 5:  // interpreter-only: double arithmetic (no signed overflow)
+      if (field.type == TypeId::kInt64 || field.type == TypeId::kInt32 ||
+          field.type == TypeId::kFloat64) {
+        return Gt(Add(Col(field.name), Lit(Value(0.5))), Lit(Value(1.0)));
+      }
+      break;
+    default:
+      break;
+  }
+  ExprPtr lhs = Col(field.name);
+  ExprPtr rhs = Lit(RandomLiteral(rng, field.type));
+  if (rng.Uniform(4) == 0) std::swap(lhs, rhs);  // mirrored literal-vs-column
+  switch (rng.Uniform(6)) {
+    case 0:
+      return Eq(std::move(lhs), std::move(rhs));
+    case 1:
+      return Ne(std::move(lhs), std::move(rhs));
+    case 2:
+      return Lt(std::move(lhs), std::move(rhs));
+    case 3:
+      return Le(std::move(lhs), std::move(rhs));
+    case 4:
+      return Gt(std::move(lhs), std::move(rhs));
+    default:
+      return Ge(std::move(lhs), std::move(rhs));
+  }
+}
+
+TriBool InterpreterTri(const ExprPtr& bound, const Row& row) {
+  Result<Value> v = bound->Eval(row);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  if (v.ValueOrDie().is_null()) return TriBool::kNull;
+  return v.ValueOrDie().bool_value() ? TriBool::kTrue : TriBool::kFalse;
+}
+
+class PredicateFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicateFuzzTest, CompiledMatchesInterpreterBitForBit) {
+  Random64 rng(GetParam());
+  int compiled_trees = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    int num_fields = 1 + static_cast<int>(rng.Uniform(6));
+    std::vector<Field> fields;
+    for (int f = 0; f < num_fields; ++f) {
+      fields.push_back(
+          {"c" + std::to_string(f), static_cast<TypeId>(rng.Uniform(6)), true});
+    }
+    SchemaPtr schema = Schema::Make(std::move(fields));
+
+    RowVec rows;
+    for (int r = 0; r < 40; ++r) {
+      Row row;
+      for (int f = 0; f < num_fields; ++f) {
+        row.push_back(RandomCell(rng, schema->field(f).type));
+      }
+      rows.push_back(std::move(row));
+    }
+
+    ExprPtr pred = RandomPredicate(rng, *schema, 3);
+    ExprPtr bound = BindExpr(pred, *schema).ValueOrDie();
+
+    // Whole-tree compilation (when the tree is fully compilable) must
+    // match the interpreter's three-valued result exactly.
+    std::optional<CompiledPredicate> whole =
+        CompiledPredicate::Compile(bound, *schema);
+    if (whole.has_value()) ++compiled_trees;
+
+    PredicateSplit split = SplitForCompilation(bound, *schema);
+    for (const Row& row : rows) {
+      std::vector<uint8_t> payload;
+      ASSERT_TRUE(EncodeRow(*schema, row, &payload).ok());
+      TriBool want = InterpreterTri(bound, row);
+      if (whole.has_value()) {
+        ASSERT_EQ(static_cast<int>(whole->EvalEncoded(payload.data())),
+                  static_cast<int>(want))
+            << "seed " << GetParam() << " trial " << trial << ": "
+            << bound->ToString();
+      }
+      // Split semantics: compiled-part Matches AND residual TRUE must equal
+      // the original filter decision.
+      bool keeps = true;
+      if (split.compiled.has_value() && !split.compiled->Matches(payload.data())) {
+        keeps = false;
+      }
+      if (keeps && split.residual != nullptr) {
+        keeps = InterpreterTri(split.residual, row) == TriBool::kTrue;
+      }
+      ASSERT_EQ(keeps, want == TriBool::kTrue)
+          << "seed " << GetParam() << " trial " << trial << ": "
+          << bound->ToString();
+    }
+  }
+  // The generator must actually produce compilable trees, not fall back on
+  // everything (which would turn this test into interpreter-vs-itself).
+  EXPECT_GT(compiled_trees, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Indexed chain-walk fast path vs a linear-scan model: the raw-slot key
+// verification (EncodeFixedKeySlot) must agree with Value equality for
+// every probe, including cross-type keys (double probing an int column,
+// int probing a bool column) where the fast path must refuse or widen
+// exactly like the interpreter.
+// ---------------------------------------------------------------------------
+
+class LookupFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LookupFuzzTest, ChainWalkMatchesLinearScanModel) {
+  Random64 rng(GetParam());
+  EngineConfig cfg;
+  cfg.row_batch_bytes = 4096;
+  cfg.max_row_bytes = 512;
+  cfg.num_partitions = 1;
+  cfg.num_threads = 1;
+  cfg = cfg.Resolved();
+
+  const TypeId key_types[] = {TypeId::kBool,    TypeId::kInt32,
+                              TypeId::kInt64,   TypeId::kTimestamp,
+                              TypeId::kFloat64, TypeId::kString};
+  // Probe pool: cross-type keys around the fast path's boundary cases.
+  const std::vector<Value> probes = {
+      Value(int64_t{-2}),  Value(int64_t{0}),  Value(int64_t{1}),
+      Value(int64_t{2}),   Value(int32_t{1}),  Value(int32_t{-2}),
+      Value(0.0),          Value(-0.0),        Value(1.0),
+      Value(2.5),          Value(-2.0),        Value(true),
+      Value(false),        Value("a"),         Value("ab"),
+      Value(int64_t{1} << 40)};
+
+  for (TypeId key_type : key_types) {
+    SchemaPtr schema = Schema::Make(
+        {{"k", key_type, true}, {"v", TypeId::kString, true}});
+    IndexedPartition part(schema, 0, cfg);
+    RowVec model;
+    for (int i = 0; i < 200; ++i) {
+      Row row = {RandomCell(rng, key_type),
+                 Value("r" + std::to_string(i))};
+      ASSERT_TRUE(part.Append(row).ok());
+      model.push_back(std::move(row));
+    }
+    for (const Value& key : probes) {
+      RowVec got = part.GetRows(key);
+      RowVec want;  // chain order: newest first
+      for (auto it = model.rbegin(); it != model.rend(); ++it) {
+        if (!(*it)[0].is_null() && (*it)[0] == key) want.push_back(*it);
+      }
+      ASSERT_EQ(got, want) << "key " << key.ToString() << " over column type "
+                           << static_cast<int>(key_type);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookupFuzzTest, ::testing::Values(7, 17, 27));
 
 // ---------------------------------------------------------------------------
 // CSV robustness: malformed files error, never crash
