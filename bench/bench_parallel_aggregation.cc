@@ -1,0 +1,197 @@
+// Morsel-parallel aggregation over encoded rows (DESIGN.md §10): the fused
+// IndexedScanAggregate reads group keys and aggregate inputs straight from
+// the encoded payloads via CompiledAccessor (rows never materialize as
+// decoded Rows — counted in rows_aggregated_encoded), builds thread-local
+// partial hash tables per morsel, and merges them with a hash-partitioned
+// parallel merge.
+//
+// Two axes: encoded-fused vs the generic decoded pipeline
+// (Filter over IndexedScan feeding HashAggregate), and serial (1 thread)
+// vs parallel (4 threads) execution of the same 1M-row group-by. The
+// parallel runs report speedup_vs_serial against a serial baseline of the
+// same operator measured once at startup; on a machine with 4+ cores the
+// fused parallel run is expected to be >= 2x the serial one.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "indexed/indexed_dataframe.h"
+#include "indexed/indexed_operators.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+constexpr int64_t kRows = 1000000;
+constexpr int kParallelThreads = 4;
+
+struct Fixture {
+  SessionPtr builder;   // owns the data
+  SessionPtr serial;    // num_threads = 1
+  SessionPtr parallel;  // num_threads = kParallelThreads
+  IndexedRelationPtr rel;
+  PhysicalOpPtr fused;    // IndexedScanAggregate (encoded path)
+  PhysicalOpPtr generic;  // HashAggregate over Filter over IndexedScan
+};
+
+SessionPtr MakeSession(int threads) {
+  EngineConfig cfg;
+  cfg.num_partitions = 8;
+  cfg.num_threads = threads;
+  return Session::Make(cfg).ValueOrDie();
+}
+
+Fixture& SharedFixture() {
+  static Fixture* f = [] {
+    auto fx = new Fixture();
+    fx->builder = MakeSession(0);
+    fx->serial = MakeSession(1);
+    fx->parallel = MakeSession(kParallelThreads);
+
+    auto schema = Schema::Make({{"k", TypeId::kInt64, false},
+                                {"g", TypeId::kInt64, false},
+                                {"v", TypeId::kInt64, false},
+                                {"d", TypeId::kFloat64, false}});
+    RowVec rows;
+    rows.reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      rows.push_back({Value(i), Value(i % 1024), Value(i % 1000),
+                      Value(0.5 * (i % 97))});
+    }
+    auto df = fx->builder->CreateDataFrame(schema, rows, "agg").ValueOrDie();
+    fx->rel =
+        IndexedDataFrame::CreateIndex(df, 0, "agg_idx").ValueOrDie().relation();
+
+    // GROUP BY g with a compiled 90%-selective filter in front: the fused
+    // operator selects survivors on the payload bytes and folds them into
+    // the partial tables without a decoded intermediate.
+    const Schema& in = *fx->rel->schema();
+    ExprPtr pred =
+        BindExpr(Lt(Col("v"), Lit(Value(int64_t{900}))), in).ValueOrDie();
+    std::vector<ExprPtr> groups{BindExpr(Col("g"), in).ValueOrDie()};
+    std::vector<AggSpec> aggs{
+        CountStar("cnt"), SumOf(BindExpr(Col("v"), in).ValueOrDie(), "sv"),
+        AvgOf(BindExpr(Col("d"), in).ValueOrDie(), "ad"),
+        MinOf(BindExpr(Col("v"), in).ValueOrDie(), "mn"),
+        MaxOf(BindExpr(Col("v"), in).ValueOrDie(), "mx")};
+    auto out_schema = Schema::Make({{"g", TypeId::kInt64, false},
+                                    {"cnt", TypeId::kInt64, false},
+                                    {"sv", TypeId::kInt64, true},
+                                    {"ad", TypeId::kFloat64, true},
+                                    {"mn", TypeId::kInt64, true},
+                                    {"mx", TypeId::kInt64, true}});
+
+    PredicateSplit split = SplitForCompilation(pred, in);
+    fx->fused = std::make_shared<IndexedScanAggregateOp>(
+        fx->rel, pred, PushedFilter::FromSplit(std::move(split)), groups, aggs,
+        out_schema);
+    fx->generic = std::make_shared<HashAggregateOp>(
+        std::make_shared<FilterOp>(std::make_shared<IndexedScanOp>(fx->rel),
+                                   pred),
+        groups, aggs, out_schema);
+    return fx;
+  }();
+  return *f;
+}
+
+double MeasureOnceMs(const PhysicalOpPtr& op, ExecutorContext& ctx) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto parts = op->Execute(ctx);
+  if (!parts.ok()) return -1;
+  benchmark::DoNotOptimize(TotalRows(*parts));
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Serial wall time per execution of `op`, measured once (best of 3).
+double SerialBaselineMs(const PhysicalOpPtr& op) {
+  double best = -1;
+  for (int i = 0; i < 3; ++i) {
+    double ms = MeasureOnceMs(op, SharedFixture().serial->exec());
+    if (ms >= 0 && (best < 0 || ms < best)) best = ms;
+  }
+  return best;
+}
+
+void RunAgg(benchmark::State& state, const PhysicalOpPtr& op,
+            SessionPtr session, double baseline_ms) {
+  auto& fx = SharedFixture();
+  (void)fx;
+  session->metrics().Reset();
+  double total_ms = 0;
+  size_t iters = 0;
+  for (auto _ : state) {
+    double ms = MeasureOnceMs(op, session->exec());
+    if (ms < 0) {
+      state.SkipWithError("aggregation failed");
+      return;
+    }
+    total_ms += ms;
+    ++iters;
+  }
+  state.counters["rows"] = static_cast<double>(kRows);
+  state.counters["rows_aggregated_encoded"] =
+      static_cast<double>(session->metrics().rows_aggregated_encoded());
+  state.counters["agg_morsels"] =
+      static_cast<double>(session->metrics().agg_morsels());
+  state.counters["agg_partials_merged"] =
+      static_cast<double>(session->metrics().agg_partials_merged());
+  if (baseline_ms > 0 && iters > 0 && total_ms > 0) {
+    state.counters["speedup_vs_serial"] = baseline_ms / (total_ms / iters);
+  }
+}
+
+void BM_GroupBy_Encoded_Serial(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  RunAgg(state, fx.fused, fx.serial, /*baseline_ms=*/0);
+}
+void BM_GroupBy_Encoded_Parallel4(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  static const double baseline = SerialBaselineMs(fx.fused);
+  RunAgg(state, fx.fused, fx.parallel, baseline);
+}
+void BM_GroupBy_Decoded_Serial(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  RunAgg(state, fx.generic, fx.serial, /*baseline_ms=*/0);
+}
+void BM_GroupBy_Decoded_Parallel4(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  static const double baseline = SerialBaselineMs(fx.generic);
+  RunAgg(state, fx.generic, fx.parallel, baseline);
+}
+
+BENCHMARK(BM_GroupBy_Encoded_Serial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupBy_Encoded_Parallel4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupBy_Decoded_Serial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupBy_Decoded_Parallel4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace idf
+
+// Like BENCHMARK_MAIN(), but defaults to also writing machine-readable
+// JSON results to BENCH_parallel_aggregation.json (consumed by CI) when
+// the caller passes no --benchmark_out of their own.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_parallel_aggregation.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

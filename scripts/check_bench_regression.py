@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Compare a Google-Benchmark JSON run against a committed baseline.
 
-Report-only: emits GitHub Actions ::warning annotations for benchmarks
-whose real_time regressed by more than the threshold (default 15%), plus a
-human-readable table, and always exits 0 — CI perf numbers on shared
+Report-only by default: emits GitHub Actions ::warning annotations for
+benchmarks whose real_time regressed by more than the threshold (default
+15%), plus a human-readable table, and exits 0 — CI perf numbers on shared
 runners are too noisy to block merges on, the annotations are a prompt to
-look, not a gate.
+look, not a gate. Pass --fail-on-regression to opt into exit code 1 when
+any benchmark crosses the threshold (for dedicated runners or local
+pre-merge checks where timings are trustworthy).
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+           [--threshold 0.15] [--fail-on-regression]
 """
 
 import argparse
@@ -36,6 +39,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="regression ratio that triggers a warning")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 (instead of warning only) when any "
+                             "benchmark regresses beyond the threshold")
     args = parser.parse_args()
 
     try:
@@ -73,6 +79,10 @@ def main():
               f"threshold {args.threshold:.0%})")
     if not regressions:
         print(f"\nno regressions beyond {args.threshold:.0%}")
+    if regressions and args.fail_on_regression:
+        print(f"::error::{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%} and --fail-on-regression is set")
+        return 1
     return 0
 
 

@@ -28,7 +28,10 @@
 #if defined(__GNUC__) || defined(__clang__)
 #define IDF_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
 #define IDF_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+/// Read-prefetch of the cache line at `addr` (no-op where unsupported).
+#define IDF_PREFETCH(addr) __builtin_prefetch(addr)
 #else
 #define IDF_PREDICT_TRUE(x) (x)
 #define IDF_PREDICT_FALSE(x) (x)
+#define IDF_PREFETCH(addr) ((void)0)
 #endif

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <mutex>
 
+#include "sql/aggregate_common.h"
+#include "sql/compiled_accessor.h"
+
 namespace idf {
 
 namespace {
@@ -214,6 +217,52 @@ Result<PartitionVec> MorselScan(ExecutorContext& ctx,
   return AssemblePieces(ctx, num_parts, chunks);
 }
 
+/// One aggregate's input in the fused scan-aggregate: a compiled accessor
+/// reading the argument column straight from the payload, or an expression
+/// needing the decoded row. Both empty for COUNT(*).
+struct FusedAggInput {
+  std::optional<CompiledAccessor> acc;
+  const Expr* expr = nullptr;
+};
+
+/// UpdateState specialized for a payload-resident input column: SUM/AVG/
+/// COUNT fold the raw slot value without boxing; MIN/MAX box once (they
+/// keep a Value anyway). Matches UpdateState(.., DecodeColumn(..)) exactly.
+void UpdateStateFromPayload(AggState* s, AggFn fn, const CompiledAccessor& acc,
+                            const uint8_t* payload) {
+  switch (fn) {
+    case AggFn::kCountStar:
+      ++s->count;
+      return;
+    case AggFn::kCount:
+      if (!acc.IsNull(payload)) ++s->count;
+      return;
+    case AggFn::kSum:
+      if (!acc.IsNull(payload)) {
+        s->any = true;
+        if (acc.type() == TypeId::kFloat64) {
+          s->dsum += acc.GetDouble(payload);
+        } else {
+          const int64_t v = acc.GetInt64(payload);
+          s->isum += v;
+          s->dsum += static_cast<double>(v);
+        }
+      }
+      return;
+    case AggFn::kAvg:
+      if (!acc.IsNull(payload)) {
+        s->any = true;
+        s->dsum += acc.GetDouble(payload);
+        ++s->count;
+      }
+      return;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      if (!acc.IsNull(payload)) UpdateState(s, fn, acc.GetValue(payload));
+      return;
+  }
+}
+
 /// Shared driver for point lookups (live and pinned): each key routes to
 /// its home partition and the backward-pointer chain is walked, applying a
 /// pushed filter while each node is cache-hot — the compiled part against
@@ -358,6 +407,134 @@ Result<PartitionVec> IndexedScanProjectOp::Execute(ExecutorContext& ctx) {
     for (int c : cols_) row.push_back(DecodeColumn(payload, schema, c));
     return row;
   });
+}
+
+Result<PartitionVec> IndexedScanAggregateOp::Execute(ExecutorContext& ctx) {
+  std::optional<IndexedRelationSnapshot> scratch;
+  const IndexedRelationSnapshot& snap = source_.Snapshot(&scratch);
+  const Schema& schema = *source_.schema();
+  if (filter_.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  const CompiledPredicate* compiled =
+      filter_.compiled ? &*filter_.compiled : nullptr;
+  const Expr* residual = filter_.residual.get();
+
+  const size_t num_groups = group_exprs_.size();
+  const size_t num_aggs = aggs_.size();
+  std::vector<TypeId> out_types;
+  out_types.reserve(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    out_types.push_back(
+        this->schema()->field(static_cast<int>(num_groups + a)).type);
+  }
+
+  // The fusion rule only builds this operator when every group expression
+  // is a bound column reference, so the key reads straight off the payload.
+  std::vector<CompiledAccessor> key_acc;
+  key_acc.reserve(num_groups);
+  for (const ExprPtr& g : group_exprs_) {
+    auto acc = CompiledAccessor::FromExpr(g, schema);
+    if (!acc) {
+      return Status::Internal(
+          "IndexedScanAggregate group expression is not a bound column ref");
+    }
+    key_acc.push_back(*acc);
+  }
+  std::vector<FusedAggInput> inputs(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (aggs_[a].fn == AggFn::kCountStar) continue;
+    auto acc = CompiledAccessor::FromExpr(aggs_[a].arg, schema);
+    if (acc) {
+      inputs[a].acc = *acc;
+    } else {
+      inputs[a].expr = aggs_[a].arg.get();
+    }
+  }
+
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  FlatRaw flat = CollectRaw(ctx, snap);
+  const size_t n = flat.total;
+  ctx.metrics().AddRowsScanned(n);
+  const size_t grain = ctx.MorselGrain(n);
+  const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
+  std::vector<GroupStateMap> chunk_maps(num_chunks);
+  Status first_error;
+  std::mutex error_mu;
+  const size_t dispatched = ctx.pool().ParallelForRange(
+      n, grain,
+      [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        GroupStateMap& groups = chunk_maps[begin / grain];
+        ChunkStats stats;
+        uint64_t encoded_rows = 0;
+        size_t i = begin;
+        size_t p = PartitionOfIndex(flat.part_end, begin);
+        while (i < end) {
+          const size_t pstart = p == 0 ? 0 : flat.part_end[p - 1];
+          const size_t pend = std::min(end, flat.part_end[p]);
+          for (; i < pend; ++i) {
+            const uint8_t* payload = flat.per_part[p][i - pstart];
+            if (compiled && !compiled->Matches(payload)) {
+              ++stats.filtered_encoded;
+              continue;
+            }
+            Row decoded;
+            bool has_decoded = false;
+            if (residual) {
+              decoded = DecodeRow(payload, schema);
+              has_decoded = true;
+              if (!ResidualPasses(residual, decoded, &stats.error)) continue;
+            }
+            Row key;
+            key.reserve(num_groups);
+            for (const CompiledAccessor& acc : key_acc) {
+              key.push_back(acc.GetValue(payload));
+            }
+            auto [it, inserted] = groups.try_emplace(std::move(key));
+            if (inserted) it->second.resize(num_aggs);
+            for (size_t a = 0; a < num_aggs; ++a) {
+              if (inputs[a].acc) {
+                UpdateStateFromPayload(&it->second[a], aggs_[a].fn,
+                                       *inputs[a].acc, payload);
+              } else if (inputs[a].expr != nullptr) {
+                if (!has_decoded) {
+                  decoded = DecodeRow(payload, schema);
+                  has_decoded = true;
+                }
+                auto v = inputs[a].expr->Eval(decoded);
+                if (!v.ok()) {
+                  if (stats.error.ok()) stats.error = v.status();
+                  continue;
+                }
+                UpdateState(&it->second[a], aggs_[a].fn,
+                            std::move(v).ValueUnsafe());
+              } else {
+                ++it->second[a].count;  // COUNT(*)
+              }
+            }
+            if (!has_decoded) ++encoded_rows;
+          }
+          ++p;
+        }
+        if (stats.filtered_encoded > 0) {
+          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
+          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
+        }
+        if (encoded_rows > 0) {
+          ctx.metrics().AddRowsAggregatedEncoded(encoded_rows);
+          ctx.metrics().AddDecodesAvoided(encoded_rows);
+        }
+        if (!stats.error.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = stats.error;
+        }
+      },
+      ctx.cancellation());
+  ctx.metrics().AddMorsels(dispatched);
+  ctx.metrics().AddAggMorsels(dispatched);
+  IDF_RETURN_NOT_OK(first_error);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  return MergePartialGroups(ctx, std::move(chunk_maps), num_groups, aggs_,
+                            out_types);
 }
 
 Result<PartitionVec> IndexLookupOp::Execute(ExecutorContext& ctx) {

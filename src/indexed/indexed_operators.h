@@ -137,6 +137,45 @@ class IndexedScanProjectOp : public PhysicalOp {
   std::vector<int> cols_;
 };
 
+/// Fused scan + compiled filter + morsel-parallel partial aggregation over
+/// encoded rows: the compiled predicate rejects rows on the payload bytes,
+/// then group keys and aggregate inputs are read straight from the
+/// surviving payloads via CompiledAccessor — a row whose groups and inputs
+/// are all fixed-slot column refs is aggregated without ever materializing
+/// a decoded Row (counted in rows_aggregated_encoded). Non-column-ref
+/// aggregate args and interpreter residuals decode lazily, once per row.
+/// Thread-local partial hash tables per morsel feed the hash-partitioned
+/// parallel merge of MergePartialGroups. The planner fuses
+/// `Aggregate([Filter] over IndexedScan/SnapshotScan)` into this operator.
+class IndexedScanAggregateOp : public PhysicalOp {
+ public:
+  /// `predicate` is the original filter predicate (may be null when the
+  /// aggregate sits directly on the scan); `schema` is the aggregate's
+  /// output schema (group columns then aggregate columns).
+  IndexedScanAggregateOp(ScanSource source, ExprPtr predicate,
+                         PushedFilter filter, std::vector<ExprPtr> group_exprs,
+                         std::vector<AggSpec> aggs, SchemaPtr schema)
+      : PhysicalOp(std::move(schema)),
+        source_(std::move(source)),
+        predicate_(std::move(predicate)),
+        filter_(std::move(filter)),
+        group_exprs_(std::move(group_exprs)),
+        aggs_(std::move(aggs)) {}
+  std::string name() const override {
+    return "IndexedScanAggregate[" + source_.name() + "]" +
+           (predicate_ ? " " + predicate_->ToString() : "") +
+           (filter_.compiled ? " (compiled)" : "");
+  }
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  ScanSource source_;
+  ExprPtr predicate_;
+  PushedFilter filter_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+};
+
 /// Point lookup of one or more keys: each key routes to its home partition
 /// and the backward-pointer chain is walked. A consistent snapshot covers
 /// all keys of a multi-key (IN-list) lookup. A pushed residual filter is

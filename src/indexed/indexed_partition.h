@@ -23,6 +23,7 @@
 #include <memory>
 
 #include "common/config.h"
+#include "common/macros.h"
 #include "ctrie/ctrie.h"
 #include "storage/row_batch_store.h"
 #include "types/row.h"
@@ -79,9 +80,15 @@ class IndexedPartition {
           EncodeFixedKeySlot(schema.field(col).type, key, &want_slot);
       const size_t bitmap_bytes = EncodedBitmapBytes(schema.num_fields());
       size_t matched = 0;
-      for (PackedPointer ptr(*head); !ptr.is_null();
-           ptr = part_->store_.BackPointerAt(ptr)) {
+      PackedPointer ptr(*head);
+      while (!ptr.is_null()) {
         const uint8_t* payload = part_->store_.PayloadAt(ptr);
+        // Chain nodes are scattered across row batches, so the backward
+        // walk is a dependent pointer chase; issuing the next node's
+        // payload load before this node's match check overlaps the miss
+        // with useful work (effect measured in bench_graph_traversal).
+        const PackedPointer next = part_->store_.BackPointerAt(ptr);
+        if (!next.is_null()) IDF_PREFETCH(part_->store_.PayloadAt(next));
         // Verify the actual value: chains link rows with equal key *hash*.
         const bool match =
             raw_eq ? !RawColumnIsNull(payload, col) &&
@@ -91,6 +98,7 @@ class IndexedPartition {
           fn(payload);
           ++matched;
         }
+        ptr = next;
       }
       return matched;
     }

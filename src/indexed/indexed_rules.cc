@@ -1,6 +1,7 @@
 #include "indexed/indexed_rules.h"
 
 #include "indexed/indexed_operators.h"
+#include "sql/compiled_accessor.h"
 
 namespace idf {
 
@@ -184,11 +185,69 @@ ScanSource SourceOfScan(const LogicalPlanPtr& scan) {
       static_cast<const SnapshotScanNode*>(scan.get())->snapshot()));
 }
 
+/// True when the aggregate can run on encoded payloads: every group
+/// expression is a bound column ref (read via CompiledAccessor), and no
+/// SUM/AVG takes a string column ref (those would fold raw slot bytes as
+/// numbers — they fall back to the generic operator, which surfaces the
+/// interpreter's behavior). Non-column-ref aggregate arguments are fine:
+/// the fused operator lazily decodes the row for those.
+bool AggregateIsFusable(const AggregateNode* agg, const Schema& schema) {
+  for (const ExprPtr& g : agg->group_exprs()) {
+    if (!CompiledAccessor::FromExpr(g, schema)) return false;
+  }
+  for (const AggSpec& spec : agg->aggs()) {
+    if (spec.fn == AggFn::kCountStar) continue;
+    auto acc = CompiledAccessor::FromExpr(spec.arg, schema);
+    if (acc && (spec.fn == AggFn::kSum || spec.fn == AggFn::kAvg) &&
+        acc->type() == TypeId::kString) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
     const LogicalPlanPtr& node, std::vector<PhysicalOpPtr> children,
     const EngineConfig& config) const {
+  // Fuse Aggregate over an IndexedScan / pinned SnapshotScan — or over a
+  // Filter over one — into a morsel-parallel scan-aggregate that reads
+  // group keys and aggregate inputs straight from the encoded payloads.
+  // With a filter in between, the same compiled-predicate gate as the
+  // scan-filter fusion applies: at least one conjunct must compile, so
+  // survivor rows are selected on the payload bytes and flow into the
+  // partial tables without a decoded intermediate.
+  if (node->kind() == PlanKind::kAggregate) {
+    const auto* agg = static_cast<const AggregateNode*>(node.get());
+    const LogicalPlanPtr& child = node->children()[0];
+    if (IsFusableScan(child)) {
+      ScanSource source = SourceOfScan(child);
+      if (source.valid() && AggregateIsFusable(agg, *source.schema())) {
+        return PhysicalOpPtr(std::make_shared<IndexedScanAggregateOp>(
+            std::move(source), nullptr, PushedFilter{}, agg->group_exprs(),
+            agg->aggs(), node->output_schema()));
+      }
+      return PhysicalOpPtr(nullptr);
+    }
+    if (child->kind() == PlanKind::kFilter &&
+        IsFusableScan(child->children()[0])) {
+      const auto* filter = static_cast<const FilterNode*>(child.get());
+      ScanSource source = SourceOfScan(child->children()[0]);
+      if (source.valid() && AggregateIsFusable(agg, *source.schema())) {
+        PredicateSplit split =
+            SplitForCompilation(filter->predicate(), *source.schema());
+        if (split.compiled.has_value()) {
+          return PhysicalOpPtr(std::make_shared<IndexedScanAggregateOp>(
+              std::move(source), filter->predicate(),
+              PushedFilter::FromSplit(std::move(split)), agg->group_exprs(),
+              agg->aggs(), node->output_schema()));
+        }
+      }
+      return PhysicalOpPtr(nullptr);
+    }
+    return PhysicalOpPtr(nullptr);
+  }
   // Fuse a Filter directly over an IndexedScan or a pinned SnapshotScan
   // into a lazy-decoding scan-filter whenever at least one conjunct of the
   // predicate compiles to an encoded-row program (the index itself only

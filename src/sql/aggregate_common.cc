@@ -1,0 +1,203 @@
+#include "sql/aggregate_common.h"
+
+#include "engine/partitioner.h"
+
+namespace idf {
+
+void UpdateState(AggState* s, AggFn fn, const Value& v) {
+  switch (fn) {
+    case AggFn::kCountStar:
+      ++s->count;
+      return;
+    case AggFn::kCount:
+      if (!v.is_null()) ++s->count;
+      return;
+    case AggFn::kSum:
+      if (!v.is_null()) {
+        s->any = true;
+        s->isum += v.is_double() ? 0 : v.AsInt64();
+        s->dsum += v.AsDouble();
+      }
+      return;
+    case AggFn::kAvg:
+      if (!v.is_null()) {
+        s->any = true;
+        s->dsum += v.AsDouble();
+        ++s->count;
+      }
+      return;
+    case AggFn::kMin:
+      if (!v.is_null() && (s->minv.is_null() || v < s->minv)) s->minv = v;
+      return;
+    case AggFn::kMax:
+      if (!v.is_null() && (s->maxv.is_null() || s->maxv < v)) s->maxv = v;
+      return;
+  }
+}
+
+void MergeStates(AggState* s, AggFn fn, const AggState& partial) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      s->count += partial.count;
+      return;
+    case AggFn::kSum:
+      if (partial.any) {
+        s->any = true;
+        s->isum += partial.isum;
+        s->dsum += partial.dsum;
+      }
+      return;
+    case AggFn::kAvg:
+      if (partial.any) s->any = true;
+      s->dsum += partial.dsum;
+      s->count += partial.count;
+      return;
+    case AggFn::kMin:
+      if (!partial.minv.is_null() &&
+          (s->minv.is_null() || partial.minv < s->minv)) {
+        s->minv = partial.minv;
+      }
+      return;
+    case AggFn::kMax:
+      if (!partial.maxv.is_null() &&
+          (s->maxv.is_null() || s->maxv < partial.maxv)) {
+        s->maxv = partial.maxv;
+      }
+      return;
+  }
+}
+
+void AppendFinal(Row* row, AggFn fn, const AggState& s, TypeId out_type) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      row->push_back(Value(s.count));
+      return;
+    case AggFn::kSum:
+      if (!s.any) {
+        row->push_back(Value::Null());
+      } else if (out_type == TypeId::kFloat64) {
+        row->push_back(Value(s.dsum));
+      } else {
+        row->push_back(Value(s.isum));
+      }
+      return;
+    case AggFn::kAvg:
+      row->push_back(s.any && s.count > 0
+                         ? Value(s.dsum / static_cast<double>(s.count))
+                         : Value::Null());
+      return;
+    case AggFn::kMin:
+      row->push_back(s.minv);
+      return;
+    case AggFn::kMax:
+      row->push_back(s.maxv);
+      return;
+  }
+}
+
+namespace {
+
+/// One group's key and states, detached from its chunk map for the
+/// bucket-partitioned merge.
+struct GroupEntry {
+  Row key;
+  std::vector<AggState> states;
+};
+
+}  // namespace
+
+Result<PartitionVec> MergePartialGroups(ExecutorContext& ctx,
+                                        std::vector<GroupStateMap> chunk_maps,
+                                        size_t num_groups,
+                                        const std::vector<AggSpec>& aggs,
+                                        const std::vector<TypeId>& out_types) {
+  const size_t num_aggs = aggs.size();
+
+  if (num_groups == 0) {
+    // Global aggregate: every chunk holds at most one entry (the empty
+    // key); folding the handful of chunk states serially is cheaper than a
+    // parallel dispatch.
+    std::vector<AggState> states(num_aggs);
+    uint64_t merged = 0;
+    for (GroupStateMap& m : chunk_maps) {
+      for (auto& [key, partial] : m) {
+        for (size_t a = 0; a < num_aggs; ++a) {
+          MergeStates(&states[a], aggs[a].fn, partial[a]);
+        }
+        ++merged;
+      }
+    }
+    ctx.metrics().AddAggPartialsMerged(merged);
+    Row row;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      AppendFinal(&row, aggs[a].fn, states[a], out_types[a]);
+    }
+    ctx.metrics().AddRowsProduced(1);
+    PartitionVec out;
+    out.push_back(PartitionData(RowVec{std::move(row)}));
+    return out;
+  }
+
+  // Split each chunk's entries by group-key hash into one bucket per
+  // output partition. Identical keys land in the same bucket no matter
+  // which chunk produced them, so the merge below is embarrassingly
+  // parallel across buckets.
+  const size_t num_buckets = static_cast<size_t>(ctx.num_partitions());
+  HashPartitioner partitioner(static_cast<int>(num_buckets));
+  std::vector<std::vector<std::vector<GroupEntry>>> split(chunk_maps.size());
+  ctx.pool().ParallelFor(
+      chunk_maps.size(),
+      [&](size_t c) {
+        std::vector<std::vector<GroupEntry>> local(num_buckets);
+        for (auto& [key, states] : chunk_maps[c]) {
+          const size_t b = static_cast<size_t>(
+              partitioner.PartitionOfHash(HashRow(key)));
+          local[b].push_back(GroupEntry{key, std::move(states)});
+        }
+        chunk_maps[c].clear();
+        split[c] = std::move(local);
+      },
+      ctx.cancellation());
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+
+  PartitionVec out(num_buckets);
+  ctx.pool().ParallelFor(
+      num_buckets,
+      [&](size_t b) {
+        ctx.metrics().AddTask();
+        GroupStateMap groups;
+        uint64_t merged = 0;
+        for (auto& chunk : split) {
+          for (GroupEntry& e : chunk[b]) {
+            auto [it, inserted] = groups.try_emplace(std::move(e.key));
+            if (inserted) {
+              it->second = std::move(e.states);
+            } else {
+              for (size_t a = 0; a < num_aggs; ++a) {
+                MergeStates(&it->second[a], aggs[a].fn, e.states[a]);
+              }
+            }
+            ++merged;
+          }
+        }
+        RowVec rows;
+        rows.reserve(groups.size());
+        for (auto& [key, states] : groups) {
+          Row row = key;
+          for (size_t a = 0; a < num_aggs; ++a) {
+            AppendFinal(&row, aggs[a].fn, states[a], out_types[a]);
+          }
+          rows.push_back(std::move(row));
+        }
+        ctx.metrics().AddAggPartialsMerged(merged);
+        ctx.metrics().AddRowsProduced(rows.size());
+        out[b] = PartitionData(std::move(rows));
+      },
+      ctx.cancellation());
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  return out;
+}
+
+}  // namespace idf

@@ -1,0 +1,74 @@
+// Shared aggregation machinery: the per-group accumulator (AggState), its
+// update/merge/finalize kernels, and the morsel-parallel merge driver that
+// turns per-chunk partial hash tables into finalized output partitions.
+// Used by the generic HashAggregateOp (sql/physical_operators.cc) and the
+// fused encoded-row aggregate (indexed/indexed_operators.cc) so both paths
+// agree on SQL aggregate semantics (null handling, int-vs-float SUM,
+// AVG = running double sum + count) to the bit.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/executor_context.h"
+#include "sql/logical_plan.h"
+#include "sql/physical_plan.h"
+#include "types/row.h"
+
+namespace idf {
+
+struct AggRowHasher {
+  size_t operator()(const Row& r) const { return static_cast<size_t>(HashRow(r)); }
+};
+
+struct AggRowEqual {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// One aggregate's running state for one group.
+struct AggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0;
+  bool any = false;
+  Value minv;
+  Value maxv;
+};
+
+/// Group key -> one AggState per aggregate.
+using GroupStateMap =
+    std::unordered_map<Row, std::vector<AggState>, AggRowHasher, AggRowEqual>;
+
+/// Folds one input value into a state (SQL null semantics: nulls are
+/// ignored by everything except COUNT(*)).
+void UpdateState(AggState* s, AggFn fn, const Value& v);
+
+/// Folds a partial state into another (the merge phase of partial
+/// aggregation; commutative and associative per aggregate).
+void MergeStates(AggState* s, AggFn fn, const AggState& partial);
+
+/// Appends the final value of one aggregate to an output row. `out_type`
+/// selects int-vs-float SUM finalization.
+void AppendFinal(Row* row, AggFn fn, const AggState& s, TypeId out_type);
+
+/// Merges per-chunk partial group maps into finalized output partitions:
+/// each chunk's entries are split by group-key hash into
+/// ctx.num_partitions() buckets, then buckets merge and finalize in
+/// parallel (groups never straddle buckets, so the merge needs no locks).
+/// A global aggregate (num_groups == 0) merges serially into a single row
+/// — an empty input still yields one row of default states (count = 0,
+/// sum/avg/min/max = null). Accounts agg_partials_merged and
+/// rows_produced; honors the context's cancellation token.
+Result<PartitionVec> MergePartialGroups(ExecutorContext& ctx,
+                                        std::vector<GroupStateMap> chunk_maps,
+                                        size_t num_groups,
+                                        const std::vector<AggSpec>& aggs,
+                                        const std::vector<TypeId>& out_types);
+
+}  // namespace idf

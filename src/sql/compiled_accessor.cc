@@ -1,0 +1,56 @@
+#include "sql/compiled_accessor.h"
+
+#include <string>
+
+#include "storage/row_batch.h"
+
+namespace idf {
+
+CompiledAccessor CompiledAccessor::ForColumn(const Schema& schema, int col) {
+  const size_t bitmap_bytes = EncodedBitmapBytes(schema.num_fields());
+  return CompiledAccessor(
+      schema.field(col).type, col,
+      static_cast<uint32_t>(bitmap_bytes + static_cast<size_t>(col) * 8),
+      static_cast<uint32_t>((col / 64) * 8 + ((col % 64) / 8)),
+      static_cast<uint8_t>(1u << (col % 8)));
+}
+
+std::optional<CompiledAccessor> CompiledAccessor::FromExpr(const ExprPtr& expr,
+                                                           const Schema& schema) {
+  if (expr == nullptr || expr->kind() != ExprKind::kColumnRef) return std::nullopt;
+  const auto* ref = static_cast<const ColumnRefExpr*>(expr.get());
+  if (!ref->bound()) return std::nullopt;
+  return ForColumn(schema, ref->index());
+}
+
+Value CompiledAccessor::GetValue(const uint8_t* payload) const {
+  if (IsNull(payload)) return Value::Null();
+  switch (type_) {
+    case TypeId::kBool:
+      return Value(Slot(payload) != 0);
+    case TypeId::kInt32: {
+      int32_t x;
+      std::memcpy(&x, payload + slot_off_, 4);
+      return Value(x);
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      int64_t x;
+      std::memcpy(&x, payload + slot_off_, 8);
+      return Value(x);
+    }
+    case TypeId::kFloat64: {
+      double x;
+      std::memcpy(&x, payload + slot_off_, 8);
+      return Value(x);
+    }
+    case TypeId::kString: {
+      const uint64_t slot = Slot(payload);
+      const std::string_view v = RawColumnString(payload, slot);
+      return Value(std::string(v));
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace idf

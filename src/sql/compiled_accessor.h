@@ -1,0 +1,92 @@
+// CompiledAccessor: precomputed slot/null-bit offsets for one column of an
+// encoded row (the fixed-prefix layout of storage/row_batch.h), shared by
+// every consumer that reads column values straight from payload bytes —
+// the predicate compiler's comparison instructions and the fused
+// aggregation operator's group-key / aggregate-input reads. Resolving
+// `bitmap_bytes + col * 8` and the null-bit byte/mask once at plan time
+// keeps the per-row hot path at two address computations and no Value
+// boxing (GetValue boxes on demand and matches DecodeColumn bit-for-bit).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "sql/expression.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace idf {
+
+class CompiledAccessor {
+ public:
+  /// Offsets for column `col` of rows encoded against `schema`.
+  static CompiledAccessor ForColumn(const Schema& schema, int col);
+
+  /// Accessor for a bound column reference; nullopt for anything else
+  /// (unbound refs and non-column expressions need a decoded row).
+  static std::optional<CompiledAccessor> FromExpr(const ExprPtr& expr,
+                                                  const Schema& schema);
+
+  TypeId type() const { return type_; }
+  int column() const { return col_; }
+  uint32_t slot_offset() const { return slot_off_; }
+  uint32_t null_byte() const { return null_byte_; }
+  uint8_t null_mask() const { return null_mask_; }
+
+  bool IsNull(const uint8_t* payload) const {
+    return (payload[null_byte_] & null_mask_) != 0;
+  }
+
+  /// Raw 8-byte slot image (callers check IsNull first).
+  uint64_t Slot(const uint8_t* payload) const {
+    uint64_t slot;
+    std::memcpy(&slot, payload + slot_off_, 8);
+    return slot;
+  }
+
+  /// Integer-backed column (bool/int32/int64/timestamp) as int64, with
+  /// int32 slots sign-extended — the widening Value::AsInt64 applies.
+  int64_t GetInt64(const uint8_t* payload) const {
+    if (type_ == TypeId::kInt32) {
+      int32_t x;
+      std::memcpy(&x, payload + slot_off_, 4);
+      return x;
+    }
+    int64_t x;
+    std::memcpy(&x, payload + slot_off_, 8);
+    return x;
+  }
+
+  /// Numeric column widened to double (the widening Value::AsDouble
+  /// applies: integer-backed types convert, float64 reads the slot bits).
+  double GetDouble(const uint8_t* payload) const {
+    if (type_ == TypeId::kFloat64) {
+      double x;
+      std::memcpy(&x, payload + slot_off_, 8);
+      return x;
+    }
+    return static_cast<double>(GetInt64(payload));
+  }
+
+  /// Boxes the column as a Value, matching DecodeColumn(payload, schema,
+  /// column()) exactly (including null handling and string views).
+  Value GetValue(const uint8_t* payload) const;
+
+ private:
+  CompiledAccessor(TypeId type, int col, uint32_t slot_off, uint32_t null_byte,
+                   uint8_t null_mask)
+      : type_(type),
+        col_(col),
+        slot_off_(slot_off),
+        null_byte_(null_byte),
+        null_mask_(null_mask) {}
+
+  TypeId type_;
+  int col_;
+  uint32_t slot_off_;   // bitmap_bytes + col * 8
+  uint32_t null_byte_;  // byte offset of the column's null bit
+  uint8_t null_mask_;
+};
+
+}  // namespace idf

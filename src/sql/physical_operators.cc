@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "sql/aggregate_common.h"
 
 namespace idf {
 
@@ -236,165 +237,6 @@ Result<PartitionVec> ProjectOp::Execute(ExecutorContext& ctx) {
 // HashAggregate
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct RowHasher {
-  size_t operator()(const Row& r) const { return static_cast<size_t>(HashRow(r)); }
-};
-struct RowEqual {
-  bool operator()(const Row& a, const Row& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!(a[i] == b[i])) return false;
-    }
-    return true;
-  }
-};
-
-struct AggState {
-  int64_t count = 0;
-  int64_t isum = 0;
-  double dsum = 0;
-  bool any = false;
-  Value minv;
-  Value maxv;
-};
-
-void UpdateState(AggState* s, AggFn fn, const Value& v) {
-  switch (fn) {
-    case AggFn::kCountStar:
-      ++s->count;
-      return;
-    case AggFn::kCount:
-      if (!v.is_null()) ++s->count;
-      return;
-    case AggFn::kSum:
-      if (!v.is_null()) {
-        s->any = true;
-        s->isum += v.is_double() ? 0 : v.AsInt64();
-        s->dsum += v.AsDouble();
-      }
-      return;
-    case AggFn::kAvg:
-      if (!v.is_null()) {
-        s->any = true;
-        s->dsum += v.AsDouble();
-        ++s->count;
-      }
-      return;
-    case AggFn::kMin:
-      if (!v.is_null() && (s->minv.is_null() || v < s->minv)) s->minv = v;
-      return;
-    case AggFn::kMax:
-      if (!v.is_null() && (s->maxv.is_null() || s->maxv < v)) s->maxv = v;
-      return;
-  }
-}
-
-/// Number of cells an agg contributes to a partial row.
-int PartialArity(AggFn fn) { return fn == AggFn::kAvg ? 2 : 1; }
-
-void AppendPartial(Row* row, AggFn fn, const AggState& s, TypeId out_type) {
-  switch (fn) {
-    case AggFn::kCountStar:
-    case AggFn::kCount:
-      row->push_back(Value(s.count));
-      return;
-    case AggFn::kSum:
-      if (!s.any) {
-        row->push_back(Value::Null());
-      } else if (out_type == TypeId::kFloat64) {
-        row->push_back(Value(s.dsum));
-      } else {
-        row->push_back(Value(s.isum));
-      }
-      return;
-    case AggFn::kAvg:
-      row->push_back(s.any ? Value(s.dsum) : Value::Null());
-      row->push_back(Value(s.count));
-      return;
-    case AggFn::kMin:
-      row->push_back(s.minv);
-      return;
-    case AggFn::kMax:
-      row->push_back(s.maxv);
-      return;
-  }
-}
-
-void MergePartial(AggState* s, AggFn fn, const Row& partial, size_t offset) {
-  switch (fn) {
-    case AggFn::kCountStar:
-    case AggFn::kCount:
-      s->count += partial[offset].AsInt64();
-      return;
-    case AggFn::kSum: {
-      const Value& v = partial[offset];
-      if (!v.is_null()) {
-        s->any = true;
-        if (v.is_double()) {
-          s->dsum += v.double_value();
-        } else {
-          s->isum += v.AsInt64();
-          s->dsum += v.AsDouble();
-        }
-      }
-      return;
-    }
-    case AggFn::kAvg: {
-      const Value& sum = partial[offset];
-      if (!sum.is_null()) {
-        s->any = true;
-        s->dsum += sum.AsDouble();
-      }
-      s->count += partial[offset + 1].AsInt64();
-      return;
-    }
-    case AggFn::kMin: {
-      const Value& v = partial[offset];
-      if (!v.is_null() && (s->minv.is_null() || v < s->minv)) s->minv = v;
-      return;
-    }
-    case AggFn::kMax: {
-      const Value& v = partial[offset];
-      if (!v.is_null() && (s->maxv.is_null() || s->maxv < v)) s->maxv = v;
-      return;
-    }
-  }
-}
-
-void AppendFinal(Row* row, AggFn fn, const AggState& s, TypeId out_type) {
-  switch (fn) {
-    case AggFn::kCountStar:
-    case AggFn::kCount:
-      row->push_back(Value(s.count));
-      return;
-    case AggFn::kSum:
-      if (!s.any) {
-        row->push_back(Value::Null());
-      } else if (out_type == TypeId::kFloat64) {
-        row->push_back(Value(s.dsum));
-      } else {
-        row->push_back(Value(s.isum));
-      }
-      return;
-    case AggFn::kAvg:
-      row->push_back(s.any && s.count > 0 ? Value(s.dsum / static_cast<double>(s.count))
-                                          : Value::Null());
-      return;
-    case AggFn::kMin:
-      row->push_back(s.minv);
-      return;
-    case AggFn::kMax:
-      row->push_back(s.maxv);
-      return;
-  }
-}
-
-using GroupMap = std::unordered_map<Row, std::vector<AggState>, RowHasher, RowEqual>;
-
-}  // namespace
-
 Result<PartitionVec> HashAggregateOp::Execute(ExecutorContext& ctx) {
   IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
   const size_t num_groups = group_exprs_.size();
@@ -405,137 +247,81 @@ Result<PartitionVec> HashAggregateOp::Execute(ExecutorContext& ctx) {
     out_types.push_back(schema()->field(static_cast<int>(num_groups + a)).type);
   }
 
-  // Phase 1: partial aggregation per input partition.
-  std::vector<RowVec> partials(input.size());
+  // Flatten partitions into one logical row range so morsels can cut
+  // across partition boundaries — one skewed input partition no longer
+  // serializes the build phase.
+  std::vector<RowVec> parts;
+  parts.reserve(input.size());
+  std::vector<size_t> part_end;
+  part_end.reserve(input.size());
+  size_t total = 0;
+  for (PartitionData& p : input) {
+    RowVec rows = std::move(p).TakeRows();
+    total += rows.size();
+    part_end.push_back(total);
+    parts.push_back(std::move(rows));
+  }
+  ctx.metrics().AddRowsScanned(total);
+
+  // Phase 1: thread-local partial hash tables, one per morsel.
+  const size_t grain = ctx.MorselGrain(total);
+  const size_t num_chunks = total == 0 ? 0 : (total + grain - 1) / grain;
+  std::vector<GroupStateMap> chunk_maps(num_chunks);
   Status first_error;
   std::mutex error_mu;
-  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
-    ctx.metrics().AddTask();
-    RowVec rows = std::move(input[p]).TakeRows();
-    ctx.metrics().AddRowsScanned(rows.size());
-    GroupMap groups;
-    auto update_row = [&](const Row& row) -> Status {
-      Row key;
-      key.reserve(num_groups);
-      for (const ExprPtr& g : group_exprs_) {
-        IDF_ASSIGN_OR_RETURN(Value v, g->Eval(row));
-        key.push_back(std::move(v));
-      }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) it->second.resize(num_aggs);
-      for (size_t a = 0; a < num_aggs; ++a) {
-        Value arg;
-        if (aggs_[a].fn != AggFn::kCountStar) {
-          IDF_ASSIGN_OR_RETURN(arg, aggs_[a].arg->Eval(row));
+  const size_t dispatched = ctx.pool().ParallelForRange(
+      total, grain,
+      [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        GroupStateMap& groups = chunk_maps[begin / grain];
+        size_t p = static_cast<size_t>(
+            std::upper_bound(part_end.begin(), part_end.end(), begin) -
+            part_end.begin());
+        size_t local = begin - (p == 0 ? 0 : part_end[p - 1]);
+        for (size_t i = begin; i < end; ++i) {
+          while (local >= parts[p].size()) {
+            ++p;
+            local = 0;
+          }
+          const Row& row = parts[p][local++];
+          Row key;
+          key.reserve(num_groups);
+          for (const ExprPtr& g : group_exprs_) {
+            auto v = g->Eval(row);
+            if (!v.ok()) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error.ok()) first_error = v.status();
+              return;
+            }
+            key.push_back(std::move(v).ValueUnsafe());
+          }
+          auto [it, inserted] = groups.try_emplace(std::move(key));
+          if (inserted) it->second.resize(num_aggs);
+          for (size_t a = 0; a < num_aggs; ++a) {
+            Value arg;
+            if (aggs_[a].fn != AggFn::kCountStar) {
+              auto v = aggs_[a].arg->Eval(row);
+              if (!v.ok()) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (first_error.ok()) first_error = v.status();
+                return;
+              }
+              arg = std::move(v).ValueUnsafe();
+            }
+            UpdateState(&it->second[a], aggs_[a].fn, arg);
+          }
         }
-        UpdateState(&it->second[a], aggs_[a].fn, arg);
-      }
-      return Status::OK();
-    };
-    for (const Row& row : rows) {
-      Status st = update_row(row);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = st;
-        return;
-      }
-    }
-    RowVec out;
-    out.reserve(groups.size());
-    for (auto& [key, states] : groups) {
-      Row row = key;
-      for (size_t a = 0; a < num_aggs; ++a) {
-        AppendPartial(&row, aggs_[a].fn, states[a], out_types[a]);
-      }
-      out.push_back(std::move(row));
-    }
-    partials[p] = std::move(out);
-  });
+      },
+      ctx.cancellation());
+  ctx.metrics().AddMorsels(dispatched);
+  ctx.metrics().AddAggMorsels(dispatched);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   IDF_RETURN_NOT_OK(first_error);
 
-  // Phase 2 + 3: shuffle partials by group key and merge.
-  auto finalize = [&](const RowVec& partial_rows) {
-    GroupMap groups;
-    for (const Row& partial : partial_rows) {
-      Row key(partial.begin(), partial.begin() + static_cast<long>(num_groups));
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) it->second.resize(num_aggs);
-      size_t offset = num_groups;
-      for (size_t a = 0; a < num_aggs; ++a) {
-        MergePartial(&it->second[a], aggs_[a].fn, partial, offset);
-        offset += static_cast<size_t>(PartialArity(aggs_[a].fn));
-      }
-    }
-    RowVec out;
-    out.reserve(groups.size());
-    for (auto& [key, states] : groups) {
-      Row row = key;
-      for (size_t a = 0; a < num_aggs; ++a) {
-        AppendFinal(&row, aggs_[a].fn, states[a], out_types[a]);
-      }
-      out.push_back(std::move(row));
-    }
-    return out;
-  };
-
-  if (num_groups == 0) {
-    // Global aggregate: merge all partials into one row. An empty input
-    // still yields one row (count = 0, sum/avg/min/max = null).
-    RowVec all;
-    for (RowVec& p : partials) {
-      for (Row& r : p) all.push_back(std::move(r));
-    }
-    if (all.empty()) {
-      GroupMap empty_groups;
-      Row row;
-      std::vector<AggState> states(num_aggs);
-      for (size_t a = 0; a < num_aggs; ++a) {
-        AppendFinal(&row, aggs_[a].fn, states[a], out_types[a]);
-      }
-      PartitionVec out;
-      out.push_back(PartitionData(RowVec{std::move(row)}));
-      return out;
-    }
-    RowVec merged = finalize(all);
-    PartitionVec out;
-    out.push_back(PartitionData(std::move(merged)));
-    ctx.metrics().AddRowsProduced(1);
-    return out;
-  }
-
-  // Shuffle partial rows by group key hash.
-  HashPartitioner partitioner(ctx.num_partitions());
-  std::vector<RowVec> shuffled(static_cast<size_t>(ctx.num_partitions()));
-  {
-    std::vector<std::vector<RowVec>> buckets(partials.size());
-    ctx.pool().ParallelFor(partials.size(), [&](size_t p) {
-      std::vector<RowVec> local(static_cast<size_t>(ctx.num_partitions()));
-      uint64_t bytes = 0;
-      for (Row& row : partials[p]) {
-        Row key(row.begin(), row.begin() + static_cast<long>(num_groups));
-        int target = partitioner.PartitionOfHash(HashRow(key));
-        bytes += EstimateRowBytes(row);
-        local[static_cast<size_t>(target)].push_back(std::move(row));
-      }
-      ctx.metrics().AddShuffledBytes(bytes);
-      buckets[p] = std::move(local);
-    });
-    for (auto& b : buckets) {
-      for (size_t t = 0; t < b.size(); ++t) {
-        for (Row& row : b[t]) shuffled[t].push_back(std::move(row));
-      }
-      ctx.metrics().AddShuffledRows(0);
-    }
-  }
-
-  PartitionVec out(shuffled.size());
-  ctx.pool().ParallelFor(shuffled.size(), [&](size_t p) {
-    ctx.metrics().AddTask();
-    RowVec merged = finalize(shuffled[p]);
-    ctx.metrics().AddRowsProduced(merged.size());
-    out[p] = PartitionData(std::move(merged));
-  });
-  return out;
+  // Phase 2: hash-partitioned parallel merge + finalize (no row shuffle —
+  // partial states move in memory).
+  return MergePartialGroups(ctx, std::move(chunk_maps), num_groups, aggs_,
+                            out_types);
 }
 
 // ---------------------------------------------------------------------------
@@ -546,115 +332,170 @@ Result<PartitionVec> SortOp::Execute(ExecutorContext& ctx) {
   IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
   RowVec all = CollectRows(input);
   ctx.metrics().AddRowsScanned(all.size());
+  const size_t n = all.size();
 
-  // Precompute sort keys to avoid re-evaluating expressions in comparisons.
+  // Precompute sort keys to avoid re-evaluating expressions in
+  // comparisons. Ties break on input position, which makes each morsel's
+  // std::sort plus the k-way merge reproduce std::stable_sort exactly.
   struct Keyed {
     Row keys;
     size_t index;
   };
-  std::vector<Keyed> keyed(all.size());
-  for (size_t i = 0; i < all.size(); ++i) {
-    Row keys;
-    keys.reserve(keys_.size());
-    for (const SortKey& k : keys_) {
-      auto v = k.expr->Eval(all[i]);
-      IDF_RETURN_NOT_OK(v.status());
-      keys.push_back(std::move(v).ValueUnsafe());
-    }
-    keyed[i] = Keyed{std::move(keys), i};
-  }
-  std::stable_sort(keyed.begin(), keyed.end(), [this](const Keyed& a, const Keyed& b) {
+  auto less = [this](const Keyed& a, const Keyed& b) {
     for (size_t k = 0; k < keys_.size(); ++k) {
       const Value& va = a.keys[k];
       const Value& vb = b.keys[k];
       if (va < vb) return keys_[k].ascending;
       if (vb < va) return !keys_[k].ascending;
     }
-    return false;
-  });
+    return a.index < b.index;
+  };
+
+  // Phase 1: per-morsel key evaluation + local sort.
+  std::vector<Keyed> keyed(n);
+  const size_t grain = ctx.MorselGrain(n);
+  Status first_error;
+  std::mutex error_mu;
+  const size_t dispatched = ctx.pool().ParallelForRange(
+      n, grain,
+      [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        for (size_t i = begin; i < end; ++i) {
+          Row keys;
+          keys.reserve(keys_.size());
+          for (const SortKey& k : keys_) {
+            auto v = k.expr->Eval(all[i]);
+            if (!v.ok()) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error.ok()) first_error = v.status();
+              return;
+            }
+            keys.push_back(std::move(v).ValueUnsafe());
+          }
+          keyed[i] = Keyed{std::move(keys), i};
+        }
+        std::sort(keyed.begin() + static_cast<long>(begin),
+                  keyed.begin() + static_cast<long>(end), less);
+      },
+      ctx.cancellation());
+  ctx.metrics().AddMorsels(dispatched);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  IDF_RETURN_NOT_OK(first_error);
+
+  // Phase 2: k-way merge of the sorted morsel runs.
+  struct Run {
+    size_t pos;
+    size_t end;
+  };
+  std::vector<Run> heap;
+  heap.reserve(dispatched);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    heap.push_back(Run{begin, std::min(n, begin + grain)});
+  }
+  auto run_greater = [&](const Run& a, const Run& b) {
+    return less(keyed[b.pos], keyed[a.pos]);
+  };
+  std::make_heap(heap.begin(), heap.end(), run_greater);
   RowVec sorted;
-  sorted.reserve(all.size());
-  for (const Keyed& k : keyed) sorted.push_back(std::move(all[k.index]));
+  sorted.reserve(n);
+  size_t emitted = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), run_greater);
+    Run& r = heap.back();
+    sorted.push_back(std::move(all[keyed[r.pos].index]));
+    if (++r.pos < r.end) {
+      std::push_heap(heap.begin(), heap.end(), run_greater);
+    } else {
+      heap.pop_back();
+    }
+    if ((++emitted & 0xFFFF) == 0) IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  }
   PartitionVec out;
   out.push_back(PartitionData(std::move(sorted)));
   return out;
 }
 
-namespace {
-
-/// Rows paired with pre-evaluated sort keys.
-struct KeyedRow {
-  Row keys;
-  Row row;
-};
-
-bool KeyedLess(const KeyedRow& a, const KeyedRow& b,
-               const std::vector<SortKey>& sort_keys) {
-  for (size_t k = 0; k < sort_keys.size(); ++k) {
-    const Value& va = a.keys[k];
-    const Value& vb = b.keys[k];
-    if (va < vb) return sort_keys[k].ascending;
-    if (vb < va) return !sort_keys[k].ascending;
-  }
-  return false;
-}
-
-}  // namespace
-
 Result<PartitionVec> TopKOp::Execute(ExecutorContext& ctx) {
   IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
+  RowVec all = CollectRows(input);
+  ctx.metrics().AddRowsScanned(all.size());
+  const size_t n = all.size();
+  if (n_ == 0 || n == 0) {
+    ctx.metrics().AddRowsProduced(0);
+    PartitionVec out;
+    out.push_back(PartitionData(RowVec{}));
+    return out;
+  }
 
-  // Per-partition partial top-k.
-  std::vector<std::vector<KeyedRow>> partials(input.size());
+  // Candidates carry the input position as a final tie-break, giving a
+  // total order: the top-k set (and its order) is identical no matter how
+  // rows were chunked across morsels.
+  struct Candidate {
+    Row keys;
+    size_t index;
+  };
+  auto less = [this](const Candidate& a, const Candidate& b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      const Value& va = a.keys[k];
+      const Value& vb = b.keys[k];
+      if (va < vb) return keys_[k].ascending;
+      if (vb < va) return !keys_[k].ascending;
+    }
+    return a.index < b.index;
+  };
+
+  // Phase 1: per-morsel bounded max-heaps (heap front = worst kept
+  // candidate; a row only enters if it beats the front).
+  const size_t grain = ctx.MorselGrain(n);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<Candidate>> heaps(num_chunks);
   Status first_error;
   std::mutex error_mu;
-  ctx.pool().ParallelFor(input.size(), [&](size_t p) {
-    ctx.metrics().AddTask();
-    RowVec rows = std::move(input[p]).TakeRows();
-    ctx.metrics().AddRowsScanned(rows.size());
-    std::vector<KeyedRow> keyed;
-    keyed.reserve(rows.size());
-    for (Row& row : rows) {
-      Row keys;
-      keys.reserve(keys_.size());
-      for (const SortKey& k : keys_) {
-        auto v = k.expr->Eval(row);
-        if (!v.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.ok()) first_error = v.status();
-          return;
+  const size_t dispatched = ctx.pool().ParallelForRange(
+      n, grain,
+      [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        std::vector<Candidate>& heap = heaps[begin / grain];
+        heap.reserve(std::min(n_, end - begin));
+        for (size_t i = begin; i < end; ++i) {
+          Row keys;
+          keys.reserve(keys_.size());
+          for (const SortKey& k : keys_) {
+            auto v = k.expr->Eval(all[i]);
+            if (!v.ok()) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error.ok()) first_error = v.status();
+              return;
+            }
+            keys.push_back(std::move(v).ValueUnsafe());
+          }
+          Candidate cand{std::move(keys), i};
+          if (heap.size() < n_) {
+            heap.push_back(std::move(cand));
+            std::push_heap(heap.begin(), heap.end(), less);
+          } else if (less(cand, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), less);
+            heap.back() = std::move(cand);
+            std::push_heap(heap.begin(), heap.end(), less);
+          }
         }
-        keys.push_back(std::move(v).ValueUnsafe());
-      }
-      keyed.push_back(KeyedRow{std::move(keys), std::move(row)});
-    }
-    auto less = [this](const KeyedRow& a, const KeyedRow& b) {
-      return KeyedLess(a, b, keys_);
-    };
-    if (keyed.size() > n_) {
-      std::partial_sort(keyed.begin(), keyed.begin() + static_cast<long>(n_),
-                        keyed.end(), less);
-      keyed.resize(n_);
-    } else {
-      std::sort(keyed.begin(), keyed.end(), less);
-    }
-    partials[p] = std::move(keyed);
-  });
+      },
+      ctx.cancellation());
+  ctx.metrics().AddMorsels(dispatched);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   IDF_RETURN_NOT_OK(first_error);
 
-  // Final merge of at most num_partitions * n rows.
-  std::vector<KeyedRow> all;
-  for (auto& p : partials) {
-    for (KeyedRow& kr : p) all.push_back(std::move(kr));
+  // Phase 2: merge at most num_chunks * n_ candidates.
+  std::vector<Candidate> merged;
+  merged.reserve(std::min(n, num_chunks * n_));
+  for (auto& h : heaps) {
+    for (Candidate& c : h) merged.push_back(std::move(c));
   }
-  auto less = [this](const KeyedRow& a, const KeyedRow& b) {
-    return KeyedLess(a, b, keys_);
-  };
-  std::stable_sort(all.begin(), all.end(), less);
-  if (all.size() > n_) all.resize(n_);
+  std::sort(merged.begin(), merged.end(), less);
+  if (merged.size() > n_) merged.resize(n_);
   RowVec out_rows;
-  out_rows.reserve(all.size());
-  for (KeyedRow& kr : all) out_rows.push_back(std::move(kr.row));
+  out_rows.reserve(merged.size());
+  for (Candidate& c : merged) out_rows.push_back(std::move(all[c.index]));
   ctx.metrics().AddRowsProduced(out_rows.size());
   PartitionVec out;
   out.push_back(PartitionData(std::move(out_rows)));

@@ -2,6 +2,7 @@
 
 #include <string_view>
 
+#include "sql/compiled_accessor.h"
 #include "storage/row_batch.h"
 
 namespace idf {
@@ -75,9 +76,7 @@ ExprPtr ConjoinConjuncts(const std::vector<ExprPtr>& conjuncts) {
 /// instruction encoding stays private to this translation unit's API.
 class PredicateCompiler {
  public:
-  explicit PredicateCompiler(const Schema& schema)
-      : schema_(schema),
-        bitmap_bytes_(EncodedBitmapBytes(schema.num_fields())) {}
+  explicit PredicateCompiler(const Schema& schema) : schema_(schema) {}
 
   bool Emit(const ExprPtr& e, CompiledPredicate* out) {
     switch (e->kind()) {
@@ -134,11 +133,11 @@ class PredicateCompiler {
 
  private:
   CompiledPredicate::Inst ColumnInst(int col) const {
+    const CompiledAccessor acc = CompiledAccessor::ForColumn(schema_, col);
     CompiledPredicate::Inst inst{};
-    inst.slot_off =
-        static_cast<uint32_t>(bitmap_bytes_ + static_cast<size_t>(col) * 8);
-    inst.null_byte = static_cast<uint32_t>((col / 64) * 8 + ((col % 64) / 8));
-    inst.null_mask = static_cast<uint8_t>(1u << (col % 8));
+    inst.slot_off = acc.slot_offset();
+    inst.null_byte = acc.null_byte();
+    inst.null_mask = acc.null_mask();
     return inst;
   }
 
@@ -215,7 +214,6 @@ class PredicateCompiler {
   }
 
   const Schema& schema_;
-  size_t bitmap_bytes_;
   size_t depth_ = 0;
 };
 

@@ -3,6 +3,9 @@
 // comparisons that read column values straight from an encoded payload
 // pointer (the fixed-prefix layout of storage/row_batch.h) using
 // precomputed slot offsets — no Value boxing and no virtual Eval per row.
+// The offset machinery lives in sql/compiled_accessor.h (CompiledAccessor),
+// shared with the fused aggregation operator's group-key and
+// aggregate-input reads.
 //
 // Compilable subset: bound column-vs-literal comparisons (int/double/bool/
 // timestamp compare on raw bytes, strings via length-prefixed views),

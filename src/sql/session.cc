@@ -59,7 +59,7 @@ DataFrame Session::FromPlan(LogicalPlanPtr plan) {
 Status Session::RegisterTable(const std::string& name, DataFrame df) {
   if (name.empty()) return Status::InvalidArgument("empty table name");
   if (!df.valid()) return Status::InvalidArgument("empty DataFrame handle");
-  tables_[name] = std::move(df);
+  tables_[name] = df.plan();
   return Status::OK();
 }
 
@@ -68,7 +68,8 @@ Result<DataFrame> Session::Table(const std::string& name) const {
   if (it == tables_.end()) {
     return Status::KeyError("table not registered: '" + name + "'");
   }
-  return it->second;
+  return DataFrame(std::const_pointer_cast<Session>(shared_from_this()),
+                   it->second);
 }
 
 std::vector<std::string> Session::TableNames() const {

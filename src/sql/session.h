@@ -84,7 +84,10 @@ class Session : public std::enable_shared_from_this<Session> {
   Optimizer optimizer_;
   Planner planner_;
   std::vector<std::string> extensions_;
-  std::map<std::string, DataFrame> tables_;
+  // Plans, not DataFrames: a stored DataFrame would hold a SessionPtr back
+  // to this session, and the resulting shared_ptr cycle would leak every
+  // session with a registered table. Table() re-wraps the plan on demand.
+  std::map<std::string, LogicalPlanPtr> tables_;
 };
 
 }  // namespace idf
