@@ -3,9 +3,17 @@
 // the rows we need to append as a regular Spark Dataframe").
 //
 // Sweeps rows-per-append from 1 (lowest latency) to 10k (highest
-// throughput) and reports per-row cost.
+// throughput) and reports per-row cost. BM_AppendBatchedVsPerRow is the
+// acceptance benchmark of the partition-parallel batched write path:
+// batched rows/sec vs a per-row baseline measured once at startup
+// (speedup_vs_serial; >= 2x expected on a multi-core host).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
 #include "indexed/indexed_relation.h"
 #include "sql/session.h"
 
@@ -119,7 +127,109 @@ void BM_AppendRowDirect(benchmark::State& state) {
 }
 BENCHMARK(BM_AppendRowDirect)->Unit(benchmark::kMicrosecond);
 
+// --- Batched vs per-row append throughput ------------------------------
+//
+// Same rows, two write paths: AppendRows (batch encoded off the locks, one
+// lock acquisition per touched partition, one version bump) vs an
+// AppendRow loop (per-row lock churn). The per-row baseline is measured
+// once; batched runs report speedup_vs_serial against it.
+
+constexpr size_t kThroughputRows = 20000;
+
+RowVec ThroughputRows() {
+  RowVec rows;
+  rows.reserve(kThroughputRows);
+  for (size_t i = 0; i < kThroughputRows; ++i) {
+    rows.push_back({Value(static_cast<int64_t>(i % 2000)),
+                    Value(static_cast<int64_t>(i))});
+  }
+  return rows;
+}
+
+double PerRowBaselineMs() {
+  static const double baseline = [] {
+    EngineConfig cfg;
+    cfg.num_partitions = 8;
+    auto ctx = ExecutorContext::Make(cfg).ValueOrDie();
+    auto rel =
+        IndexedRelation::Build(*ctx, "base", EdgeSchema(), 0, {}).ValueOrDie();
+    RowVec rows = ThroughputRows();
+    auto start = std::chrono::steady_clock::now();
+    for (const Row& row : rows) IDF_CHECK_OK(rel->AppendRow(row));
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }();
+  return baseline;
+}
+
+void BM_AppendBatchedVsPerRow(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  EngineConfig cfg;
+  cfg.num_partitions = 8;
+  cfg.num_threads = threads;
+  auto ctx = ExecutorContext::Make(cfg).ValueOrDie();
+  const RowVec rows = ThroughputRows();
+  const double baseline_ms = PerRowBaselineMs();
+  double total_ms = 0;
+  size_t iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto rel =
+        IndexedRelation::Build(*ctx, "batched", EdgeSchema(), 0, {}).ValueOrDie();
+    ctx->metrics().Reset();
+    state.ResumeTiming();
+    auto start = std::chrono::steady_clock::now();
+    Status st = rel->AppendRows(*ctx, rows);
+    total_ms += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    ++iters;
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kThroughputRows));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["partition_locks_per_batch"] =
+      static_cast<double>(ctx->metrics().append_partition_locks());
+  state.counters["rows_encoded_parallel"] =
+      static_cast<double>(ctx->metrics().rows_appended_parallel());
+  if (iters > 0 && total_ms > 0) {
+    state.counters["speedup_vs_serial"] = baseline_ms / (total_ms / iters);
+  }
+}
+BENCHMARK(BM_AppendBatchedVsPerRow)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace idf
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to also writing machine-readable
+// JSON results to BENCH_append_modes.json (consumed by the perf-smoke CI
+// job) when the caller passes no --benchmark_out of their own.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_append_modes.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

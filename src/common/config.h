@@ -41,6 +41,12 @@ struct EngineConfig {
   /// lazy decoding. 0 disables the fallback (always binary).
   size_t binary_shuffle_min_rows = 4096;
 
+  /// Append batches with at least this many rows encode their rows in
+  /// parallel morsels on the executor pool before taking any partition
+  /// write lock; smaller batches encode inline (the dispatch overhead
+  /// outweighs the win). Irrelevant on single-thread pools.
+  size_t append_parallel_min_rows = 256;
+
   /// Probe relations at most this many bytes are broadcast instead of
   /// shuffled in indexed joins (paper §2 "Scheduling Physical Operators").
   /// The same threshold selects broadcast joins on the vanilla path

@@ -19,6 +19,12 @@ void QueryMetrics::Reset() {
   agg_morsels_ = 0;
   agg_partials_merged_ = 0;
   rows_aggregated_encoded_ = 0;
+  append_batches_ = 0;
+  append_partition_locks_ = 0;
+  rows_appended_parallel_ = 0;
+  compactions_run_ = 0;
+  chain_links_rewritten_ = 0;
+  bytes_reclaimed_ = 0;
 }
 
 std::string QueryMetrics::ToString() const {
@@ -38,6 +44,12 @@ std::string QueryMetrics::ToString() const {
          ", agg_morsels=" + std::to_string(agg_morsels()) +
          ", agg_partials_merged=" + std::to_string(agg_partials_merged()) +
          ", rows_aggregated_encoded=" + std::to_string(rows_aggregated_encoded()) +
+         ", append_batches=" + std::to_string(append_batches()) +
+         ", append_partition_locks=" + std::to_string(append_partition_locks()) +
+         ", rows_appended_parallel=" + std::to_string(rows_appended_parallel()) +
+         ", compactions_run=" + std::to_string(compactions_run()) +
+         ", chain_links_rewritten=" + std::to_string(chain_links_rewritten()) +
+         ", bytes_reclaimed=" + std::to_string(bytes_reclaimed()) +
          "}";
 }
 

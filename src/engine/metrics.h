@@ -29,6 +29,12 @@ class QueryMetrics {
   void AddAggMorsels(uint64_t n) { agg_morsels_ += n; }
   void AddAggPartialsMerged(uint64_t n) { agg_partials_merged_ += n; }
   void AddRowsAggregatedEncoded(uint64_t n) { rows_aggregated_encoded_ += n; }
+  void AddAppendBatches(uint64_t n) { append_batches_ += n; }
+  void AddAppendPartitionLocks(uint64_t n) { append_partition_locks_ += n; }
+  void AddRowsAppendedParallel(uint64_t n) { rows_appended_parallel_ += n; }
+  void AddCompactionsRun(uint64_t n) { compactions_run_ += n; }
+  void AddChainLinksRewritten(uint64_t n) { chain_links_rewritten_ += n; }
+  void AddBytesReclaimed(uint64_t n) { bytes_reclaimed_ += n; }
 
   uint64_t shuffled_rows() const { return shuffled_rows_; }
   uint64_t shuffled_bytes() const { return shuffled_bytes_; }
@@ -46,6 +52,12 @@ class QueryMetrics {
   uint64_t agg_morsels() const { return agg_morsels_; }
   uint64_t agg_partials_merged() const { return agg_partials_merged_; }
   uint64_t rows_aggregated_encoded() const { return rows_aggregated_encoded_; }
+  uint64_t append_batches() const { return append_batches_; }
+  uint64_t append_partition_locks() const { return append_partition_locks_; }
+  uint64_t rows_appended_parallel() const { return rows_appended_parallel_; }
+  uint64_t compactions_run() const { return compactions_run_; }
+  uint64_t chain_links_rewritten() const { return chain_links_rewritten_; }
+  uint64_t bytes_reclaimed() const { return bytes_reclaimed_; }
 
   std::string ToString() const;
 
@@ -66,6 +78,12 @@ class QueryMetrics {
   std::atomic<uint64_t> agg_morsels_{0};
   std::atomic<uint64_t> agg_partials_merged_{0};
   std::atomic<uint64_t> rows_aggregated_encoded_{0};
+  std::atomic<uint64_t> append_batches_{0};
+  std::atomic<uint64_t> append_partition_locks_{0};
+  std::atomic<uint64_t> rows_appended_parallel_{0};
+  std::atomic<uint64_t> compactions_run_{0};
+  std::atomic<uint64_t> chain_links_rewritten_{0};
+  std::atomic<uint64_t> bytes_reclaimed_{0};
 };
 
 }  // namespace idf

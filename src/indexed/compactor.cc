@@ -1,0 +1,137 @@
+#include "indexed/compactor.h"
+
+#include "common/logging.h"
+
+namespace idf {
+
+Compactor::Compactor(IndexedRelationPtr rel, CompactionConfig config,
+                     QueryMetrics* metrics, std::function<uint64_t()> epoch_fn)
+    : rel_(std::move(rel)),
+      config_(config),
+      metrics_(metrics),
+      epoch_fn_(std::move(epoch_fn)) {
+  IDF_CHECK(rel_ != nullptr) << "Compactor needs a relation";
+}
+
+Compactor::~Compactor() { Stop(); }
+
+Result<size_t> Compactor::RunOnce() {
+  size_t compacted = 0;
+  const int parts = rel_->num_partitions();
+  for (int p = 0; p < parts; ++p) {
+    bool should = false;
+    {
+      std::lock_guard<std::mutex> lock(rel_->partition_write_lock(p));
+      const IndexedPartition& part = rel_->partition(p);
+      if (part.num_rows() >= config_.min_partition_rows) {
+        should = part.ChainStats().MeanBatchSpan() > config_.max_mean_batch_span;
+      }
+    }
+    // Re-acquires inside CompactPartition: the trigger check is advisory
+    // (a racing append can only increase fragmentation, never make a
+    // compaction wrong).
+    if (should) {
+      IDF_RETURN_NOT_OK(CompactPartition(p));
+      ++compacted;
+    }
+  }
+  DrainRetired();
+  return compacted;
+}
+
+Status Compactor::CompactPartition(int p) {
+  IndexedPartition::CompactionResult result;
+  {
+    std::lock_guard<std::mutex> lock(rel_->partition_write_lock(p));
+    IDF_RETURN_NOT_OK(rel_->mutable_partition(p).CompactLocked(&result));
+  }
+  Retire(std::move(result.retired), result.retired_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.compactions_run += 1;
+    counters_.chains_rewritten += result.chains_rewritten;
+    counters_.links_rewritten += result.links_rewritten;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->AddCompactionsRun(1);
+    metrics_->AddChainLinksRewritten(result.links_rewritten);
+  }
+  return Status::OK();
+}
+
+void Compactor::Retire(PartitionGenerationPtr gen, size_t bytes) {
+  const uint64_t epoch = epoch_fn_ ? epoch_fn_() : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.generations_retired += 1;
+  retired_.push_back(RetiredGen{std::move(gen), epoch, bytes});
+}
+
+size_t Compactor::DrainRetired() {
+  size_t freed = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    // use_count()==1 means the list is the only holder left: the live
+    // generation pointer was swapped out at retirement and every view
+    // (epoch pin) captured before then has been destroyed. No new
+    // reference can appear afterwards, so the check is stable.
+    if (it->gen.use_count() == 1) {
+      const size_t bytes = it->bytes;
+      it = retired_.erase(it);
+      counters_.bytes_reclaimed += bytes;
+      if (metrics_ != nullptr) metrics_->AddBytesReclaimed(bytes);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  counters_.retired_pending = retired_.size();
+  return freed;
+}
+
+Compactor::Stats Compactor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.retired_pending = retired_.size();
+  return s;
+}
+
+void Compactor::Start() {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { BackgroundLoop(); });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  worker_cv_.notify_all();
+  worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    running_ = false;
+  }
+}
+
+void Compactor::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(worker_mu_);
+  while (!stop_requested_) {
+    if (worker_cv_.wait_for(lock, config_.interval,
+                            [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    Result<size_t> res = RunOnce();
+    if (!res.ok()) {
+      IDF_LOG(Warning) << "background compaction pass failed: "
+                       << res.status().ToString();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace idf

@@ -1,0 +1,116 @@
+// Compactor: background chain maintenance for an IndexedRelation.
+//
+// Sustained update streams fragment per-key chains across row batches: a
+// key touched by many append batches ends up with its chain scattered over
+// as many batches, and the newest-first chain walk degrades into one cache
+// miss per link (CUBIT and Shared Arrangements both observe that
+// concurrent updatable indexes need exactly this kind of background
+// reorganization behind multiversioned snapshots). The Compactor watches
+// the per-key chain stats IndexedPartition maintains at append time and,
+// when a partition's mean chain batch-span crosses the configured
+// threshold, rewrites every chain key-clustered (hottest first) into a
+// fresh PartitionGeneration and swaps it in through the partition's
+// snapshot mechanism. Logical contents never change: GetRows stays
+// byte-identical, newest-first.
+//
+// Reclamation: a superseded generation's row batches cannot be freed while
+// any View (e.g. a SnapshotManager epoch pin) still references them. The
+// Compactor parks retired generations on an epoch-tagged reclamation list
+// and frees each one only once its reference count shows no outside
+// holders — i.e. after every pin taken before the compaction has drained.
+// A pinned snapshot therefore never observes a torn or reclaimed row.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "indexed/indexed_relation.h"
+
+namespace idf {
+
+struct CompactionConfig {
+  /// Compact a partition once the mean chain batch-span (mean over keys of
+  /// the number of row batches a chain touches) exceeds this.
+  double max_mean_batch_span = 4.0;
+
+  /// Partitions with fewer rows than this are never compacted (a rewrite
+  /// of a small partition costs more than the fragmentation it removes).
+  size_t min_partition_rows = 4096;
+
+  /// Background pass interval for Start().
+  std::chrono::milliseconds interval{200};
+};
+
+class Compactor {
+ public:
+  /// `metrics` (optional) receives compactions_run / chain_links_rewritten
+  /// / bytes_reclaimed. `epoch_fn` (optional) tags retired generations
+  /// with the service epoch at retirement (e.g. SnapshotManager::epoch),
+  /// purely observational — reclamation is driven by reference draining.
+  explicit Compactor(IndexedRelationPtr rel, CompactionConfig config = {},
+                     QueryMetrics* metrics = nullptr,
+                     std::function<uint64_t()> epoch_fn = nullptr);
+  ~Compactor();
+  IDF_DISALLOW_COPY_AND_ASSIGN(Compactor);
+
+  /// One pass: compacts every partition whose stats exceed the thresholds,
+  /// then drains the reclamation list. Returns partitions compacted.
+  /// Thread-safe against appenders and readers; one pass at a time.
+  Result<size_t> RunOnce();
+
+  /// Compacts one partition unconditionally (tests, benchmarks).
+  Status CompactPartition(int p);
+
+  /// Frees retired generations that no view references anymore. Returns
+  /// the number of generations reclaimed. Called by RunOnce; exposed for
+  /// deterministic tests.
+  size_t DrainRetired();
+
+  /// Starts the background thread (idempotent); Stop() joins it.
+  void Start();
+  void Stop();
+
+  struct Stats {
+    uint64_t compactions_run = 0;
+    uint64_t chains_rewritten = 0;
+    uint64_t links_rewritten = 0;
+    uint64_t bytes_reclaimed = 0;
+    uint64_t generations_retired = 0;
+    uint64_t retired_pending = 0;  ///< retired but still pinned by views
+  };
+  Stats stats() const;
+
+  const IndexedRelationPtr& relation() const { return rel_; }
+
+ private:
+  void Retire(PartitionGenerationPtr gen, size_t bytes);
+  void BackgroundLoop();
+
+  IndexedRelationPtr rel_;
+  CompactionConfig config_;
+  QueryMetrics* metrics_;
+  std::function<uint64_t()> epoch_fn_;
+
+  struct RetiredGen {
+    PartitionGenerationPtr gen;
+    uint64_t epoch;
+    size_t bytes;
+  };
+  mutable std::mutex mu_;  // guards retired_ and counters_
+  std::vector<RetiredGen> retired_;
+  Stats counters_;
+
+  std::thread worker_;
+  std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace idf

@@ -1,45 +1,277 @@
 #include "indexed/indexed_partition.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace idf {
+
+namespace {
+
+int HistBucket(uint64_t chain_len) {
+  int b = 0;
+  while (chain_len > 1 && b < ChainStatsSnapshot::kHistBuckets - 1) {
+    chain_len >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void RecordAppend(PartitionGeneration& g, uint64_t hash, PackedPointer ptr) {
+  PartitionGeneration::KeyStat& st = g.key_stats[hash];
+  if (st.chain_len == 0) st.first_batch = ptr.batch();
+  st.last_batch = ptr.batch();
+  st.chain_len += 1;
+}
+
+}  // namespace
+
+void ChainStatsSnapshot::Merge(const ChainStatsSnapshot& o) {
+  num_keys += o.num_keys;
+  total_links += o.total_links;
+  max_chain_len = std::max(max_chain_len, o.max_chain_len);
+  sum_batch_span += o.sum_batch_span;
+  max_batch_span = std::max(max_batch_span, o.max_batch_span);
+  for (int i = 0; i < kHistBuckets; ++i) {
+    chain_len_histogram[i] += o.chain_len_histogram[i];
+  }
+}
+
+std::string ChainStatsSnapshot::ToString() const {
+  std::string s = "chains{keys=" + std::to_string(num_keys) +
+                  ", links=" + std::to_string(total_links) +
+                  ", max_len=" + std::to_string(max_chain_len) +
+                  ", mean_span=" + std::to_string(MeanBatchSpan()) +
+                  ", max_span=" + std::to_string(max_batch_span) + ", hist=[";
+  for (int i = 0; i < kHistBuckets; ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(chain_len_histogram[i]);
+  }
+  return s + "]}";
+}
 
 IndexedPartition::IndexedPartition(SchemaPtr schema, int indexed_col,
                                    const EngineConfig& config)
     : schema_(std::move(schema)),
       indexed_col_(indexed_col),
-      store_(config.row_batch_bytes, config.max_row_bytes) {}
+      batch_bytes_(config.row_batch_bytes),
+      max_row_bytes_(config.max_row_bytes),
+      gen_(std::make_shared<PartitionGeneration>(config.row_batch_bytes,
+                                                 config.max_row_bytes)) {}
 
 Status IndexedPartition::Append(const Row& row) {
+  // The appender holds the partition write lock, which also excludes
+  // compaction swaps: a plain generation read is safe here.
+  return AppendToGen(*gen_, row);
+}
+
+Status IndexedPartition::AppendToGen(PartitionGeneration& g, const Row& row) {
   const Value& key = row[static_cast<size_t>(indexed_col_)];
   if (key.is_null()) {
     // Stored but unindexed; lookups of a null key return nothing.
-    return store_
-        .AppendRow(*schema_, row, PackedPointer::Null(), /*prev_size=*/0)
+    return g.store.AppendRow(*schema_, row, PackedPointer::Null(), /*prev_size=*/0)
         .status();
   }
   uint64_t h = key.Hash();
-  std::optional<uint64_t> head = index_.Lookup(h);
+  std::optional<uint64_t> head = g.index.Lookup(h);
   PackedPointer back_pointer = PackedPointer::Null();
   uint32_t prev_size = 0;
   if (head.has_value()) {
     back_pointer = PackedPointer(*head);
-    prev_size = EncodedRowSize(store_.PayloadAt(back_pointer), *schema_);
+    prev_size = EncodedRowSize(g.store.PayloadAt(back_pointer), *schema_);
   }
   IDF_ASSIGN_OR_RETURN(PackedPointer ptr,
-                       store_.AppendRow(*schema_, row, back_pointer, prev_size));
+                       g.store.AppendRow(*schema_, row, back_pointer, prev_size));
   // Publish after the row bytes are committed: concurrent readers that see
   // this trie entry can safely dereference the pointer.
-  index_.Insert(h, ptr.bits());
+  g.index.Insert(h, ptr.bits());
+  RecordAppend(g, h, ptr);
   return Status::OK();
 }
 
+Status IndexedPartition::AppendBatch(const std::vector<EncodedRowRef>& rows,
+                                     AppendBatchResult* result) {
+  PartitionGeneration& g = *gen_;  // caller holds the partition write lock
+  // The head of each key touched by this batch: seeded from the trie on
+  // first occurrence, then advanced locally so intra-batch chain links are
+  // built without republishing intermediate heads.
+  struct LocalHead {
+    PackedPointer head;
+    uint32_t head_size = 0;
+  };
+  std::unordered_map<uint64_t, LocalHead> heads;
+  heads.reserve(rows.size());
+  AppendBatchResult local;
+  Status error;
+
+  for (const EncodedRowRef& row : rows) {
+    if (row.size > max_row_bytes_) {
+      error = Status::CapacityError(
+          "encoded row of " + std::to_string(row.size) +
+          " bytes exceeds max_row_bytes=" + std::to_string(max_row_bytes_));
+      break;
+    }
+    PackedPointer back = PackedPointer::Null();
+    uint32_t prev_size = 0;
+    LocalHead* slot = nullptr;
+    if (row.indexed) {
+      auto [it, inserted] = heads.try_emplace(row.hash);
+      slot = &it->second;
+      if (inserted) {
+        std::optional<uint64_t> head = g.index.Lookup(row.hash);
+        if (head.has_value()) {
+          slot->head = PackedPointer(*head);
+          slot->head_size = EncodedRowSize(g.store.PayloadAt(slot->head), *schema_);
+        } else {
+          slot->head = PackedPointer::Null();
+          slot->head_size = 0;
+        }
+      } else {
+        local.links_coalesced += 1;
+      }
+      back = slot->head;
+      prev_size = slot->head_size;
+    }
+    auto ptr_res = g.store.AppendEncoded(row.payload, row.size, back, prev_size);
+    if (!ptr_res.ok()) {
+      error = ptr_res.status();
+      break;
+    }
+    const PackedPointer ptr = ptr_res.ValueUnsafe();
+    local.rows_appended += 1;
+    if (row.indexed) {
+      slot->head = ptr;
+      slot->head_size = row.size;
+      RecordAppend(g, row.hash, ptr);
+    }
+  }
+
+  // Publish one head per key, after every row of the batch (or of the
+  // prefix that made it in) has its bytes committed. Readers snapshotting
+  // between publishes see a consistent prefix of the batch per key.
+  for (const auto& [hash, slot] : heads) {
+    if (slot.head.is_null()) continue;  // key never landed a row
+    g.index.Insert(hash, slot.head.bits());
+    local.keys_published += 1;
+  }
+  if (result != nullptr) *result = local;
+  return error;
+}
+
 IndexedPartition::View IndexedPartition::Snapshot() const {
-  // Order matters: trie snapshot first, watermark second, so every pointer
+  // Lock-free vs both appends and compaction swaps: grab the generation
+  // first, then snapshot inside it. If a swap lands in between we read the
+  // old (frozen, still complete) generation. Order matters inside the
+  // generation: trie snapshot first, watermark second, so every pointer
   // reachable from the snapshot is covered by the watermark.
-  CTrie trie = index_.ReadOnlySnapshot();
-  StoreWatermark wm = store_.Watermark();
-  return View(this, std::move(trie), wm);
+  PartitionGenerationPtr g = gen();
+  CTrie trie = g->index.ReadOnlySnapshot();
+  StoreWatermark wm = g->store.Watermark();
+  return View(schema_, indexed_col_, std::move(g), std::move(trie), wm);
+}
+
+ChainStatsSnapshot IndexedPartition::ChainStats() const {
+  const PartitionGeneration& g = *gen_;
+  ChainStatsSnapshot out;
+  for (const auto& [hash, st] : g.key_stats) {
+    (void)hash;
+    out.num_keys += 1;
+    out.total_links += st.chain_len;
+    out.max_chain_len = std::max<uint64_t>(out.max_chain_len, st.chain_len);
+    const uint64_t span = st.last_batch - st.first_batch + 1;
+    out.sum_batch_span += span;
+    out.max_batch_span = std::max(out.max_batch_span, span);
+    out.chain_len_histogram[HistBucket(st.chain_len)] += 1;
+  }
+  return out;
+}
+
+Status IndexedPartition::CompactLocked(CompactionResult* result) {
+  PartitionGenerationPtr old_gen = gen_;
+  auto fresh = std::make_shared<PartitionGeneration>(batch_bytes_, max_row_bytes_);
+  const Schema& schema = *schema_;
+
+  // Collect every chain of the old generation: (hash, pointers newest
+  // first). The trie is frozen for writes while we hold the partition
+  // lock, so a read-only snapshot covers everything.
+  struct Chain {
+    uint64_t hash;
+    std::vector<PackedPointer> ptrs;  // newest first (walk order)
+  };
+  std::vector<Chain> chains;
+  CTrie old_trie = old_gen->index.ReadOnlySnapshot();
+  old_trie.ForEach([&](uint64_t hash, uint64_t head) {
+    Chain c;
+    c.hash = hash;
+    for (PackedPointer p(head); !p.is_null(); p = old_gen->store.BackPointerAt(p)) {
+      c.ptrs.push_back(p);
+    }
+    chains.push_back(std::move(c));
+  });
+  // Hottest chains first, so the longest chains land maximally clustered
+  // at the front of the new store; hash as tie-break for determinism.
+  std::sort(chains.begin(), chains.end(), [](const Chain& a, const Chain& b) {
+    if (a.ptrs.size() != b.ptrs.size()) return a.ptrs.size() > b.ptrs.size();
+    return a.hash < b.hash;
+  });
+
+  CompactionResult local;
+  for (const Chain& c : chains) {
+    PackedPointer back = PackedPointer::Null();
+    uint32_t prev_size = 0;
+    // Rewrite oldest -> newest so back pointers again yield newest-first.
+    for (auto it = c.ptrs.rbegin(); it != c.ptrs.rend(); ++it) {
+      const uint8_t* payload = old_gen->store.PayloadAt(*it);
+      const uint32_t size = EncodedRowSize(payload, schema);
+      IDF_ASSIGN_OR_RETURN(PackedPointer ptr, fresh->store.AppendEncoded(
+                                                  payload, size, back, prev_size));
+      back = ptr;
+      prev_size = size;
+      RecordAppend(*fresh, c.hash, ptr);
+    }
+    fresh->index.Insert(c.hash, back.bits());
+    local.chains_rewritten += 1;
+    local.links_rewritten += c.ptrs.size();
+  }
+
+  // Null-key rows are unindexed and unreachable from any chain: carry them
+  // over in append order by a forward scan of the old store.
+  const StoreWatermark wm = old_gen->store.Watermark();
+  const int col = indexed_col_;
+  for (uint32_t b = 0; b < wm.num_batches; ++b) {
+    const RowBatch* batch = old_gen->store.BatchAt(b);
+    const size_t limit =
+        (b + 1 == wm.num_batches) ? wm.last_batch_bytes : batch->committed_size();
+    uint32_t offset = 0;
+    while (offset + 8 < limit) {
+      const uint8_t* payload = batch->payload_at(offset);
+      if (RawColumnIsNull(payload, col)) {
+        const uint32_t size = EncodedRowSize(payload, schema);
+        IDF_RETURN_NOT_OK(fresh->store
+                              .AppendEncoded(payload, size, PackedPointer::Null(),
+                                             /*prev_size=*/0)
+                              .status());
+      }
+      offset = batch->NextRowOffset(offset, schema);
+    }
+  }
+
+  if (fresh->store.num_rows() != old_gen->store.num_rows()) {
+    // Leave the live generation untouched; the partially built one dies.
+    return Status::Internal(
+        "compaction row-count mismatch: rewrote " +
+        std::to_string(fresh->store.num_rows()) + " of " +
+        std::to_string(old_gen->store.num_rows()) + " rows");
+  }
+
+  local.retired = old_gen;
+  local.retired_bytes =
+      old_gen->store.allocated_bytes() + old_gen->index.MemoryBytesEstimate();
+  // Publish the new generation. Readers that already grabbed the old one
+  // keep a consistent (frozen) view; new snapshots see the rewrite.
+  std::atomic_store_explicit(&gen_, std::move(fresh), std::memory_order_release);
+  if (result != nullptr) *result = std::move(local);
+  return Status::OK();
 }
 
 bool IndexedPartition::View::InView(PackedPointer ptr) const {
@@ -51,7 +283,7 @@ bool IndexedPartition::View::InView(PackedPointer ptr) const {
 
 RowVec IndexedPartition::View::GetRows(const Value& key) const {
   RowVec out;
-  const Schema& schema = *part_->schema_;
+  const Schema& schema = *schema_;
   ForEachRawRow(key, [&out, &schema](const uint8_t* payload) {
     out.push_back(DecodeRow(payload, schema));
   });
@@ -70,13 +302,13 @@ void IndexedPartition::View::ScanChain(
   std::optional<uint64_t> head = trie_.Lookup(key.Hash());
   if (!head.has_value()) return;
   for (PackedPointer ptr(*head); !ptr.is_null();
-       ptr = part_->store_.BackPointerAt(ptr)) {
+       ptr = gen_->store.BackPointerAt(ptr)) {
     fn(ptr);
   }
 }
 
 void IndexedPartition::View::Scan(const std::function<void(const Row&)>& fn) const {
-  const Schema& schema = *part_->schema_;
+  const Schema& schema = *schema_;
   ScanRaw([&fn, &schema](const uint8_t* payload) {
     fn(DecodeRow(payload, schema));
   });
@@ -84,9 +316,9 @@ void IndexedPartition::View::Scan(const std::function<void(const Row&)>& fn) con
 
 void IndexedPartition::View::ScanRaw(
     const std::function<void(const uint8_t*)>& fn) const {
-  const Schema& schema = *part_->schema_;
+  const Schema& schema = *schema_;
   for (uint32_t b = 0; b < watermark_.num_batches; ++b) {
-    const RowBatch* batch = part_->store_.BatchAt(b);
+    const RowBatch* batch = gen_->store.BatchAt(b);
     size_t limit = (b + 1 == watermark_.num_batches) ? watermark_.last_batch_bytes
                                                      : batch->committed_size();
     uint32_t offset = 0;

@@ -11,16 +11,26 @@
 // 8-byte header holds the backward pointer to the previous row with the
 // same key, forming one linked list per unique key.
 //
-// Concurrency: appends are serialized per partition (the owner,
-// IndexedRelation, holds the partition write lock); reads are lock-free and
-// proceed concurrently with appends. A View captures a CTrie snapshot plus
-// a store watermark, giving queries a consistent version while the update
-// stream keeps appending — the paper's "updates with multi-version
-// concurrency".
+// The (cTrie, row batches) pair lives inside a PartitionGeneration so that
+// background compaction can rewrite chains key-clustered into a fresh
+// generation and swap it in atomically. Views hold a shared_ptr to their
+// generation: a retired generation's batches are reclaimed only after the
+// last view referencing it dies (epoch-deferred reclamation, owned by
+// indexed/compactor.h), so a pinned snapshot never reads freed memory.
+//
+// Concurrency: appends and compaction are serialized per partition (the
+// owner, IndexedRelation, holds the partition write lock); reads are
+// lock-free and proceed concurrently with appends. A View captures a CTrie
+// snapshot plus a store watermark, giving queries a consistent version
+// while the update stream keeps appending — the paper's "updates with
+// multi-version concurrency".
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "common/config.h"
 #include "common/macros.h"
@@ -31,6 +41,59 @@
 
 namespace idf {
 
+/// One immutable-once-retired version of a partition's storage: the row
+/// batches plus the cTrie indexing them. The live generation is appended
+/// to under the partition write lock; compaction builds a replacement and
+/// swaps it in, after which the old generation is frozen and lives only as
+/// long as views referencing it.
+struct PartitionGeneration {
+  PartitionGeneration(size_t batch_bytes, size_t max_row_bytes)
+      : store(batch_bytes, max_row_bytes) {}
+  IDF_DISALLOW_COPY_AND_ASSIGN(PartitionGeneration);
+
+  RowBatchStore store;
+  // ReadOnlySnapshot() CASes the trie root (RDCSS) without changing the
+  // logical contents; snapshots from const contexts are fine.
+  mutable CTrie index;
+
+  /// Per-key chain bookkeeping maintained at append time and rebuilt by
+  /// compaction. Guarded by the partition write lock (appender/compactor
+  /// only); readers never touch it.
+  struct KeyStat {
+    uint32_t chain_len = 0;
+    uint32_t first_batch = 0;  // batch of the oldest row on the chain
+    uint32_t last_batch = 0;   // batch of the newest row on the chain
+  };
+  std::unordered_map<uint64_t, KeyStat> key_stats;
+};
+using PartitionGenerationPtr = std::shared_ptr<PartitionGeneration>;
+
+/// Aggregated chain statistics of one partition (or, summed, a relation):
+/// the compaction trigger signal and the exported chain-length histogram.
+struct ChainStatsSnapshot {
+  uint64_t num_keys = 0;
+  uint64_t total_links = 0;     ///< sum of chain lengths (== indexed rows)
+  uint64_t max_chain_len = 0;
+  uint64_t sum_batch_span = 0;  ///< sum over keys of (last - first + 1)
+  uint64_t max_batch_span = 0;
+  /// histogram[i] counts keys with chain length in [2^i, 2^(i+1)).
+  static constexpr int kHistBuckets = 16;
+  uint64_t chain_len_histogram[kHistBuckets] = {0};
+
+  double MeanChainLen() const {
+    return num_keys == 0 ? 0.0
+                         : static_cast<double>(total_links) /
+                               static_cast<double>(num_keys);
+  }
+  double MeanBatchSpan() const {
+    return num_keys == 0 ? 0.0
+                         : static_cast<double>(sum_batch_span) /
+                               static_cast<double>(num_keys);
+  }
+  void Merge(const ChainStatsSnapshot& o);
+  std::string ToString() const;
+};
+
 class IndexedPartition {
  public:
   IndexedPartition(SchemaPtr schema, int indexed_col, const EngineConfig& config);
@@ -38,13 +101,46 @@ class IndexedPartition {
   const SchemaPtr& schema() const { return schema_; }
   int indexed_column() const { return indexed_col_; }
 
+  /// One pre-encoded row of an append batch. `payload`/`size` are the
+  /// encoded bytes (back-pointer header excluded); `hash` is the canonical
+  /// hash of the indexed key, meaningful iff `indexed` (null keys are
+  /// stored but unindexed).
+  struct EncodedRowRef {
+    const uint8_t* payload;
+    uint32_t size;
+    uint64_t hash;
+    bool indexed;
+  };
+
+  /// Per-call counters of one AppendBatch (feed QueryMetrics at the
+  /// relation layer).
+  struct AppendBatchResult {
+    size_t rows_appended = 0;
+    size_t keys_published = 0;   ///< cTrie head updates (one per key)
+    size_t links_coalesced = 0;  ///< indexed rows - keys_published
+  };
+
   /// Appends one row: inserts into the row batches, links the backward
   /// pointer to the previous row with the same key, and publishes the new
   /// head pointer in the cTrie. Appender-only (callers serialize).
   /// Rows whose key is null are stored but not indexed.
   Status Append(const Row& row);
 
-  /// \brief A consistent read view: cTrie snapshot + store watermark.
+  /// Batched append: applies a whole partition group under one caller-held
+  /// write lock. Same-key runs are coalesced — chain links between rows of
+  /// the batch are built directly (the trie is consulted once per distinct
+  /// key for the previous head) and each key publishes exactly one cTrie
+  /// head update, after all row bytes are committed. Appender-only.
+  ///
+  /// On error the rows already committed are published (their keys' heads
+  /// are updated) so the store and the index stay consistent, matching the
+  /// per-row path's partial-failure behavior.
+  Status AppendBatch(const std::vector<EncodedRowRef>& rows,
+                     AppendBatchResult* result = nullptr);
+
+  /// \brief A consistent read view: generation + cTrie snapshot + store
+  /// watermark. Holds its generation alive, so a view outlives compaction
+  /// of the partition it came from.
   class View {
    public:
     /// All rows whose indexed column equals `key`, newest first (reverse
@@ -68,8 +164,9 @@ class IndexedPartition {
       if (key.is_null()) return 0;
       std::optional<uint64_t> head = trie_.Lookup(key.Hash());
       if (!head.has_value()) return 0;
-      const Schema& schema = *part_->schema_;
-      const int col = part_->indexed_col_;
+      const Schema& schema = *schema_;
+      const int col = indexed_col_;
+      const RowBatchStore& store = gen_->store;
       // Fast path: for integer-backed indexed columns the key's 8-byte slot
       // image is compared against the raw encoded slot per chain node — no
       // Value materialization. Float and string columns stay on the decode
@@ -82,13 +179,13 @@ class IndexedPartition {
       size_t matched = 0;
       PackedPointer ptr(*head);
       while (!ptr.is_null()) {
-        const uint8_t* payload = part_->store_.PayloadAt(ptr);
+        const uint8_t* payload = store.PayloadAt(ptr);
         // Chain nodes are scattered across row batches, so the backward
         // walk is a dependent pointer chase; issuing the next node's
         // payload load before this node's match check overlaps the miss
         // with useful work (effect measured in bench_graph_traversal).
-        const PackedPointer next = part_->store_.BackPointerAt(ptr);
-        if (!next.is_null()) IDF_PREFETCH(part_->store_.PayloadAt(next));
+        const PackedPointer next = store.BackPointerAt(ptr);
+        if (!next.is_null()) IDF_PREFETCH(store.PayloadAt(next));
         // Verify the actual value: chains link rows with equal key *hash*.
         const bool match =
             raw_eq ? !RawColumnIsNull(payload, col) &&
@@ -118,45 +215,88 @@ class IndexedPartition {
 
     size_t num_rows() const { return watermark_.num_rows; }
 
+    /// The generation this view reads (compaction/reclamation tests).
+    const PartitionGenerationPtr& generation() const { return gen_; }
+
    private:
     friend class IndexedPartition;
-    View(const IndexedPartition* part, CTrie trie, StoreWatermark wm)
-        : part_(part), trie_(std::move(trie)), watermark_(wm) {}
+    View(SchemaPtr schema, int indexed_col, PartitionGenerationPtr gen,
+         CTrie trie, StoreWatermark wm)
+        : schema_(std::move(schema)),
+          indexed_col_(indexed_col),
+          gen_(std::move(gen)),
+          trie_(std::move(trie)),
+          watermark_(wm) {}
 
     bool InView(PackedPointer ptr) const;
 
-    const IndexedPartition* part_;
+    SchemaPtr schema_;
+    int indexed_col_;
+    PartitionGenerationPtr gen_;
     CTrie trie_;
     StoreWatermark watermark_;
   };
 
-  /// Captures a consistent read view (O(1): cTrie read-only snapshot plus
-  /// two atomic loads).
+  /// Captures a consistent read view (O(1): generation pointer copy, cTrie
+  /// read-only snapshot, two atomic loads). Thread-safe, lock-free.
   View Snapshot() const;
 
   /// Convenience: lookup against a fresh snapshot.
   RowVec GetRows(const Value& key) const { return Snapshot().GetRows(key); }
 
-  size_t num_rows() const { return store_.num_rows(); }
-  size_t distinct_keys() const { return index_.size_hint(); }
+  /// Aggregated chain statistics of the live generation. Caller must hold
+  /// the partition write lock (the stats map is appender-owned).
+  ChainStatsSnapshot ChainStats() const;
+
+  /// The outcome of one compaction pass (see CompactLocked).
+  struct CompactionResult {
+    PartitionGenerationPtr retired;  ///< the superseded generation
+    size_t chains_rewritten = 0;     ///< keys rewritten
+    size_t links_rewritten = 0;      ///< chain rows re-linked
+    size_t retired_bytes = 0;        ///< store + index bytes to reclaim
+  };
+
+  /// Rewrites every chain key-clustered (hottest chains first) into a
+  /// fresh generation and swaps it in. Null-key rows are carried over in
+  /// append order. Logical contents are unchanged: GetRows returns
+  /// byte-identical results in the same newest-first order, Scan sees the
+  /// same row set. Caller must hold the partition write lock; concurrent
+  /// readers keep their (old-generation) views. The caller owns retiring
+  /// `result->retired` — batches of the old generation must stay alive
+  /// until every view holding it drains (see indexed/compactor.h).
+  Status CompactLocked(CompactionResult* result);
+
+  size_t num_rows() const { return gen()->store.num_rows(); }
+  size_t distinct_keys() const { return gen()->index.size_hint(); }
 
   /// Memory accounting for the paper's "low memory overhead" claim:
   /// `index_bytes` is the live cTrie structure; `arena_bytes` additionally
   /// includes retired nodes the arena holds until the snapshot family dies
   /// (the cost of the leak-until-destruction reclamation strategy).
-  size_t data_bytes() const { return store_.used_bytes(); }
-  size_t index_bytes() const { return index_.LiveMemoryBytes(); }
-  size_t arena_bytes() const { return index_.MemoryBytesEstimate(); }
+  size_t data_bytes() const { return gen()->store.used_bytes(); }
+  size_t index_bytes() const { return gen()->index.LiveMemoryBytes(); }
+  size_t arena_bytes() const { return gen()->index.MemoryBytesEstimate(); }
 
-  const RowBatchStore& store() const { return store_; }
+  /// The live generation's store. The reference is only stable while no
+  /// compaction runs (single-threaded tests and benchmarks).
+  const RowBatchStore& store() const { return gen()->store; }
+
+  /// The live generation (thread-safe pointer copy).
+  PartitionGenerationPtr gen() const {
+    return std::atomic_load_explicit(&gen_, std::memory_order_acquire);
+  }
 
  private:
+  Status AppendToGen(PartitionGeneration& g, const Row& row);
+
   SchemaPtr schema_;
   int indexed_col_;
-  RowBatchStore store_;
-  // ReadOnlySnapshot() CASes the trie root (RDCSS) without changing the
-  // logical contents; snapshots from const contexts are fine.
-  mutable CTrie index_;
+  size_t batch_bytes_;
+  size_t max_row_bytes_;
+  // Swapped only by CompactLocked (under the partition write lock); read
+  // lock-free by Snapshot(). atomic_load/atomic_store free functions keep
+  // the handle safe against concurrent snapshot-vs-swap.
+  PartitionGenerationPtr gen_;
 };
 
 }  // namespace idf

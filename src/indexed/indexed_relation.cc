@@ -5,6 +5,59 @@
 
 namespace idf {
 
+size_t EncodedRowBatch::total_bytes() const {
+  size_t n = 0;
+  for (const auto& b : buffers) n += b.size();
+  return n;
+}
+
+Result<EncodedRowBatch> EncodeRowBatch(ExecutorContext& ctx, const Schema& schema,
+                                       const RowVec& rows) {
+  EncodedRowBatch out;
+  out.spans.resize(rows.size());
+  if (rows.empty()) return out;
+
+  const bool parallel =
+      ctx.pool().num_threads() > 1 &&
+      rows.size() >= ctx.config().append_parallel_min_rows;
+  const size_t grain = parallel ? ctx.MorselGrain(rows.size()) : rows.size();
+  const size_t num_chunks = (rows.size() + grain - 1) / grain;
+  out.buffers.resize(num_chunks);
+  std::vector<Status> statuses(num_chunks);
+
+  auto encode_chunk = [&](size_t begin, size_t end) {
+    const size_t chunk = begin / grain;
+    std::vector<uint8_t>& buf = out.buffers[chunk];
+    buf.reserve((end - begin) * 64);
+    std::vector<uint8_t> scratch;
+    for (size_t i = begin; i < end; ++i) {
+      Status st = ValidateRow(schema, rows[i]);
+      if (!st.ok()) {
+        statuses[chunk] = std::move(st);
+        return;
+      }
+      EncodeRowUnchecked(schema, rows[i], &scratch);
+      out.spans[i] = {static_cast<uint32_t>(chunk),
+                      static_cast<uint32_t>(buf.size()),
+                      static_cast<uint32_t>(scratch.size())};
+      buf.insert(buf.end(), scratch.begin(), scratch.end());
+    }
+  };
+
+  if (parallel) {
+    ctx.pool().ParallelForRange(rows.size(), grain, encode_chunk,
+                                ctx.cancellation());
+    IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+    ctx.metrics().AddRowsAppendedParallel(rows.size());
+  } else {
+    encode_chunk(0, rows.size());
+  }
+  for (Status& st : statuses) {
+    IDF_RETURN_NOT_OK(st);
+  }
+  return out;
+}
+
 RowVec IndexedRelationSnapshot::GetRows(const Value& key) const {
   if (key.is_null() || views_.empty()) return {};
   int p = partitioner_.PartitionOf(key);
@@ -57,37 +110,65 @@ Result<IndexedRelationPtr> IndexedRelation::Build(ExecutorContext& ctx,
 }
 
 Status IndexedRelation::AppendRows(ExecutorContext& ctx, const RowVec& rows) {
+  // Encode (and validate) the whole batch before touching any partition
+  // lock; on multi-core hosts this runs in parallel morsels.
+  IDF_ASSIGN_OR_RETURN(EncodedRowBatch enc, EncodeRowBatch(ctx, *schema_, rows));
+  return AppendEncoded(ctx, rows, enc);
+}
+
+Status IndexedRelation::AppendEncoded(ExecutorContext& ctx, const RowVec& rows,
+                                      const EncodedRowBatch& enc) {
+  if (enc.num_rows() != rows.size()) {
+    return Status::InvalidArgument(
+        "AppendEncoded: encoded batch of " + std::to_string(enc.num_rows()) +
+        " rows does not match " + std::to_string(rows.size()) + " source rows");
+  }
   const int num_parts = num_partitions();
-  // Map side of the index-creation shuffle: route rows by key hash.
-  std::vector<std::vector<const Row*>> routed(static_cast<size_t>(num_parts));
-  uint64_t bytes = 0;
-  for (const Row& row : rows) {
-    IDF_RETURN_NOT_OK(ValidateRow(*schema_, row));
-    const Value& key = row[static_cast<size_t>(indexed_col_)];
-    int target = key.is_null() ? 0 : partitioner_.PartitionOf(key);
-    bytes += EstimateRowBytes(row);
-    routed[static_cast<size_t>(target)].push_back(&row);
+  // Map side of the index-creation shuffle: route rows by key hash. The
+  // key is read from the source row (each index of a multi-indexed table
+  // routes the same encoded bytes by its own column).
+  std::vector<std::vector<IndexedPartition::EncodedRowRef>> routed(
+      static_cast<size_t>(num_parts));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& key = rows[i][static_cast<size_t>(indexed_col_)];
+    IndexedPartition::EncodedRowRef ref{enc.payload(i), enc.size(i), 0, false};
+    int target = 0;
+    if (!key.is_null()) {
+      ref.hash = key.Hash();
+      ref.indexed = true;
+      target = partitioner_.PartitionOfHash(ref.hash);
+    }
+    routed[static_cast<size_t>(target)].push_back(ref);
   }
   ctx.metrics().AddShuffledRows(rows.size());
-  ctx.metrics().AddShuffledBytes(bytes);
+  ctx.metrics().AddShuffledBytes(enc.total_bytes());
 
-  // Reduce side: append each partition's slice under its writer lock.
+  // Reduce side: apply each partition's group under ONE write-lock
+  // acquisition (lock acquisitions per batch == partitions touched).
   std::vector<Status> statuses(static_cast<size_t>(num_parts));
+  std::atomic<size_t> appended{0};
   ctx.pool().ParallelFor(static_cast<size_t>(num_parts), [&](size_t p) {
     ctx.metrics().AddTask();
     if (routed[p].empty()) return;
-    std::lock_guard<std::mutex> lock(write_locks_[p]);
-    for (const Row* row : routed[p]) {
-      Status st = partitions_[p]->Append(*row);
-      if (!st.ok()) {
-        statuses[p] = st;
-        return;
-      }
+    IndexedPartition::AppendBatchResult result;
+    {
+      std::lock_guard<std::mutex> lock(write_locks_[p]);
+      ctx.metrics().AddAppendPartitionLocks(1);
+      statuses[p] = partitions_[p]->AppendBatch(routed[p], &result);
     }
+    appended.fetch_add(result.rows_appended, std::memory_order_relaxed);
   });
   for (const Status& st : statuses) {
     IDF_RETURN_NOT_OK(st);
   }
+  if (appended.load(std::memory_order_relaxed) != rows.size()) {
+    return Status::Internal(
+        "append batch landed " + std::to_string(appended.load()) + " of " +
+        std::to_string(rows.size()) + " rows");
+  }
+  ctx.metrics().AddAppendBatches(1);
+  // One version bump per batch: the whole batch becomes snapshot-visible
+  // as a single logical commit.
   version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
@@ -116,6 +197,16 @@ IndexedRelationSnapshot IndexedRelation::Snapshot() const {
   for (const auto& p : partitions_) views.push_back(p->Snapshot());
   return IndexedRelationSnapshot(schema_, indexed_col_, partitioner_,
                                  std::move(views));
+}
+
+ChainStatsSnapshot IndexedRelation::ChainStats() const {
+  ChainStatsSnapshot total;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    // The per-key stats map is appender-owned; serialize with writers.
+    std::lock_guard<std::mutex> lock(write_locks_[p]);
+    total.Merge(partitions_[p]->ChainStats());
+  }
+  return total;
 }
 
 size_t IndexedRelation::num_rows() const {

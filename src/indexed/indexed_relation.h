@@ -3,6 +3,13 @@
 // the hash of the indexed column ("hash partitioning scheme on the indexed
 // key", paper §2), so a point lookup touches exactly one partition and an
 // indexed join only shuffles the probe side.
+//
+// The write path is batch-oriented: AppendRows validates and encodes the
+// whole batch off the partition locks (in parallel on multi-core hosts),
+// groups rows by target partition, and applies each group under ONE write
+// lock acquisition via IndexedPartition::AppendBatch — one version bump
+// and one snapshot-visible commit per batch. A pre-encoded batch can be
+// fanned out to several indexes without re-encoding (MultiIndexedTable).
 #pragma once
 
 #include <atomic>
@@ -20,6 +27,36 @@ namespace idf {
 
 class IndexedRelation;
 using IndexedRelationPtr = std::shared_ptr<IndexedRelation>;
+class Compactor;
+
+/// One batch of rows encoded once (UnsafeRow layout, headers excluded),
+/// reusable across every index of a table. `spans[i]` addresses row i's
+/// bytes inside one of the chunk `buffers` (chunks are encoded in parallel
+/// by EncodeRowBatch).
+struct EncodedRowBatch {
+  struct Span {
+    uint32_t buffer;
+    uint32_t offset;
+    uint32_t size;
+  };
+  std::vector<std::vector<uint8_t>> buffers;
+  std::vector<Span> spans;
+
+  size_t num_rows() const { return spans.size(); }
+  const uint8_t* payload(size_t i) const {
+    const Span& s = spans[i];
+    return buffers[s.buffer].data() + s.offset;
+  }
+  uint32_t size(size_t i) const { return spans[i].size; }
+  size_t total_bytes() const;
+};
+
+/// Validates and encodes `rows` against `schema`. Batches past
+/// `EngineConfig` thresholds encode in parallel morsels on the context's
+/// pool (counted in metrics as rows_appended_parallel); small batches and
+/// single-thread pools encode inline.
+Result<EncodedRowBatch> EncodeRowBatch(ExecutorContext& ctx, const Schema& schema,
+                                       const RowVec& rows);
 
 /// A consistent multi-partition read view (one View per partition).
 class IndexedRelationSnapshot {
@@ -110,10 +147,18 @@ class IndexedRelation : public IndexedRelationBase {
   const HashPartitioner& partitioner() const { return partitioner_; }
 
   /// Appends rows (fine-grained or batch — the paper supports both modes by
-  /// batching rows in a DataFrame). Routes by key hash, appends each
-  /// partition's slice under that partition's writer lock, in parallel.
+  /// batching rows in a DataFrame). Encodes the batch off the partition
+  /// locks (parallel past EngineConfig::append_parallel_min_rows), then
+  /// applies each partition's group under one write-lock acquisition.
   /// Thread-safe; concurrent readers keep their snapshots.
   Status AppendRows(ExecutorContext& ctx, const RowVec& rows);
+
+  /// Appends a batch that was already encoded (e.g. once per table, fanned
+  /// out to every index). `rows` supplies the key values for routing and
+  /// must be the batch `enc` was encoded from. Exactly rows.size() rows
+  /// land or an error is returned.
+  Status AppendEncoded(ExecutorContext& ctx, const RowVec& rows,
+                       const EncodedRowBatch& enc);
 
   /// Appends a single row (lowest-latency fine-grained path).
   Status AppendRow(const Row& row);
@@ -131,6 +176,11 @@ class IndexedRelation : public IndexedRelationBase {
                                             Snapshot());
   }
 
+  /// Aggregated chain statistics across partitions (chain-length
+  /// histogram, mean batch span — the compaction trigger signal). Takes
+  /// each partition's write lock briefly.
+  ChainStatsSnapshot ChainStats() const;
+
   /// Memory accounting (paper: "relatively low memory overhead").
   /// `index_bytes` counts live index structure; `arena_bytes` includes
   /// nodes retired by path-copying updates (held until destruction).
@@ -143,8 +193,17 @@ class IndexedRelation : public IndexedRelationBase {
   }
 
  private:
+  friend class Compactor;  // takes partition write locks for compaction
+
   IndexedRelation(std::string name, SchemaPtr schema, int indexed_col,
                   const EngineConfig& config);
+
+  std::mutex& partition_write_lock(int p) {
+    return write_locks_[static_cast<size_t>(p)];
+  }
+  IndexedPartition& mutable_partition(int p) {
+    return *partitions_[static_cast<size_t>(p)];
+  }
 
   std::string name_;
   SchemaPtr schema_;

@@ -69,8 +69,16 @@ Status MultiIndexedTable::AppendRows(const DataFrame& df) const {
 }
 
 Status MultiIndexedTable::AppendRowsDirect(const RowVec& rows) const {
+  // Encode the batch ONCE: the UnsafeRow bytes are index-independent, so
+  // every index routes and links the same payloads by its own key column
+  // instead of re-encoding per index.
+  ExecutorContext& ctx = session_->exec();
+  IDF_ASSIGN_OR_RETURN(EncodedRowBatch enc, EncodeRowBatch(ctx, *schema_, rows));
   for (const std::string& column : order_) {
-    IDF_RETURN_NOT_OK(indexes_.at(column)->AppendRowsDirect(rows));
+    const IndexedRelationPtr& rel = indexes_.at(column)->relation();
+    // AppendEncoded lands exactly rows.size() rows or errors, so a success
+    // on every index means all of them saw the same row count.
+    IDF_RETURN_NOT_OK(rel->AppendEncoded(ctx, rows, enc));
   }
   return Status::OK();
 }

@@ -35,6 +35,8 @@ QueryService::QueryService(ServiceConfig config, ExecutorContextPtr base_exec)
       base_exec_(std::move(base_exec)),
       snapshots_(std::make_unique<SnapshotManager>(base_exec_)) {}
 
+QueryService::~QueryService() { DisableCompaction(); }
+
 Result<QueryServicePtr> QueryService::Make(const ServiceConfig& config) {
   IDF_RETURN_NOT_OK(config.Validate());
   IDF_ASSIGN_OR_RETURN(ExecutorContextPtr exec,
@@ -54,6 +56,33 @@ Status QueryService::RegisterTable(const std::string& name,
 
 Status QueryService::Append(const std::string& table, const RowVec& rows) {
   return snapshots_->Append(table, rows);
+}
+
+Status QueryService::EnableCompaction(const CompactionConfig& config) {
+  std::lock_guard<std::mutex> lock(compaction_mu_);
+  if (!compactors_.empty()) return Status::OK();
+  std::vector<IndexedRelationPtr> relations = snapshots_->Relations();
+  if (relations.empty()) {
+    return Status::InvalidArgument(
+        "EnableCompaction: no tables registered yet");
+  }
+  // The epoch callback only tags retirements for observability; the
+  // service must outlive its compactors (they are members), so capturing
+  // the raw manager pointer is safe.
+  SnapshotManager* snapshots = snapshots_.get();
+  for (IndexedRelationPtr& rel : relations) {
+    compactors_.push_back(std::make_unique<Compactor>(
+        std::move(rel), config, &base_exec_->metrics(),
+        [snapshots] { return snapshots->epoch(); }));
+    compactors_.back()->Start();
+  }
+  return Status::OK();
+}
+
+void QueryService::DisableCompaction() {
+  std::lock_guard<std::mutex> lock(compaction_mu_);
+  for (auto& c : compactors_) c->Stop();
+  compactors_.clear();
 }
 
 Status QueryService::Admit(const CancellationToken* token) {
@@ -184,6 +213,16 @@ ServiceStats QueryService::Stats() const {
   stats.queue = queue_hist_.Summarize();
   stats.exec = exec_hist_.Summarize();
   stats.total = total_hist_.Summarize();
+  {
+    std::lock_guard<std::mutex> lock(compaction_mu_);
+    for (const auto& c : compactors_) {
+      Compactor::Stats cs = c->stats();
+      stats.compactions_run += cs.compactions_run;
+      stats.chain_links_rewritten += cs.links_rewritten;
+      stats.bytes_reclaimed += cs.bytes_reclaimed;
+      stats.retired_pending += cs.retired_pending;
+    }
+  }
   return stats;
 }
 
@@ -194,7 +233,10 @@ std::string ServiceStats::ToJson() const {
       << ", \"deadline_exceeded\": " << deadline_exceeded
       << ", \"failed\": " << failed << ", \"queue\": " << queue.ToJson()
       << ", \"exec\": " << exec.ToJson() << ", \"total\": " << total.ToJson()
-      << "}";
+      << ", \"compactions_run\": " << compactions_run
+      << ", \"chain_links_rewritten\": " << chain_links_rewritten
+      << ", \"bytes_reclaimed\": " << bytes_reclaimed
+      << ", \"retired_pending\": " << retired_pending << "}";
   return out.str();
 }
 
@@ -205,7 +247,10 @@ std::string ServiceStats::ToString() const {
       << " past deadline, " << failed << " failed\n"
       << "total latency: p50=" << total.p50_micros
       << "us p95=" << total.p95_micros << "us p99=" << total.p99_micros
-      << "us max=" << total.max_micros << "us (n=" << total.count << ")";
+      << "us max=" << total.max_micros << "us (n=" << total.count << ")\n"
+      << "compaction: " << compactions_run << " runs, "
+      << chain_links_rewritten << " links rewritten, " << bytes_reclaimed
+      << " bytes reclaimed, " << retired_pending << " generations pending";
   return out.str();
 }
 

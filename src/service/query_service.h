@@ -23,6 +23,7 @@
 #include <mutex>
 #include <string>
 
+#include "indexed/compactor.h"
 #include "service/latency_histogram.h"
 #include "service/query_context.h"
 #include "service/snapshot_manager.h"
@@ -61,6 +62,12 @@ struct ServiceStats {
   LatencyHistogram::Summary exec;   ///< pin + plan + execute
   LatencyHistogram::Summary total;  ///< submission to completion
 
+  // Background compaction (zero unless EnableCompaction was called).
+  uint64_t compactions_run = 0;
+  uint64_t chain_links_rewritten = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t retired_pending = 0;  ///< generations waiting on pinned views
+
   std::string ToJson() const;
   std::string ToString() const;
 };
@@ -87,6 +94,16 @@ class QueryService {
   QueryResult Execute(const std::string& sql,
                       const QueryOptions& options = QueryOptions());
 
+  /// Starts one background Compactor per registered index (call after
+  /// RegisterTable). Compactors share the service metrics and tag retired
+  /// generations with the service epoch; they are stopped by the
+  /// destructor or DisableCompaction(). Idempotent.
+  Status EnableCompaction(const CompactionConfig& config = CompactionConfig());
+
+  /// Stops and discards all background compactors (pending retired
+  /// generations are released; pinned views keep their data alive).
+  void DisableCompaction();
+
   ServiceStats Stats() const;
 
   SnapshotManager& snapshots() { return *snapshots_; }
@@ -96,6 +113,8 @@ class QueryService {
   /// Instantaneous admission state (monitoring and tests).
   size_t inflight() const;
   size_t queued() const;
+
+  ~QueryService();
 
  private:
   QueryService(ServiceConfig config, ExecutorContextPtr base_exec);
@@ -113,6 +132,9 @@ class QueryService {
   ServiceConfig config_;
   ExecutorContextPtr base_exec_;
   std::unique_ptr<SnapshotManager> snapshots_;
+
+  mutable std::mutex compaction_mu_;  // guards compactors_
+  std::vector<std::unique_ptr<Compactor>> compactors_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

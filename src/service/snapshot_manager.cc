@@ -100,6 +100,15 @@ ServiceSnapshot SnapshotManager::PinAll() {
   return *snap;
 }
 
+std::vector<IndexedRelationPtr> SnapshotManager::Relations() const {
+  std::shared_lock<std::shared_mutex> lock(gate_);
+  std::vector<IndexedRelationPtr> out;
+  for (const auto& [name, entry] : tables_) {
+    out.insert(out.end(), entry.indexes.begin(), entry.indexes.end());
+  }
+  return out;
+}
+
 std::vector<std::string> SnapshotManager::TableNames() const {
   std::shared_lock<std::shared_mutex> lock(gate_);
   std::vector<std::string> names;

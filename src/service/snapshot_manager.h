@@ -91,6 +91,10 @@ class SnapshotManager {
 
   std::vector<std::string> TableNames() const;
 
+  /// Every registered IndexedRelation (one per index of every table), for
+  /// maintenance machinery such as the Compactor.
+  std::vector<IndexedRelationPtr> Relations() const;
+
  private:
   void InvalidateCache();
 

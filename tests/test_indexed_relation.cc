@@ -3,6 +3,7 @@
 #include "indexed/indexed_relation.h"
 
 #include <atomic>
+#include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -153,6 +154,71 @@ TEST(IndexedRelationTest, MemoryOverheadIsModest) {
   EXPECT_GT(rel->data_bytes(), 0u);
   EXPECT_LT(rel->index_bytes(),
             3 * rel->data_bytes() + (1u << 20));
+}
+
+TEST(IndexedRelationTest, BatchedAppendLocksEachTouchedPartitionOnce) {
+  auto ctx = MakeCtx(8);
+  auto rel = IndexedRelation::Build(*ctx, "t", KvSchema(), 0, {}).ValueOrDie();
+
+  // Few keys, so some of the 8 partitions are provably untouched.
+  RowVec rows = KvRows(500, 3);
+  std::set<int> touched;
+  for (const Row& row : rows) {
+    touched.insert(rel->partitioner().PartitionOf(row[0]));
+  }
+  ASSERT_GT(touched.size(), 1u);
+  ASSERT_LT(touched.size(), 8u);
+
+  ctx->metrics().Reset();
+  ASSERT_TRUE(rel->AppendRows(*ctx, rows).ok());
+  // The acceptance criterion of the batched write path: lock acquisitions
+  // per batch == partitions touched, and the whole batch is one commit.
+  EXPECT_EQ(ctx->metrics().append_partition_locks(), touched.size());
+  EXPECT_EQ(ctx->metrics().append_batches(), 1u);
+}
+
+TEST(IndexedRelationTest, BatchedAndPerRowAppendsAreEquivalent) {
+  auto ctx = MakeCtx();
+  RowVec rows = KvRows(600, 17);
+  auto batched =
+      IndexedRelation::Make("b", KvSchema(), 0, ctx->config()).ValueOrDie();
+  auto per_row =
+      IndexedRelation::Make("p", KvSchema(), 0, ctx->config()).ValueOrDie();
+  ASSERT_TRUE(batched->AppendRows(*ctx, rows).ok());
+  for (const Row& row : rows) ASSERT_TRUE(per_row->AppendRow(row).ok());
+
+  ASSERT_EQ(batched->num_rows(), per_row->num_rows());
+  for (int64_t k = 0; k < 17; ++k) {
+    RowVec b = batched->GetRows(Value(k));
+    RowVec p = per_row->GetRows(Value(k));
+    ASSERT_EQ(b.size(), p.size()) << k;
+    // Same rows in the same newest-first order.
+    for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], p[i]) << k;
+  }
+}
+
+TEST(IndexedRelationTest, AppendEncodedRejectsMismatchedBatch) {
+  auto ctx = MakeCtx();
+  auto rel = IndexedRelation::Build(*ctx, "t", KvSchema(), 0, {}).ValueOrDie();
+  RowVec rows = KvRows(10);
+  auto enc = EncodeRowBatch(*ctx, *KvSchema(), rows).ValueOrDie();
+  RowVec fewer(rows.begin(), rows.begin() + 5);
+  EXPECT_TRUE(rel->AppendEncoded(*ctx, fewer, enc).IsInvalidArgument());
+  EXPECT_EQ(rel->num_rows(), 0u);
+}
+
+TEST(IndexedRelationTest, ChainStatsTrackAppendedChains) {
+  auto ctx = MakeCtx();
+  auto rel = IndexedRelation::Build(*ctx, "t", KvSchema(), 0, {}).ValueOrDie();
+  ASSERT_TRUE(rel->AppendRows(*ctx, KvRows(400, 8)).ok());
+  ChainStatsSnapshot stats = rel->ChainStats();
+  EXPECT_EQ(stats.num_keys, 8u);
+  EXPECT_EQ(stats.total_links, 400u);
+  EXPECT_EQ(stats.max_chain_len, 50u);
+  EXPECT_DOUBLE_EQ(stats.MeanChainLen(), 50.0);
+  uint64_t hist_total = 0;
+  for (uint64_t c : stats.chain_len_histogram) hist_total += c;
+  EXPECT_EQ(hist_total, stats.num_keys);
 }
 
 TEST(IndexedRelationTest, BuildEmptyRelationWorks) {

@@ -82,6 +82,30 @@ TEST_F(MultiIndexedTableTest, AppendFansOutToAllIndexes) {
             16u);
 }
 
+TEST_F(MultiIndexedTableTest, EncodeOnceFanOutLandsSameRowCountInEveryIndex) {
+  RowVec extra;
+  for (int64_t i = 0; i < 250; ++i) {
+    extra.push_back({Value(5000 + i), Value(i % 13), Value("x" + std::to_string(i))});
+  }
+  ASSERT_TRUE(table_->AppendRowsDirect(extra).ok());
+  // The batch is encoded once and fanned out; every index must hold
+  // exactly the same row count (and the same bytes, per index storage).
+  std::vector<size_t> counts;
+  size_t data_bytes = 0;
+  for (const std::string& col : table_->IndexedColumns()) {
+    auto rel = table_->Index(col).ValueOrDie().relation();
+    counts.push_back(rel->num_rows());
+    if (data_bytes == 0) {
+      data_bytes = rel->data_bytes();
+    } else {
+      EXPECT_EQ(rel->data_bytes(), data_bytes) << col;
+    }
+  }
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 550u);
+  EXPECT_EQ(counts[1], 550u);
+}
+
 TEST_F(MultiIndexedTableTest, AppendRowsValidatesSchema) {
   auto other = session_
                    ->CreateDataFrame(Schema::Make({{"x", TypeId::kInt64, false}}),
