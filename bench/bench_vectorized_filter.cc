@@ -1,0 +1,333 @@
+// Batch-at-a-time vectorized evaluation (DESIGN.md §12) vs the row-at-a-
+// time compiled interpreter, over the same encoded morsels:
+//
+//  - SelectiveScanKernel: the bare evaluation loop — gather + lane-wise
+//    compare/Kleene + selection-vector append (FilterBatch) against
+//    EvalEncoded called row by row on identical payload pointers. This
+//    isolates the vectorization win from scan plumbing; its
+//    speedup_vs_scalar counter is the headline number.
+//  - SelectiveScan / FusedGroupBy: the full operators with
+//    EngineConfig::vectorized_execution on vs off — what a query actually
+//    sees, including flatten, morsel dispatch, and survivor decode.
+//
+// Sweeps selectivity via the `v < threshold` arg: 10 keeps ~1% (filter
+// cost dominates), 500 keeps ~50% (decode amortizes the eval win).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "indexed/indexed_dataframe.h"
+#include "indexed/indexed_operators.h"
+#include "sql/session.h"
+#include "sql/vectorized_eval.h"
+#include "storage/row_batch.h"
+
+namespace idf {
+namespace {
+
+constexpr int64_t kRows = 200000;
+
+struct Fixture {
+  SessionPtr vec_session;     // vectorized_execution = true (the default)
+  SessionPtr scalar_session;  // vectorized_execution = false
+  IndexedRelationPtr rel;     // {k, v, d, s, a, b}
+  SchemaPtr schema;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = [] {
+    auto fx = new Fixture();
+    EngineConfig cfg;
+    cfg.num_partitions = 8;
+    fx->vec_session = Session::Make(cfg).ValueOrDie();
+    cfg.vectorized_execution = false;
+    fx->scalar_session = Session::Make(cfg).ValueOrDie();
+
+    fx->schema = Schema::Make({{"k", TypeId::kInt64, false},
+                               {"v", TypeId::kInt64, true},
+                               {"d", TypeId::kFloat64, true},
+                               {"s", TypeId::kString, false},
+                               {"a", TypeId::kInt64, false},
+                               {"b", TypeId::kFloat64, false}});
+    RowVec rows;
+    rows.reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      rows.push_back({Value(i),
+                      i % 97 == 0 ? Value::Null() : Value(i % 1000),
+                      Value(0.5 * (i % 53)), Value("tag-" + std::to_string(i % 31)),
+                      Value(i % 1024), Value(static_cast<double>(i % 7))});
+    }
+    auto df = fx->vec_session->CreateDataFrame(fx->schema, rows, "t").ValueOrDie();
+    fx->rel = IndexedDataFrame::CreateIndex(df, 0, "t_by_k").ValueOrDie()
+                  .relation();
+    return fx;
+  }();
+  return *f;
+}
+
+// Three compiled comparisons and two Kleene ANDs per row; `v` carries
+// NULLs so the tri-state path is exercised, not just the boolean one.
+ExprPtr Predicate(int64_t threshold) {
+  auto& fx = SharedFixture();
+  return BindExpr(And(Lt(Col("v"), Lit(Value(threshold))),
+                      And(Lt(Col("d"), Lit(Value(24.0))),
+                          Ge(Col("b"), Lit(Value(1.0))))),
+                  *fx.schema)
+      .ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: FilterBatch vs row-at-a-time EvalEncoded on the same payloads
+// ---------------------------------------------------------------------------
+
+// Rows encoded back to back in one arena (the layout a RowBatch gives the
+// operators), with the payload-pointer array the morsel drivers hand to
+// FilterBatch.
+struct EncodedColumn {
+  std::vector<uint8_t> arena;
+  std::vector<const uint8_t*> ptrs;
+};
+
+EncodedColumn& EncodedRows() {
+  static EncodedColumn* enc = [] {
+    auto& fx = SharedFixture();
+    auto* e = new EncodedColumn();
+    std::vector<size_t> offsets;
+    offsets.reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      Row row = {Value(i), i % 97 == 0 ? Value::Null() : Value(i % 1000),
+                 Value(0.5 * (i % 53)), Value("tag-" + std::to_string(i % 31)),
+                 Value(i % 1024), Value(static_cast<double>(i % 7))};
+      std::vector<uint8_t> buf;
+      IDF_CHECK_OK(EncodeRow(*fx.schema, row, &buf));
+      offsets.push_back(e->arena.size());
+      e->arena.insert(e->arena.end(), buf.begin(), buf.end());
+    }
+    e->ptrs.reserve(kRows);
+    for (size_t off : offsets) e->ptrs.push_back(e->arena.data() + off);
+    return e;
+  }();
+  return *enc;
+}
+
+// Per-iteration milliseconds of the row-at-a-time kernel, measured once
+// per threshold and reused as the speedup baseline.
+double ScalarKernelMs(int64_t threshold) {
+  static std::map<int64_t, double> cache;
+  auto it = cache.find(threshold);
+  if (it != cache.end()) return it->second;
+  auto& fx = SharedFixture();
+  EncodedColumn& enc = EncodedRows();
+  ExprPtr pred = Predicate(threshold);
+  std::optional<CompiledPredicate> compiled =
+      CompiledPredicate::Compile(pred, *fx.schema);
+  IDF_CHECK(compiled.has_value());
+  constexpr int kIters = 20;
+  size_t kept = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int iter = 0; iter < kIters; ++iter) {
+    for (const uint8_t* payload : enc.ptrs) {
+      kept += compiled->EvalEncoded(payload) == TriBool::kTrue ? 1 : 0;
+    }
+  }
+  const std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  benchmark::DoNotOptimize(kept);
+  const double ms = dt.count() / kIters;
+  cache[threshold] = ms;
+  return ms;
+}
+
+void BM_SelectiveScanKernel_Vectorized(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  EncodedColumn& enc = EncodedRows();
+  ExprPtr pred = Predicate(state.range(0));
+  std::optional<CompiledPredicate> compiled =
+      CompiledPredicate::Compile(pred, *fx.schema);
+  if (!compiled.has_value()) {
+    state.SkipWithError("predicate unexpectedly not compilable");
+    return;
+  }
+  VectorizedPredicate vec(*compiled);
+  VectorScratch scratch;
+  std::vector<uint32_t> sel(VectorizedPredicate::kBatchRows);
+  size_t kept = 0;
+  size_t iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    for (size_t base = 0; base < enc.ptrs.size();
+         base += VectorizedPredicate::kBatchRows) {
+      const size_t n =
+          std::min(enc.ptrs.size() - base,
+                   static_cast<size_t>(VectorizedPredicate::kBatchRows));
+      kept += vec.FilterBatch(enc.ptrs.data() + base, n, sel.data(), &scratch);
+    }
+    ++iters;
+  }
+  const std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  benchmark::DoNotOptimize(kept);
+  state.counters["rows"] = static_cast<double>(kRows);
+  state.counters["scalar_ms"] = ScalarKernelMs(state.range(0));
+  if (iters > 0 && dt.count() > 0) {
+    state.counters["speedup_vs_scalar"] =
+        ScalarKernelMs(state.range(0)) / (dt.count() / iters);
+  }
+}
+BENCHMARK(BM_SelectiveScanKernel_Vectorized)
+    ->Arg(10)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectiveScanKernel_RowAtATime(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  EncodedColumn& enc = EncodedRows();
+  ExprPtr pred = Predicate(state.range(0));
+  std::optional<CompiledPredicate> compiled =
+      CompiledPredicate::Compile(pred, *fx.schema);
+  IDF_CHECK(compiled.has_value());
+  size_t kept = 0;
+  for (auto _ : state) {
+    for (const uint8_t* payload : enc.ptrs) {
+      kept += compiled->EvalEncoded(payload) == TriBool::kTrue ? 1 : 0;
+    }
+  }
+  benchmark::DoNotOptimize(kept);
+  state.counters["rows"] = static_cast<double>(kRows);
+}
+BENCHMARK(BM_SelectiveScanKernel_RowAtATime)
+    ->Arg(10)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Full operators: vectorized_execution on vs off
+// ---------------------------------------------------------------------------
+
+double TimeOp(const PhysicalOpPtr& op, ExecutorContext& ctx, int iters) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto parts = op->Execute(ctx);
+    IDF_CHECK(parts.ok()) << parts.status().ToString();
+    benchmark::DoNotOptimize(TotalRows(*parts));
+  }
+  const std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count() / iters;
+}
+
+void RunOperatorPair(benchmark::State& state, const PhysicalOpPtr& op) {
+  auto& fx = SharedFixture();
+  // Scalar baseline measured once per benchmark (same op object — the
+  // session's vectorized_execution flag selects the path inside Execute).
+  const double scalar_ms = TimeOp(op, fx.scalar_session->exec(), 5);
+  size_t iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto parts = op->Execute(fx.vec_session->exec());
+    if (!parts.ok()) {
+      state.SkipWithError(parts.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(TotalRows(*parts));
+    ++iters;
+  }
+  const std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  state.counters["rows"] = static_cast<double>(kRows);
+  state.counters["scalar_ms"] = scalar_ms;
+  if (iters > 0 && dt.count() > 0) {
+    state.counters["speedup_vs_scalar"] = scalar_ms / (dt.count() / iters);
+  }
+}
+
+void BM_SelectiveScan_Vectorized(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  ExprPtr pred = Predicate(state.range(0));
+  auto op = std::make_shared<IndexedScanFilterOp>(
+      fx.rel, pred,
+      PushedFilter::FromSplit(SplitForCompilation(pred, *fx.schema)));
+  fx.vec_session->metrics().Reset();
+  RunOperatorPair(state, op);
+  state.counters["rows_filtered_vectorized"] = static_cast<double>(
+      fx.vec_session->metrics().rows_filtered_vectorized());
+}
+BENCHMARK(BM_SelectiveScan_Vectorized)
+    ->Arg(10)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FusedGroupBy_Vectorized(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  ExprPtr pred = Predicate(state.range(0));
+  std::vector<ExprPtr> groups = {BindExpr(Col("a"), *fx.schema).ValueOrDie()};
+  std::vector<AggSpec> aggs = {
+      CountStar("cnt"), SumOf(BindExpr(Col("v"), *fx.schema).ValueOrDie(), "sv"),
+      MinOf(BindExpr(Col("d"), *fx.schema).ValueOrDie(), "mn"),
+      MaxOf(BindExpr(Col("d"), *fx.schema).ValueOrDie(), "mx")};
+  SchemaPtr out = Schema::Make({{"a", TypeId::kInt64, false},
+                                {"cnt", TypeId::kInt64, false},
+                                {"sv", TypeId::kInt64, true},
+                                {"mn", TypeId::kFloat64, true},
+                                {"mx", TypeId::kFloat64, true}});
+  auto op = std::make_shared<IndexedScanAggregateOp>(
+      fx.rel, pred, PushedFilter::FromSplit(SplitForCompilation(pred, *fx.schema)),
+      groups, aggs, out);
+  RunOperatorPair(state, op);
+}
+BENCHMARK(BM_FusedGroupBy_Vectorized)
+    ->Arg(10)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+// Global (no groups) fused aggregate: the lane-accumulation fast path.
+void BM_FusedGlobalAgg_Vectorized(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  ExprPtr pred = Predicate(state.range(0));
+  std::vector<AggSpec> aggs = {
+      CountStar("cnt"), SumOf(BindExpr(Col("v"), *fx.schema).ValueOrDie(), "sv"),
+      AvgOf(BindExpr(Col("d"), *fx.schema).ValueOrDie(), "ad")};
+  SchemaPtr out = Schema::Make({{"cnt", TypeId::kInt64, false},
+                                {"sv", TypeId::kInt64, true},
+                                {"ad", TypeId::kFloat64, true}});
+  auto op = std::make_shared<IndexedScanAggregateOp>(
+      fx.rel, pred, PushedFilter::FromSplit(SplitForCompilation(pred, *fx.schema)),
+      std::vector<ExprPtr>{}, aggs, out);
+  RunOperatorPair(state, op);
+}
+BENCHMARK(BM_FusedGlobalAgg_Vectorized)
+    ->Arg(10)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace idf
+
+// Like BENCHMARK_MAIN(), but defaults to also writing machine-readable
+// JSON results to BENCH_vectorized_filter.json (consumed by CI) when the
+// caller passes no --benchmark_out of their own.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_vectorized_filter.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

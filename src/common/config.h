@@ -47,6 +47,13 @@ struct EngineConfig {
   /// outweighs the win). Irrelevant on single-thread pools.
   size_t append_parallel_min_rows = 256;
 
+  /// Compiled filter and fused-aggregate evaluation runs batch-at-a-time
+  /// over morsels (column gather + lane-parallel Kleene logic, selection
+  /// vectors into decode; sql/vectorized_eval.h). False forces the PR-3
+  /// row-at-a-time EvalEncoded path — the two are bit-identical; the flag
+  /// exists for benchmarking and as an escape hatch.
+  bool vectorized_execution = true;
+
   /// Probe relations at most this many bytes are broadcast instead of
   /// shuffled in indexed joins (paper §2 "Scheduling Physical Operators").
   /// The same threshold selects broadcast joins on the vanilla path

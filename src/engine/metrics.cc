@@ -16,6 +16,8 @@ void QueryMetrics::Reset() {
   decodes_avoided_ = 0;
   predicates_compiled_ = 0;
   rows_filtered_encoded_ = 0;
+  rows_filtered_vectorized_ = 0;
+  vector_batches_evaluated_ = 0;
   agg_morsels_ = 0;
   agg_partials_merged_ = 0;
   rows_aggregated_encoded_ = 0;
@@ -41,6 +43,10 @@ std::string QueryMetrics::ToString() const {
          ", decodes_avoided=" + std::to_string(decodes_avoided()) +
          ", predicates_compiled=" + std::to_string(predicates_compiled()) +
          ", rows_filtered_encoded=" + std::to_string(rows_filtered_encoded()) +
+         ", rows_filtered_vectorized=" +
+         std::to_string(rows_filtered_vectorized()) +
+         ", vector_batches_evaluated=" +
+         std::to_string(vector_batches_evaluated()) +
          ", agg_morsels=" + std::to_string(agg_morsels()) +
          ", agg_partials_merged=" + std::to_string(agg_partials_merged()) +
          ", rows_aggregated_encoded=" + std::to_string(rows_aggregated_encoded()) +

@@ -26,6 +26,8 @@ class QueryMetrics {
   void AddDecodesAvoided(uint64_t n) { decodes_avoided_ += n; }
   void AddPredicatesCompiled(uint64_t n) { predicates_compiled_ += n; }
   void AddRowsFilteredEncoded(uint64_t n) { rows_filtered_encoded_ += n; }
+  void AddRowsFilteredVectorized(uint64_t n) { rows_filtered_vectorized_ += n; }
+  void AddVectorBatches(uint64_t n) { vector_batches_evaluated_ += n; }
   void AddAggMorsels(uint64_t n) { agg_morsels_ += n; }
   void AddAggPartialsMerged(uint64_t n) { agg_partials_merged_ += n; }
   void AddRowsAggregatedEncoded(uint64_t n) { rows_aggregated_encoded_ += n; }
@@ -49,6 +51,8 @@ class QueryMetrics {
   uint64_t decodes_avoided() const { return decodes_avoided_; }
   uint64_t predicates_compiled() const { return predicates_compiled_; }
   uint64_t rows_filtered_encoded() const { return rows_filtered_encoded_; }
+  uint64_t rows_filtered_vectorized() const { return rows_filtered_vectorized_; }
+  uint64_t vector_batches_evaluated() const { return vector_batches_evaluated_; }
   uint64_t agg_morsels() const { return agg_morsels_; }
   uint64_t agg_partials_merged() const { return agg_partials_merged_; }
   uint64_t rows_aggregated_encoded() const { return rows_aggregated_encoded_; }
@@ -75,6 +79,8 @@ class QueryMetrics {
   std::atomic<uint64_t> decodes_avoided_{0};
   std::atomic<uint64_t> predicates_compiled_{0};
   std::atomic<uint64_t> rows_filtered_encoded_{0};
+  std::atomic<uint64_t> rows_filtered_vectorized_{0};
+  std::atomic<uint64_t> vector_batches_evaluated_{0};
   std::atomic<uint64_t> agg_morsels_{0};
   std::atomic<uint64_t> agg_partials_merged_{0};
   std::atomic<uint64_t> rows_aggregated_encoded_{0};

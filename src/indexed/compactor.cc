@@ -19,6 +19,10 @@ Result<size_t> Compactor::RunOnce() {
   size_t compacted = 0;
   const int parts = rel_->num_partitions();
   for (int p = 0; p < parts; ++p) {
+    if (config_.max_partitions_per_pass > 0 &&
+        compacted >= config_.max_partitions_per_pass) {
+      break;  // remaining partitions wait for the next pass
+    }
     bool should = false;
     {
       std::lock_guard<std::mutex> lock(rel_->partition_write_lock(p));
@@ -31,6 +35,14 @@ Result<size_t> Compactor::RunOnce() {
     // (a racing append can only increase fragmentation, never make a
     // compaction wrong).
     if (should) {
+      if (compacted > 0 && config_.partition_pacing.count() > 0) {
+        // Pace between rewrites so one pass over a fragmented relation
+        // does not monopolize a core; a stop request cuts the wait short.
+        std::unique_lock<std::mutex> lock(worker_mu_);
+        worker_cv_.wait_for(lock, config_.partition_pacing,
+                            [this] { return stop_requested_; });
+        if (stop_requested_) break;
+      }
       IDF_RETURN_NOT_OK(CompactPartition(p));
       ++compacted;
     }

@@ -45,6 +45,16 @@ struct CompactionConfig {
 
   /// Background pass interval for Start().
   std::chrono::milliseconds interval{200};
+
+  /// Upper bound on partitions compacted in one pass; the rest wait for a
+  /// later pass. Bounds how much CPU one background pass can take from
+  /// query workers on a heavily fragmented relation. 0 means unlimited.
+  size_t max_partitions_per_pass = 0;
+
+  /// Minimum wait between two partition rewrites within one pass, yielding
+  /// the core to query morsels in between; Stop() cuts the wait short.
+  /// 0 disables pacing.
+  std::chrono::microseconds partition_pacing{0};
 };
 
 class Compactor {

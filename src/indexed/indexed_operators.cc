@@ -5,6 +5,7 @@
 
 #include "sql/aggregate_common.h"
 #include "sql/compiled_accessor.h"
+#include "sql/vectorized_eval.h"
 
 namespace idf {
 
@@ -63,13 +64,30 @@ struct MorselPiece {
 };
 
 /// Chunk-local filter bookkeeping: rows the compiled predicate rejected on
-/// the encoded payload (never decoded) and the first interpreter-residual
-/// error. Flushed to the shared metrics/error state once per chunk so the
-/// hot loop touches no atomics.
+/// the encoded payload (never decoded), vector-path counters, and the
+/// first interpreter-residual error. Flushed to the shared metrics/error
+/// state once per chunk so the hot loop touches no atomics.
 struct ChunkStats {
   uint64_t filtered_encoded = 0;
+  uint64_t filtered_vectorized = 0;  // subset of filtered_encoded
+  uint64_t vector_batches = 0;
   Status error;
 };
+
+/// Flushes a chunk's filter counters to the shared metrics. Encoded
+/// rejects also count as avoided decodes (the row never materialized).
+void FlushChunkStats(ExecutorContext& ctx, const ChunkStats& stats) {
+  if (stats.filtered_encoded > 0) {
+    ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
+    ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
+  }
+  if (stats.filtered_vectorized > 0) {
+    ctx.metrics().AddRowsFilteredVectorized(stats.filtered_vectorized);
+  }
+  if (stats.vector_batches > 0) {
+    ctx.metrics().AddVectorBatches(stats.vector_batches);
+  }
+}
 
 /// Residual check on a decoded row: TRUE passes, NULL/false rejects, the
 /// first Eval error lands in `*error` and rejects.
@@ -200,10 +218,7 @@ Result<PartitionVec> MorselScan(ExecutorContext& ctx,
           if (!piece.rows.empty()) pieces.push_back(std::move(piece));
           ++p;
         }
-        if (stats.filtered_encoded > 0) {
-          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
-          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
-        }
+        FlushChunkStats(ctx, stats);
         if (!stats.error.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = stats.error;
@@ -263,6 +278,223 @@ void UpdateStateFromPayload(AggState* s, AggFn fn, const CompiledAccessor& acc,
   }
 }
 
+/// Materializes one payload that passed the compiled filter: residual check
+/// on the decoded row, then the full row or just the projected columns.
+/// Shared by the row-at-a-time and vectorized scan-filter paths.
+void EmitFilteredRow(const uint8_t* payload, const Schema& schema,
+                     const Expr* residual, const std::vector<int>& project_cols,
+                     RowVec* out, ChunkStats* stats) {
+  if (residual) {
+    Row row = DecodeRow(payload, schema);
+    if (!ResidualPasses(residual, row, &stats->error)) return;
+    if (project_cols.empty()) {
+      out->push_back(std::move(row));
+    } else {
+      Row pruned;
+      pruned.reserve(project_cols.size());
+      for (int c : project_cols) pruned.push_back(row[static_cast<size_t>(c)]);
+      out->push_back(std::move(pruned));
+    }
+    return;
+  }
+  if (project_cols.empty()) {
+    out->push_back(DecodeRow(payload, schema));
+  } else {
+    Row row;
+    row.reserve(project_cols.size());
+    for (int c : project_cols) row.push_back(DecodeColumn(payload, schema, c));
+    out->push_back(std::move(row));
+  }
+}
+
+/// Batch-at-a-time scan-filter driver: per partition segment of a morsel
+/// the compiled program evaluates the whole payload span at once
+/// (sql/vectorized_eval.h) and only the selection-vector survivors
+/// materialize. Output and metrics are identical to MorselScan running
+/// Matches row-at-a-time.
+Result<PartitionVec> VectorizedScanFilter(ExecutorContext& ctx,
+                                          const IndexedRelationSnapshot& snap,
+                                          const Schema& schema,
+                                          const CompiledPredicate& compiled,
+                                          const Expr* residual,
+                                          const std::vector<int>& project_cols) {
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  FlatRaw flat = CollectRaw(ctx, snap);
+  const size_t num_parts = static_cast<size_t>(snap.num_partitions());
+  const size_t n = flat.total;
+  ctx.metrics().AddRowsScanned(n);
+  const size_t grain = ctx.MorselGrain(n);
+  std::vector<std::vector<MorselPiece>> chunks(n == 0 ? 0
+                                                      : (n + grain - 1) / grain);
+  Status first_error;
+  std::mutex error_mu;
+  const VectorizedPredicate vec(compiled);
+  size_t dispatched = ctx.pool().ParallelForRange(
+      n, grain,
+      [&](size_t begin, size_t end) {
+        ctx.metrics().AddTask();
+        std::vector<MorselPiece> pieces;
+        ChunkStats stats;
+        VectorScratch vs;
+        std::vector<uint32_t> sel(end - begin);
+        size_t i = begin;
+        size_t p = PartitionOfIndex(flat.part_end, begin);
+        while (i < end) {
+          const size_t pstart = p == 0 ? 0 : flat.part_end[p - 1];
+          const size_t pend = std::min(end, flat.part_end[p]);
+          const uint8_t* const* payloads =
+              flat.per_part[p].data() + (i - pstart);
+          const size_t cnt = pend - i;
+          const size_t kept = vec.FilterBatch(payloads, cnt, sel.data(), &vs);
+          stats.vector_batches += VectorizedPredicate::NumBatches(cnt);
+          stats.filtered_vectorized += cnt - kept;
+          stats.filtered_encoded += cnt - kept;
+          MorselPiece piece{p, {}};
+          piece.rows.reserve(kept);
+          for (size_t j = 0; j < kept; ++j) {
+            EmitFilteredRow(payloads[sel[j]], schema, residual, project_cols,
+                            &piece.rows, &stats);
+          }
+          if (!piece.rows.empty()) pieces.push_back(std::move(piece));
+          i = pend;
+          ++p;
+        }
+        FlushChunkStats(ctx, stats);
+        if (!stats.error.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = stats.error;
+        }
+        chunks[begin / grain] = std::move(pieces);
+      },
+      ctx.cancellation());
+  IDF_RETURN_NOT_OK(first_error);
+  IDF_RETURN_NOT_OK(ctx.CheckCancelled());
+  ctx.metrics().AddMorsels(dispatched);
+  return AssemblePieces(ctx, num_parts, chunks);
+}
+
+/// Folds the selected lanes of one fused-aggregate input straight off the
+/// encoded payloads. Integer SUM and the COUNTs fold branch-free over the
+/// selection vector (a null lane contributes a masked zero, which is exact
+/// for integers — and for the shadow double sum, whose partial results are
+/// never -0.0); float SUM/AVG keep the null guard so the running double
+/// accumulation stays bit-identical to UpdateStateFromPayload (adding +0.0
+/// could flip a -0.0 accumulator); MIN/MAX box once per selected lane, as
+/// the scalar path does.
+void AccumulateSelectedLanes(AggState* s, AggFn fn,
+                             const std::optional<CompiledAccessor>& acc_opt,
+                             const uint8_t* const* payloads,
+                             const uint32_t* sel, size_t kept) {
+  if (fn == AggFn::kCountStar) {
+    s->count += kept;
+    return;
+  }
+  const CompiledAccessor& acc = *acc_opt;
+  switch (fn) {
+    case AggFn::kCountStar:
+      return;  // handled above; no accessor to read
+    case AggFn::kCount: {
+      uint64_t c = 0;
+      for (size_t j = 0; j < kept; ++j) {
+        c += acc.IsNull(payloads[sel[j]]) ? 0u : 1u;
+      }
+      s->count += c;
+      return;
+    }
+    case AggFn::kSum:
+      if (acc.type() == TypeId::kFloat64) {
+        for (size_t j = 0; j < kept; ++j) {
+          const uint8_t* payload = payloads[sel[j]];
+          if (!acc.IsNull(payload)) {
+            s->any = true;
+            s->dsum += acc.GetDouble(payload);
+          }
+        }
+      } else {
+        uint64_t nonnull = 0;
+        for (size_t j = 0; j < kept; ++j) {
+          const uint8_t* payload = payloads[sel[j]];
+          // A null lane reads its (defined but meaningless) slot bytes and
+          // folds a masked zero — no branch in the loop body.
+          const int64_t m = acc.IsNull(payload) ? 0 : 1;
+          const int64_t v = m * acc.GetInt64(payload);
+          s->isum += v;
+          s->dsum += static_cast<double>(v);
+          nonnull += static_cast<uint64_t>(m);
+        }
+        if (nonnull > 0) s->any = true;
+      }
+      return;
+    case AggFn::kAvg:
+      for (size_t j = 0; j < kept; ++j) {
+        const uint8_t* payload = payloads[sel[j]];
+        if (!acc.IsNull(payload)) {
+          s->any = true;
+          s->dsum += acc.GetDouble(payload);
+          ++s->count;
+        }
+      }
+      return;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      for (size_t j = 0; j < kept; ++j) {
+        const uint8_t* payload = payloads[sel[j]];
+        if (!acc.IsNull(payload)) UpdateState(s, fn, acc.GetValue(payload));
+      }
+      return;
+  }
+}
+
+/// Build-side candidates of one join probe segment: chain walks append
+/// (encoded build row, probe id) pairs and the compiled build filter then
+/// evaluates the whole span batch-at-a-time. A probe's candidates are
+/// contiguous (appended during its chain walk), which the binary path's
+/// memoized probe decode relies on.
+struct BuildCandidates {
+  std::vector<const uint8_t*> payloads;
+  std::vector<size_t> probe;
+  void Add(const uint8_t* payload, size_t probe_id) {
+    payloads.push_back(payload);
+    probe.push_back(probe_id);
+  }
+  void Clear() {
+    payloads.clear();
+    probe.clear();
+  }
+};
+
+/// Filters a segment's candidates through the vectorized build predicate
+/// and emits the surviving concatenated rows in the original probe-major
+/// chain order. `probe_row_of(probe_id)` supplies the probe row (possibly
+/// decoding it lazily); it runs before the build residual so probe
+/// materialization matches the row-at-a-time path.
+template <typename ProbeRowFn>
+void FlushBuildCandidates(const VectorizedPredicate& vec, BuildCandidates* cand,
+                          std::vector<uint32_t>* sel, VectorScratch* vs,
+                          const Schema& build_schema, const Expr* build_residual,
+                          bool indexed_on_left, RowVec* out, ChunkStats* stats,
+                          ProbeRowFn&& probe_row_of) {
+  const size_t n = cand->payloads.size();
+  if (n == 0) return;
+  if (sel->size() < n) sel->resize(n);
+  const size_t kept = vec.FilterBatch(cand->payloads.data(), n, sel->data(), vs);
+  stats->vector_batches += VectorizedPredicate::NumBatches(n);
+  stats->filtered_vectorized += n - kept;
+  stats->filtered_encoded += n - kept;
+  for (size_t j = 0; j < kept; ++j) {
+    const size_t c = (*sel)[j];
+    const Row& probe_row = probe_row_of(cand->probe[c]);
+    Row build_row = DecodeRow(cand->payloads[c], build_schema);
+    if (build_residual &&
+        !ResidualPasses(build_residual, build_row, &stats->error)) {
+      continue;
+    }
+    out->push_back(indexed_on_left ? ConcatRows(build_row, probe_row)
+                                   : ConcatRows(probe_row, build_row));
+  }
+  cand->Clear();
+}
+
 /// Shared driver for point lookups (live and pinned): each key routes to
 /// its home partition and the backward-pointer chain is walked, applying a
 /// pushed filter while each node is cache-hot — the compiled part against
@@ -311,10 +543,7 @@ Result<PartitionVec> LookupKeys(ExecutorContext& ctx,
         }
         ctx.metrics().AddIndexProbes(end - begin);
         ctx.metrics().AddIndexHits(hits);
-        if (stats.filtered_encoded > 0) {
-          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
-          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
-        }
+        FlushChunkStats(ctx, stats);
         if (!stats.error.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = stats.error;
@@ -362,38 +591,22 @@ Result<PartitionVec> IndexedScanFilterOp::Execute(ExecutorContext& ctx) {
   const CompiledPredicate* compiled =
       filter_.compiled ? &*filter_.compiled : nullptr;
   const Expr* residual = filter_.residual.get();
+  // Encoded-first either way: the compiled program reads the payload
+  // directly, so rows it rejects are never decoded. The vectorized driver
+  // evaluates it batch-at-a-time per partition segment; the fallback runs
+  // Matches row-at-a-time. Survivors materialize identically in both.
+  if (compiled != nullptr && ctx.config().vectorized_execution) {
+    return VectorizedScanFilter(ctx, snap, schema, *compiled, residual,
+                                project_cols_);
+  }
   return MorselScan(ctx, snap,
                     [this, &schema, compiled, residual](
                         const uint8_t* payload, RowVec* out, ChunkStats* stats) {
-    // Encoded-first: the compiled program reads the payload directly, so
-    // rows it rejects are never decoded. Survivors materialize the full
-    // row (or just the projected columns); the residual — if any — runs on
-    // the decoded row.
     if (compiled && !compiled->Matches(payload)) {
       ++stats->filtered_encoded;
       return;
     }
-    if (residual) {
-      Row row = DecodeRow(payload, schema);
-      if (!ResidualPasses(residual, row, &stats->error)) return;
-      if (project_cols_.empty()) {
-        out->push_back(std::move(row));
-      } else {
-        Row pruned;
-        pruned.reserve(project_cols_.size());
-        for (int c : project_cols_) pruned.push_back(row[static_cast<size_t>(c)]);
-        out->push_back(std::move(pruned));
-      }
-      return;
-    }
-    if (project_cols_.empty()) {
-      out->push_back(DecodeRow(payload, schema));
-    } else {
-      Row row;
-      row.reserve(project_cols_.size());
-      for (int c : project_cols_) row.push_back(DecodeColumn(payload, schema, c));
-      out->push_back(std::move(row));
-    }
+    EmitFilteredRow(payload, schema, residual, project_cols_, out, stats);
   });
 }
 
@@ -450,6 +663,19 @@ Result<PartitionVec> IndexedScanAggregateOp::Execute(ExecutorContext& ctx) {
     }
   }
 
+  const bool use_vec = compiled != nullptr && ctx.config().vectorized_execution;
+  std::optional<VectorizedPredicate> vec;
+  if (use_vec) vec.emplace(*compiled);
+  // Ungrouped aggregates whose every input reads straight off the payload
+  // (or is COUNT(*)), with no residual, accumulate over the selection
+  // vector without building a key or touching a Row at all.
+  bool ungrouped_fast = use_vec && num_groups == 0 && residual == nullptr;
+  for (size_t a = 0; a < num_aggs && ungrouped_fast; ++a) {
+    if (aggs_[a].fn != AggFn::kCountStar && !inputs[a].acc) {
+      ungrouped_fast = false;
+    }
+  }
+
   IDF_RETURN_NOT_OK(ctx.CheckCancelled());
   FlatRaw flat = CollectRaw(ctx, snap);
   const size_t n = flat.total;
@@ -466,59 +692,92 @@ Result<PartitionVec> IndexedScanAggregateOp::Execute(ExecutorContext& ctx) {
         GroupStateMap& groups = chunk_maps[begin / grain];
         ChunkStats stats;
         uint64_t encoded_rows = 0;
+        VectorScratch vs;
+        std::vector<uint32_t> sel;
+        if (use_vec) sel.resize(end - begin);
+        // Accumulates one row that passed the compiled filter. Shared by
+        // the scalar path and the vector path's grouped tail.
+        auto accumulate_row = [&](const uint8_t* payload) {
+          Row decoded;
+          bool has_decoded = false;
+          if (residual) {
+            decoded = DecodeRow(payload, schema);
+            has_decoded = true;
+            if (!ResidualPasses(residual, decoded, &stats.error)) return;
+          }
+          Row key;
+          key.reserve(num_groups);
+          for (const CompiledAccessor& acc : key_acc) {
+            key.push_back(acc.GetValue(payload));
+          }
+          auto [it, inserted] = groups.try_emplace(std::move(key));
+          if (inserted) it->second.resize(num_aggs);
+          for (size_t a = 0; a < num_aggs; ++a) {
+            if (inputs[a].acc) {
+              UpdateStateFromPayload(&it->second[a], aggs_[a].fn,
+                                     *inputs[a].acc, payload);
+            } else if (inputs[a].expr != nullptr) {
+              if (!has_decoded) {
+                decoded = DecodeRow(payload, schema);
+                has_decoded = true;
+              }
+              auto v = inputs[a].expr->Eval(decoded);
+              if (!v.ok()) {
+                if (stats.error.ok()) stats.error = v.status();
+                continue;
+              }
+              UpdateState(&it->second[a], aggs_[a].fn,
+                          std::move(v).ValueUnsafe());
+            } else {
+              ++it->second[a].count;  // COUNT(*)
+            }
+          }
+          if (!has_decoded) ++encoded_rows;
+        };
         size_t i = begin;
         size_t p = PartitionOfIndex(flat.part_end, begin);
         while (i < end) {
           const size_t pstart = p == 0 ? 0 : flat.part_end[p - 1];
           const size_t pend = std::min(end, flat.part_end[p]);
-          for (; i < pend; ++i) {
-            const uint8_t* payload = flat.per_part[p][i - pstart];
-            if (compiled && !compiled->Matches(payload)) {
-              ++stats.filtered_encoded;
-              continue;
-            }
-            Row decoded;
-            bool has_decoded = false;
-            if (residual) {
-              decoded = DecodeRow(payload, schema);
-              has_decoded = true;
-              if (!ResidualPasses(residual, decoded, &stats.error)) continue;
-            }
-            Row key;
-            key.reserve(num_groups);
-            for (const CompiledAccessor& acc : key_acc) {
-              key.push_back(acc.GetValue(payload));
-            }
-            auto [it, inserted] = groups.try_emplace(std::move(key));
-            if (inserted) it->second.resize(num_aggs);
-            for (size_t a = 0; a < num_aggs; ++a) {
-              if (inputs[a].acc) {
-                UpdateStateFromPayload(&it->second[a], aggs_[a].fn,
-                                       *inputs[a].acc, payload);
-              } else if (inputs[a].expr != nullptr) {
-                if (!has_decoded) {
-                  decoded = DecodeRow(payload, schema);
-                  has_decoded = true;
+          if (use_vec) {
+            const uint8_t* const* payloads =
+                flat.per_part[p].data() + (i - pstart);
+            const size_t cnt = pend - i;
+            const size_t kept =
+                vec->FilterBatch(payloads, cnt, sel.data(), &vs);
+            stats.vector_batches += VectorizedPredicate::NumBatches(cnt);
+            stats.filtered_vectorized += cnt - kept;
+            stats.filtered_encoded += cnt - kept;
+            if (ungrouped_fast) {
+              if (kept > 0) {
+                auto [it, inserted] = groups.try_emplace(Row{});
+                if (inserted) it->second.resize(num_aggs);
+                for (size_t a = 0; a < num_aggs; ++a) {
+                  AccumulateSelectedLanes(&it->second[a], aggs_[a].fn,
+                                          inputs[a].acc, payloads, sel.data(),
+                                          kept);
                 }
-                auto v = inputs[a].expr->Eval(decoded);
-                if (!v.ok()) {
-                  if (stats.error.ok()) stats.error = v.status();
-                  continue;
-                }
-                UpdateState(&it->second[a], aggs_[a].fn,
-                            std::move(v).ValueUnsafe());
-              } else {
-                ++it->second[a].count;  // COUNT(*)
+                encoded_rows += kept;
+              }
+            } else {
+              for (size_t j = 0; j < kept; ++j) {
+                accumulate_row(payloads[sel[j]]);
               }
             }
-            if (!has_decoded) ++encoded_rows;
+            i = pend;
+          } else {
+            for (; i < pend; ++i) {
+              const uint8_t* payload = flat.per_part[p][i - pstart];
+              if (compiled && !compiled->Matches(payload)) {
+                ++stats.filtered_encoded;
+                continue;
+              }
+              accumulate_row(payload);
+            }
           }
           ++p;
         }
-        if (stats.filtered_encoded > 0) {
-          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
-          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
-        }
+        FlushChunkStats(ctx, stats);
         if (encoded_rows > 0) {
           ctx.metrics().AddRowsAggregatedEncoded(encoded_rows);
           ctx.metrics().AddDecodesAvoided(encoded_rows);
@@ -562,6 +821,13 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
   const CompiledPredicate* build_compiled =
       build_filter_.compiled ? &*build_filter_.compiled : nullptr;
   const Expr* build_residual = build_filter_.residual.get();
+  // With a compiled build filter and vectorized execution, the chain walks
+  // only collect (build payload, probe id) candidates; each probe segment
+  // then runs the filter batch-at-a-time and decodes the survivors.
+  const bool vec_build =
+      build_compiled != nullptr && ctx.config().vectorized_execution;
+  std::optional<VectorizedPredicate> build_vec;
+  if (vec_build) build_vec.emplace(*build_compiled);
 
   // Bound column-ref probe keys decode only the key column from the binary
   // exchange; other key expressions fall back to full-row decode + Eval.
@@ -604,6 +870,9 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           uint64_t probes = 0;
           uint64_t hits = 0;
           ChunkStats stats;
+          VectorScratch vs;
+          std::vector<uint32_t> sel;
+          BuildCandidates cand;
           size_t i = begin;
           size_t p = PartitionOfIndex(part_end, begin);
           while (i < end) {
@@ -611,35 +880,49 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
             const size_t pend = std::min(end, part_end[p]);
             const IndexedPartition::View& view = snap.view(static_cast<int>(p));
             MorselPiece piece{p, {}};
-            for (; i < pend; ++i) {
-              const size_t r = owned[p][i - pstart];
-              ++probes;
-              size_t matched =
-                  view.ForEachRawRow(keys[r], [&](const uint8_t* payload) {
-                    if (build_compiled && !build_compiled->Matches(payload)) {
-                      ++stats.filtered_encoded;
-                      return;
-                    }
-                    Row build_row = DecodeRow(payload, build_schema);
-                    if (build_residual &&
-                        !ResidualPasses(build_residual, build_row, &stats.error)) {
-                      return;
-                    }
-                    piece.rows.push_back(indexed_on_left_
-                                             ? ConcatRows(build_row, rows[r])
-                                             : ConcatRows(rows[r], build_row));
-                  });
-              if (matched > 0) ++hits;
+            if (vec_build) {
+              for (; i < pend; ++i) {
+                const size_t r = owned[p][i - pstart];
+                ++probes;
+                size_t matched =
+                    view.ForEachRawRow(keys[r], [&](const uint8_t* payload) {
+                      cand.Add(payload, r);
+                    });
+                if (matched > 0) ++hits;
+              }
+              FlushBuildCandidates(
+                  *build_vec, &cand, &sel, &vs, build_schema, build_residual,
+                  indexed_on_left_, &piece.rows, &stats,
+                  [&](size_t r) -> const Row& { return rows[r]; });
+            } else {
+              for (; i < pend; ++i) {
+                const size_t r = owned[p][i - pstart];
+                ++probes;
+                size_t matched =
+                    view.ForEachRawRow(keys[r], [&](const uint8_t* payload) {
+                      if (build_compiled && !build_compiled->Matches(payload)) {
+                        ++stats.filtered_encoded;
+                        return;
+                      }
+                      Row build_row = DecodeRow(payload, build_schema);
+                      if (build_residual &&
+                          !ResidualPasses(build_residual, build_row,
+                                          &stats.error)) {
+                        return;
+                      }
+                      piece.rows.push_back(indexed_on_left_
+                                               ? ConcatRows(build_row, rows[r])
+                                               : ConcatRows(rows[r], build_row));
+                    });
+                if (matched > 0) ++hits;
+              }
             }
             if (!piece.rows.empty()) pieces.push_back(std::move(piece));
             ++p;
           }
           ctx.metrics().AddIndexProbes(probes);
           ctx.metrics().AddIndexHits(hits);
-          if (stats.filtered_encoded > 0) {
-            ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
-            ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
-          }
+          FlushChunkStats(ctx, stats);
           if (!stats.error.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) first_error = stats.error;
@@ -680,6 +963,9 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           uint64_t probes = 0;
           uint64_t hits = 0;
           ChunkStats stats;
+          VectorScratch vs;
+          std::vector<uint32_t> sel;
+          BuildCandidates cand;
           size_t i = begin;
           size_t p = PartitionOfIndex(part_end, begin);
           while (i < end) {
@@ -705,6 +991,10 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
               ++probes;
               size_t matched =
                   view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
+                    if (vec_build) {
+                      cand.Add(build_payload, i - pstart);
+                      return;
+                    }
                     if (build_compiled && !build_compiled->Matches(build_payload)) {
                       ++stats.filtered_encoded;
                       return;
@@ -720,15 +1010,18 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
                   });
               if (matched > 0) ++hits;
             }
+            if (vec_build) {
+              FlushBuildCandidates(
+                  *build_vec, &cand, &sel, &vs, build_schema, build_residual,
+                  indexed_on_left_, &piece.rows, &stats,
+                  [&](size_t idx) -> const Row& { return rows[idx]; });
+            }
             if (!piece.rows.empty()) pieces.push_back(std::move(piece));
             ++p;
           }
           ctx.metrics().AddIndexProbes(probes);
           ctx.metrics().AddIndexHits(hits);
-          if (stats.filtered_encoded > 0) {
-            ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
-            ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
-          }
+          FlushChunkStats(ctx, stats);
           if (!stats.error.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) first_error = stats.error;
@@ -769,6 +1062,9 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
         uint64_t hits = 0;
         uint64_t avoided = 0;
         ChunkStats stats;
+        VectorScratch vs;
+        std::vector<uint32_t> sel;
+        BuildCandidates cand;
         size_t i = begin;
         size_t p = PartitionOfIndex(part_end, begin);
         while (i < end) {
@@ -777,53 +1073,103 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
           const BinaryRows& buf = shuffled[p];
           const IndexedPartition::View& view = snap.view(static_cast<int>(p));
           MorselPiece piece{p, {}};
-          for (; i < pend; ++i) {
-            const uint8_t* payload = buf.payload(i - pstart);
-            Row probe_row;
-            bool decoded = false;
-            Value key;
-            if (probe_key_col >= 0) {
-              key = DecodeColumn(payload, probe_schema, probe_key_col);
-            } else {
-              probe_row = DecodeRow(payload, probe_schema);
-              decoded = true;
-              auto v = probe_key_->Eval(probe_row);
-              if (!v.ok()) {
-                std::lock_guard<std::mutex> lock(error_mu);
-                if (first_error.ok()) first_error = v.status();
-                return;
+          if (vec_build) {
+            const size_t seg_begin = i;
+            for (; i < pend; ++i) {
+              const size_t local = i - pstart;
+              const uint8_t* payload = buf.payload(local);
+              Value key;
+              if (probe_key_col >= 0) {
+                key = DecodeColumn(payload, probe_schema, probe_key_col);
+              } else {
+                Row full = DecodeRow(payload, probe_schema);
+                auto v = probe_key_->Eval(full);
+                if (!v.ok()) {
+                  std::lock_guard<std::mutex> lock(error_mu);
+                  if (first_error.ok()) first_error = v.status();
+                  return;
+                }
+                key = std::move(v).ValueUnsafe();
               }
-              key = std::move(v).ValueUnsafe();
+              // Null keys were dropped on the map side of the exchange.
+              ++probes;
+              size_t matched =
+                  view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
+                    cand.Add(build_payload, local);
+                  });
+              if (matched > 0) ++hits;
             }
-            // Null keys were dropped on the map side of the exchange.
-            ++probes;
-            size_t matched =
-                view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
-                  // The build filter runs on the encoded build row first: a
-                  // reject decodes neither side.
-                  if (build_compiled && !build_compiled->Matches(build_payload)) {
-                    ++stats.filtered_encoded;
-                    return;
+            // Lazy memoized probe decode at flush: a probe's candidates
+            // are contiguous, so one decoded row serves all of them.
+            // Probes whose candidates were all rejected (or that missed
+            // the index) never materialize past the key column, matching
+            // the row-at-a-time accounting.
+            size_t last = static_cast<size_t>(-1);
+            Row probe_row;
+            uint64_t materialized = 0;
+            FlushBuildCandidates(
+                *build_vec, &cand, &sel, &vs, build_schema, build_residual,
+                indexed_on_left_, &piece.rows, &stats,
+                [&](size_t idx) -> const Row& {
+                  if (idx != last) {
+                    probe_row = DecodeRow(buf.payload(idx), probe_schema);
+                    last = idx;
+                    ++materialized;
                   }
-                  // The probe row materializes on the first surviving match.
-                  if (!decoded) {
-                    probe_row = DecodeRow(payload, probe_schema);
-                    decoded = true;
-                  }
-                  Row build_row = DecodeRow(build_payload, build_schema);
-                  if (build_residual &&
-                      !ResidualPasses(build_residual, build_row, &stats.error)) {
-                    return;
-                  }
-                  piece.rows.push_back(indexed_on_left_
-                                           ? ConcatRows(build_row, probe_row)
-                                           : ConcatRows(probe_row, build_row));
+                  return probe_row;
                 });
-            if (matched > 0) {
-              ++hits;
+            if (probe_key_col >= 0) {
+              avoided += (pend - seg_begin) - materialized;
             }
-            if (!decoded) {
-              ++avoided;  // never materialized past the key column
+          } else {
+            for (; i < pend; ++i) {
+              const uint8_t* payload = buf.payload(i - pstart);
+              Row probe_row;
+              bool decoded = false;
+              Value key;
+              if (probe_key_col >= 0) {
+                key = DecodeColumn(payload, probe_schema, probe_key_col);
+              } else {
+                probe_row = DecodeRow(payload, probe_schema);
+                decoded = true;
+                auto v = probe_key_->Eval(probe_row);
+                if (!v.ok()) {
+                  std::lock_guard<std::mutex> lock(error_mu);
+                  if (first_error.ok()) first_error = v.status();
+                  return;
+                }
+                key = std::move(v).ValueUnsafe();
+              }
+              // Null keys were dropped on the map side of the exchange.
+              ++probes;
+              size_t matched =
+                  view.ForEachRawRow(key, [&](const uint8_t* build_payload) {
+                    // The build filter runs on the encoded build row first:
+                    // a reject decodes neither side.
+                    if (build_compiled && !build_compiled->Matches(build_payload)) {
+                      ++stats.filtered_encoded;
+                      return;
+                    }
+                    // The probe row materializes on the first surviving match.
+                    if (!decoded) {
+                      probe_row = DecodeRow(payload, probe_schema);
+                      decoded = true;
+                    }
+                    Row build_row = DecodeRow(build_payload, build_schema);
+                    if (build_residual &&
+                        !ResidualPasses(build_residual, build_row, &stats.error)) {
+                      return;
+                    }
+                    piece.rows.push_back(indexed_on_left_
+                                             ? ConcatRows(build_row, probe_row)
+                                             : ConcatRows(probe_row, build_row));
+                  });
+              if (matched > 0) {
+                ++hits;
+              }
+              if (!decoded) {
+                ++avoided;  // never materialized past the key column
+              }
             }
           }
           if (!piece.rows.empty()) pieces.push_back(std::move(piece));
@@ -832,10 +1178,7 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
         ctx.metrics().AddIndexProbes(probes);
         ctx.metrics().AddIndexHits(hits);
         ctx.metrics().AddDecodesAvoided(avoided);
-        if (stats.filtered_encoded > 0) {
-          ctx.metrics().AddRowsFilteredEncoded(stats.filtered_encoded);
-          ctx.metrics().AddDecodesAvoided(stats.filtered_encoded);
-        }
+        FlushChunkStats(ctx, stats);
         if (!stats.error.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = stats.error;

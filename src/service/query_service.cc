@@ -143,20 +143,30 @@ Status QueryService::RunAdmitted(const std::string& sql,
       ExecutorContextPtr exec,
       ExecutorContext::MakeWithPool(config_.engine, base_exec_->shared_pool()));
   exec->SetCancellation(token);
-  IDF_ASSIGN_OR_RETURN(SessionPtr session, Session::MakeWithContext(exec));
-  InstallIndexedExtensions(*session);
-  for (const PinnedTable& table : snap.tables) {
-    IDF_RETURN_NOT_OK(session->RegisterTable(
-        table.table, session->FromPlan(std::make_shared<SnapshotScanNode>(
-                         table.primary()))));
-  }
+  Status status = [&]() -> Status {
+    IDF_ASSIGN_OR_RETURN(SessionPtr session, Session::MakeWithContext(exec));
+    InstallIndexedExtensions(*session);
+    for (const PinnedTable& table : snap.tables) {
+      IDF_RETURN_NOT_OK(session->RegisterTable(
+          table.table, session->FromPlan(std::make_shared<SnapshotScanNode>(
+                           table.primary()))));
+    }
 
-  IDF_ASSIGN_OR_RETURN(DataFrame df, session->Sql(sql));
-  IDF_ASSIGN_OR_RETURN(result->rows, session->ExecuteCollect(df.plan()));
-  IDF_ASSIGN_OR_RETURN(result->schema, df.schema());
-  // The deadline may have expired after the last operator finished; a
-  // final check keeps "completed" and "timed out" mutually exclusive.
-  return exec->CheckCancelled();
+    IDF_ASSIGN_OR_RETURN(DataFrame df, session->Sql(sql));
+    IDF_ASSIGN_OR_RETURN(result->rows, session->ExecuteCollect(df.plan()));
+    IDF_ASSIGN_OR_RETURN(result->schema, df.schema());
+    // The deadline may have expired after the last operator finished; a
+    // final check keeps "completed" and "timed out" mutually exclusive.
+    return exec->CheckCancelled();
+  }();
+  // The query's private metrics die with its executor; fold the
+  // batch-execution counters into the service totals on every outcome so
+  // Stats() reflects cancelled and failed queries too.
+  rows_filtered_vectorized_.fetch_add(
+      exec->metrics().rows_filtered_vectorized(), std::memory_order_relaxed);
+  vector_batches_evaluated_.fetch_add(
+      exec->metrics().vector_batches_evaluated(), std::memory_order_relaxed);
+  return status;
 }
 
 QueryResult QueryService::Execute(const std::string& sql,
@@ -210,6 +220,10 @@ ServiceStats QueryService::Stats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.rows_filtered_vectorized =
+      rows_filtered_vectorized_.load(std::memory_order_relaxed);
+  stats.vector_batches_evaluated =
+      vector_batches_evaluated_.load(std::memory_order_relaxed);
   stats.queue = queue_hist_.Summarize();
   stats.exec = exec_hist_.Summarize();
   stats.total = total_hist_.Summarize();
@@ -233,6 +247,8 @@ std::string ServiceStats::ToJson() const {
       << ", \"deadline_exceeded\": " << deadline_exceeded
       << ", \"failed\": " << failed << ", \"queue\": " << queue.ToJson()
       << ", \"exec\": " << exec.ToJson() << ", \"total\": " << total.ToJson()
+      << ", \"rows_filtered_vectorized\": " << rows_filtered_vectorized
+      << ", \"vector_batches_evaluated\": " << vector_batches_evaluated
       << ", \"compactions_run\": " << compactions_run
       << ", \"chain_links_rewritten\": " << chain_links_rewritten
       << ", \"bytes_reclaimed\": " << bytes_reclaimed
@@ -248,6 +264,8 @@ std::string ServiceStats::ToString() const {
       << "total latency: p50=" << total.p50_micros
       << "us p95=" << total.p95_micros << "us p99=" << total.p99_micros
       << "us max=" << total.max_micros << "us (n=" << total.count << ")\n"
+      << "vectorized: " << rows_filtered_vectorized << " rows filtered, "
+      << vector_batches_evaluated << " batches\n"
       << "compaction: " << compactions_run << " runs, "
       << chain_links_rewritten << " links rewritten, " << bytes_reclaimed
       << " bytes reclaimed, " << retired_pending << " generations pending";

@@ -62,6 +62,12 @@ struct ServiceStats {
   LatencyHistogram::Summary exec;   ///< pin + plan + execute
   LatencyHistogram::Summary total;  ///< submission to completion
 
+  // Batch-at-a-time execution, accumulated over every completed or failed
+  // query (each query runs with private metrics; the service folds them in
+  // when the query finishes).
+  uint64_t rows_filtered_vectorized = 0;  ///< rows rejected by vector filter
+  uint64_t vector_batches_evaluated = 0;  ///< internal predicate batches
+
   // Background compaction (zero unless EnableCompaction was called).
   uint64_t compactions_run = 0;
   uint64_t chain_links_rewritten = 0;
@@ -147,6 +153,8 @@ class QueryService {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rows_filtered_vectorized_{0};
+  std::atomic<uint64_t> vector_batches_evaluated_{0};
   LatencyHistogram queue_hist_;
   LatencyHistogram exec_hist_;
   LatencyHistogram total_hist_;

@@ -53,6 +53,9 @@ class CompiledPredicate {
 
  private:
   friend class PredicateCompiler;
+  // The batch evaluator (sql/vectorized_eval.h) re-runs the same program
+  // column-at-a-time and must read the instruction stream directly.
+  friend class VectorizedPredicate;
 
   enum class OpCode : uint8_t {
     kConst,           // push imm_tri

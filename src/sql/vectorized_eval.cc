@@ -1,0 +1,397 @@
+#include "sql/vectorized_eval.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <string_view>
+
+#include "storage/row_batch.h"
+
+#if IDF_SIMD
+#include <immintrin.h>
+#endif
+
+namespace idf {
+
+namespace {
+
+constexpr uint8_t kF = static_cast<uint8_t>(TriBool::kFalse);
+constexpr uint8_t kN = static_cast<uint8_t>(TriBool::kNull);
+constexpr uint8_t kT = static_cast<uint8_t>(TriBool::kTrue);
+
+// ---------------------------------------------------------------------------
+// Comparison kernels. Written in terms of == and < exactly like
+// Value::CompareValues and the row-at-a-time EvalEncoded (kLe = !(b < a),
+// kNe = !(a == b), ...) so NaN operands produce bit-identical results. The
+// operator is a template parameter: DispatchCmp instantiates the lane loop
+// once per CompareOp, keeping the loop body free of per-row dispatch.
+// ---------------------------------------------------------------------------
+
+template <CompareOp op, typename T>
+inline bool CmpLane(const T& a, const T& b) {
+  if constexpr (op == CompareOp::kEq) return a == b;
+  if constexpr (op == CompareOp::kNe) return !(a == b);
+  if constexpr (op == CompareOp::kLt) return a < b;
+  if constexpr (op == CompareOp::kLe) return !(b < a);
+  if constexpr (op == CompareOp::kGt) return b < a;
+  if constexpr (op == CompareOp::kGe) return !(a < b);
+}
+
+template <typename Fn>
+void DispatchCmp(CompareOp op, Fn&& fn) {
+  switch (op) {
+    case CompareOp::kEq:
+      fn(std::integral_constant<CompareOp, CompareOp::kEq>{});
+      return;
+    case CompareOp::kNe:
+      fn(std::integral_constant<CompareOp, CompareOp::kNe>{});
+      return;
+    case CompareOp::kLt:
+      fn(std::integral_constant<CompareOp, CompareOp::kLt>{});
+      return;
+    case CompareOp::kLe:
+      fn(std::integral_constant<CompareOp, CompareOp::kLe>{});
+      return;
+    case CompareOp::kGt:
+      fn(std::integral_constant<CompareOp, CompareOp::kGt>{});
+      return;
+    case CompareOp::kGe:
+      fn(std::integral_constant<CompareOp, CompareOp::kGe>{});
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gather pass: one strided walk over the batch's payload pointers per
+// column-reading instruction. Null bits unpack into a byte-per-lane mask;
+// slots load as raw 8-byte images (the fixed section always exists, so the
+// load is defined even for null lanes — the lane result just ignores it).
+// ---------------------------------------------------------------------------
+
+// Each instruction makes exactly ONE pass over the batch's payload
+// pointers, reading the null bit and the slot together while the row's
+// cache line is hot — a split null-gather + slot-gather walks the batch
+// twice and pays the pointer-chase misses twice. The slot load is defined
+// even for null lanes (the fixed section always exists); the lane result
+// just ignores it.
+
+inline uint64_t LoadSlot64(const uint8_t* payload, uint32_t slot_off) {
+  uint64_t x;
+  std::memcpy(&x, payload + slot_off, 8);
+  return x;
+}
+
+/// int32 slots load sign-extended to the int64 lane image (the widening
+/// Value::AsInt64 applies, exactly as in the row-at-a-time kCmpInt32).
+inline uint64_t LoadSlot32SignExtended(const uint8_t* payload,
+                                       uint32_t slot_off) {
+  int32_t x;
+  std::memcpy(&x, payload + slot_off, 4);
+  return std::bit_cast<uint64_t>(static_cast<int64_t>(x));
+}
+
+inline bool LoadNull(const uint8_t* payload, uint32_t null_byte,
+                     uint8_t null_mask) {
+  return (payload[null_byte] & null_mask) != 0;
+}
+
+// The lane loops write TriBool bytes; a plain uint8_t* store aliases
+// everything under the language rules, which would force the compiler to
+// reload the payload pointers and instruction fields on every iteration.
+// The kernels therefore take hoisted scalar operands and a restrict-
+// qualified output (the tri stack never overlaps payload memory).
+#define IDF_RESTRICT __restrict__
+
+template <CompareOp op>
+void CmpInt64Lanes(const uint8_t* const* payloads, size_t n, uint32_t slot_off,
+                   uint32_t null_byte, uint8_t null_mask, int64_t imm,
+                   uint8_t* IDF_RESTRICT out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = payloads[i];
+    const int64_t v = std::bit_cast<int64_t>(LoadSlot64(p, slot_off));
+    const bool c = CmpLane<op>(v, imm);
+    out[i] = LoadNull(p, null_byte, null_mask) ? kN : (c ? kT : kF);
+  }
+}
+
+template <CompareOp op>
+void CmpInt32Lanes(const uint8_t* const* payloads, size_t n, uint32_t slot_off,
+                   uint32_t null_byte, uint8_t null_mask, int64_t imm,
+                   uint8_t* IDF_RESTRICT out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = payloads[i];
+    const int64_t v =
+        std::bit_cast<int64_t>(LoadSlot32SignExtended(p, slot_off));
+    const bool c = CmpLane<op>(v, imm);
+    out[i] = LoadNull(p, null_byte, null_mask) ? kN : (c ? kT : kF);
+  }
+}
+
+template <CompareOp op, bool narrow>
+void CmpIntAsDoubleLanes(const uint8_t* const* payloads, size_t n,
+                         uint32_t slot_off, uint32_t null_byte,
+                         uint8_t null_mask, double imm,
+                         uint8_t* IDF_RESTRICT out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = payloads[i];
+    const uint64_t s = narrow ? LoadSlot32SignExtended(p, slot_off)
+                              : LoadSlot64(p, slot_off);
+    const double v = static_cast<double>(std::bit_cast<int64_t>(s));
+    out[i] = LoadNull(p, null_byte, null_mask)
+                 ? kN
+                 : (CmpLane<op>(v, imm) ? kT : kF);
+  }
+}
+
+template <CompareOp op>
+void CmpDoubleLanes(const uint8_t* const* payloads, size_t n, uint32_t slot_off,
+                    uint32_t null_byte, uint8_t null_mask, double imm,
+                    uint8_t* IDF_RESTRICT out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = payloads[i];
+    const double v = std::bit_cast<double>(LoadSlot64(p, slot_off));
+    out[i] = LoadNull(p, null_byte, null_mask)
+                 ? kN
+                 : (CmpLane<op>(v, imm) ? kT : kF);
+  }
+}
+
+template <CompareOp op>
+void CmpStringLanes(const uint8_t* const* payloads, size_t n,
+                    uint32_t slot_off, uint32_t null_byte, uint8_t null_mask,
+                    std::string_view want, uint8_t* IDF_RESTRICT out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = payloads[i];
+    // The slot of a null lane is garbage; the view must not be formed for
+    // it (the ternary short-circuits the deref).
+    out[i] = LoadNull(p, null_byte, null_mask)
+                 ? kN
+                 : (CmpLane<op>(RawColumnString(p, LoadSlot64(p, slot_off)),
+                                want)
+                        ? kT
+                        : kF);
+  }
+}
+
+void BoolColLanes(const uint8_t* const* payloads, size_t n, uint32_t slot_off,
+                  uint32_t null_byte, uint8_t null_mask,
+                  uint8_t* IDF_RESTRICT out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = payloads[i];
+    const uint8_t t = LoadSlot64(p, slot_off) != 0 ? kT : kF;
+    out[i] = LoadNull(p, null_byte, null_mask) ? kN : t;
+  }
+}
+
+void IsNullLanes(const uint8_t* const* payloads, size_t n, uint32_t null_byte,
+                 uint8_t null_mask, bool negated, uint8_t* IDF_RESTRICT out) {
+  for (size_t i = 0; i < n; ++i) {
+    const bool isnull = LoadNull(payloads[i], null_byte, null_mask);
+    out[i] = (isnull != negated) ? kT : kF;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Branch-free Kleene combinators over TriBool byte lanes: AND = min,
+// OR = max, NOT = 2 - x. The SIMD and scalar forms are bit-identical
+// (unsigned byte min/max and subtraction are exact either way); the scalar
+// loops are written to auto-vectorize when the intrinsics are disabled.
+// ---------------------------------------------------------------------------
+
+void LaneAnd(uint8_t* a, const uint8_t* b, size_t n) {
+  size_t i = 0;
+#if IDF_SIMD
+#if defined(__AVX2__)
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_min_epu8(x, y));
+  }
+#endif
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), _mm_min_epu8(x, y));
+  }
+#endif
+  for (; i < n; ++i) a[i] = std::min(a[i], b[i]);
+}
+
+void LaneOr(uint8_t* a, const uint8_t* b, size_t n) {
+  size_t i = 0;
+#if IDF_SIMD
+#if defined(__AVX2__)
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_max_epu8(x, y));
+  }
+#endif
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), _mm_max_epu8(x, y));
+  }
+#endif
+  for (; i < n; ++i) a[i] = std::max(a[i], b[i]);
+}
+
+void LaneNot(uint8_t* a, size_t n) {
+  size_t i = 0;
+#if IDF_SIMD
+#if defined(__AVX2__)
+  const __m256i two256 = _mm256_set1_epi8(2);
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_sub_epi8(two256, x));
+  }
+#endif
+  const __m128i two = _mm_set1_epi8(2);
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), _mm_sub_epi8(two, x));
+  }
+#endif
+  for (; i < n; ++i) a[i] = static_cast<uint8_t>(kT - a[i]);
+}
+
+}  // namespace
+
+VectorizedPredicate::VectorizedPredicate(const CompiledPredicate& program)
+    : program_(&program) {
+  // Simulate the stack effects to size the lane stack: every value
+  // producer pushes one, AND/OR pop two and push one, NOT is neutral.
+  size_t sp = 0;
+  for (const CompiledPredicate::Inst& inst : program.insts_) {
+    switch (inst.op) {
+      case CompiledPredicate::OpCode::kAnd:
+      case CompiledPredicate::OpCode::kOr:
+        --sp;
+        break;
+      case CompiledPredicate::OpCode::kNot:
+        break;
+      default:
+        ++sp;
+        break;
+    }
+    depth_ = std::max(depth_, sp);
+  }
+}
+
+void VectorizedPredicate::EvalOneBatch(const uint8_t* const* payloads, size_t n,
+                                       VectorScratch* scratch) const {
+  if (scratch->tri.size() < depth_ * kBatchRows) {
+    scratch->tri.resize(depth_ * kBatchRows);
+  }
+  uint8_t* stack = scratch->tri.data();
+  size_t sp = 0;
+  for (const CompiledPredicate::Inst& inst : program_->insts_) {
+    uint8_t* top = stack + sp * kBatchRows;  // lane vector this inst writes
+    switch (inst.op) {
+      case CompiledPredicate::OpCode::kConst:
+        std::memset(top, inst.imm_tri, n);
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kBoolCol:
+        BoolColLanes(payloads, n, inst.slot_off, inst.null_byte,
+                     inst.null_mask, top);
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kIsNull:
+        IsNullLanes(payloads, n, inst.null_byte, inst.null_mask,
+                    inst.imm_tri != 0, top);
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kCmpInt64:
+        DispatchCmp(inst.cmp, [&](auto opc) {
+          CmpInt64Lanes<opc.value>(payloads, n, inst.slot_off, inst.null_byte,
+                                   inst.null_mask, inst.imm_i64, top);
+        });
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kCmpInt32:
+        DispatchCmp(inst.cmp, [&](auto opc) {
+          CmpInt32Lanes<opc.value>(payloads, n, inst.slot_off, inst.null_byte,
+                                   inst.null_mask, inst.imm_i64, top);
+        });
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kCmpIntAsDouble:
+        DispatchCmp(inst.cmp, [&](auto opc) {
+          if (inst.imm_tri != 0) {  // int32 column: sign-extend the low word
+            CmpIntAsDoubleLanes<opc.value, true>(payloads, n, inst.slot_off,
+                                                 inst.null_byte,
+                                                 inst.null_mask, inst.imm_f64,
+                                                 top);
+          } else {
+            CmpIntAsDoubleLanes<opc.value, false>(payloads, n, inst.slot_off,
+                                                  inst.null_byte,
+                                                  inst.null_mask, inst.imm_f64,
+                                                  top);
+          }
+        });
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kCmpDouble:
+        DispatchCmp(inst.cmp, [&](auto opc) {
+          CmpDoubleLanes<opc.value>(payloads, n, inst.slot_off, inst.null_byte,
+                                    inst.null_mask, inst.imm_f64, top);
+        });
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kCmpString:
+        DispatchCmp(inst.cmp, [&](auto opc) {
+          CmpStringLanes<opc.value>(payloads, n, inst.slot_off, inst.null_byte,
+                                    inst.null_mask,
+                                    program_->strings_[inst.imm_str], top);
+        });
+        ++sp;
+        break;
+      case CompiledPredicate::OpCode::kAnd:
+        LaneAnd(stack + (sp - 2) * kBatchRows, stack + (sp - 1) * kBatchRows, n);
+        --sp;
+        break;
+      case CompiledPredicate::OpCode::kOr:
+        LaneOr(stack + (sp - 2) * kBatchRows, stack + (sp - 1) * kBatchRows, n);
+        --sp;
+        break;
+      case CompiledPredicate::OpCode::kNot:
+        LaneNot(stack + (sp - 1) * kBatchRows, n);
+        break;
+    }
+  }
+  // Result lanes are at the bottom of the stack (stack[0..n)).
+}
+
+void VectorizedPredicate::EvalBatch(const uint8_t* const* payloads, size_t n,
+                                    uint8_t* out_tri,
+                                    VectorScratch* scratch) const {
+  for (size_t base = 0; base < n; base += kBatchRows) {
+    const size_t bn = std::min(kBatchRows, n - base);
+    EvalOneBatch(payloads + base, bn, scratch);
+    std::memcpy(out_tri + base, scratch->tri.data(), bn);
+  }
+}
+
+size_t VectorizedPredicate::FilterBatch(const uint8_t* const* payloads,
+                                        size_t n, uint32_t* sel,
+                                        VectorScratch* scratch) const {
+  size_t count = 0;
+  for (size_t base = 0; base < n; base += kBatchRows) {
+    const size_t bn = std::min(kBatchRows, n - base);
+    EvalOneBatch(payloads + base, bn, scratch);
+    const uint8_t* tri = scratch->tri.data();
+    for (size_t i = 0; i < bn; ++i) {
+      // Branch-free append: the write always happens, the cursor only
+      // advances for TRUE lanes.
+      sel[count] = static_cast<uint32_t>(base + i);
+      count += tri[i] == kT ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+}  // namespace idf

@@ -237,6 +237,63 @@ TEST(CompactionTest, RunOnceSkipsSmallAndDefragmentedPartitions) {
   EXPECT_EQ(compactor.stats().compactions_run, 0u);
 }
 
+TEST(CompactionTest, PassPartitionCapSpreadsWorkAcrossPasses) {
+  auto ctx = MakeCtx(4, 1);
+  auto rel = IndexedRelation::Build(*ctx, "t", KvSchema(), 0, {}).ValueOrDie();
+  AppendFragmented(*ctx, *rel, 40, 50, 37);  // every partition fragmented
+
+  CompactionConfig config;
+  config.max_mean_batch_span = 4.0;
+  config.min_partition_rows = 64;
+  config.max_partitions_per_pass = 2;
+  config.partition_pacing = std::chrono::microseconds(100);
+  Compactor compactor(rel, config);
+
+  // No pass may exceed the cap; compacted partitions defragment, so the
+  // passes converge once every partition has had its turn.
+  size_t passes = 0;
+  size_t total_compactions = 0;
+  while (true) {
+    size_t n = compactor.RunOnce().ValueOrDie();
+    if (n == 0) break;
+    EXPECT_LE(n, config.max_partitions_per_pass);
+    total_compactions += n;
+    ASSERT_LE(++passes, 16u) << "capped passes failed to converge";
+  }
+  EXPECT_GT(passes, 1u);  // the cap actually deferred work to later passes
+  EXPECT_EQ(compactor.stats().compactions_run, total_compactions);
+
+  size_t total_rows = 0;
+  for (int64_t k = 0; k < 37; ++k) total_rows += rel->GetRows(Value(k)).size();
+  EXPECT_EQ(total_rows, rel->num_rows());
+}
+
+TEST(CompactionTest, StopCutsPacingWaitShort) {
+  auto ctx = MakeCtx(4, 1);
+  auto rel = IndexedRelation::Build(*ctx, "t", KvSchema(), 0, {}).ValueOrDie();
+  AppendFragmented(*ctx, *rel, 40, 50, 37);
+
+  CompactionConfig config;
+  config.max_mean_batch_span = 4.0;
+  config.min_partition_rows = 64;
+  config.interval = std::chrono::milliseconds(1);
+  // A pacing wait far beyond the test budget: with four fragmented
+  // partitions the first background pass parks between rewrites, and only
+  // a prompt Stop() can get the thread back.
+  config.partition_pacing = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::seconds(60));
+  Compactor compactor(rel, config);
+  compactor.Start();
+  for (int i = 0; i < 400 && compactor.stats().compactions_run == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  compactor.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  EXPECT_GE(compactor.stats().compactions_run, 1u);
+}
+
 TEST(CompactionTest, BackgroundThreadCompactsUnderAppendStream) {
   auto ctx = MakeCtx(2, 2);
   auto rel = IndexedRelation::Build(*ctx, "t", KvSchema(), 0, {}).ValueOrDie();

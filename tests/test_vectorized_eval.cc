@@ -1,0 +1,382 @@
+// Directed tests for batch-at-a-time vectorized predicate evaluation
+// (sql/vectorized_eval.h, DESIGN.md §12) and its operator integration.
+// The kernel must reproduce the row-at-a-time EvalEncoded tri-state
+// bit-for-bit lane by lane (including NULL, NaN, -0.0, and type-widening
+// edges), and the fused operators — scan-filter, scan-aggregate, and the
+// join build-side filter — must produce identical rows with
+// vectorized_execution on and off while reporting the vector metrics.
+// Random-tree coverage lives in test_property_fuzz.cc.
+#include "sql/vectorized_eval.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "indexed/indexed_dataframe.h"
+#include "indexed/indexed_operators.h"
+#include "sql/session.h"
+#include "storage/row_batch.h"
+
+namespace idf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel: EvalBatch / FilterBatch vs EvalEncoded
+// ---------------------------------------------------------------------------
+
+class VectorizedEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = Schema::Make({{"i64", TypeId::kInt64, true},
+                            {"i32", TypeId::kInt32, true},
+                            {"f64", TypeId::kFloat64, true},
+                            {"b", TypeId::kBool, true},
+                            {"s", TypeId::kString, true},
+                            {"ts", TypeId::kTimestamp, true}});
+  }
+
+  std::vector<uint8_t> Encode(const Row& row) {
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(EncodeRow(*schema_, row, &out).ok());
+    return out;
+  }
+
+  // Compiles `expr` (must succeed) and checks EvalBatch lane-for-lane and
+  // FilterBatch's selection vector against row-at-a-time EvalEncoded.
+  void ExpectBatchAgrees(const ExprPtr& expr, const RowVec& rows) {
+    ExprPtr bound = BindExpr(expr, *schema_).ValueOrDie();
+    std::optional<CompiledPredicate> compiled =
+        CompiledPredicate::Compile(bound, *schema_);
+    ASSERT_TRUE(compiled.has_value()) << bound->ToString();
+    std::vector<std::vector<uint8_t>> bufs;
+    bufs.reserve(rows.size());
+    for (const Row& row : rows) bufs.push_back(Encode(row));
+    std::vector<const uint8_t*> ptrs;
+    ptrs.reserve(bufs.size());
+    for (const auto& b : bufs) ptrs.push_back(b.data());
+
+    VectorizedPredicate vec(*compiled);
+    VectorScratch scratch;
+    std::vector<uint8_t> tri(rows.size());
+    vec.EvalBatch(ptrs.data(), ptrs.size(), tri.data(), &scratch);
+    std::vector<uint32_t> sel(rows.size());
+    const size_t kept =
+        vec.FilterBatch(ptrs.data(), ptrs.size(), sel.data(), &scratch);
+    size_t want_kept = 0;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const TriBool want = compiled->EvalEncoded(ptrs[r]);
+      ASSERT_EQ(static_cast<int>(tri[r]), static_cast<int>(want))
+          << bound->ToString() << " row " << r;
+      if (want == TriBool::kTrue) {
+        ASSERT_LT(want_kept, kept) << bound->ToString();
+        EXPECT_EQ(sel[want_kept], r) << bound->ToString();
+        ++want_kept;
+      }
+    }
+    EXPECT_EQ(kept, want_kept) << bound->ToString();
+  }
+
+  // Edge-heavy rows: NULL in every column, both zero signs, NaN, int32/64
+  // extremes, empty and high-bit strings.
+  RowVec SampleRows() {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return {
+        {Value(int64_t{0}), Value(int32_t{0}), Value(0.0), Value(false),
+         Value(""), Value(int64_t{0})},
+        {Value(int64_t{-3}), Value(int32_t{-3}), Value(-0.0), Value(true),
+         Value("a"), Value(int64_t{-3})},
+        {Value(int64_t{7}), Value(int32_t{7}), Value(2.5), Value(true),
+         Value("ab"), Value(int64_t{7})},
+        {Value(std::numeric_limits<int64_t>::min()),
+         Value(std::numeric_limits<int32_t>::min()), Value(nan), Value(false),
+         Value("\x80z"), Value(std::numeric_limits<int64_t>::max())},
+        {Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+         Value::Null(), Value::Null()},
+        {Value(int64_t{1} << 40), Value(int32_t{1}), Value(1.0), Value(true),
+         Value("abc"), Value(int64_t{1})},
+        {Value::Null(), Value(int32_t{2}), Value(-1.0), Value::Null(),
+         Value("b"), Value::Null()},
+    };
+  }
+
+  SchemaPtr schema_;
+};
+
+TEST_F(VectorizedEvalTest, AllComparisonOpsOnAllTypes) {
+  const RowVec rows = SampleRows();
+  const char* cols[] = {"i64", "i32", "f64", "b", "s", "ts"};
+  const Value lits[] = {Value(int64_t{0}), Value(int32_t{-3}), Value(0.0),
+                        Value(true),       Value("ab"),        Value(int64_t{7})};
+  for (int c = 0; c < 6; ++c) {
+    ExpectBatchAgrees(Eq(Col(cols[c]), Lit(lits[c])), rows);
+    ExpectBatchAgrees(Ne(Col(cols[c]), Lit(lits[c])), rows);
+    ExpectBatchAgrees(Lt(Col(cols[c]), Lit(lits[c])), rows);
+    ExpectBatchAgrees(Le(Col(cols[c]), Lit(lits[c])), rows);
+    ExpectBatchAgrees(Gt(Col(cols[c]), Lit(lits[c])), rows);
+    ExpectBatchAgrees(Ge(Col(cols[c]), Lit(lits[c])), rows);
+  }
+}
+
+TEST_F(VectorizedEvalTest, KleeneLaneLogicWithNulls) {
+  const RowVec rows = SampleRows();
+  ExpectBatchAgrees(IsNull(Col("f64")), rows);
+  ExpectBatchAgrees(IsNotNull(Col("s")), rows);
+  ExpectBatchAgrees(Col("b"), rows);
+  ExpectBatchAgrees(Not(Col("b")), rows);
+  ExpectBatchAgrees(Lit(Value::Null()), rows);
+  // NULL AND FALSE = FALSE, NULL OR TRUE = TRUE: the lane kernels must
+  // implement full Kleene logic, not null-propagation.
+  ExpectBatchAgrees(And(Col("b"), Lt(Col("i64"), Lit(Value(int64_t{5})))), rows);
+  ExpectBatchAgrees(Or(Col("b"), Ge(Col("f64"), Lit(Value(0.0)))), rows);
+  ExpectBatchAgrees(
+      Not(And(Or(Col("b"), IsNull(Col("i32"))),
+              Ne(Col("s"), Lit(Value("a"))))),
+      rows);
+}
+
+TEST_F(VectorizedEvalTest, IntColumnVsDoubleLiteralWidens) {
+  const RowVec rows = SampleRows();
+  ExpectBatchAgrees(Lt(Col("i64"), Lit(Value(0.5))), rows);
+  ExpectBatchAgrees(Ge(Col("i32"), Lit(Value(-2.5))), rows);
+  ExpectBatchAgrees(Eq(Col("i64"), Lit(Value(0.0))), rows);
+}
+
+TEST_F(VectorizedEvalTest, NaNAndNegativeZeroMatchScalar) {
+  const RowVec rows = SampleRows();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ExpectBatchAgrees(Eq(Col("f64"), Lit(Value(nan))), rows);
+  ExpectBatchAgrees(Lt(Col("f64"), Lit(Value(nan))), rows);
+  ExpectBatchAgrees(Ge(Col("f64"), Lit(Value(nan))), rows);
+  // -0.0 == 0.0 under IEEE compare; both signs must land identically.
+  ExpectBatchAgrees(Eq(Col("f64"), Lit(Value(-0.0))), rows);
+  ExpectBatchAgrees(Le(Col("f64"), Lit(Value(-0.0))), rows);
+}
+
+TEST_F(VectorizedEvalTest, CrossesInternalBatchBoundary) {
+  RowVec rows;
+  const size_t n = 2 * VectorizedPredicate::kBatchRows + 37;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t v = static_cast<int64_t>(i % 100);
+    rows.push_back({i % 13 == 0 ? Value::Null() : Value(v),
+                    Value(static_cast<int32_t>(i % 7)), Value(0.5 * v),
+                    Value(i % 2 == 0), Value("s" + std::to_string(i % 5)),
+                    Value(static_cast<int64_t>(i))});
+  }
+  ExpectBatchAgrees(And(Lt(Col("i64"), Lit(Value(int64_t{60}))),
+                        Ne(Col("s"), Lit(Value("s3")))),
+                    rows);
+}
+
+TEST_F(VectorizedEvalTest, SelectionVectorAllAndNone) {
+  RowVec rows;
+  for (int64_t i = 0; i < 100; ++i) {
+    rows.push_back({Value(i), Value(int32_t{1}), Value(1.0), Value(true),
+                    Value("x"), Value(i)});
+  }
+  ExpectBatchAgrees(Ge(Col("i64"), Lit(Value(int64_t{0}))), rows);   // all
+  ExpectBatchAgrees(Lt(Col("i64"), Lit(Value(int64_t{0}))), rows);   // none
+  ExpectBatchAgrees(Eq(Col("i64"), Lit(Value(int64_t{50}))), rows);  // one
+}
+
+TEST_F(VectorizedEvalTest, StackDepthReflectsProgramShape) {
+  ExprPtr flat = BindExpr(Lt(Col("i64"), Lit(Value(int64_t{1}))), *schema_)
+                     .ValueOrDie();
+  VectorizedPredicate vec1(*CompiledPredicate::Compile(flat, *schema_));
+  EXPECT_EQ(vec1.stack_depth(), 1u);
+
+  // A right-nested conjunction pushes both operands before combining.
+  ExprPtr nested =
+      BindExpr(And(Col("b"), And(Col("b"), And(Col("b"), Col("b")))), *schema_)
+          .ValueOrDie();
+  VectorizedPredicate vec2(*CompiledPredicate::Compile(nested, *schema_));
+  EXPECT_GE(vec2.stack_depth(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Operator integration: vectorized on vs off must be row-identical, and
+// the fused read paths must report the vector counters.
+// ---------------------------------------------------------------------------
+
+class VectorizedOperatorTest : public ::testing::Test {
+ protected:
+  static SessionPtr MakeSession(bool vectorized,
+                                size_t binary_shuffle_min_rows = 0) {
+    EngineConfig cfg;
+    cfg.num_partitions = 4;  // identical everywhere: same flatten order
+    cfg.num_threads = 2;
+    cfg.morsel_rows = 512;
+    cfg.binary_shuffle_min_rows = binary_shuffle_min_rows;
+    cfg.vectorized_execution = vectorized;
+    return Session::Make(cfg).ValueOrDie();
+  }
+
+  void SetUp() override {
+    vec_ = MakeSession(true);
+    scalar_ = MakeSession(false);
+    schema_ = Schema::Make({{"k", TypeId::kInt64, false},
+                            {"g", TypeId::kInt64, false},
+                            {"v", TypeId::kInt64, true},
+                            {"d", TypeId::kFloat64, true},
+                            {"s", TypeId::kString, false}});
+    RowVec rows;
+    rows.reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      rows.push_back({Value(i), Value(i % 64),
+                      i % 11 == 0 ? Value::Null() : Value(i % 1000),
+                      i % 13 == 0 ? Value::Null() : Value(0.5 * (i % 97)),
+                      Value("r" + std::to_string(i % 7))});
+    }
+    auto df = vec_->CreateDataFrame(schema_, rows, "t").ValueOrDie();
+    rel_ = IndexedDataFrame::CreateIndex(df, 0, "t_by_k").ValueOrDie()
+               .relation();
+    pred_ = BindExpr(And(Lt(Col("v"), Lit(Value(int64_t{700}))),
+                         Ne(Col("s"), Lit(Value("r3")))),
+                     *schema_)
+                .ValueOrDie();
+  }
+
+  PushedFilter Pushed() {
+    return PushedFilter::FromSplit(SplitForCompilation(pred_, *schema_));
+  }
+
+  static constexpr int64_t kRows = 20000;
+  SessionPtr vec_;
+  SessionPtr scalar_;
+  SchemaPtr schema_;
+  IndexedRelationPtr rel_;
+  ExprPtr pred_;
+};
+
+TEST_F(VectorizedOperatorTest, FilterScanMatchesScalarAndCountsMetrics) {
+  IndexedScanFilterOp scan(rel_, pred_, Pushed());
+
+  vec_->metrics().Reset();
+  RowVec with_vec = CollectRows(scan.Execute(vec_->exec()).ValueOrDie());
+  const auto& mv = vec_->metrics();
+  EXPECT_GT(mv.rows_filtered_vectorized(), 0u);
+  EXPECT_GT(mv.vector_batches_evaluated(), 0u);
+  EXPECT_EQ(mv.rows_filtered_vectorized(), mv.rows_filtered_encoded());
+
+  scalar_->metrics().Reset();
+  RowVec without = CollectRows(scan.Execute(scalar_->exec()).ValueOrDie());
+  const auto& ms = scalar_->metrics();
+  EXPECT_EQ(ms.rows_filtered_vectorized(), 0u);
+  EXPECT_EQ(ms.vector_batches_evaluated(), 0u);
+  EXPECT_GT(ms.rows_filtered_encoded(), 0u);
+
+  ASSERT_FALSE(with_vec.empty());
+  EXPECT_EQ(with_vec, without);  // same flatten order: byte-identical rows
+  EXPECT_EQ(mv.rows_filtered_encoded(), ms.rows_filtered_encoded());
+}
+
+TEST_F(VectorizedOperatorTest, GroupedFusedAggregateMatchesScalar) {
+  std::vector<ExprPtr> groups = {BindExpr(Col("g"), *schema_).ValueOrDie()};
+  std::vector<AggSpec> aggs = {
+      CountStar("cnt"),
+      SumOf(BindExpr(Col("v"), *schema_).ValueOrDie(), "sv"),
+      AvgOf(BindExpr(Col("d"), *schema_).ValueOrDie(), "ad"),
+      MinOf(BindExpr(Col("v"), *schema_).ValueOrDie(), "mn"),
+      MaxOf(BindExpr(Col("s"), *schema_).ValueOrDie(), "mx")};
+  SchemaPtr out = Schema::Make({{"g", TypeId::kInt64, false},
+                                {"cnt", TypeId::kInt64, false},
+                                {"sv", TypeId::kInt64, true},
+                                {"ad", TypeId::kFloat64, true},
+                                {"mn", TypeId::kInt64, true},
+                                {"mx", TypeId::kString, true}});
+  IndexedScanAggregateOp agg(rel_, pred_, Pushed(), groups, aggs, out);
+
+  vec_->metrics().Reset();
+  RowVec with_vec = CollectRows(agg.Execute(vec_->exec()).ValueOrDie());
+  EXPECT_GT(vec_->metrics().rows_filtered_vectorized(), 0u);
+  EXPECT_GT(vec_->metrics().rows_aggregated_encoded(), 0u);
+
+  scalar_->metrics().Reset();
+  RowVec without = CollectRows(agg.Execute(scalar_->exec()).ValueOrDie());
+  EXPECT_EQ(scalar_->metrics().rows_filtered_vectorized(), 0u);
+
+  SortRows(&with_vec);
+  SortRows(&without);
+  ASSERT_FALSE(with_vec.empty());
+  EXPECT_EQ(with_vec, without);  // bit-identical, doubles included
+}
+
+TEST_F(VectorizedOperatorTest, UngroupedFusedAggregateUsesLaneFastPath) {
+  std::vector<AggSpec> aggs = {
+      CountStar("cnt"),
+      SumOf(BindExpr(Col("v"), *schema_).ValueOrDie(), "sv"),
+      SumOf(BindExpr(Col("d"), *schema_).ValueOrDie(), "sd"),
+      AvgOf(BindExpr(Col("d"), *schema_).ValueOrDie(), "ad"),
+      MinOf(BindExpr(Col("v"), *schema_).ValueOrDie(), "mn"),
+      MaxOf(BindExpr(Col("v"), *schema_).ValueOrDie(), "mx")};
+  SchemaPtr out = Schema::Make({{"cnt", TypeId::kInt64, false},
+                                {"sv", TypeId::kInt64, true},
+                                {"sd", TypeId::kFloat64, true},
+                                {"ad", TypeId::kFloat64, true},
+                                {"mn", TypeId::kInt64, true},
+                                {"mx", TypeId::kInt64, true}});
+  IndexedScanAggregateOp agg(rel_, pred_, Pushed(), {}, aggs, out);
+
+  vec_->metrics().Reset();
+  RowVec with_vec = CollectRows(agg.Execute(vec_->exec()).ValueOrDie());
+  // Every surviving row accumulates straight off the payload lanes.
+  EXPECT_GT(vec_->metrics().rows_filtered_vectorized(), 0u);
+  EXPECT_GT(vec_->metrics().rows_aggregated_encoded(), 0u);
+
+  RowVec without = CollectRows(agg.Execute(scalar_->exec()).ValueOrDie());
+  ASSERT_EQ(with_vec.size(), 1u);
+  EXPECT_EQ(with_vec, without);  // SUM/AVG doubles must be bit-identical
+}
+
+TEST_F(VectorizedOperatorTest, JoinBuildFilterMatchesScalarOnAllProbePaths) {
+  // Probe keys cycle over the build domain; duplicate build keys force
+  // multi-link chains so one probe yields several build candidates.
+  SchemaPtr probe_schema = Schema::Make(
+      {{"fk", TypeId::kInt64, false}, {"seq", TypeId::kInt64, false}});
+  RowVec probe_rows;
+  for (int64_t i = 0; i < 6000; ++i) {
+    probe_rows.push_back({Value(i % (kRows + 200)), Value(i)});
+  }
+  ExprPtr build_pred =
+      BindExpr(Lt(Col("g"), Lit(Value(int64_t{32}))), *schema_).ValueOrDie();
+  PushedFilter build_filter =
+      PushedFilter::FromSplit(SplitForCompilation(build_pred, *schema_));
+  SchemaPtr out_schema = Schema::Concat(*schema_, *probe_schema);
+
+  struct PathCase {
+    bool broadcast;
+    size_t binary_min;  // forces legacy row exchange when huge
+    const char* name;
+  };
+  const PathCase cases[] = {{true, 0, "broadcast"},
+                            {false, 0, "binary"},
+                            {false, 1u << 30, "legacy"}};
+  for (const PathCase& pc : cases) {
+    SessionPtr vec_session = MakeSession(true, pc.binary_min);
+    SessionPtr scalar_session = MakeSession(false, pc.binary_min);
+    RowVec results[2];
+    SessionPtr sessions[2] = {vec_session, scalar_session};
+    for (int which = 0; which < 2; ++which) {
+      SessionPtr& s = sessions[which];
+      auto probe_df =
+          s->CreateDataFrame(probe_schema, probe_rows, "probe").ValueOrDie();
+      auto probe_op = s->PlanQuery(probe_df.plan()).ValueOrDie();
+      ExprPtr probe_key = BindExpr(Col("fk"), *probe_schema).ValueOrDie();
+      IndexedJoinOp join(rel_, probe_op, probe_key, /*indexed_on_left=*/true,
+                         pc.broadcast, out_schema, build_filter);
+      s->metrics().Reset();
+      results[which] = CollectRows(join.Execute(s->exec()).ValueOrDie());
+    }
+    EXPECT_GT(vec_session->metrics().rows_filtered_vectorized(), 0u)
+        << pc.name;
+    EXPECT_EQ(scalar_session->metrics().rows_filtered_vectorized(), 0u)
+        << pc.name;
+    ASSERT_FALSE(results[0].empty()) << pc.name;
+    EXPECT_EQ(results[0], results[1]) << pc.name;
+  }
+}
+
+}  // namespace
+}  // namespace idf
