@@ -46,8 +46,16 @@ def main():
 
     try:
         base = load(args.baseline)
-    except OSError as e:
-        print(f"::warning::benchmark baseline missing ({e}); skipping diff")
+    except OSError:
+        # Not silent: a bench wired into the gate without a committed
+        # baseline compares against nothing, which reads as "pass" forever.
+        print(f"NO BASELINE COMMITTED for {args.current}: "
+              f"{args.baseline} does not exist, so this run was NOT checked "
+              f"for regressions.")
+        print(f"To enable the diff, run the benchmark once on a quiet "
+              f"machine and commit its JSON as {args.baseline}.")
+        print(f"::warning::no baseline committed at {args.baseline}; "
+              f"{args.current} was not checked for regressions")
         return 0
     cur = load(args.current)
 

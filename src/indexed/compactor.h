@@ -53,8 +53,14 @@ struct CompactionConfig {
 
   /// Minimum wait between two partition rewrites within one pass, yielding
   /// the core to query morsels in between; Stop() cuts the wait short.
-  /// 0 disables pacing.
-  std::chrono::microseconds partition_pacing{0};
+  /// 0 disables pacing. Defaults on: on hosts with fewer cores than the
+  /// append+query+compaction threads contending for them, back-to-back
+  /// partition rewrites otherwise monopolize a core for a whole pass and
+  /// invert the lookup p99 the compactor exists to improve (DESIGN.md
+  /// §11). 500us between rewrites costs a large fragmented pass a few
+  /// milliseconds of extra wall time and keeps reader tails flat even on
+  /// 1-core runners.
+  std::chrono::microseconds partition_pacing{500};
 };
 
 class Compactor {

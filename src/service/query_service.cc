@@ -33,9 +33,17 @@ Status ServiceConfig::Validate() const {
 QueryService::QueryService(ServiceConfig config, ExecutorContextPtr base_exec)
     : config_(std::move(config)),
       base_exec_(std::move(base_exec)),
-      snapshots_(std::make_unique<SnapshotManager>(base_exec_)) {}
+      snapshots_(std::make_unique<SnapshotManager>(base_exec_)),
+      views_(std::make_unique<MaterializedViewManager>(snapshots_.get(),
+                                                       base_exec_)) {
+  snapshots_->SetCommitSink(views_.get());
+}
 
-QueryService::~QueryService() { DisableCompaction(); }
+QueryService::~QueryService() {
+  DisableCompaction();
+  // Detach the delta feed before the view manager dies.
+  snapshots_->SetCommitSink(nullptr);
+}
 
 Result<QueryServicePtr> QueryService::Make(const ServiceConfig& config) {
   IDF_RETURN_NOT_OK(config.Validate());
@@ -55,7 +63,22 @@ Status QueryService::RegisterTable(const std::string& name,
 }
 
 Status QueryService::Append(const std::string& table, const RowVec& rows) {
-  return snapshots_->Append(table, rows);
+  IDF_RETURN_NOT_OK(snapshots_->Append(table, rows));
+  // Standing queries advance as part of the append path: the commit has
+  // already landed and its delta is queued, so even if a concurrent
+  // appender's pass picks it up first, this call just finds an empty
+  // queue.
+  if (views_->HasWork()) views_->Propagate();
+  return Status::OK();
+}
+
+Result<ViewSubscriptionPtr> QueryService::Subscribe(
+    const std::string& sql, ViewSubscription::Callback callback) {
+  return views_->Subscribe(sql, std::move(callback));
+}
+
+Status QueryService::Unsubscribe(const ViewSubscriptionPtr& sub) {
+  return views_->Unsubscribe(sub);
 }
 
 Status QueryService::EnableCompaction(const CompactionConfig& config) {
@@ -237,6 +260,13 @@ ServiceStats QueryService::Stats() const {
       stats.retired_pending += cs.retired_pending;
     }
   }
+  ViewManagerStats vs = views_->Stats();
+  stats.views_registered = vs.views_registered;
+  stats.view_subscribers = vs.view_subscribers;
+  stats.arrangements_shared = vs.arrangements_shared;
+  stats.deltas_propagated = vs.deltas_propagated;
+  stats.rows_maintained_incrementally = vs.rows_maintained_incrementally;
+  stats.views_recomputed = vs.views_recomputed;
   return stats;
 }
 
@@ -252,7 +282,14 @@ std::string ServiceStats::ToJson() const {
       << ", \"compactions_run\": " << compactions_run
       << ", \"chain_links_rewritten\": " << chain_links_rewritten
       << ", \"bytes_reclaimed\": " << bytes_reclaimed
-      << ", \"retired_pending\": " << retired_pending << "}";
+      << ", \"retired_pending\": " << retired_pending
+      << ", \"views_registered\": " << views_registered
+      << ", \"view_subscribers\": " << view_subscribers
+      << ", \"arrangements_shared\": " << arrangements_shared
+      << ", \"deltas_propagated\": " << deltas_propagated
+      << ", \"rows_maintained_incrementally\": "
+      << rows_maintained_incrementally
+      << ", \"views_recomputed\": " << views_recomputed << "}";
   return out.str();
 }
 
@@ -268,7 +305,12 @@ std::string ServiceStats::ToString() const {
       << vector_batches_evaluated << " batches\n"
       << "compaction: " << compactions_run << " runs, "
       << chain_links_rewritten << " links rewritten, " << bytes_reclaimed
-      << " bytes reclaimed, " << retired_pending << " generations pending";
+      << " bytes reclaimed, " << retired_pending << " generations pending\n"
+      << "views: " << views_registered << " arrangements ("
+      << view_subscribers << " subscribers, " << arrangements_shared
+      << " shared), " << deltas_propagated << " deltas propagated, "
+      << rows_maintained_incrementally << " rows maintained, "
+      << views_recomputed << " recomputes";
   return out.str();
 }
 

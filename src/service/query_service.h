@@ -28,6 +28,7 @@
 #include "service/query_context.h"
 #include "service/snapshot_manager.h"
 #include "sql/session.h"
+#include "view/view_manager.h"
 
 namespace idf {
 
@@ -74,6 +75,14 @@ struct ServiceStats {
   uint64_t bytes_reclaimed = 0;
   uint64_t retired_pending = 0;  ///< generations waiting on pinned views
 
+  // Incremental view maintenance (zero unless Subscribe was called).
+  uint64_t views_registered = 0;  ///< live maintained arrangements
+  uint64_t view_subscribers = 0;  ///< live standing-query subscriptions
+  uint64_t arrangements_shared = 0;  ///< subscriptions that joined an existing arrangement
+  uint64_t deltas_propagated = 0;  ///< delta batches applied to views
+  uint64_t rows_maintained_incrementally = 0;  ///< delta rows folded into resident view state
+  uint64_t views_recomputed = 0;  ///< full recompute passes (fallback shapes)
+
   std::string ToJson() const;
   std::string ToString() const;
 };
@@ -110,6 +119,19 @@ class QueryService {
   /// generations are released; pinned views keep their data alive).
   void DisableCompaction();
 
+  /// Registers a standing query: the result is maintained incrementally
+  /// from append deltas and readable lock-free via the subscription's
+  /// Snapshot(). Subscriptions with the same plan share one maintained
+  /// arrangement. The optional callback fires after every new publish.
+  Result<ViewSubscriptionPtr> Subscribe(
+      const std::string& sql, ViewSubscription::Callback callback = nullptr);
+
+  /// Detaches a standing query (the shared arrangement is torn down with
+  /// its last subscriber).
+  Status Unsubscribe(const ViewSubscriptionPtr& sub);
+
+  MaterializedViewManager& views() { return *views_; }
+
   ServiceStats Stats() const;
 
   SnapshotManager& snapshots() { return *snapshots_; }
@@ -138,6 +160,7 @@ class QueryService {
   ServiceConfig config_;
   ExecutorContextPtr base_exec_;
   std::unique_ptr<SnapshotManager> snapshots_;
+  std::unique_ptr<MaterializedViewManager> views_;
 
   mutable std::mutex compaction_mu_;  // guards compactors_
   std::vector<std::unique_ptr<Compactor>> compactors_;

@@ -59,7 +59,18 @@ Status SnapshotManager::Append(const std::string& table, const RowVec& rows) {
   } else {
     IDF_RETURN_NOT_OK(entry.indexes.front()->AppendRows(*exec_, rows));
   }
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  CommitSink* sink = sink_.load(std::memory_order_acquire);
+  if (sink != nullptr && sink->wants_deltas()) {
+    // Copy before the commit mutex: other appenders stay concurrent while
+    // the batch is duplicated; only the bump+enqueue pair is serialized,
+    // which is what keeps the sink's queue in epoch order without gaps.
+    auto delta = std::make_shared<const RowVec>(rows);
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    sink->OnCommit(table, std::move(delta), epoch);
+  } else {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
   return Status::OK();
 }
 
@@ -107,6 +118,22 @@ std::vector<IndexedRelationPtr> SnapshotManager::Relations() const {
     out.insert(out.end(), entry.indexes.begin(), entry.indexes.end());
   }
   return out;
+}
+
+std::vector<TableInfo> SnapshotManager::TableInfos() const {
+  std::shared_lock<std::shared_mutex> lock(gate_);
+  std::vector<TableInfo> infos;
+  infos.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) {
+    TableInfo info;
+    info.name = name;
+    info.schema = entry.indexes.front()->schema();
+    for (const IndexedRelationPtr& rel : entry.indexes) {
+      info.indexed_columns.push_back(rel->indexed_column());
+    }
+    infos.push_back(std::move(info));
+  }
+  return infos;
 }
 
 std::vector<std::string> SnapshotManager::TableNames() const {

@@ -64,10 +64,45 @@ struct ServiceSnapshot {
   }
 };
 
+/// Registered schema/index shape of one table (planning metadata for the
+/// view subsystem: no pins, no data).
+struct TableInfo {
+  std::string name;
+  SchemaPtr schema;
+  std::vector<int> indexed_columns;  // one ordinal per index
+};
+
 class SnapshotManager {
  public:
+  /// \brief Observer of committed append batches (the delta feed of the
+  /// materialized-view subsystem).
+  ///
+  /// When a sink is installed and `wants_deltas()`, every Append commit
+  /// hands it the batch's rows tagged with the epoch that commit produced.
+  /// OnCommit calls are serialized and arrive in strict epoch order (a
+  /// small commit mutex covers the epoch bump and the callback), so the
+  /// sink sees a gap-free, ordered delta stream. The callback runs inside
+  /// the shared gate section on the appender's thread: it must be quick
+  /// (enqueue, don't process) and must never call back into the manager.
+  class CommitSink {
+   public:
+    virtual ~CommitSink() = default;
+    /// Polled before capturing a delta; false skips the copy and the
+    /// commit mutex entirely (zero overhead while no view is live).
+    virtual bool wants_deltas() const = 0;
+    virtual void OnCommit(const std::string& table,
+                          std::shared_ptr<const RowVec> rows,
+                          uint64_t epoch) = 0;
+  };
+
   /// `exec` powers the parallel append path (partition fan-out).
   explicit SnapshotManager(ExecutorContextPtr exec) : exec_(std::move(exec)) {}
+
+  /// Installs (or clears, with nullptr) the commit sink. Not owned; the
+  /// sink must outlive all Append calls.
+  void SetCommitSink(CommitSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
 
   /// Registers a single-index table. Names must be unique.
   Status RegisterTable(const std::string& name, IndexedRelationPtr relation);
@@ -91,6 +126,10 @@ class SnapshotManager {
 
   std::vector<std::string> TableNames() const;
 
+  /// Name, schema, and indexed-column ordinals of every registered table
+  /// (the planning metadata Subscribe() needs — no pinning involved).
+  std::vector<TableInfo> TableInfos() const;
+
   /// Every registered IndexedRelation (one per index of every table), for
   /// maintenance machinery such as the Compactor.
   std::vector<IndexedRelationPtr> Relations() const;
@@ -110,6 +149,12 @@ class SnapshotManager {
   mutable std::shared_mutex gate_;
   std::atomic<uint64_t> epoch_{0};
   std::map<std::string, Entry> tables_;
+
+  // Delta feed. `commit_mu_` makes {epoch bump, OnCommit} atomic so the
+  // sink's delta stream is ordered exactly like the epochs; it is taken
+  // only when a sink wants deltas, so the plain append path is unchanged.
+  std::atomic<CommitSink*> sink_{nullptr};
+  std::mutex commit_mu_;
 
   // Epoch-keyed pin cache (separate tiny lock: held only for a pointer
   // compare/copy, never while pinning or appending). Invalidated by

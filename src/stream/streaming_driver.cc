@@ -102,7 +102,9 @@ Result<StreamingReport> RunStreamingWorkload(
     std::optional<RowVec> batch = queue.Pop();
     if (!batch.has_value()) break;
     auto a0 = Clock::now();
-    Status st = idf.AppendRowsDirect(*batch);
+    Status st = config.append_override != nullptr
+                    ? config.append_override(*batch)
+                    : idf.AppendRowsDirect(*batch);
     auto a1 = Clock::now();
     if (!st.ok()) {
       record_error(st);

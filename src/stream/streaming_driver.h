@@ -36,6 +36,11 @@ struct StreamingConfig {
   int num_query_threads = 1;
   /// Delay between queries per thread (0 = back-to-back).
   size_t query_pause_micros = 0;
+  /// When set, the appender commits each batch through this instead of
+  /// writing to the IndexedDataFrame directly. Used to route the stream
+  /// through an epoch-gated path — e.g. QueryService::Append, so standing
+  /// queries (src/view) see every commit as a delta.
+  std::function<Status(const RowVec&)> append_override;
 };
 
 struct StreamingReport {

@@ -1,0 +1,248 @@
+#include "view/view_plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "types/value.h"
+
+namespace idf {
+
+std::string ViewKindToString(ViewKind kind) {
+  switch (kind) {
+    case ViewKind::kSelect:
+      return "select";
+    case ViewKind::kAggregate:
+      return "aggregate";
+    case ViewKind::kJoin:
+      return "join";
+    case ViewKind::kRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+std::string PlanFingerprint(const LogicalPlanPtr& analyzed) {
+  return analyzed->TreeString();
+}
+
+namespace {
+
+void CollectScanTables(const LogicalPlanPtr& plan,
+                       std::vector<std::string>* out) {
+  if (plan->kind() == PlanKind::kScan) {
+    out->push_back(static_cast<const ScanNode*>(plan.get())->table()->name);
+  }
+  for (const LogicalPlanPtr& c : plan->children()) CollectScanTables(c, out);
+}
+
+void Dedup(std::vector<std::string>* names) {
+  std::unordered_set<std::string> seen;
+  names->erase(std::remove_if(names->begin(), names->end(),
+                              [&](const std::string& n) {
+                                return !seen.insert(n).second;
+                              }),
+               names->end());
+}
+
+/// Matches Scan(t) or Filter(Scan(t)); fills `out` on success.
+bool MatchInput(const LogicalPlanPtr& plan, ViewInput* out) {
+  const LogicalPlan* scan = plan.get();
+  ExprPtr predicate;
+  if (plan->kind() == PlanKind::kFilter) {
+    predicate = static_cast<const FilterNode*>(plan.get())->predicate();
+    scan = plan->children()[0].get();
+  }
+  if (scan->kind() != PlanKind::kScan) return false;
+  out->table = static_cast<const ScanNode*>(scan)->table()->name;
+  out->schema = scan->output_schema();
+  out->predicate = std::move(predicate);
+  return true;
+}
+
+}  // namespace
+
+Result<ViewSpec> BuildViewSpec(const std::string& sql,
+                               const LogicalPlanPtr& analyzed) {
+  if (!analyzed || !analyzed->analyzed()) {
+    return Status::Internal("BuildViewSpec requires an analyzed plan");
+  }
+  ViewSpec spec;
+  spec.sql = sql;
+  spec.fingerprint = PlanFingerprint(analyzed);
+  spec.output_schema = analyzed->output_schema();
+  CollectScanTables(analyzed, &spec.tables);
+  Dedup(&spec.tables);
+
+  // Peel publish-time operators off the top until a core candidate remains.
+  // A Filter is part of the core only when it sits directly on a Scan.
+  LogicalPlanPtr core = analyzed;
+  std::vector<ViewPostOp> post;  // collected outermost-first
+  for (bool peeled = true; peeled;) {
+    peeled = false;
+    switch (core->kind()) {
+      case PlanKind::kLimit: {
+        const auto* n = static_cast<const LimitNode*>(core.get());
+        post.push_back(ViewPostOp{ViewPostOp::kLimit, nullptr, {}, {}, n->n()});
+        core = core->children()[0];
+        peeled = true;
+        break;
+      }
+      case PlanKind::kTopK: {
+        const auto* n = static_cast<const TopKNode*>(core.get());
+        post.push_back(ViewPostOp{ViewPostOp::kLimit, nullptr, {}, {}, n->n()});
+        post.push_back(ViewPostOp{ViewPostOp::kSort, nullptr, {}, n->keys(), 0});
+        core = core->children()[0];
+        peeled = true;
+        break;
+      }
+      case PlanKind::kSort: {
+        const auto* n = static_cast<const SortNode*>(core.get());
+        post.push_back(ViewPostOp{ViewPostOp::kSort, nullptr, {}, n->keys(), 0});
+        core = core->children()[0];
+        peeled = true;
+        break;
+      }
+      case PlanKind::kProject: {
+        const auto* n = static_cast<const ProjectNode*>(core.get());
+        post.push_back(
+            ViewPostOp{ViewPostOp::kProject, nullptr, n->exprs(), {}, 0});
+        core = core->children()[0];
+        peeled = true;
+        break;
+      }
+      case PlanKind::kFilter: {
+        if (core->children()[0]->kind() == PlanKind::kScan) break;
+        const auto* n = static_cast<const FilterNode*>(core.get());
+        post.push_back(
+            ViewPostOp{ViewPostOp::kFilter, n->predicate(), {}, {}, 0});
+        core = core->children()[0];
+        peeled = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::reverse(post.begin(), post.end());  // innermost-first for apply
+  spec.post = std::move(post);
+  spec.core_schema = core->output_schema();
+
+  switch (core->kind()) {
+    case PlanKind::kScan:
+    case PlanKind::kFilter:
+      if (MatchInput(core, &spec.input)) {
+        spec.kind = ViewKind::kSelect;
+        return spec;
+      }
+      break;
+    case PlanKind::kAggregate: {
+      const auto* agg = static_cast<const AggregateNode*>(core.get());
+      if (!MatchInput(core->children()[0], &spec.input)) break;
+      spec.kind = ViewKind::kAggregate;
+      spec.group_exprs = agg->group_exprs();
+      spec.aggs = agg->aggs();
+      const Schema& out = *core->output_schema();
+      for (size_t a = 0; a < spec.aggs.size(); ++a) {
+        spec.agg_out_types.push_back(
+            out.field(spec.group_exprs.size() + a).type);
+      }
+      return spec;
+    }
+    case PlanKind::kJoin: {
+      const auto* join = static_cast<const JoinNode*>(core.get());
+      if (join->join_type() != JoinType::kInner) break;
+      if (join->left_key()->kind() != ExprKind::kColumnRef ||
+          join->right_key()->kind() != ExprKind::kColumnRef) {
+        break;
+      }
+      const auto* lk = static_cast<const ColumnRefExpr*>(join->left_key().get());
+      const auto* rk =
+          static_cast<const ColumnRefExpr*>(join->right_key().get());
+      if (!lk->bound() || !rk->bound()) break;
+      if (!MatchInput(join->left(), &spec.left) ||
+          !MatchInput(join->right(), &spec.right)) {
+        break;
+      }
+      spec.kind = ViewKind::kJoin;
+      spec.left_key_col = lk->index();
+      spec.right_key_col = rk->index();
+      return spec;
+    }
+    default:
+      break;
+  }
+
+  // Unsupported shape: maintain by recomputation against each new epoch.
+  spec.kind = ViewKind::kRecompute;
+  spec.core_schema = spec.output_schema;
+  spec.post.clear();
+  return spec;
+}
+
+Status ApplyPostOps(const std::vector<ViewPostOp>& post, RowVec* rows) {
+  for (const ViewPostOp& op : post) {
+    switch (op.kind) {
+      case ViewPostOp::kFilter: {
+        RowVec kept;
+        kept.reserve(rows->size());
+        for (Row& row : *rows) {
+          IDF_ASSIGN_OR_RETURN(Value v, op.predicate->Eval(row));
+          if (v.is_bool() && v.bool_value()) {
+            kept.push_back(std::move(row));
+          }
+        }
+        *rows = std::move(kept);
+        break;
+      }
+      case ViewPostOp::kProject: {
+        RowVec projected;
+        projected.reserve(rows->size());
+        for (const Row& row : *rows) {
+          Row out;
+          out.reserve(op.exprs.size());
+          for (const ExprPtr& e : op.exprs) {
+            IDF_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+            out.push_back(std::move(v));
+          }
+          projected.push_back(std::move(out));
+        }
+        *rows = std::move(projected);
+        break;
+      }
+      case ViewPostOp::kSort: {
+        // Same comparator as SortOp: per-key Value ordering (nulls first),
+        // ties keep input order (stable).
+        std::vector<std::pair<Row, Row>> keyed;  // (sort key values, row)
+        keyed.reserve(rows->size());
+        for (Row& row : *rows) {
+          Row keys;
+          keys.reserve(op.keys.size());
+          for (const SortKey& k : op.keys) {
+            IDF_ASSIGN_OR_RETURN(Value v, k.expr->Eval(row));
+            keys.push_back(std::move(v));
+          }
+          keyed.emplace_back(std::move(keys), std::move(row));
+        }
+        std::stable_sort(keyed.begin(), keyed.end(),
+                         [&](const auto& a, const auto& b) {
+                           for (size_t i = 0; i < op.keys.size(); ++i) {
+                             const Value& va = a.first[i];
+                             const Value& vb = b.first[i];
+                             if (va < vb) return op.keys[i].ascending;
+                             if (vb < va) return !op.keys[i].ascending;
+                           }
+                           return false;
+                         });
+        rows->clear();
+        for (auto& [keys, row] : keyed) rows->push_back(std::move(row));
+        break;
+      }
+      case ViewPostOp::kLimit:
+        if (rows->size() > op.limit) rows->resize(op.limit);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace idf

@@ -1,0 +1,102 @@
+// Standing-query plan analysis: classifies an analyzed logical plan into a
+// maintainable ViewSpec — the shape the incremental maintenance pass knows
+// how to advance delta-at-a-time — and derives the normalized fingerprint
+// that lets subscribers with the same plan share one maintained
+// arrangement (Shared Arrangements, McSherry et al.).
+//
+// Maintainable cores (everything append-only; the store never deletes):
+//
+//   kSelect     Filter?(Scan(t))             — maintained result rows; the
+//               filter runs compiled/vectorized over the encoded delta.
+//   kAggregate  Aggregate(Filter?(Scan(t)))  — resident GroupStateMap,
+//               +delta merges via aggregate_common's state kernels.
+//   kJoin       Join(Filter?(Scan(a)), Filter?(Scan(b))) — inner equi-join
+//               on plain columns; deltas probe the other side's pinned
+//               cTrie index instead of rebuilding either side.
+//
+// Above the core, any stack of Filter (HAVING) / Project / Sort / TopK /
+// Limit is peeled into a publish-time post-op pipeline (those operators
+// are cheap over the maintained result and don't affect the delta math).
+// Every other shape degrades to kRecompute: the subscription still works,
+// but each commit re-executes the query against the fresh epoch pin —
+// correct, just not incremental (ViewManager counts these separately).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/logical_plan.h"
+#include "sql/predicate_compiler.h"
+
+namespace idf {
+
+enum class ViewKind : uint8_t { kSelect, kAggregate, kJoin, kRecompute };
+
+std::string ViewKindToString(ViewKind kind);
+
+/// One base-table input of a maintainable core: the scan plus the optional
+/// predicate bound to the table schema (the compiled/vectorized filter of
+/// the delta path is built from it at subscribe time).
+struct ViewInput {
+  std::string table;
+  SchemaPtr schema;
+  ExprPtr predicate;  // bound to `schema`; null = keep every row
+};
+
+/// One publish-time operator peeled from above the core, applied
+/// innermost-first to the maintained result on every snapshot build.
+struct ViewPostOp {
+  enum Kind : uint8_t { kFilter, kProject, kSort, kLimit } kind;
+  ExprPtr predicate;                // kFilter (e.g. HAVING)
+  std::vector<ExprPtr> exprs;       // kProject
+  std::vector<SortKey> keys;        // kSort
+  size_t limit = 0;                 // kLimit
+};
+
+/// A classified standing query.
+struct ViewSpec {
+  ViewKind kind = ViewKind::kRecompute;
+  std::string sql;          // original text (re-executed by kRecompute)
+  std::string fingerprint;  // normalized analyzed-plan rendering
+  SchemaPtr output_schema;  // final schema (after post-ops)
+  SchemaPtr core_schema;    // schema of the maintained core result
+
+  /// Tables whose commits touch this view (deduplicated).
+  std::vector<std::string> tables;
+
+  // kSelect / kAggregate:
+  ViewInput input;
+
+  // kAggregate (exprs bound to the table schema):
+  std::vector<ExprPtr> group_exprs;
+  std::vector<AggSpec> aggs;
+  std::vector<TypeId> agg_out_types;
+
+  // kJoin:
+  ViewInput left, right;
+  int left_key_col = -1;   // ordinal in left.schema
+  int right_key_col = -1;  // ordinal in right.schema
+
+  std::vector<ViewPostOp> post;  // innermost (closest to core) first
+};
+
+/// Classifies `analyzed` (a fully analyzed plan whose leaves are ScanNodes
+/// of registered tables). Never fails on shape — unsupported shapes come
+/// back as kRecompute; errors are reserved for malformed plans.
+Result<ViewSpec> BuildViewSpec(const std::string& sql,
+                               const LogicalPlanPtr& analyzed);
+
+/// Deterministic rendering of an analyzed plan, used as the arrangement
+/// sharing key. Two subscriptions share one arrangement iff their analyzed
+/// plans render identically (the analyzer normalizes name binding, so
+/// textual variations like aliasing collapse; commutations like
+/// `1 = a` vs `a = 1` do not — they maintain separate arrangements).
+std::string PlanFingerprint(const LogicalPlanPtr& analyzed);
+
+/// Applies a view's post-op pipeline to `rows` (in place). `core_schema`
+/// is the pipeline's input schema; evaluation errors abort the publish.
+Status ApplyPostOps(const std::vector<ViewPostOp>& post, RowVec* rows);
+
+}  // namespace idf

@@ -1,0 +1,572 @@
+// Differential tests for the standing-query subsystem (src/view): after
+// any interleaving of appends, a subscription's incrementally maintained
+// snapshot must be byte-equal to a from-scratch execution of the same SQL
+// against the current epoch — across every maintenance strategy (compiled
+// select, grouped and global aggregate, indexed join, recompute fallback),
+// NULL-bearing group and join keys, post-ops (HAVING / ORDER BY / LIMIT),
+// arrangement sharing, and concurrent subscribe/unsubscribe while an
+// appender commits. Runs under TSan in CI.
+#include <atomic>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "indexed/indexed_dataframe.h"
+#include "service/query_service.h"
+#include "sql/session.h"
+#include "types/row.h"
+
+namespace idf {
+namespace {
+
+SchemaPtr OrdersSchema() {
+  return Schema::Make({{"oid", TypeId::kInt64, false},
+                       {"user_id", TypeId::kInt64, true},  // nullable join key
+                       {"amount", TypeId::kInt64, false},
+                       {"status", TypeId::kString, true}});  // nullable group key
+}
+
+SchemaPtr UsersSchema() {
+  return Schema::Make({{"uid", TypeId::kInt64, true},  // nullable join key
+                       {"name", TypeId::kString, false}});
+}
+
+/// Service with two indexed tables: orders (indexed on user_id) and users
+/// (indexed on uid) — both join columns indexed, so join views maintain
+/// incrementally instead of degrading to recompute.
+QueryServicePtr MakeViewService() {
+  ServiceConfig cfg;
+  cfg.engine.num_threads = 2;
+  cfg.engine.num_partitions = 4;
+  auto service = QueryService::Make(cfg).ValueOrDie();
+  auto session = Session::Make(cfg.engine).ValueOrDie();
+  auto odf = session->CreateDataFrame(OrdersSchema(), {}, "orders").ValueOrDie();
+  auto orel = IndexedDataFrame::CreateIndex(odf, 1, "orders_by_user")
+                  .ValueOrDie()
+                  .relation();
+  EXPECT_TRUE(service->RegisterTable("orders", orel).ok());
+  auto udf = session->CreateDataFrame(UsersSchema(), {}, "users").ValueOrDie();
+  auto urel =
+      IndexedDataFrame::CreateIndex(udf, 0, "users_by_uid").ValueOrDie().relation();
+  EXPECT_TRUE(service->RegisterTable("users", urel).ok());
+  return service;
+}
+
+/// Deterministic random order rows; ~1/8 NULL user_id, ~1/8 NULL status.
+RowVec RandomOrders(std::mt19937* rng, int64_t* next_oid, size_t n) {
+  static const char* kStatuses[] = {"new", "paid", "shipped"};
+  RowVec rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Value user = ((*rng)() % 8 == 0)
+                     ? Value::Null()
+                     : Value(static_cast<int64_t>((*rng)() % 20));
+    Value status = ((*rng)() % 8 == 0)
+                       ? Value::Null()
+                       : Value(kStatuses[(*rng)() % 3]);
+    rows.push_back({Value((*next_oid)++),
+                    user,
+                    Value(static_cast<int64_t>((*rng)() % 100)),
+                    status});
+  }
+  return rows;
+}
+
+/// Deterministic random user rows; ~1/8 NULL uid (stored but unindexed —
+/// inner joins must never match them).
+RowVec RandomUsers(std::mt19937* rng, int64_t* next_uid, size_t n) {
+  RowVec rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Value uid =
+        ((*rng)() % 8 == 0) ? Value::Null() : Value((*next_uid)++);
+    std::string name("u");
+    name += std::to_string((*next_uid)++);
+    rows.push_back({uid, Value(std::move(name))});
+  }
+  return rows;
+}
+
+/// The differential oracle: the maintained snapshot must equal a
+/// from-scratch execution of the subscription's own SQL at the current
+/// epoch. `ordered` compares row-for-row (ORDER BY views); otherwise both
+/// sides are canonicalized with SortRows.
+::testing::AssertionResult MatchesRecompute(QueryService* service,
+                                            const ViewSubscriptionPtr& sub,
+                                            bool ordered = false) {
+  QueryResult full = service->Execute(sub->sql());
+  if (!full.ok()) {
+    return ::testing::AssertionFailure()
+           << "recompute failed: " << full.status.ToString();
+  }
+  ViewSnapshotPtr snap = sub->Snapshot();
+  if (snap == nullptr || snap->rows == nullptr) {
+    return ::testing::AssertionFailure() << "null snapshot";
+  }
+  RowVec got = *snap->rows;
+  RowVec want = std::move(full.rows);
+  if (!ordered) {
+    SortRows(&got);
+    SortRows(&want);
+  }
+  if (got.size() != want.size()) {
+    return ::testing::AssertionFailure()
+           << "row count: maintained=" << got.size()
+           << " recomputed=" << want.size() << " for \"" << sub->sql() << '"';
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (!(got[i] == want[i])) {
+      return ::testing::AssertionFailure()
+             << "row " << i << ": maintained=" << RowToString(got[i])
+             << " recomputed=" << RowToString(want[i]) << " for \""
+             << sub->sql() << '"';
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(MaterializedViewTest, SelectViewTracksAppendsIncrementally) {
+  auto service = MakeViewService();
+  auto sub = service
+                 ->Subscribe(
+                     "SELECT oid, amount FROM orders "
+                     "WHERE amount > 50 AND status = 'paid'")
+                 .ValueOrDie();
+  EXPECT_EQ(sub->kind(), ViewKind::kSelect);
+  EXPECT_TRUE(MatchesRecompute(service.get(), sub));  // empty table
+
+  std::mt19937 rng(7);
+  int64_t oid = 0;
+  for (int pass = 0; pass < 8; ++pass) {
+    ASSERT_TRUE(
+        service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 40))
+            .ok());
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  }
+  ServiceStats stats = service->Stats();
+  EXPECT_GT(stats.deltas_propagated, 0u);
+  EXPECT_GT(stats.rows_maintained_incrementally, 0u);
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, GroupedAggregateWithNullKeysMatchesRecompute) {
+  auto service = MakeViewService();
+  auto sub = service
+                 ->Subscribe(
+                     "SELECT status, COUNT(*), SUM(amount) FROM orders "
+                     "GROUP BY status")
+                 .ValueOrDie();
+  EXPECT_EQ(sub->kind(), ViewKind::kAggregate);
+
+  std::mt19937 rng(11);
+  int64_t oid = 0;
+  for (int pass = 0; pass < 8; ++pass) {
+    ASSERT_TRUE(
+        service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 30))
+            .ok());
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  }
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, GlobalAggregateCorrectFromEmptyTableOnward) {
+  auto service = MakeViewService();
+  auto sub =
+      service->Subscribe("SELECT COUNT(*), SUM(amount) FROM orders")
+          .ValueOrDie();
+  EXPECT_EQ(sub->kind(), ViewKind::kAggregate);
+  // Empty table: one default row (COUNT 0), same as the from-scratch plan.
+  ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  ASSERT_EQ(sub->Snapshot()->rows->size(), 1u);
+  EXPECT_EQ((*sub->Snapshot()->rows)[0][0].int64_value(), 0);
+
+  std::mt19937 rng(13);
+  int64_t oid = 0;
+  for (int pass = 0; pass < 5; ++pass) {
+    ASSERT_TRUE(
+        service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 25))
+            .ok());
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  }
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, JoinViewWithNullKeysMatchesRecompute) {
+  auto service = MakeViewService();
+  auto sub = service
+                 ->Subscribe(
+                     "SELECT o.oid, u.name FROM orders o "
+                     "JOIN users u ON o.user_id = u.uid")
+                 .ValueOrDie();
+  // Both join columns are indexed, so the view maintains incrementally.
+  EXPECT_EQ(sub->kind(), ViewKind::kJoin);
+
+  std::mt19937 rng(17);
+  int64_t oid = 0, uid = 0;
+  for (int pass = 0; pass < 10; ++pass) {
+    // Interleave sides, sometimes both in one pass (same-pass cross
+    // deltas must count exactly once), with NULL keys on both sides.
+    if (pass % 3 != 1) {
+      ASSERT_TRUE(
+          service->Append("users", RandomUsers(&rng, &uid, 1 + rng() % 6))
+              .ok());
+    }
+    if (pass % 3 != 2) {
+      ASSERT_TRUE(
+          service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 20))
+              .ok());
+    }
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  }
+  // The incremental join path must have survived every pass (a
+  // maintenance error would silently degrade to recompute and still
+  // satisfy the differential check).
+  EXPECT_EQ(service->views().Stats().maintenance_errors, 0u);
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, JoinWithResidualWhereRunsAsPostOp) {
+  auto service = MakeViewService();
+  auto sub = service
+                 ->Subscribe(
+                     "SELECT o.oid, u.name FROM orders o "
+                     "JOIN users u ON o.user_id = u.uid "
+                     "WHERE o.amount > 40")
+                 .ValueOrDie();
+  std::mt19937 rng(19);
+  int64_t oid = 0, uid = 0;
+  ASSERT_TRUE(service->Append("users", RandomUsers(&rng, &uid, 15)).ok());
+  for (int pass = 0; pass < 6; ++pass) {
+    ASSERT_TRUE(
+        service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 20))
+            .ok());
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  }
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, RecomputeFallbackStaysCorrect) {
+  auto service = MakeViewService();
+  // Aggregate over a join has no incremental strategy: classified as
+  // recompute and re-executed against each new epoch.
+  auto sub = service
+                 ->Subscribe(
+                     "SELECT u.name, COUNT(*) FROM orders o "
+                     "JOIN users u ON o.user_id = u.uid GROUP BY u.name")
+                 .ValueOrDie();
+  EXPECT_EQ(sub->kind(), ViewKind::kRecompute);
+
+  std::mt19937 rng(23);
+  int64_t oid = 0, uid = 0;
+  ASSERT_TRUE(service->Append("users", RandomUsers(&rng, &uid, 10)).ok());
+  for (int pass = 0; pass < 4; ++pass) {
+    ASSERT_TRUE(
+        service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 15))
+            .ok());
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  }
+  EXPECT_GT(service->Stats().views_recomputed, 0u);
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, HavingOrderByLimitPostOpsMatchOrdered) {
+  auto service = MakeViewService();
+  // Deterministic data so sort keys are distinct (no tie ambiguity in the
+  // ordered comparison): per-status totals 3*70, 2*80, 1*90.
+  RowVec rows;
+  int64_t oid = 0;
+  for (int i = 0; i < 3; ++i) rows.push_back({Value(oid++), Value(int64_t{1}), Value(int64_t{70}), Value("new")});
+  for (int i = 0; i < 2; ++i) rows.push_back({Value(oid++), Value(int64_t{2}), Value(int64_t{80}), Value("paid")});
+  rows.push_back({Value(oid++), Value(int64_t{3}), Value(int64_t{90}), Value("shipped")});
+  auto sub = service
+                 ->Subscribe(
+                     "SELECT status, SUM(amount) AS total FROM orders "
+                     "GROUP BY status HAVING COUNT(*) > 1 "
+                     "ORDER BY total DESC LIMIT 2")
+                 .ValueOrDie();
+  ASSERT_TRUE(service->Append("orders", rows).ok());
+  ASSERT_TRUE(MatchesRecompute(service.get(), sub, /*ordered=*/true));
+  auto snap = sub->Snapshot();
+  ASSERT_EQ(snap->rows->size(), 2u);  // HAVING drops 'shipped', LIMIT 2
+  EXPECT_EQ((*snap->rows)[0][0].string_value(), "new");     // 210
+  EXPECT_EQ((*snap->rows)[1][0].string_value(), "paid");    // 160
+
+  // Push 'paid' past 'new': incremental state must re-rank on publish.
+  ASSERT_TRUE(service
+                  ->Append("orders", {{Value(oid++), Value(int64_t{2}),
+                                       Value(int64_t{99}), Value("paid")}})
+                  .ok());
+  ASSERT_TRUE(MatchesRecompute(service.get(), sub, /*ordered=*/true));
+  EXPECT_EQ((*sub->Snapshot()->rows)[0][0].string_value(), "paid");  // 259
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, MidStreamSubscribeSeesExistingRows) {
+  auto service = MakeViewService();
+  std::mt19937 rng(29);
+  int64_t oid = 0;
+  ASSERT_TRUE(service->Append("orders", RandomOrders(&rng, &oid, 50)).ok());
+
+  auto sub =
+      service->Subscribe("SELECT status, COUNT(*) FROM orders GROUP BY status")
+          .ValueOrDie();
+  // The initial state is built from an epoch pin, not from future deltas.
+  ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+
+  ASSERT_TRUE(service->Append("orders", RandomOrders(&rng, &oid, 30)).ok());
+  ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+
+  // A join subscribed over already-populated tables seeds its state from
+  // the pin (left rows probe the right index at subscribe time).
+  int64_t uid = 0;
+  ASSERT_TRUE(service->Append("users", RandomUsers(&rng, &uid, 12)).ok());
+  auto join_sub = service
+                      ->Subscribe(
+                          "SELECT o.oid, u.name FROM orders o "
+                          "JOIN users u ON o.user_id = u.uid")
+                      .ValueOrDie();
+  EXPECT_EQ(join_sub->kind(), ViewKind::kJoin);
+  ASSERT_TRUE(MatchesRecompute(service.get(), join_sub));
+  ASSERT_TRUE(service->Append("orders", RandomOrders(&rng, &oid, 20)).ok());
+  ASSERT_TRUE(service->Append("users", RandomUsers(&rng, &uid, 5)).ok());
+  ASSERT_TRUE(MatchesRecompute(service.get(), join_sub));
+  EXPECT_EQ(service->views().Stats().maintenance_errors, 0u);
+  ASSERT_TRUE(service->Unsubscribe(join_sub).ok());
+}
+
+TEST(MaterializedViewTest, IdenticalPlansShareOneArrangement) {
+  auto service = MakeViewService();
+  const std::string sql = "SELECT status, COUNT(*) FROM orders GROUP BY status";
+  auto a = service->Subscribe(sql).ValueOrDie();
+  // Same plan, different whitespace: fingerprints match.
+  auto b = service
+               ->Subscribe(
+                   "SELECT  status,  COUNT(*)  FROM orders  GROUP BY status")
+               .ValueOrDie();
+  auto c = service->Subscribe(sql).ValueOrDie();
+  EXPECT_EQ(service->views().num_views(), 1u);
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.views_registered, 1u);
+  EXPECT_EQ(stats.view_subscribers, 3u);
+  EXPECT_EQ(stats.arrangements_shared, 2u);
+
+  // A different plan gets its own arrangement.
+  auto d = service->Subscribe("SELECT COUNT(*) FROM orders").ValueOrDie();
+  EXPECT_EQ(service->views().num_views(), 2u);
+
+  // All subscribers observe the same maintained state.
+  std::mt19937 rng(31);
+  int64_t oid = 0;
+  ASSERT_TRUE(service->Append("orders", RandomOrders(&rng, &oid, 40)).ok());
+  EXPECT_EQ(*a->Snapshot()->rows, *b->Snapshot()->rows);
+  EXPECT_EQ(*a->Snapshot()->rows, *c->Snapshot()->rows);
+
+  // Teardown: the arrangement survives until its last subscriber leaves.
+  ASSERT_TRUE(service->Unsubscribe(a).ok());
+  ASSERT_TRUE(service->Unsubscribe(b).ok());
+  EXPECT_EQ(service->views().num_views(), 2u);
+  ASSERT_TRUE(service->Unsubscribe(c).ok());
+  EXPECT_EQ(service->views().num_views(), 1u);
+  EXPECT_FALSE(service->Unsubscribe(c).ok());  // already unsubscribed
+  ASSERT_TRUE(service->Unsubscribe(d).ok());
+  EXPECT_EQ(service->views().num_views(), 0u);
+
+  // A detached handle still serves its last snapshot (it just stops
+  // advancing).
+  EXPECT_NE(a->Snapshot(), nullptr);
+}
+
+TEST(MaterializedViewTest, CallbacksDeliverMonotonicVersions) {
+  auto service = MakeViewService();
+  std::vector<uint64_t> versions;
+  std::vector<uint64_t> epochs;
+  auto sub = service
+                 ->Subscribe("SELECT COUNT(*) FROM orders",
+                             [&](const ViewSnapshot& snap) {
+                               versions.push_back(snap.version);
+                               epochs.push_back(snap.epoch);
+                             })
+                 .ValueOrDie();
+  std::mt19937 rng(37);
+  int64_t oid = 0;
+  const int kAppends = 6;
+  for (int i = 0; i < kAppends; ++i) {
+    ASSERT_TRUE(service->Append("orders", RandomOrders(&rng, &oid, 5)).ok());
+  }
+  // Single-threaded appends: one publish (and one callback) per commit.
+  ASSERT_EQ(versions.size(), static_cast<size_t>(kAppends));
+  for (size_t i = 1; i < versions.size(); ++i) {
+    EXPECT_GT(versions[i], versions[i - 1]);
+    EXPECT_GT(epochs[i], epochs[i - 1]);
+  }
+  EXPECT_EQ(epochs.back(), service->epoch());
+  EXPECT_EQ(sub->Snapshot()->version, versions.back());
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, RandomizedInterleavingsAcrossAllViewKinds) {
+  auto service = MakeViewService();
+  std::mt19937 rng(41);
+  int64_t oid = 0, uid = 0;
+  ASSERT_TRUE(service->Append("users", RandomUsers(&rng, &uid, 8)).ok());
+
+  std::vector<ViewSubscriptionPtr> subs;
+  subs.push_back(
+      service->Subscribe("SELECT oid FROM orders WHERE amount > 30")
+          .ValueOrDie());
+  subs.push_back(service
+                     ->Subscribe(
+                         "SELECT user_id, COUNT(*), SUM(amount) FROM orders "
+                         "GROUP BY user_id")
+                     .ValueOrDie());
+  subs.push_back(service
+                     ->Subscribe(
+                         "SELECT o.oid, u.name FROM orders o "
+                         "JOIN users u ON o.user_id = u.uid")
+                     .ValueOrDie());
+  subs.push_back(service
+                     ->Subscribe(
+                         "SELECT u.name, SUM(o.amount) FROM orders o "
+                         "JOIN users u ON o.user_id = u.uid GROUP BY u.name")
+                     .ValueOrDie());
+
+  for (int step = 0; step < 30; ++step) {
+    if (rng() % 4 == 0) {
+      ASSERT_TRUE(
+          service->Append("users", RandomUsers(&rng, &uid, 1 + rng() % 4))
+              .ok());
+    } else {
+      ASSERT_TRUE(
+          service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 12))
+              .ok());
+    }
+    if (step == 10) {
+      // Mid-stream subscriber must converge with the rest.
+      subs.push_back(
+          service->Subscribe("SELECT status, MAX(amount) FROM orders "
+                             "GROUP BY status")
+              .ValueOrDie());
+    }
+    if (step % 5 == 4) {
+      for (const auto& sub : subs) {
+        ASSERT_TRUE(MatchesRecompute(service.get(), sub)) << "step " << step;
+      }
+    }
+  }
+  for (const auto& sub : subs) {
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+    ASSERT_TRUE(service->Unsubscribe(sub).ok());
+  }
+  EXPECT_EQ(service->views().num_views(), 0u);
+  // Planned recomputes (the aggregate-over-join view) are not errors;
+  // nothing may have degraded.
+  EXPECT_EQ(service->views().Stats().maintenance_errors, 0u);
+}
+
+TEST(MaterializedViewTest, ConcurrentSubscribeUnsubscribeWhileAppending) {
+  auto service = MakeViewService();
+  std::mt19937 seed_rng(43);
+  int64_t uid = 0;
+  ASSERT_TRUE(service->Append("users", RandomUsers(&seed_rng, &uid, 10)).ok());
+
+  // One subscription held for the whole run: the final differential check
+  // proves no delta was lost or double-applied under churn.
+  auto held = service
+                  ->Subscribe(
+                      "SELECT status, COUNT(*), SUM(amount) FROM orders "
+                      "GROUP BY status")
+                  .ValueOrDie();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> oid_counter{0};
+
+  std::thread appender([&] {
+    std::mt19937 rng(47);
+    for (int i = 0; i < 60; ++i) {
+      RowVec rows;
+      for (size_t r = 0; r < 1 + rng() % 8; ++r) {
+        rows.push_back({Value(oid_counter.fetch_add(1)),
+                        Value(static_cast<int64_t>(rng() % 10)),
+                        Value(static_cast<int64_t>(rng() % 100)),
+                        Value("s" + std::to_string(rng() % 3))});
+      }
+      ASSERT_TRUE(service->Append("orders", rows).ok());
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  // Churners subscribe, poll (versions must be monotone per handle),
+  // and unsubscribe — racing the appender's maintenance passes.
+  const char* kSqls[] = {
+      "SELECT status, COUNT(*), SUM(amount) FROM orders GROUP BY status",
+      "SELECT oid FROM orders WHERE amount > 50",
+      "SELECT COUNT(*) FROM orders",
+  };
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t) {
+    churners.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto r = service->Subscribe(kSqls[t]);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ViewSubscriptionPtr sub = r.ValueOrDie();
+        uint64_t last = 0;
+        for (int p = 0; p < 5; ++p) {
+          ViewSnapshotPtr snap = sub->Snapshot();
+          ASSERT_NE(snap, nullptr);
+          ASSERT_GE(snap->version, last);
+          last = snap->version;
+          std::this_thread::yield();
+        }
+        ASSERT_TRUE(service->Unsubscribe(sub).ok());
+      }
+    });
+  }
+
+  appender.join();
+  for (auto& t : churners) t.join();
+
+  ASSERT_TRUE(MatchesRecompute(service.get(), held));
+  ASSERT_TRUE(service->Unsubscribe(held).ok());
+  EXPECT_EQ(service->views().num_views(), 0u);
+
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.view_subscribers, 0u);
+  EXPECT_GT(stats.deltas_propagated, 0u);
+  EXPECT_GT(stats.arrangements_shared, 0u);  // churner 0 shares with `held`
+}
+
+TEST(MaterializedViewTest, StatsExportIncludesViewCounters) {
+  auto service = MakeViewService();
+  auto sub =
+      service->Subscribe("SELECT COUNT(*) FROM orders").ValueOrDie();
+  ASSERT_TRUE(
+      service->Append("orders", {{Value(int64_t{1}), Value(int64_t{1}),
+                                  Value(int64_t{10}), Value("new")}})
+          .ok());
+  std::string json = service->Stats().ToJson();
+  for (const char* key :
+       {"\"views_registered\"", "\"view_subscribers\"",
+        "\"arrangements_shared\"", "\"deltas_propagated\"",
+        "\"rows_maintained_incrementally\"", "\"views_recomputed\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing:\n"
+                                                 << json;
+  }
+  EXPECT_NE(service->Stats().ToString().find("views:"), std::string::npos);
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
+TEST(MaterializedViewTest, SubscribeRejectsInvalidSql) {
+  auto service = MakeViewService();
+  EXPECT_FALSE(service->Subscribe("SELECT FROM WHERE").ok());
+  EXPECT_FALSE(service->Subscribe("SELECT x FROM no_such_table").ok());
+  EXPECT_EQ(service->views().num_views(), 0u);
+  // A failed subscribe leaves the delta feed disabled.
+  EXPECT_FALSE(service->views().wants_deltas());
+}
+
+}  // namespace
+}  // namespace idf
