@@ -82,9 +82,11 @@ def main():
         print(f"{name:<50} {'(new)':>12} {cur[name] / 1e6:>10.3f}ms")
 
     for name, base_ns, cur_ns, ratio in regressions:
-        print(f"::warning::perf regression {name}: "
-              f"{base_ns / 1e6:.3f}ms -> {cur_ns / 1e6:.3f}ms ({ratio:+.1%}, "
-              f"threshold {args.threshold:.0%})")
+        # Spell out which number is which: the annotation is all a reviewer
+        # sees without downloading the JSON artifacts.
+        print(f"::warning::perf regression {name}: candidate "
+              f"{cur_ns / 1e6:.3f}ms is {ratio:+.1%} vs baseline "
+              f"{base_ns / 1e6:.3f}ms (threshold {args.threshold:.0%})")
     if not regressions:
         print(f"\nno regressions beyond {args.threshold:.0%}")
     if regressions and args.fail_on_regression:

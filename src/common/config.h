@@ -65,6 +65,13 @@ struct EngineConfig {
   /// is false, in which case it picks shuffled hash join.
   bool prefer_sort_merge_join = true;
 
+  /// Index-kind costing threshold: a bitmap/range secondary-index probe is
+  /// chosen over the vectorized scan only when its estimated selectivity
+  /// (matching fraction of the relation) is at or below this. Past it the
+  /// probe emits so many positions that the scan's sequential bandwidth
+  /// wins. 0 disables secondary-index probes entirely.
+  double secondary_probe_max_selectivity = 0.25;
+
   /// Validates invariants (batch >= max row, sizes fit pointer packing).
   Status Validate() const;
 

@@ -27,6 +27,11 @@ void QueryMetrics::Reset() {
   compactions_run_ = 0;
   chain_links_rewritten_ = 0;
   bytes_reclaimed_ = 0;
+  bitmap_probes_ = 0;
+  range_probes_ = 0;
+  index_scans_avoided_ = 0;
+  bitmap_maintenance_us_ = 0;
+  range_maintenance_us_ = 0;
 }
 
 std::string QueryMetrics::ToString() const {
@@ -56,6 +61,11 @@ std::string QueryMetrics::ToString() const {
          ", compactions_run=" + std::to_string(compactions_run()) +
          ", chain_links_rewritten=" + std::to_string(chain_links_rewritten()) +
          ", bytes_reclaimed=" + std::to_string(bytes_reclaimed()) +
+         ", bitmap_probes=" + std::to_string(bitmap_probes()) +
+         ", range_probes=" + std::to_string(range_probes()) +
+         ", index_scans_avoided=" + std::to_string(index_scans_avoided()) +
+         ", bitmap_maintenance_us=" + std::to_string(bitmap_maintenance_us()) +
+         ", range_maintenance_us=" + std::to_string(range_maintenance_us()) +
          "}";
 }
 

@@ -37,6 +37,11 @@ class QueryMetrics {
   void AddCompactionsRun(uint64_t n) { compactions_run_ += n; }
   void AddChainLinksRewritten(uint64_t n) { chain_links_rewritten_ += n; }
   void AddBytesReclaimed(uint64_t n) { bytes_reclaimed_ += n; }
+  void AddBitmapProbes(uint64_t n) { bitmap_probes_ += n; }
+  void AddRangeProbes(uint64_t n) { range_probes_ += n; }
+  void AddIndexScansAvoided(uint64_t n) { index_scans_avoided_ += n; }
+  void AddBitmapMaintenanceUs(uint64_t n) { bitmap_maintenance_us_ += n; }
+  void AddRangeMaintenanceUs(uint64_t n) { range_maintenance_us_ += n; }
 
   uint64_t shuffled_rows() const { return shuffled_rows_; }
   uint64_t shuffled_bytes() const { return shuffled_bytes_; }
@@ -62,6 +67,11 @@ class QueryMetrics {
   uint64_t compactions_run() const { return compactions_run_; }
   uint64_t chain_links_rewritten() const { return chain_links_rewritten_; }
   uint64_t bytes_reclaimed() const { return bytes_reclaimed_; }
+  uint64_t bitmap_probes() const { return bitmap_probes_; }
+  uint64_t range_probes() const { return range_probes_; }
+  uint64_t index_scans_avoided() const { return index_scans_avoided_; }
+  uint64_t bitmap_maintenance_us() const { return bitmap_maintenance_us_; }
+  uint64_t range_maintenance_us() const { return range_maintenance_us_; }
 
   std::string ToString() const;
 
@@ -90,6 +100,13 @@ class QueryMetrics {
   std::atomic<uint64_t> compactions_run_{0};
   std::atomic<uint64_t> chain_links_rewritten_{0};
   std::atomic<uint64_t> bytes_reclaimed_{0};
+  // Secondary indexes: probe counts per kind, rows an index probe skipped
+  // scanning, and per-kind maintenance time inside append batches.
+  std::atomic<uint64_t> bitmap_probes_{0};
+  std::atomic<uint64_t> range_probes_{0};
+  std::atomic<uint64_t> index_scans_avoided_{0};
+  std::atomic<uint64_t> bitmap_maintenance_us_{0};
+  std::atomic<uint64_t> range_maintenance_us_{0};
 };
 
 }  // namespace idf

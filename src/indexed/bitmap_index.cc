@@ -1,0 +1,117 @@
+#include "indexed/bitmap_index.h"
+
+#include <algorithm>
+
+namespace idf {
+
+void BitmapSegment::Set(uint32_t offset) {
+  if (!is_dense()) {
+    if (sparse.size() < kBitmapDenseThreshold) {
+      sparse.push_back(static_cast<uint16_t>(offset));
+      ++count;
+      return;
+    }
+    // Past break-even: convert to the dense 4096-bit form.
+    dense.assign(kBitmapSegmentSpan / 64, 0);
+    for (uint16_t o : sparse) dense[o >> 6] |= uint64_t{1} << (o & 63);
+    sparse.clear();
+    sparse.shrink_to_fit();
+  }
+  dense[offset >> 6] |= uint64_t{1} << (offset & 63);
+  ++count;
+}
+
+void BitmapSegment::AppendPositions(std::vector<uint32_t>* out) const {
+  if (!is_dense()) {
+    for (uint16_t o : sparse) out->push_back(base + o);
+    return;
+  }
+  for (size_t w = 0; w < dense.size(); ++w) {
+    uint64_t bits = dense[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      out->push_back(base + static_cast<uint32_t>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
+}
+
+uint64_t BitmapIndexCut::CountFor(const Value& key) const {
+  auto it = postings_.find(key);
+  return it == postings_.end() ? 0 : it->second.count;
+}
+
+size_t BitmapIndexCut::Probe(const std::vector<Value>& keys,
+                             std::vector<uint32_t>* out) const {
+  size_t appended = 0;
+  for (const Value& key : keys) {
+    auto it = postings_.find(key);
+    if (it == postings_.end()) continue;
+    for (const BitmapSegmentPtr& seg : it->second.segments) {
+      seg->AppendPositions(out);
+      appended += seg->count;
+    }
+  }
+  return appended;
+}
+
+size_t BitmapIndexCut::MemoryBytesEstimate() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [value, posting] : postings_) {
+    (void)value;
+    bytes += sizeof(posting) +
+             posting.segments.size() * sizeof(BitmapSegmentPtr);
+    for (const BitmapSegmentPtr& seg : posting.segments) {
+      bytes += sizeof(BitmapSegment) + seg->sparse.size() * sizeof(uint16_t) +
+               seg->dense.size() * sizeof(uint64_t);
+    }
+  }
+  return bytes;
+}
+
+void BitmapIndexBuilder::Add(const Value& key, uint32_t pos) {
+  Posting& p = postings_[key];
+  const uint32_t base = pos - (pos % kBitmapSegmentSpan);
+  if (p.has_tail && p.tail.base != base) {
+    // Positions are ascending, so a new window seals the old tail for
+    // good: every future cut shares the same immutable segment.
+    auto sealed = std::make_shared<BitmapSegment>(std::move(p.tail));
+    p.sealed.push_back(std::move(sealed));
+    p.has_tail = false;
+  }
+  if (!p.has_tail) {
+    p.tail = BitmapSegment{};
+    p.tail.base = base;
+    p.has_tail = true;
+  }
+  p.tail.Set(pos - base);
+  p.tail_dirty = true;
+  p.tail_copy.reset();
+  p.count += 1;
+  total_count_ += 1;
+}
+
+BitmapIndexCutPtr BitmapIndexBuilder::BuildCut(uint64_t epoch) {
+  auto cut = std::make_shared<BitmapIndexCut>();
+  cut->postings_.reserve(postings_.size());
+  cut->total_count_ = total_count_;
+  for (auto& [value, p] : postings_) {
+    BitmapPosting out;
+    out.segments.reserve(p.sealed.size() + (p.has_tail ? 1 : 0));
+    out.segments.assign(p.sealed.begin(), p.sealed.end());
+    if (p.has_tail) {
+      if (p.tail_dirty || p.tail_copy == nullptr) {
+        auto copy = std::make_shared<BitmapSegment>(p.tail);
+        copy->epoch = epoch;
+        p.tail_copy = std::move(copy);
+        p.tail_dirty = false;
+      }
+      out.segments.push_back(p.tail_copy);
+    }
+    out.count = p.count;
+    cut->postings_.emplace(value, std::move(out));
+  }
+  return cut;
+}
+
+}  // namespace idf

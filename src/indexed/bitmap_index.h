@@ -1,0 +1,118 @@
+// Updatable bitmap index for low-cardinality columns (DESIGN.md §14,
+// CUBIT-style): one compressed bitmap of row positions per distinct value,
+// maintained copy-on-write per append batch so MVCC readers probe an
+// immutable cut while the appender keeps updating.
+//
+// Positions are per-partition append ordinals. Each value's bitmap is a
+// sequence of epoch-tagged segments covering fixed 4096-position windows:
+// sealed segments are immutable and shared by every subsequent cut; only
+// the open tail segment of a value the batch touched is copied into a new
+// cut. A segment starts sparse (sorted 16-bit offsets) and converts to a
+// dense 4096-bit set when it fills past the break-even point, so the
+// index stays compact on both rare and frequent values.
+//
+// Concurrency: the builder is appender-owned (callers hold the partition
+// write lock); cuts are immutable after construction and published by the
+// owner (indexed_partition.h) via an atomic shared_ptr, whose
+// release/acquire edge also covers the plain segment memory.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "types/value.h"
+
+namespace idf {
+
+/// Positions covered by one segment: [base, base + kBitmapSegmentSpan).
+constexpr uint32_t kBitmapSegmentSpan = 4096;
+
+/// Sparse offsets convert to the dense bitset beyond this population (the
+/// dense form is 512 bytes; 256 sparse entries are the same size).
+constexpr uint32_t kBitmapDenseThreshold = 256;
+
+/// One immutable-once-sealed window of a value's bitmap.
+struct BitmapSegment {
+  uint32_t base = 0;   ///< first position covered (multiple of the span)
+  uint32_t count = 0;  ///< set bits
+  uint64_t epoch = 0;  ///< publish sequence that sealed or copied it
+  std::vector<uint16_t> sparse;  ///< sorted offsets (empty when dense)
+  std::vector<uint64_t> dense;   ///< 64 words when dense, else empty
+
+  bool is_dense() const { return !dense.empty(); }
+  void Set(uint32_t offset);  // appender-only; offsets arrive ascending
+  /// Appends the absolute positions of every set bit, ascending.
+  void AppendPositions(std::vector<uint32_t>* out) const;
+};
+using BitmapSegmentPtr = std::shared_ptr<const BitmapSegment>;
+
+/// One value's published bitmap: sealed segments (shared across cuts) plus
+/// at most one copied tail, ascending by base.
+struct BitmapPosting {
+  std::vector<BitmapSegmentPtr> segments;
+  uint64_t count = 0;  ///< total set bits (selectivity statistic)
+};
+
+/// Immutable snapshot of a whole bitmap index, one per published cut.
+class BitmapIndexCut {
+ public:
+  /// Total positions for `key` (0 when absent) — the costing statistic.
+  uint64_t CountFor(const Value& key) const;
+
+  /// Appends the ascending positions of every key in `keys` to `out`
+  /// (distinct values have disjoint bitmaps, so the caller gets the union
+  /// by sorting once). Returns the number appended.
+  size_t Probe(const std::vector<Value>& keys, std::vector<uint32_t>* out) const;
+
+  size_t distinct_values() const { return postings_.size(); }
+  uint64_t total_count() const { return total_count_; }
+
+  /// Heap bytes of this cut's own structure (shared segments counted once
+  /// per cut; memory-accounting diagnostic, not an allocator truth).
+  size_t MemoryBytesEstimate() const;
+
+ private:
+  friend class BitmapIndexBuilder;
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  std::unordered_map<Value, BitmapPosting, ValueHash> postings_;
+  uint64_t total_count_ = 0;
+};
+using BitmapIndexCutPtr = std::shared_ptr<const BitmapIndexCut>;
+
+/// Appender-side state of one bitmap index (exactly one writer, guarded by
+/// the partition write lock). Add() records positions; BuildCut() freezes
+/// the current contents into an immutable cut, copying only the open tails
+/// of values touched since the previous cut.
+class BitmapIndexBuilder {
+ public:
+  /// Records `key` at `pos`. Positions must arrive strictly ascending
+  /// across calls; null keys are the caller's concern (never indexed).
+  void Add(const Value& key, uint32_t pos);
+
+  /// Builds the cut reflecting every Add() so far; `epoch` tags segments
+  /// sealed or copied by this publish.
+  BitmapIndexCutPtr BuildCut(uint64_t epoch);
+
+ private:
+  struct Posting {
+    std::vector<BitmapSegmentPtr> sealed;
+    BitmapSegment tail;
+    bool has_tail = false;
+    /// Copy-on-write bookkeeping: `tail_copy` is the immutable copy the
+    /// last cut published; it is reused until the next Add() dirties the
+    /// tail, so a batch only pays for the values it actually touched.
+    bool tail_dirty = false;
+    BitmapSegmentPtr tail_copy;
+    uint64_t count = 0;
+  };
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  std::unordered_map<Value, Posting, ValueHash> postings_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace idf

@@ -118,6 +118,40 @@ class IndexedScanFilterOp : public PhysicalOp {
   std::vector<int> project_cols_;
 };
 
+/// Secondary-index probe: per partition, the view's bitmap or range index
+/// yields the matching row positions (several ANDed probes intersect their
+/// sorted position lists — the bitmap-AND path), the payload directory
+/// resolves positions to encoded payloads, and a linear suffix scan covers
+/// rows appended after the index cut. The survivors feed the same pushed
+/// filter + projection machinery as the fused scan. Views lacking the
+/// index fall back to a full scan of that partition, so results never
+/// depend on index registration racing a query.
+class SecondaryIndexProbeOp : public PhysicalOp {
+ public:
+  /// `probes` ordered driver-first (lowest selectivity); `predicate` is the
+  /// original full filter predicate (for display), `filter` the residual
+  /// not implied by the probes. `project_cols` empty means "all columns".
+  SecondaryIndexProbeOp(ScanSource source, std::vector<SecondaryProbe> probes,
+                        ExprPtr predicate, PushedFilter filter,
+                        std::vector<int> project_cols = {},
+                        SchemaPtr schema = nullptr)
+      : PhysicalOp(schema ? std::move(schema) : source.schema()),
+        source_(std::move(source)),
+        probes_(std::move(probes)),
+        predicate_(std::move(predicate)),
+        filter_(std::move(filter)),
+        project_cols_(std::move(project_cols)) {}
+  std::string name() const override;
+  Result<PartitionVec> Execute(ExecutorContext& ctx) override;
+
+ private:
+  ScanSource source_;
+  std::vector<SecondaryProbe> probes_;
+  ExprPtr predicate_;
+  PushedFilter filter_;
+  std::vector<int> project_cols_;
+};
+
 /// Fused scan + column projection over the row batches: decodes only the
 /// projected columns per row (column pruning for the row store).
 class IndexedScanProjectOp : public PhysicalOp {

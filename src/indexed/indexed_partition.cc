@@ -1,10 +1,92 @@
 #include "indexed/indexed_partition.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
+#include "sql/index_costing.h"
+#include "sql/logical_plan.h"
 
 namespace idf {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - since)
+                                   .count());
+}
+
+}  // namespace
+
+SecondaryIndexSet::SecondaryIndexSet(SchemaPtr schema,
+                                     std::vector<SecondaryIndexSpec> specs)
+    : schema_(std::move(schema)),
+      specs_(std::move(specs)),
+      bitmaps_(specs_.size()),
+      ranges_(specs_.size()),
+      directory_(std::make_shared<PayloadDirectory>()) {}
+
+SecondaryMaintenanceStats SecondaryIndexSet::PublishCut(StoreWatermark boundary) {
+  SecondaryMaintenanceStats stats;
+  const uint64_t limit = directory_->size();
+  const Schema& schema = *schema_;
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const SecondaryIndexSpec& spec = specs_[s];
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t pos = indexed_; pos < limit; ++pos) {
+      const uint8_t* payload = directory_->At(pos);
+      // Null keys are stored but unindexed (same contract as the cTrie);
+      // ProbeMatches never matches a null, so probe == scan still holds.
+      if (RawColumnIsNull(payload, spec.column)) continue;
+      Value v = DecodeColumn(payload, schema, spec.column);
+      if (spec.kind == SecondaryIndexKind::kBitmap) {
+        bitmaps_[s].Add(v, static_cast<uint32_t>(pos));
+      } else {
+        ranges_[s].Add(v, static_cast<uint32_t>(pos));
+      }
+    }
+    const uint64_t us = ElapsedUs(t0);
+    if (spec.kind == SecondaryIndexKind::kBitmap) {
+      stats.bitmap_us += us;
+    } else {
+      stats.range_us += us;
+    }
+  }
+  stats.rows = static_cast<size_t>(limit - indexed_);
+  indexed_ = limit;
+  ++epoch_;
+
+  auto cut = std::make_shared<SecondaryIndexCut>();
+  cut->entries.reserve(specs_.size());
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    SecondaryIndexCut::Entry entry;
+    entry.spec = specs_[s];
+    if (specs_[s].kind == SecondaryIndexKind::kBitmap) {
+      entry.bitmap = bitmaps_[s].BuildCut(epoch_);
+    } else {
+      entry.range = ranges_[s].BuildCut(epoch_);
+    }
+    cut->entries.push_back(std::move(entry));
+  }
+  cut->covered = limit;
+  cut->boundary = boundary;
+  cut->epoch = epoch_;
+  cut->directory = directory_;
+  // The release edge of this store is what makes the plain directory and
+  // segment writes above visible to lock-free readers.
+  std::atomic_store_explicit(&cut_, SecondaryIndexCutPtr(std::move(cut)),
+                             std::memory_order_release);
+  return stats;
+}
+
+void SecondaryIndexSet::MergeRuns() {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (specs_[s].kind == SecondaryIndexKind::kRange) {
+      ranges_[s].MergeAll(epoch_ + 1);
+    }
+  }
+}
 
 namespace {
 
@@ -67,31 +149,40 @@ Status IndexedPartition::Append(const Row& row) {
 
 Status IndexedPartition::AppendToGen(PartitionGeneration& g, const Row& row) {
   const Value& key = row[static_cast<size_t>(indexed_col_)];
-  if (key.is_null()) {
-    // Stored but unindexed; lookups of a null key return nothing.
-    return g.store.AppendRow(*schema_, row, PackedPointer::Null(), /*prev_size=*/0)
-        .status();
-  }
-  uint64_t h = key.Hash();
-  std::optional<uint64_t> head = g.index.Lookup(h);
+  // Null keys are stored but unindexed; lookups of a null key return nothing.
+  uint64_t h = 0;
   PackedPointer back_pointer = PackedPointer::Null();
   uint32_t prev_size = 0;
-  if (head.has_value()) {
-    back_pointer = PackedPointer(*head);
-    prev_size = EncodedRowSize(g.store.PayloadAt(back_pointer), *schema_);
+  if (!key.is_null()) {
+    h = key.Hash();
+    std::optional<uint64_t> head = g.index.Lookup(h);
+    if (head.has_value()) {
+      back_pointer = PackedPointer(*head);
+      prev_size = EncodedRowSize(g.store.PayloadAt(back_pointer), *schema_);
+    }
   }
   IDF_ASSIGN_OR_RETURN(PackedPointer ptr,
                        g.store.AppendRow(*schema_, row, back_pointer, prev_size));
-  // Publish after the row bytes are committed: concurrent readers that see
-  // this trie entry can safely dereference the pointer.
-  g.index.Insert(h, ptr.bits());
-  RecordAppend(g, h, ptr);
+  if (!key.is_null()) {
+    // Publish after the row bytes are committed: concurrent readers that see
+    // this trie entry can safely dereference the pointer.
+    g.index.Insert(h, ptr.bits());
+    RecordAppend(g, h, ptr);
+  }
+  SecondaryIndexSetPtr sec =
+      std::atomic_load_explicit(&g.secondary, std::memory_order_acquire);
+  if (sec != nullptr) {
+    sec->StageRow(g.store.PayloadAt(ptr));
+    sec->PublishCut(g.store.Watermark());
+  }
   return Status::OK();
 }
 
 Status IndexedPartition::AppendBatch(const std::vector<EncodedRowRef>& rows,
                                      AppendBatchResult* result) {
   PartitionGeneration& g = *gen_;  // caller holds the partition write lock
+  SecondaryIndexSetPtr sec =
+      std::atomic_load_explicit(&g.secondary, std::memory_order_acquire);
   // The head of each key touched by this batch: seeded from the trie on
   // first occurrence, then advanced locally so intra-batch chain links are
   // built without republishing intermediate heads.
@@ -139,6 +230,7 @@ Status IndexedPartition::AppendBatch(const std::vector<EncodedRowRef>& rows,
     }
     const PackedPointer ptr = ptr_res.ValueUnsafe();
     local.rows_appended += 1;
+    if (sec != nullptr) sec->StageRow(g.store.PayloadAt(ptr));
     if (row.indexed) {
       slot->head = ptr;
       slot->head_size = row.size;
@@ -154,20 +246,88 @@ Status IndexedPartition::AppendBatch(const std::vector<EncodedRowRef>& rows,
     g.index.Insert(hash, slot.head.bits());
     local.keys_published += 1;
   }
+  // Secondary-index maintenance rides inside the same lock acquisition:
+  // one cut publish per batch. On error the committed prefix is indexed,
+  // matching the store and the cTrie heads above.
+  if (sec != nullptr) {
+    local.maintenance = sec->PublishCut(g.store.Watermark());
+  }
   if (result != nullptr) *result = local;
   return error;
+}
+
+Status IndexedPartition::AddSecondaryIndexLocked(const SecondaryIndexSpec& spec) {
+  if (spec.column < 0 || spec.column >= schema_->num_fields()) {
+    return Status::IndexError("secondary index column ordinal " +
+                              std::to_string(spec.column) +
+                              " out of range for schema " + schema_->ToString());
+  }
+  if (spec.kind != SecondaryIndexKind::kBitmap &&
+      spec.kind != SecondaryIndexKind::kRange) {
+    return Status::InvalidArgument("secondary index kind must be bitmap or range");
+  }
+  PartitionGeneration& g = *gen_;  // caller holds the partition write lock
+  SecondaryIndexSetPtr old =
+      std::atomic_load_explicit(&g.secondary, std::memory_order_acquire);
+  std::vector<SecondaryIndexSpec> specs;
+  if (old != nullptr) {
+    specs = old->specs();
+    for (const SecondaryIndexSpec& s : specs) {
+      if (s.column == spec.column) {
+        return Status::InvalidArgument(
+            "column '" + schema_->field(spec.column).name +
+            "' already has a secondary index");
+      }
+    }
+  }
+  specs.push_back(spec);
+  // Backfill a replacement set from the rows already in the store (the
+  // position space is unchanged, so rebuilding every index from scratch
+  // keeps registration one code path; readers holding the old set's cuts
+  // stay valid — the old directory lives inside them). The write lock
+  // excludes appends, so the watermark is the exact backfill boundary.
+  auto fresh = std::make_shared<SecondaryIndexSet>(schema_, std::move(specs));
+  const StoreWatermark wm = g.store.Watermark();
+  const Schema& schema = *schema_;
+  for (uint32_t b = 0; b < wm.num_batches; ++b) {
+    const RowBatch* batch = g.store.BatchAt(b);
+    const size_t limit =
+        (b + 1 == wm.num_batches) ? wm.last_batch_bytes : batch->committed_size();
+    uint32_t offset = 0;
+    while (offset + 8 < limit) {
+      fresh->StageRow(batch->payload_at(offset));
+      offset = batch->NextRowOffset(offset, schema);
+    }
+  }
+  fresh->PublishCut(wm);
+  std::atomic_store_explicit(&g.secondary, std::move(fresh),
+                             std::memory_order_release);
+  return Status::OK();
+}
+
+std::vector<SecondaryIndexSpec> IndexedPartition::secondary_specs() const {
+  PartitionGenerationPtr g = gen();
+  SecondaryIndexSetPtr set =
+      std::atomic_load_explicit(&g->secondary, std::memory_order_acquire);
+  return set != nullptr ? set->specs() : std::vector<SecondaryIndexSpec>{};
 }
 
 IndexedPartition::View IndexedPartition::Snapshot() const {
   // Lock-free vs both appends and compaction swaps: grab the generation
   // first, then snapshot inside it. If a swap lands in between we read the
   // old (frozen, still complete) generation. Order matters inside the
-  // generation: trie snapshot first, watermark second, so every pointer
-  // reachable from the snapshot is covered by the watermark.
+  // generation: the secondary cut and the trie snapshot are captured
+  // BEFORE the watermark, so everything reachable from either (cut
+  // positions, trie pointers) is covered by the watermark — in particular
+  // cut.covered <= wm.num_rows, which ProbeSecondary relies on.
   PartitionGenerationPtr g = gen();
+  SecondaryIndexSetPtr set =
+      std::atomic_load_explicit(&g->secondary, std::memory_order_acquire);
+  SecondaryIndexCutPtr cut = set != nullptr ? set->cut() : nullptr;
   CTrie trie = g->index.ReadOnlySnapshot();
   StoreWatermark wm = g->store.Watermark();
-  return View(schema_, indexed_col_, std::move(g), std::move(trie), wm);
+  return View(schema_, indexed_col_, std::move(g), std::move(trie), wm,
+              std::move(cut));
 }
 
 ChainStatsSnapshot IndexedPartition::ChainStats() const {
@@ -264,6 +424,32 @@ Status IndexedPartition::CompactLocked(CompactionResult* result) {
         std::to_string(old_gen->store.num_rows()) + " rows");
   }
 
+  // Rebuild the secondary indexes over the rewritten (chain-clustered)
+  // position space; range runs are merged into one so post-compaction
+  // probes binary-search a single run. Readers holding old-generation
+  // views keep the old cuts and directory.
+  SecondaryIndexSetPtr old_sec =
+      std::atomic_load_explicit(&old_gen->secondary, std::memory_order_acquire);
+  if (old_sec != nullptr) {
+    auto fresh_sec = std::make_shared<SecondaryIndexSet>(schema_, old_sec->specs());
+    const StoreWatermark fwm = fresh->store.Watermark();
+    for (uint32_t b = 0; b < fwm.num_batches; ++b) {
+      const RowBatch* batch = fresh->store.BatchAt(b);
+      const size_t limit = (b + 1 == fwm.num_batches) ? fwm.last_batch_bytes
+                                                      : batch->committed_size();
+      uint32_t offset = 0;
+      while (offset + 8 < limit) {
+        fresh_sec->StageRow(batch->payload_at(offset));
+        offset = batch->NextRowOffset(offset, schema);
+      }
+    }
+    fresh_sec->PublishCut(fwm);  // feeds the builders (sealed runs/segments)
+    fresh_sec->MergeRuns();
+    fresh_sec->PublishCut(fwm);  // republish with each range index merged
+    std::atomic_store_explicit(&fresh->secondary, std::move(fresh_sec),
+                               std::memory_order_release);
+  }
+
   local.retired = old_gen;
   local.retired_bytes =
       old_gen->store.allocated_bytes() + old_gen->index.MemoryBytesEstimate();
@@ -327,6 +513,171 @@ void IndexedPartition::View::ScanRaw(
       offset = batch->NextRowOffset(offset, schema);
     }
   }
+}
+
+void IndexedPartition::View::ScanRawFrom(
+    const StoreWatermark& from,
+    const std::function<void(const uint8_t*)>& fn) const {
+  const Schema& schema = *schema_;
+  const uint32_t first = from.num_batches == 0 ? 0 : from.num_batches - 1;
+  for (uint32_t b = first; b < watermark_.num_batches; ++b) {
+    const RowBatch* batch = gen_->store.BatchAt(b);
+    size_t limit = (b + 1 == watermark_.num_batches) ? watermark_.last_batch_bytes
+                                                     : batch->committed_size();
+    // A watermark's last_batch_bytes is the committed END of a row, which
+    // is not 8-byte aligned when the payload has a variable-width tail;
+    // row HEADERS are aligned (RowBatch::AppendEncoded), so the first
+    // suffix row starts at the next 8-byte boundary.
+    uint32_t offset =
+        (from.num_batches != 0 && b == from.num_batches - 1)
+            ? static_cast<uint32_t>((from.last_batch_bytes + 7) & ~size_t{7})
+            : 0;
+    while (offset + 8 < limit) {
+      fn(batch->payload_at(offset));
+      offset = batch->NextRowOffset(offset, schema);
+    }
+  }
+}
+
+namespace {
+
+/// True when the cut entry can actually serve the probe (matching column,
+/// matching kind, structure present).
+bool EntryServes(const SecondaryIndexCut::Entry* entry,
+                 const SecondaryProbe& probe) {
+  if (entry == nullptr) return false;
+  if (probe.kind == SecondaryIndexKind::kBitmap) return entry->bitmap != nullptr;
+  if (probe.kind == SecondaryIndexKind::kRange) return entry->range != nullptr;
+  return false;
+}
+
+/// Intersects two ascending position lists (two-pointer merge); the result
+/// is the bitmap-AND of two probes' row sets.
+std::vector<uint32_t> IntersectSorted(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t IndexedPartition::View::ProbeSecondary(
+    const std::vector<SecondaryProbe>& probes,
+    std::vector<const uint8_t*>* out, SecondaryProbeStats* stats) const {
+  SecondaryProbeStats local;
+  const Schema& schema = *schema_;
+  auto all_match = [&](const uint8_t* payload) {
+    for (const SecondaryProbe& probe : probes) {
+      if (RawColumnIsNull(payload, probe.column)) return false;
+      if (!ProbeMatches(probe, DecodeColumn(payload, schema, probe.column))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto scan_match = [&](const uint8_t* payload) {
+    ++local.suffix_scanned;
+    if (all_match(payload)) {
+      out->push_back(payload);
+      ++local.matches;
+    }
+  };
+  bool servable = !probes.empty() && secondary_ != nullptr;
+  if (servable) {
+    for (const SecondaryProbe& probe : probes) {
+      if (!EntryServes(secondary_->Find(probe.column), probe)) {
+        servable = false;
+        break;
+      }
+    }
+  }
+  if (!servable) {
+    // The view predates some index (or carries none): a full scan returns
+    // the identical row set, so correctness never depends on index state.
+    ScanRaw(scan_match);
+    if (stats != nullptr) *stats = local;
+    return local.matches;
+  }
+  local.used_index = true;
+
+  // Indexed prefix: each probe yields ascending positions from the cut;
+  // ANDed probes intersect them (the bitmap-AND path). Emission stays in
+  // append order — the same order a scan yields — resolved through the
+  // payload directory.
+  std::vector<uint32_t> positions;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const SecondaryProbe& probe = probes[i];
+    const SecondaryIndexCut::Entry* entry = secondary_->Find(probe.column);
+    std::vector<uint32_t> hits;
+    if (probe.kind == SecondaryIndexKind::kBitmap) {
+      entry->bitmap->Probe(probe.keys, &hits);
+    } else {
+      entry->range->Probe(probe.lo, probe.lo_inclusive, probe.hi,
+                          probe.hi_inclusive, &hits);
+    }
+    std::sort(hits.begin(), hits.end());
+    if (i == 0) {
+      positions = std::move(hits);
+    } else {
+      positions = IntersectSorted(positions, hits);
+    }
+    if (positions.empty()) break;
+  }
+  const PayloadDirectory& dir = *secondary_->directory;
+  for (uint32_t pos : positions) out->push_back(dir.At(pos));
+  local.from_index = positions.size();
+  local.matches = positions.size();
+  local.rows_avoided =
+      static_cast<size_t>(secondary_->covered) - positions.size();
+
+  // Unindexed suffix: rows appended between the cut's publish boundary and
+  // this view's watermark (possibly none). Snapshot() captured the cut
+  // before the watermark, so the suffix starts at or before the watermark.
+  ScanRawFrom(secondary_->boundary, scan_match);
+  if (stats != nullptr) *stats = local;
+  return local.matches;
+}
+
+uint64_t IndexedPartition::View::EstimateProbeMatches(const SecondaryProbe& probe,
+                                                      bool* has_index) const {
+  const SecondaryIndexCut::Entry* entry =
+      secondary_ != nullptr ? secondary_->Find(probe.column) : nullptr;
+  if (!EntryServes(entry, probe)) {
+    *has_index = false;
+    return watermark_.num_rows;
+  }
+  *has_index = true;
+  uint64_t est = 0;
+  if (probe.kind == SecondaryIndexKind::kBitmap) {
+    for (const Value& k : probe.keys) est += entry->bitmap->CountFor(k);
+  } else {
+    est = entry->range->CountInRange(probe.lo, probe.lo_inclusive, probe.hi,
+                                     probe.hi_inclusive);
+  }
+  // Suffix rows are unindexed; count them all as matches so the estimate
+  // errs toward the scan when the index lags far behind.
+  est += watermark_.num_rows - secondary_->covered;
+  return est;
+}
+
+SecondaryIndexKind IndexedPartition::View::SecondaryKindOf(int column) const {
+  const SecondaryIndexCut::Entry* entry =
+      secondary_ != nullptr ? secondary_->Find(column) : nullptr;
+  if (entry == nullptr) return SecondaryIndexKind::kNone;
+  return entry->spec.kind;
 }
 
 }  // namespace idf

@@ -35,11 +35,155 @@
 #include "common/config.h"
 #include "common/macros.h"
 #include "ctrie/ctrie.h"
+#include "indexed/bitmap_index.h"
+#include "indexed/range_index.h"
 #include "storage/row_batch_store.h"
 #include "types/row.h"
 #include "types/schema.h"
 
 namespace idf {
+
+// Defined in sql/logical_plan.h (the SQL layer owns the planner-facing
+// types; indexed/ depends on sql/, never the reverse).
+enum class SecondaryIndexKind : uint8_t;
+struct SecondaryProbe;
+
+/// Declaration of one secondary index on a partition: which column it
+/// covers and which structure backs it (bitmap or sorted range).
+struct SecondaryIndexSpec {
+  int column = -1;
+  SecondaryIndexKind kind{};
+};
+
+/// Append-ordinal -> encoded-payload directory: translates the row
+/// positions a secondary index stores back into payload pointers without
+/// re-walking the row batches. Chunked, with the chunk-slot array
+/// preallocated (RowBatchStore's trick) so the appender never reallocates
+/// memory a concurrent reader may be traversing: readers only dereference
+/// positions below a published cut's `covered`, and the cut's
+/// release/acquire publish edge orders those plain writes.
+class PayloadDirectory {
+ public:
+  static constexpr uint32_t kChunkSize = 4096;   ///< entries per chunk
+  static constexpr uint32_t kMaxChunks = 65536;  ///< 268M rows per partition
+
+  PayloadDirectory() : chunks_(new std::unique_ptr<Chunk>[kMaxChunks]) {}
+  IDF_DISALLOW_COPY_AND_ASSIGN(PayloadDirectory);
+
+  /// Appender-only (partition write lock).
+  void Append(const uint8_t* payload) {
+    const uint64_t c = size_ / kChunkSize;
+    if (chunks_[c] == nullptr) chunks_[c] = std::make_unique<Chunk>();
+    chunks_[c]->entries[size_ % kChunkSize] = payload;
+    ++size_;
+  }
+
+  /// Valid for positions below the covered count of an acquired cut.
+  const uint8_t* At(uint64_t pos) const {
+    return chunks_[pos / kChunkSize]->entries[pos % kChunkSize];
+  }
+
+  /// Appender-side size (readers use the cut's `covered` instead).
+  uint64_t size() const { return size_; }
+
+ private:
+  struct Chunk {
+    const uint8_t* entries[kChunkSize];
+  };
+  std::unique_ptr<std::unique_ptr<Chunk>[]> chunks_;
+  uint64_t size_ = 0;
+};
+using PayloadDirectoryPtr = std::shared_ptr<const PayloadDirectory>;
+
+/// Immutable snapshot of every secondary index of one partition, published
+/// after each append batch. A probe against a view = the cut's positions
+/// (all < `covered`) plus a linear scan of the store suffix between
+/// `boundary` and the view's watermark — so probe results are always
+/// exactly the rows a full scan of the same view would match, even when
+/// the view's watermark ran ahead of the last published cut.
+struct SecondaryIndexCut {
+  struct Entry {
+    SecondaryIndexSpec spec;
+    BitmapIndexCutPtr bitmap;  ///< set iff spec.kind == kBitmap
+    RangeIndexCutPtr range;    ///< set iff spec.kind == kRange
+  };
+  std::vector<Entry> entries;
+  uint64_t covered = 0;    ///< append ordinals [0, covered) are indexed
+  StoreWatermark boundary; ///< store watermark of the covered prefix
+  uint64_t epoch = 0;      ///< publish sequence within the generation
+  PayloadDirectoryPtr directory;
+
+  const Entry* Find(int column) const {
+    for (const Entry& e : entries) {
+      if (e.spec.column == column) return &e;
+    }
+    return nullptr;
+  }
+};
+using SecondaryIndexCutPtr = std::shared_ptr<const SecondaryIndexCut>;
+
+/// Per-publish maintenance cost, split by index kind (exported as the
+/// index_maintenance_us metrics).
+struct SecondaryMaintenanceStats {
+  uint64_t bitmap_us = 0;
+  uint64_t range_us = 0;
+  size_t rows = 0;
+
+  void Merge(const SecondaryMaintenanceStats& o) {
+    bitmap_us += o.bitmap_us;
+    range_us += o.range_us;
+    rows += o.rows;
+  }
+};
+
+/// The secondary indexes of one partition generation: appender-owned
+/// builders plus the last published immutable cut. Builders are mutated
+/// only under the partition write lock; `cut()` is lock-free.
+class SecondaryIndexSet {
+ public:
+  SecondaryIndexSet(SchemaPtr schema, std::vector<SecondaryIndexSpec> specs);
+
+  /// Appender-only: registers one committed row payload (every store row,
+  /// in append order, whether or not any indexed column is null).
+  void StageRow(const uint8_t* payload) { directory_->Append(payload); }
+
+  /// Appender-only: feeds every staged-but-unindexed row to the builders
+  /// and publishes a fresh cut whose covered prefix corresponds to
+  /// `boundary` (the store watermark right after the batch committed).
+  SecondaryMaintenanceStats PublishCut(StoreWatermark boundary);
+
+  /// Appender-only: collapses each range index's sorted runs into one
+  /// (compaction's rebuild finisher; call before the final PublishCut).
+  void MergeRuns();
+
+  /// The last published cut (acquire; null before the first publish).
+  SecondaryIndexCutPtr cut() const {
+    return std::atomic_load_explicit(&cut_, std::memory_order_acquire);
+  }
+
+  const std::vector<SecondaryIndexSpec>& specs() const { return specs_; }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<SecondaryIndexSpec> specs_;
+  // Parallel to specs_: exactly one of the two builders is live per spec.
+  std::vector<BitmapIndexBuilder> bitmaps_;
+  std::vector<RangeIndexBuilder> ranges_;
+  std::shared_ptr<PayloadDirectory> directory_;
+  uint64_t indexed_ = 0;  ///< rows already fed to the builders
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const SecondaryIndexCut> cut_;  // atomic_load/store
+};
+using SecondaryIndexSetPtr = std::shared_ptr<SecondaryIndexSet>;
+
+/// Counters of one View::ProbeSecondary call (feed QueryMetrics).
+struct SecondaryProbeStats {
+  size_t matches = 0;         ///< payloads emitted
+  size_t from_index = 0;      ///< emitted straight from index positions
+  size_t suffix_scanned = 0;  ///< unindexed suffix rows examined
+  size_t rows_avoided = 0;    ///< indexed rows never examined (covered - hits)
+  bool used_index = false;    ///< false = fell back to a full scan
+};
 
 /// One immutable-once-retired version of a partition's storage: the row
 /// batches plus the cTrie indexing them. The live generation is appended
@@ -55,6 +199,11 @@ struct PartitionGeneration {
   // ReadOnlySnapshot() CASes the trie root (RDCSS) without changing the
   // logical contents; snapshots from const contexts are fine.
   mutable CTrie index;
+
+  /// Secondary indexes of this generation (null when the table has none).
+  /// Swapped only by AddSecondaryIndexLocked (under the partition write
+  /// lock); read lock-free by Snapshot() via atomic_load.
+  SecondaryIndexSetPtr secondary;
 
   /// Per-key chain bookkeeping maintained at append time and rebuilt by
   /// compaction. Guarded by the partition write lock (appender/compactor
@@ -118,6 +267,8 @@ class IndexedPartition {
     size_t rows_appended = 0;
     size_t keys_published = 0;   ///< cTrie head updates (one per key)
     size_t links_coalesced = 0;  ///< indexed rows - keys_published
+    /// Secondary-index maintenance cost of this batch (zero without any).
+    SecondaryMaintenanceStats maintenance;
   };
 
   /// Appends one row: inserts into the row batches, links the backward
@@ -137,6 +288,16 @@ class IndexedPartition {
   /// per-row path's partial-failure behavior.
   Status AppendBatch(const std::vector<EncodedRowRef>& rows,
                      AppendBatchResult* result = nullptr);
+
+  /// Registers a secondary index on `spec.column`, backfilling it from the
+  /// rows already in the live generation and publishing a first cut.
+  /// Caller must hold the partition write lock. Readers holding older
+  /// views simply see no cut for the column and fall back to scanning.
+  Status AddSecondaryIndexLocked(const SecondaryIndexSpec& spec);
+
+  /// The secondary-index specs of the live generation (lock-free; the spec
+  /// list of a set is immutable once installed).
+  std::vector<SecondaryIndexSpec> secondary_specs() const;
 
   /// \brief A consistent read view: generation + cTrie snapshot + store
   /// watermark. Holds its generation alive, so a view outlives compaction
@@ -213,28 +374,65 @@ class IndexedPartition {
     void ScanChain(const Value& key,
                    const std::function<void(PackedPointer)>& fn) const;
 
+    /// Probes one or more ANDed secondary-index predicates: emits — in
+    /// append order, exactly as a full ScanRaw + predicate would — the
+    /// payloads of every row in this view matching ALL of `probes`. Rows
+    /// covered by the captured cut come from the indexes' position lists
+    /// (several probes intersect sorted positions — the bitmap-AND path);
+    /// rows appended between the cut's boundary and this view's watermark
+    /// are found by a linear suffix scan. Falls back to a full scan
+    /// (used_index=false) when the view lacks an index for any probe's
+    /// column. Returns the match count.
+    size_t ProbeSecondary(const std::vector<SecondaryProbe>& probes,
+                          std::vector<const uint8_t*>* out,
+                          SecondaryProbeStats* stats = nullptr) const;
+
+    /// Estimated matches of `probe` against this view: index statistics
+    /// for the covered prefix, plus every suffix row (conservative).
+    /// `has_index=false` (and a full num_rows() estimate) when the view
+    /// has no index on the probe's column.
+    uint64_t EstimateProbeMatches(const SecondaryProbe& probe,
+                                  bool* has_index) const;
+
+    /// Kind of the secondary index this view carries on `column`.
+    SecondaryIndexKind SecondaryKindOf(int column) const;
+
     size_t num_rows() const { return watermark_.num_rows; }
+
+    /// The store watermark this view reads up to (diagnostics and tests).
+    const StoreWatermark& watermark() const { return watermark_; }
 
     /// The generation this view reads (compaction/reclamation tests).
     const PartitionGenerationPtr& generation() const { return gen_; }
 
+    /// The secondary-index cut this view probes (null when none existed at
+    /// capture; diagnostics and tests).
+    const SecondaryIndexCutPtr& secondary_cut() const { return secondary_; }
+
    private:
     friend class IndexedPartition;
     View(SchemaPtr schema, int indexed_col, PartitionGenerationPtr gen,
-         CTrie trie, StoreWatermark wm)
+         CTrie trie, StoreWatermark wm, SecondaryIndexCutPtr secondary)
         : schema_(std::move(schema)),
           indexed_col_(indexed_col),
           gen_(std::move(gen)),
           trie_(std::move(trie)),
-          watermark_(wm) {}
+          watermark_(wm),
+          secondary_(std::move(secondary)) {}
 
     bool InView(PackedPointer ptr) const;
+
+    /// ScanRaw starting at the row `from` points past (the suffix between
+    /// a cut's boundary and this view's watermark).
+    void ScanRawFrom(const StoreWatermark& from,
+                     const std::function<void(const uint8_t*)>& fn) const;
 
     SchemaPtr schema_;
     int indexed_col_;
     PartitionGenerationPtr gen_;
     CTrie trie_;
     StoreWatermark watermark_;
+    SecondaryIndexCutPtr secondary_;
   };
 
   /// Captures a consistent read view (O(1): generation pointer copy, cTrie

@@ -70,6 +70,25 @@ size_t IndexedRelationSnapshot::num_rows() const {
   return n;
 }
 
+SecondaryIndexKind IndexedRelationSnapshot::SecondaryKindOf(int column) const {
+  SecondaryIndexKind kind = SecondaryIndexKind::kNone;
+  for (const auto& v : views_) {
+    const SecondaryIndexKind k = v.SecondaryKindOf(column);
+    if (k == SecondaryIndexKind::kNone) return SecondaryIndexKind::kNone;
+    if (kind == SecondaryIndexKind::kNone) kind = k;
+    if (k != kind) return SecondaryIndexKind::kNone;
+  }
+  return views_.empty() ? SecondaryIndexKind::kNone : kind;
+}
+
+uint64_t IndexedRelationSnapshot::EstimateProbeMatches(
+    const SecondaryProbe& probe) const {
+  uint64_t est = 0;
+  bool has_index = false;
+  for (const auto& v : views_) est += v.EstimateProbeMatches(probe, &has_index);
+  return est;
+}
+
 IndexedRelation::IndexedRelation(std::string name, SchemaPtr schema,
                                  int indexed_col, const EngineConfig& config)
     : name_(std::move(name)),
@@ -147,6 +166,8 @@ Status IndexedRelation::AppendEncoded(ExecutorContext& ctx, const RowVec& rows,
   // acquisition (lock acquisitions per batch == partitions touched).
   std::vector<Status> statuses(static_cast<size_t>(num_parts));
   std::atomic<size_t> appended{0};
+  std::atomic<uint64_t> bitmap_us{0};
+  std::atomic<uint64_t> range_us{0};
   ctx.pool().ParallelFor(static_cast<size_t>(num_parts), [&](size_t p) {
     ctx.metrics().AddTask();
     if (routed[p].empty()) return;
@@ -157,7 +178,11 @@ Status IndexedRelation::AppendEncoded(ExecutorContext& ctx, const RowVec& rows,
       statuses[p] = partitions_[p]->AppendBatch(routed[p], &result);
     }
     appended.fetch_add(result.rows_appended, std::memory_order_relaxed);
+    bitmap_us.fetch_add(result.maintenance.bitmap_us, std::memory_order_relaxed);
+    range_us.fetch_add(result.maintenance.range_us, std::memory_order_relaxed);
   });
+  ctx.metrics().AddBitmapMaintenanceUs(bitmap_us.load(std::memory_order_relaxed));
+  ctx.metrics().AddRangeMaintenanceUs(range_us.load(std::memory_order_relaxed));
   for (const Status& st : statuses) {
     IDF_RETURN_NOT_OK(st);
   }
@@ -183,6 +208,37 @@ Status IndexedRelation::AppendRow(const Row& row) {
   }
   version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
+}
+
+Status IndexedRelation::AddSecondaryIndex(const std::string& column,
+                                          SecondaryIndexKind kind) {
+  IDF_ASSIGN_OR_RETURN(int col, schema_->ResolveFieldIndex(column));
+  const SecondaryIndexSpec spec{col, kind};
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    std::lock_guard<std::mutex> lock(write_locks_[p]);
+    IDF_RETURN_NOT_OK(partitions_[p]->AddSecondaryIndexLocked(spec));
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+SecondaryIndexKind IndexedRelation::secondary_index_kind(int column) const {
+  for (const SecondaryIndexSpec& s : secondary_specs()) {
+    if (s.column == column) return s.kind;
+  }
+  return SecondaryIndexKind::kNone;
+}
+
+uint64_t IndexedRelation::EstimateSecondaryMatches(
+    const SecondaryProbe& probe) const {
+  // Costing-only read: per-partition cut statistics via fresh views (O(1)
+  // each, no locks).
+  uint64_t est = 0;
+  bool has_index = false;
+  for (const auto& p : partitions_) {
+    est += p->Snapshot().EstimateProbeMatches(probe, &has_index);
+  }
+  return est;
 }
 
 RowVec IndexedRelation::GetRows(const Value& key) const {

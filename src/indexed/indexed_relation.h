@@ -74,6 +74,14 @@ class IndexedRelationSnapshot {
 
   size_t num_rows() const;
 
+  /// Kind of the secondary index every per-partition view carries on
+  /// `column` (kNone when any view lacks it — e.g. the snapshot raced an
+  /// in-flight registration — so costing never overpromises).
+  SecondaryIndexKind SecondaryKindOf(int column) const;
+
+  /// Estimated probe matches summed across the per-partition views.
+  uint64_t EstimateProbeMatches(const SecondaryProbe& probe) const;
+
  private:
   friend class IndexedRelation;
   IndexedRelationSnapshot(SchemaPtr schema, int indexed_col,
@@ -106,6 +114,12 @@ class PinnedSnapshot : public SnapshotRelationBase {
   int indexed_column() const override { return snapshot_.indexed_column(); }
   uint64_t version() const override { return version_; }
   size_t num_rows() const override { return snapshot_.num_rows(); }
+  SecondaryIndexKind secondary_index_kind(int column) const override {
+    return snapshot_.SecondaryKindOf(column);
+  }
+  uint64_t EstimateSecondaryMatches(const SecondaryProbe& probe) const override {
+    return snapshot_.EstimateProbeMatches(probe);
+  }
 
   const IndexedRelationSnapshot& snapshot() const { return snapshot_; }
 
@@ -143,8 +157,21 @@ class IndexedRelation : public IndexedRelationBase {
   uint64_t version() const override {
     return version_.load(std::memory_order_acquire);
   }
+  SecondaryIndexKind secondary_index_kind(int column) const override;
+  uint64_t EstimateSecondaryMatches(const SecondaryProbe& probe) const override;
 
   const HashPartitioner& partitioner() const { return partitioner_; }
+
+  /// Registers a secondary index (bitmap or range) on `column`, backfilled
+  /// from existing rows; from then on every append batch maintains it
+  /// inside the same per-partition lock acquisition. Thread-safe.
+  Status AddSecondaryIndex(const std::string& column, SecondaryIndexKind kind);
+
+  /// The secondary-index specs (partition 0 is authoritative; all
+  /// partitions carry the same set).
+  std::vector<SecondaryIndexSpec> secondary_specs() const {
+    return partitions_.front()->secondary_specs();
+  }
 
   /// Appends rows (fine-grained or batch — the paper supports both modes by
   /// batching rows in a DataFrame). Encodes the batch off the partition

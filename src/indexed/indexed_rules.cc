@@ -1,7 +1,10 @@
 #include "indexed/indexed_rules.h"
 
+#include <algorithm>
+
 #include "indexed/indexed_operators.h"
 #include "sql/compiled_accessor.h"
+#include "sql/index_costing.h"
 
 namespace idf {
 
@@ -99,6 +102,80 @@ Result<LogicalPlanPtr> IndexedFilterRule::Apply(const LogicalPlanPtr& node) cons
   return LogicalPlanPtr(nullptr);
 }
 
+Result<LogicalPlanPtr> SecondaryIndexFilterRule::Apply(
+    const LogicalPlanPtr& node) const {
+  if (max_selectivity_ <= 0.0) return LogicalPlanPtr(nullptr);
+  if (node->kind() != PlanKind::kFilter) return LogicalPlanPtr(nullptr);
+  const auto* filter = static_cast<const FilterNode*>(node.get());
+  const LogicalPlanPtr& child = filter->children()[0];
+  IndexedRelationBasePtr rel;
+  SnapshotRelationBasePtr snap;
+  if (child->kind() == PlanKind::kIndexedScan) {
+    rel = static_cast<const IndexedScanNode*>(child.get())->relation();
+  } else if (child->kind() == PlanKind::kSnapshotScan) {
+    snap = static_cast<const SnapshotScanNode*>(child.get())->snapshot();
+  } else {
+    return LogicalPlanPtr(nullptr);
+  }
+  const SchemaPtr& schema = rel ? rel->schema() : snap->schema();
+  const size_t total_rows = rel ? rel->num_rows() : snap->num_rows();
+
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(filter->predicate(), &conjuncts);
+  auto kind_of = [&](int col) {
+    return rel ? rel->secondary_index_kind(col) : snap->secondary_index_kind(col);
+  };
+  std::vector<SecondaryProbeCandidate> candidates =
+      CollectSecondaryProbeCandidates(conjuncts, *schema, kind_of);
+  if (candidates.empty()) return LogicalPlanPtr(nullptr);
+
+  // Index-kind costing: estimated matches from the index statistics become
+  // a selectivity per candidate; the probe only beats the vectorized
+  // scan's sequential bandwidth when selective enough.
+  for (SecondaryProbeCandidate& c : candidates) {
+    const uint64_t est = rel ? rel->EstimateSecondaryMatches(c.probe)
+                             : snap->EstimateSecondaryMatches(c.probe);
+    c.probe.selectivity =
+        total_rows == 0
+            ? 0.0
+            : std::min(1.0, static_cast<double>(est) /
+                                static_cast<double>(total_rows));
+  }
+  const int driver = ChooseSecondaryProbe(candidates, max_selectivity_);
+  if (driver < 0) return LogicalPlanPtr(nullptr);
+
+  // Absorb the driver plus every other candidate under the threshold as
+  // ANDed probes (sorted-position intersection — the bitmap-AND path).
+  std::vector<SecondaryProbe> probes;
+  std::vector<bool> consumed(conjuncts.size(), false);
+  auto absorb = [&](SecondaryProbeCandidate& c) {
+    for (size_t ord : c.consumed) {
+      if (consumed[ord]) return;  // conjunct already served by another probe
+    }
+    for (size_t ord : c.consumed) consumed[ord] = true;
+    probes.push_back(std::move(c.probe));
+  };
+  absorb(candidates[static_cast<size_t>(driver)]);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (static_cast<int>(i) == driver) continue;
+    if (candidates[i].probe.selectivity <= max_selectivity_) {
+      absorb(candidates[i]);
+    }
+  }
+  if (probes.empty()) return LogicalPlanPtr(nullptr);
+
+  LogicalPlanPtr probe_node =
+      rel ? std::make_shared<SecondaryProbeNode>(rel, std::move(probes))
+          : std::make_shared<SecondaryProbeNode>(snap, std::move(probes));
+  std::vector<ExprPtr> rest;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (!consumed[i]) rest.push_back(conjuncts[i]);
+  }
+  if (rest.empty()) return probe_node;
+  return LogicalPlanPtr(std::make_shared<FilterNode>(
+      std::move(probe_node), ConjoinAll(rest), node->output_schema()));
+}
+
 namespace {
 
 /// Matches a join side that is an IndexedScan, possibly under a Filter
@@ -183,6 +260,16 @@ ScanSource SourceOfScan(const LogicalPlanPtr& scan) {
   }
   return ScanSource(std::dynamic_pointer_cast<PinnedSnapshot>(
       static_cast<const SnapshotScanNode*>(scan.get())->snapshot()));
+}
+
+/// ScanSource of a SecondaryProbeNode's relation or snapshot. Invalid
+/// (both null) for foreign implementations.
+ScanSource SourceOfProbe(const SecondaryProbeNode* probe) {
+  if (probe->relation()) {
+    return ScanSource(
+        std::dynamic_pointer_cast<IndexedRelation>(probe->relation()));
+  }
+  return ScanSource(std::dynamic_pointer_cast<PinnedSnapshot>(probe->snapshot()));
 }
 
 /// True when the aggregate can run on encoded payloads: every group
@@ -272,6 +359,23 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
       }
       return PhysicalOpPtr(nullptr);  // fall back to Filter over the scan
     }
+    if (child->kind() == PlanKind::kSecondaryProbe) {
+      // Push the residual filter into the probe operator: the compiled
+      // part gates survivors on the encoded payload, the interpreter rest
+      // runs on the decoded row. No compilation gate — the probe already
+      // restricted the row set, so even a fully interpreted residual over
+      // few survivors beats a separate filter pass.
+      const auto* probe = static_cast<const SecondaryProbeNode*>(child.get());
+      ScanSource source = SourceOfProbe(probe);
+      if (source.valid()) {
+        PredicateSplit split =
+            SplitForCompilation(filter->predicate(), *source.schema());
+        return PhysicalOpPtr(std::make_shared<SecondaryIndexProbeOp>(
+            std::move(source), probe->probes(), filter->predicate(),
+            PushedFilter::FromSplit(std::move(split))));
+      }
+      return PhysicalOpPtr(nullptr);
+    }
     if (child->kind() == PlanKind::kIndexedLookup) {
       const auto* lookup = static_cast<const IndexedLookupNode*>(child.get());
       auto rel = std::dynamic_pointer_cast<IndexedRelation>(lookup->relation());
@@ -328,6 +432,30 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
           }
         }
       }
+      if (child->kind() == PlanKind::kSecondaryProbe) {
+        const auto* probe = static_cast<const SecondaryProbeNode*>(child.get());
+        ScanSource source = SourceOfProbe(probe);
+        if (source.valid()) {
+          return PhysicalOpPtr(std::make_shared<SecondaryIndexProbeOp>(
+              std::move(source), probe->probes(), nullptr, PushedFilter{},
+              std::move(cols), node->output_schema()));
+        }
+      }
+      if (child->kind() == PlanKind::kFilter &&
+          child->children()[0]->kind() == PlanKind::kSecondaryProbe) {
+        const auto* filter = static_cast<const FilterNode*>(child.get());
+        const auto* probe =
+            static_cast<const SecondaryProbeNode*>(child->children()[0].get());
+        ScanSource source = SourceOfProbe(probe);
+        if (source.valid()) {
+          PredicateSplit split =
+              SplitForCompilation(filter->predicate(), *source.schema());
+          return PhysicalOpPtr(std::make_shared<SecondaryIndexProbeOp>(
+              std::move(source), probe->probes(), filter->predicate(),
+              PushedFilter::FromSplit(std::move(split)), std::move(cols),
+              node->output_schema()));
+        }
+      }
     }
     return PhysicalOpPtr(nullptr);
   }
@@ -366,6 +494,15 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
       return PhysicalOpPtr(
           std::make_shared<SnapshotLookupOp>(std::move(snap), lookup->keys()));
     }
+    case PlanKind::kSecondaryProbe: {
+      const auto* probe = static_cast<const SecondaryProbeNode*>(node.get());
+      ScanSource source = SourceOfProbe(probe);
+      if (!source.valid()) {
+        return Status::Internal("SecondaryProbe over a foreign relation type");
+      }
+      return PhysicalOpPtr(std::make_shared<SecondaryIndexProbeOp>(
+          std::move(source), probe->probes(), nullptr, PushedFilter{}));
+    }
     case PlanKind::kIndexedJoin: {
       const auto* join = static_cast<const IndexedJoinNode*>(node.get());
       auto rel = std::dynamic_pointer_cast<IndexedRelation>(join->relation());
@@ -393,6 +530,10 @@ void InstallIndexedExtensions(Session& session) {
   static const char kTag[] = "indexed-dataframe";
   if (session.HasExtension(kTag)) return;
   session.AddOptimizerRule(std::make_shared<IndexedFilterRule>());
+  // After the primary-index rule: an equality on the indexed column becomes
+  // a point lookup before secondary-index costing ever sees the filter.
+  session.AddOptimizerRule(std::make_shared<SecondaryIndexFilterRule>(
+      session.config().secondary_probe_max_selectivity));
   session.AddOptimizerRule(std::make_shared<IndexedJoinRule>());
   session.AddPhysicalStrategy(std::make_shared<IndexedExecutionStrategy>());
   session.MarkExtension(kTag);

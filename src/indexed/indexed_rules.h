@@ -21,6 +21,25 @@ class IndexedFilterRule : public OptimizerRule {
   Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
 };
 
+/// Filter over IndexedScan/SnapshotScan whose conjuncts include bitmap or
+/// range predicates on secondary-indexed columns becomes a SecondaryProbe
+/// when index-kind costing says the cheapest probe's estimated selectivity
+/// beats the vectorized scan (at most `max_selectivity`). Every candidate
+/// under the threshold is absorbed as an ANDed probe (bitmap-AND at
+/// execution); unconsumed conjuncts remain a residual Filter. Runs after
+/// IndexedFilterRule, so a point lookup on the primary indexed column
+/// always wins first.
+class SecondaryIndexFilterRule : public OptimizerRule {
+ public:
+  explicit SecondaryIndexFilterRule(double max_selectivity)
+      : max_selectivity_(max_selectivity) {}
+  std::string name() const override { return "SecondaryIndexFilter"; }
+  Result<LogicalPlanPtr> Apply(const LogicalPlanPtr& node) const override;
+
+ private:
+  double max_selectivity_;
+};
+
 /// Join with an IndexedScan on one side, keyed on the indexed column,
 /// becomes IndexedJoin: the index is the build side, the other relation is
 /// the probe side.

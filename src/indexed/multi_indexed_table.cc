@@ -57,6 +57,23 @@ Result<DataFrame> MultiIndexedTable::Join(const DataFrame& probe,
   return scan.Join(probe, table_col, probe_col, join_type);
 }
 
+Status MultiIndexedTable::AddBitmapIndex(const std::string& column) const {
+  return AddSecondaryIndex(column, SecondaryIndexKind::kBitmap);
+}
+
+Status MultiIndexedTable::AddRangeIndex(const std::string& column) const {
+  return AddSecondaryIndex(column, SecondaryIndexKind::kRange);
+}
+
+Status MultiIndexedTable::AddSecondaryIndex(const std::string& column,
+                                            SecondaryIndexKind kind) const {
+  for (const std::string& primary : order_) {
+    IDF_RETURN_NOT_OK(
+        indexes_.at(primary)->relation()->AddSecondaryIndex(column, kind));
+  }
+  return Status::OK();
+}
+
 Status MultiIndexedTable::AppendRows(const DataFrame& df) const {
   IDF_ASSIGN_OR_RETURN(SchemaPtr append_schema, df.schema());
   if (!append_schema->Equals(*schema_)) {

@@ -48,6 +48,16 @@ class MultiIndexedTable {
                          const std::string& probe_col,
                          JoinType join_type = JoinType::kInner) const;
 
+  /// Registers a secondary index on `column` (see DESIGN.md §14 for
+  /// choosing a kind: bitmap for low-cardinality equality/IN, range for
+  /// inequality/BETWEEN). Applied to every underlying primary index's
+  /// relation, so queries through any access path can use it; from then on
+  /// appends maintain it inside the existing per-partition batch locks.
+  Status AddBitmapIndex(const std::string& column) const;
+  Status AddRangeIndex(const std::string& column) const;
+  Status AddSecondaryIndex(const std::string& column,
+                           SecondaryIndexKind kind) const;
+
   /// Appends rows to every index (each index's writer locks serialize
   /// per-partition; all indexes see the batch before this returns).
   Status AppendRows(const DataFrame& df) const;

@@ -1,0 +1,150 @@
+#include "indexed/range_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace idf {
+
+namespace {
+
+/// Sort order inside a run: by key, position-ascending among equal keys.
+bool EntryLess(const Value& ka, uint32_t pa, const Value& kb, uint32_t pb) {
+  if (ka < kb) return true;
+  if (kb < ka) return false;
+  return pa < pb;
+}
+
+}  // namespace
+
+void SortedRun::Sort() {
+  std::vector<uint32_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return EntryLess(keys[a], pos[a], keys[b], pos[b]);
+  });
+  std::vector<Value> sorted_keys;
+  std::vector<uint32_t> sorted_pos;
+  sorted_keys.reserve(keys.size());
+  sorted_pos.reserve(pos.size());
+  for (uint32_t i : order) {
+    sorted_keys.push_back(std::move(keys[i]));
+    sorted_pos.push_back(pos[i]);
+  }
+  keys = std::move(sorted_keys);
+  pos = std::move(sorted_pos);
+}
+
+void SortedRun::Bounds(const std::optional<Value>& lo, bool lo_inclusive,
+                       const std::optional<Value>& hi, bool hi_inclusive,
+                       size_t* first, size_t* last) const {
+  auto begin = keys.begin();
+  auto end = keys.end();
+  auto lo_it = begin;
+  if (lo.has_value()) {
+    lo_it = lo_inclusive ? std::lower_bound(begin, end, *lo)
+                         : std::upper_bound(begin, end, *lo);
+  }
+  auto hi_it = end;
+  if (hi.has_value()) {
+    hi_it = hi_inclusive ? std::upper_bound(begin, end, *hi)
+                         : std::lower_bound(begin, end, *hi);
+  }
+  *first = static_cast<size_t>(lo_it - begin);
+  *last = static_cast<size_t>(std::max(lo_it, hi_it) - begin);
+}
+
+size_t RangeIndexCut::Probe(const std::optional<Value>& lo, bool lo_inclusive,
+                            const std::optional<Value>& hi, bool hi_inclusive,
+                            std::vector<uint32_t>* out) const {
+  size_t appended = 0;
+  for (const SortedRunPtr& run : runs_) {
+    size_t first = 0;
+    size_t last = 0;
+    run->Bounds(lo, lo_inclusive, hi, hi_inclusive, &first, &last);
+    for (size_t i = first; i < last; ++i) out->push_back(run->pos[i]);
+    appended += last - first;
+  }
+  return appended;
+}
+
+uint64_t RangeIndexCut::CountInRange(const std::optional<Value>& lo,
+                                     bool lo_inclusive,
+                                     const std::optional<Value>& hi,
+                                     bool hi_inclusive) const {
+  uint64_t total = 0;
+  for (const SortedRunPtr& run : runs_) {
+    size_t first = 0;
+    size_t last = 0;
+    run->Bounds(lo, lo_inclusive, hi, hi_inclusive, &first, &last);
+    total += last - first;
+  }
+  return total;
+}
+
+size_t RangeIndexCut::MemoryBytesEstimate() const {
+  size_t bytes = sizeof(*this);
+  for (const SortedRunPtr& run : runs_) {
+    bytes += sizeof(SortedRun) + run->keys.size() * sizeof(Value) +
+             run->pos.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+void RangeIndexBuilder::Add(const Value& key, uint32_t pos) {
+  buffer_.keys.push_back(key);
+  buffer_.pos.push_back(pos);
+  buffer_dirty_ = true;
+  ++count_;
+  if (buffer_.size() >= kRangeRunSealThreshold) {
+    // Seal eagerly: the run becomes immutable and every later cut shares
+    // it, so steady-state publish cost is the (small) buffer sort only.
+    buffer_.Sort();
+    sealed_.push_back(std::make_shared<SortedRun>(std::move(buffer_)));
+    buffer_ = SortedRun{};
+    buffer_dirty_ = false;
+    buffer_copy_.reset();
+  }
+}
+
+RangeIndexCutPtr RangeIndexBuilder::BuildCut(uint64_t epoch) {
+  auto cut = std::make_shared<RangeIndexCut>();
+  cut->runs_.reserve(sealed_.size() + 1);
+  cut->runs_.assign(sealed_.begin(), sealed_.end());
+  if (buffer_.size() > 0) {
+    if (buffer_dirty_ || buffer_copy_ == nullptr) {
+      auto copy = std::make_shared<SortedRun>(buffer_);
+      copy->Sort();
+      copy->epoch = epoch;
+      buffer_copy_ = std::move(copy);
+      buffer_dirty_ = false;
+    }
+    cut->runs_.push_back(buffer_copy_);
+  }
+  cut->keys_indexed_ = count_;
+  return cut;
+}
+
+void RangeIndexBuilder::MergeAll(uint64_t epoch) {
+  SortedRun merged;
+  merged.epoch = epoch;
+  merged.keys.reserve(count_);
+  merged.pos.reserve(count_);
+  for (const SortedRunPtr& run : sealed_) {
+    merged.keys.insert(merged.keys.end(), run->keys.begin(), run->keys.end());
+    merged.pos.insert(merged.pos.end(), run->pos.begin(), run->pos.end());
+  }
+  merged.keys.insert(merged.keys.end(),
+                     std::make_move_iterator(buffer_.keys.begin()),
+                     std::make_move_iterator(buffer_.keys.end()));
+  merged.pos.insert(merged.pos.end(), buffer_.pos.begin(), buffer_.pos.end());
+  merged.Sort();
+  sealed_.clear();
+  if (merged.size() > 0) {
+    sealed_.push_back(std::make_shared<SortedRun>(std::move(merged)));
+  }
+  buffer_ = SortedRun{};
+  buffer_dirty_ = false;
+  buffer_copy_.reset();
+}
+
+}  // namespace idf

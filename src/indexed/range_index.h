@@ -1,0 +1,99 @@
+// Updatable sorted range index (DESIGN.md §14): per generation, a set of
+// immutable sorted runs of (key, position) plus a small append buffer.
+// `<`, `<=`, `>`, `>=`, and BETWEEN probes binary-search every run and
+// emit the positions inside the bounds; the append buffer is sorted into
+// a (small) tail run at publish time, so cuts are fully immutable and a
+// pinned reader's probe never observes a half-applied update. Compaction
+// rebuilds the index and merges all runs into one.
+//
+// Concurrency matches bitmap_index.h: one appender under the partition
+// write lock; immutable cuts published by the owner via atomic shared_ptr.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "types/value.h"
+
+namespace idf {
+
+/// Append-buffer entries are sorted and sealed into an immutable run once
+/// this many accumulate; smaller leftovers become the cut's tail run.
+constexpr size_t kRangeRunSealThreshold = 4096;
+
+/// One immutable sorted run: parallel (keys, positions) arrays ordered by
+/// key, position-ascending among equal keys (deterministic rebuilds).
+struct SortedRun {
+  std::vector<Value> keys;
+  std::vector<uint32_t> pos;
+  uint64_t epoch = 0;  ///< publish sequence that sealed this run
+
+  size_t size() const { return keys.size(); }
+
+  /// Sorts the parallel arrays (used at seal time).
+  void Sort();
+
+  /// [first, last) index window of entries inside the bounds (either bound
+  /// may be absent = unbounded).
+  void Bounds(const std::optional<Value>& lo, bool lo_inclusive,
+              const std::optional<Value>& hi, bool hi_inclusive,
+              size_t* first, size_t* last) const;
+};
+using SortedRunPtr = std::shared_ptr<const SortedRun>;
+
+/// Immutable snapshot of one range index.
+class RangeIndexCut {
+ public:
+  /// Appends every position whose key lies inside the bounds to `out`
+  /// (unsorted across runs; the caller sorts the union once). Returns the
+  /// number appended.
+  size_t Probe(const std::optional<Value>& lo, bool lo_inclusive,
+               const std::optional<Value>& hi, bool hi_inclusive,
+               std::vector<uint32_t>* out) const;
+
+  /// Matching-entry count without materializing positions — the costing
+  /// statistic (a pair of binary searches per run).
+  uint64_t CountInRange(const std::optional<Value>& lo, bool lo_inclusive,
+                        const std::optional<Value>& hi,
+                        bool hi_inclusive) const;
+
+  uint64_t keys_indexed() const { return keys_indexed_; }
+  const std::vector<SortedRunPtr>& runs() const { return runs_; }
+
+  size_t MemoryBytesEstimate() const;
+
+ private:
+  friend class RangeIndexBuilder;
+  std::vector<SortedRunPtr> runs_;
+  uint64_t keys_indexed_ = 0;
+};
+using RangeIndexCutPtr = std::shared_ptr<const RangeIndexCut>;
+
+/// Appender-side state of one range index (one writer, partition write
+/// lock held). Add() fills the append buffer; BuildCut() seals or copies
+/// it so the published cut is immutable.
+class RangeIndexBuilder {
+ public:
+  /// Records `key` at `pos`; null keys are the caller's concern.
+  void Add(const Value& key, uint32_t pos);
+
+  /// Builds the cut reflecting every Add() so far. The append buffer is
+  /// sealed into a run when it crossed the threshold; otherwise a sorted
+  /// copy rides along as the cut's tail run (shared with later cuts until
+  /// the buffer changes again).
+  RangeIndexCutPtr BuildCut(uint64_t epoch);
+
+  /// Merges every run and the append buffer into one sorted run
+  /// (compaction's rebuild step — probes then binary-search once).
+  void MergeAll(uint64_t epoch);
+
+ private:
+  std::vector<SortedRunPtr> sealed_;
+  SortedRun buffer_;          // unsorted append buffer
+  bool buffer_dirty_ = false;
+  SortedRunPtr buffer_copy_;  // last published sorted copy of the buffer
+  uint64_t count_ = 0;
+};
+
+}  // namespace idf

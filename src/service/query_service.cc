@@ -189,6 +189,12 @@ Status QueryService::RunAdmitted(const std::string& sql,
       exec->metrics().rows_filtered_vectorized(), std::memory_order_relaxed);
   vector_batches_evaluated_.fetch_add(
       exec->metrics().vector_batches_evaluated(), std::memory_order_relaxed);
+  bitmap_probes_.fetch_add(exec->metrics().bitmap_probes(),
+                           std::memory_order_relaxed);
+  range_probes_.fetch_add(exec->metrics().range_probes(),
+                          std::memory_order_relaxed);
+  index_scans_avoided_.fetch_add(exec->metrics().index_scans_avoided(),
+                                 std::memory_order_relaxed);
   return status;
 }
 
@@ -247,6 +253,14 @@ ServiceStats QueryService::Stats() const {
       rows_filtered_vectorized_.load(std::memory_order_relaxed);
   stats.vector_batches_evaluated =
       vector_batches_evaluated_.load(std::memory_order_relaxed);
+  stats.bitmap_probes = bitmap_probes_.load(std::memory_order_relaxed);
+  stats.range_probes = range_probes_.load(std::memory_order_relaxed);
+  stats.index_scans_avoided =
+      index_scans_avoided_.load(std::memory_order_relaxed);
+  // Maintenance runs on the append path, which executes on the service's
+  // base context (shared by the snapshot manager), not a per-query one.
+  stats.bitmap_maintenance_us = base_exec_->metrics().bitmap_maintenance_us();
+  stats.range_maintenance_us = base_exec_->metrics().range_maintenance_us();
   stats.queue = queue_hist_.Summarize();
   stats.exec = exec_hist_.Summarize();
   stats.total = total_hist_.Summarize();
@@ -279,6 +293,11 @@ std::string ServiceStats::ToJson() const {
       << ", \"exec\": " << exec.ToJson() << ", \"total\": " << total.ToJson()
       << ", \"rows_filtered_vectorized\": " << rows_filtered_vectorized
       << ", \"vector_batches_evaluated\": " << vector_batches_evaluated
+      << ", \"bitmap_probes\": " << bitmap_probes
+      << ", \"range_probes\": " << range_probes
+      << ", \"index_scans_avoided\": " << index_scans_avoided
+      << ", \"bitmap_maintenance_us\": " << bitmap_maintenance_us
+      << ", \"range_maintenance_us\": " << range_maintenance_us
       << ", \"compactions_run\": " << compactions_run
       << ", \"chain_links_rewritten\": " << chain_links_rewritten
       << ", \"bytes_reclaimed\": " << bytes_reclaimed
@@ -303,6 +322,10 @@ std::string ServiceStats::ToString() const {
       << "us max=" << total.max_micros << "us (n=" << total.count << ")\n"
       << "vectorized: " << rows_filtered_vectorized << " rows filtered, "
       << vector_batches_evaluated << " batches\n"
+      << "secondary indexes: " << bitmap_probes << " bitmap probes, "
+      << range_probes << " range probes, " << index_scans_avoided
+      << " scans avoided, " << bitmap_maintenance_us << "us bitmap + "
+      << range_maintenance_us << "us range maintenance\n"
       << "compaction: " << compactions_run << " runs, "
       << chain_links_rewritten << " links rewritten, " << bytes_reclaimed
       << " bytes reclaimed, " << retired_pending << " generations pending\n"

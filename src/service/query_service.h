@@ -75,6 +75,15 @@ struct ServiceStats {
   uint64_t bytes_reclaimed = 0;
   uint64_t retired_pending = 0;  ///< generations waiting on pinned views
 
+  // Secondary indexes: probe counts folded in per query, scan work the
+  // probes skipped, and append-path maintenance time accumulated on the
+  // service executor.
+  uint64_t bitmap_probes = 0;          ///< bitmap-index probes executed
+  uint64_t range_probes = 0;           ///< range-index probes executed
+  uint64_t index_scans_avoided = 0;    ///< rows a probe skipped scanning
+  uint64_t bitmap_maintenance_us = 0;  ///< bitmap upkeep inside appends
+  uint64_t range_maintenance_us = 0;   ///< range upkeep inside appends
+
   // Incremental view maintenance (zero unless Subscribe was called).
   uint64_t views_registered = 0;  ///< live maintained arrangements
   uint64_t view_subscribers = 0;  ///< live standing-query subscriptions
@@ -178,6 +187,9 @@ class QueryService {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rows_filtered_vectorized_{0};
   std::atomic<uint64_t> vector_batches_evaluated_{0};
+  std::atomic<uint64_t> bitmap_probes_{0};
+  std::atomic<uint64_t> range_probes_{0};
+  std::atomic<uint64_t> index_scans_avoided_{0};
   LatencyHistogram queue_hist_;
   LatencyHistogram exec_hist_;
   LatencyHistogram total_hist_;

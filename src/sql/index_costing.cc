@@ -1,0 +1,179 @@
+#include "sql/index_costing.h"
+
+#include <algorithm>
+
+namespace idf {
+
+namespace {
+
+/// Matches an OR-tree of `col = literal` comparisons all on one
+/// bitmap-indexed column (the desugared `col IN (...)`), collecting the
+/// literals. Mirrors the primary-index matcher in indexed_rules.cc but
+/// resolves the column from the tree instead of requiring it up front.
+bool MatchInTree(const ExprPtr& expr, int* col, std::vector<Value>* keys) {
+  if (expr->kind() == ExprKind::kLogical &&
+      static_cast<const LogicalExpr*>(expr.get())->op() == LogicalOp::kOr) {
+    return MatchInTree(expr->children()[0], col, keys) &&
+           MatchInTree(expr->children()[1], col, keys);
+  }
+  int c = -1;
+  Value literal;
+  if (!MatchEqualityFilter(expr, &c, &literal)) return false;
+  if (*col == -1) *col = c;
+  if (c != *col) return false;
+  keys->push_back(std::move(literal));
+  return true;
+}
+
+/// Casts `v` to the column's declared type; false when the literal cannot
+/// represent the column's domain (the scan path then handles the conjunct).
+bool CastKey(const Schema& schema, int col, Value* v) {
+  auto cast = v->CastTo(schema.field(col).type);
+  if (!cast.ok()) return false;
+  *v = std::move(cast).ValueUnsafe();
+  return true;
+}
+
+/// A range probe under construction for one column.
+struct RangeAccum {
+  SecondaryProbe probe;
+  std::vector<size_t> consumed;
+};
+
+/// Tightens the accumulated lower bound with (v, inclusive). At an equal
+/// bound value the exclusive form is the tighter one.
+void TightenLo(SecondaryProbe* p, Value v, bool inclusive) {
+  if (!p->lo.has_value() || *p->lo < v) {
+    p->lo = std::move(v);
+    p->lo_inclusive = inclusive;
+  } else if (*p->lo == v && !inclusive) {
+    p->lo_inclusive = false;
+  }
+}
+
+void TightenHi(SecondaryProbe* p, Value v, bool inclusive) {
+  if (!p->hi.has_value() || v < *p->hi) {
+    p->hi = std::move(v);
+    p->hi_inclusive = inclusive;
+  } else if (*p->hi == v && !inclusive) {
+    p->hi_inclusive = false;
+  }
+}
+
+}  // namespace
+
+std::vector<SecondaryProbeCandidate> CollectSecondaryProbeCandidates(
+    const std::vector<ExprPtr>& conjuncts, const Schema& schema,
+    const std::function<SecondaryIndexKind(int)>& kind_of) {
+  std::vector<SecondaryProbeCandidate> out;
+  // Range bounds accumulate across conjuncts (BETWEEN desugars to
+  // `col >= lo AND col <= hi`), so range candidates build per column.
+  std::vector<RangeAccum> ranges;
+  auto range_for = [&ranges, &schema](int col) -> RangeAccum* {
+    for (RangeAccum& r : ranges) {
+      if (r.probe.column == col) return &r;
+    }
+    ranges.push_back(RangeAccum{});
+    ranges.back().probe.column = col;
+    ranges.back().probe.kind = SecondaryIndexKind::kRange;
+    (void)schema;
+    return &ranges.back();
+  };
+
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const ExprPtr& c = conjuncts[i];
+    // Equality / IN over a bitmap column.
+    {
+      int col = -1;
+      std::vector<Value> keys;
+      if (MatchInTree(c, &col, &keys) &&
+          kind_of(col) == SecondaryIndexKind::kBitmap) {
+        bool ok = true;
+        for (Value& k : keys) ok = ok && CastKey(schema, col, &k);
+        if (ok) {
+          SecondaryProbeCandidate cand;
+          cand.probe.column = col;
+          cand.probe.kind = SecondaryIndexKind::kBitmap;
+          cand.probe.keys = std::move(keys);
+          cand.consumed.push_back(i);
+          out.push_back(std::move(cand));
+          continue;
+        }
+      }
+    }
+    // Comparison over a range column (equality becomes lo == hi).
+    CompareOp op;
+    int col = -1;
+    Value literal;
+    if (!MatchComparisonFilter(c, &op, &col, &literal)) continue;
+    if (kind_of(col) != SecondaryIndexKind::kRange) continue;
+    if (op == CompareOp::kNe) continue;  // not index-servable
+    if (!CastKey(schema, col, &literal)) continue;
+    RangeAccum* acc = range_for(col);
+    switch (op) {
+      case CompareOp::kEq:
+        TightenLo(&acc->probe, literal, /*inclusive=*/true);
+        TightenHi(&acc->probe, std::move(literal), /*inclusive=*/true);
+        break;
+      case CompareOp::kLt:
+        TightenHi(&acc->probe, std::move(literal), /*inclusive=*/false);
+        break;
+      case CompareOp::kLe:
+        TightenHi(&acc->probe, std::move(literal), /*inclusive=*/true);
+        break;
+      case CompareOp::kGt:
+        TightenLo(&acc->probe, std::move(literal), /*inclusive=*/false);
+        break;
+      case CompareOp::kGe:
+        TightenLo(&acc->probe, std::move(literal), /*inclusive=*/true);
+        break;
+      case CompareOp::kNe:
+        break;
+    }
+    acc->consumed.push_back(i);
+  }
+
+  for (RangeAccum& r : ranges) {
+    SecondaryProbeCandidate cand;
+    cand.probe = std::move(r.probe);
+    cand.consumed = std::move(r.consumed);
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+int ChooseSecondaryProbe(const std::vector<SecondaryProbeCandidate>& candidates,
+                         double max_selectivity) {
+  int best = -1;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double s = candidates[i].probe.selectivity;
+    if (s > max_selectivity) continue;
+    if (best == -1 || s < candidates[static_cast<size_t>(best)].probe.selectivity) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool ProbeMatches(const SecondaryProbe& probe, const Value& v) {
+  if (v.is_null()) return false;
+  if (probe.kind == SecondaryIndexKind::kBitmap) {
+    for (const Value& k : probe.keys) {
+      if (v == k) return true;
+    }
+    return false;
+  }
+  if (probe.lo.has_value() &&
+      !CompareWithOp(probe.lo_inclusive ? CompareOp::kGe : CompareOp::kGt, v,
+                     *probe.lo)) {
+    return false;
+  }
+  if (probe.hi.has_value() &&
+      !CompareWithOp(probe.hi_inclusive ? CompareOp::kLe : CompareOp::kLt, v,
+                     *probe.hi)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace idf

@@ -36,8 +36,40 @@ std::string PlanKindToString(PlanKind kind) {
       return "SnapshotLookup";
     case PlanKind::kUnionAll:
       return "UnionAll";
+    case PlanKind::kSecondaryProbe:
+      return "SecondaryProbe";
   }
   return "Unknown";
+}
+
+std::string SecondaryIndexKindToString(SecondaryIndexKind kind) {
+  switch (kind) {
+    case SecondaryIndexKind::kNone:
+      return "none";
+    case SecondaryIndexKind::kBitmap:
+      return "bitmap";
+    case SecondaryIndexKind::kRange:
+      return "range";
+  }
+  return "?";
+}
+
+std::string SecondaryProbe::ToString() const {
+  std::string out = SecondaryIndexKindToString(kind) + "(col#" +
+                    std::to_string(column) + " ";
+  if (kind == SecondaryIndexKind::kBitmap) {
+    out += "in {";
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += keys[i].ToString();
+    }
+    out += "}";
+  } else {
+    if (lo.has_value()) out += (lo_inclusive ? ">= " : "> ") + lo->ToString();
+    if (lo.has_value() && hi.has_value()) out += " AND ";
+    if (hi.has_value()) out += (hi_inclusive ? "<= " : "< ") + hi->ToString();
+  }
+  return out + ")";
 }
 
 std::string AggFnToString(AggFn fn) {
@@ -244,6 +276,23 @@ LogicalPlanPtr SnapshotLookupNode::WithChildren(
     std::vector<LogicalPlanPtr> children) const {
   IDF_CHECK(children.empty());
   return std::make_shared<SnapshotLookupNode>(snapshot_, keys_);
+}
+
+std::string SecondaryProbeNode::ToString() const {
+  std::string out = "SecondaryProbe [" + (rel_ ? rel_->name() : snap_->name()) +
+                    "] ";
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += probes_[i].ToString();
+  }
+  return out;
+}
+
+LogicalPlanPtr SecondaryProbeNode::WithChildren(
+    std::vector<LogicalPlanPtr> children) const {
+  IDF_CHECK(children.empty());
+  if (rel_) return std::make_shared<SecondaryProbeNode>(rel_, probes_);
+  return std::make_shared<SecondaryProbeNode>(snap_, probes_);
 }
 
 std::string IndexedLookupNode::ToString() const {

@@ -3,7 +3,9 @@
 // planner lowers it to physical operators.
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,31 @@ struct CachedTable {
 };
 using CachedTablePtr = std::shared_ptr<const CachedTable>;
 
+/// Kind of a secondary index on a non-primary column of an indexed
+/// relation. The primary cTrie hash index serves equality; bitmap indexes
+/// serve equality/IN over low-cardinality columns; sorted range indexes
+/// serve inequality and BETWEEN predicates.
+enum class SecondaryIndexKind : uint8_t { kNone, kBitmap, kRange };
+
+std::string SecondaryIndexKindToString(SecondaryIndexKind kind);
+
+/// One secondary-index access path chosen by the index-kind costing rule:
+/// either a key set (bitmap equality / IN) or a one- or two-sided range.
+/// `selectivity` is the estimated fraction of rows the probe emits, filled
+/// by the costing rule from index statistics.
+struct SecondaryProbe {
+  int column = -1;
+  SecondaryIndexKind kind = SecondaryIndexKind::kNone;
+  std::vector<Value> keys;     // bitmap probe: equality / IN key set
+  std::optional<Value> lo;     // range probe bounds (either may be absent)
+  std::optional<Value> hi;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  double selectivity = 1.0;
+
+  std::string ToString() const;
+};
+
 /// \brief Interface to an indexed relation, implemented by
 /// indexed::IndexedRelation. The SQL layer sees only this surface so the
 /// dependency points from indexed/ to sql/ (the library "plugs in", like
@@ -63,6 +90,18 @@ class IndexedRelationBase {
   virtual size_t num_rows() const = 0;
   /// Version counter; bumped by every append batch (MVCC snapshots).
   virtual uint64_t version() const = 0;
+  /// Kind of the secondary index on `column` (kNone when it has none).
+  virtual SecondaryIndexKind secondary_index_kind(int column) const {
+    (void)column;
+    return SecondaryIndexKind::kNone;
+  }
+  /// Estimated rows a secondary probe would emit, from index statistics
+  /// (rows appended after the last published cut count as matches, keeping
+  /// the estimate conservative). Default: everything matches.
+  virtual uint64_t EstimateSecondaryMatches(const SecondaryProbe& probe) const {
+    (void)probe;
+    return num_rows();
+  }
 };
 using IndexedRelationBasePtr = std::shared_ptr<IndexedRelationBase>;
 
@@ -86,6 +125,7 @@ enum class PlanKind : uint8_t {
   kSnapshotScan,
   kSnapshotLookup,
   kUnionAll,
+  kSecondaryProbe,
 };
 
 std::string PlanKindToString(PlanKind kind);
@@ -348,6 +388,17 @@ class SnapshotRelationBase {
   virtual int indexed_column() const = 0;
   virtual uint64_t version() const = 0;
   virtual size_t num_rows() const = 0;
+  /// Kind of the secondary index on `column` in the frozen version (kNone
+  /// when the snapshot predates the index or it has none).
+  virtual SecondaryIndexKind secondary_index_kind(int column) const {
+    (void)column;
+    return SecondaryIndexKind::kNone;
+  }
+  /// Estimated rows a secondary probe would emit (see IndexedRelationBase).
+  virtual uint64_t EstimateSecondaryMatches(const SecondaryProbe& probe) const {
+    (void)probe;
+    return num_rows();
+  }
 };
 using SnapshotRelationBasePtr = std::shared_ptr<SnapshotRelationBase>;
 
@@ -412,6 +463,48 @@ class IndexedLookupNode : public LogicalPlan {
  private:
   IndexedRelationBasePtr rel_;
   std::vector<Value> keys_;
+};
+
+/// Secondary-index probe (leaf): the rows of an indexed relation — live or
+/// pinned (exactly one of the two handles is set) — matching a bitmap or
+/// range predicate on a secondary-indexed column. Produced by the indexed
+/// filter rule's index-kind costing when the probe's estimated selectivity
+/// beats the vectorized scan; the physical operator emits the index's row
+/// positions as a selection vector feeding the usual decode-survivors path.
+class SecondaryProbeNode : public LogicalPlan {
+ public:
+  SecondaryProbeNode(IndexedRelationBasePtr rel,
+                     std::vector<SecondaryProbe> probes)
+      : LogicalPlan(PlanKind::kSecondaryProbe, {}, rel->schema()),
+        rel_(std::move(rel)),
+        probes_(std::move(probes)) {}
+  SecondaryProbeNode(SnapshotRelationBasePtr snap,
+                     std::vector<SecondaryProbe> probes)
+      : LogicalPlan(PlanKind::kSecondaryProbe, {}, snap->schema()),
+        snap_(std::move(snap)),
+        probes_(std::move(probes)) {}
+
+  const IndexedRelationBasePtr& relation() const { return rel_; }
+  const SnapshotRelationBasePtr& snapshot() const { return snap_; }
+  /// ANDed probes; the first is the costing-chosen driver (lowest
+  /// selectivity), the rest intersect into it (bitmap-AND).
+  const std::vector<SecondaryProbe>& probes() const { return probes_; }
+  /// Smallest selectivity across the ANDed probes (the driver's).
+  double selectivity() const {
+    double s = 1.0;
+    for (const SecondaryProbe& p : probes_) s = std::min(s, p.selectivity);
+    return s;
+  }
+  size_t source_rows() const {
+    return rel_ ? rel_->num_rows() : snap_->num_rows();
+  }
+  std::string ToString() const override;
+  LogicalPlanPtr WithChildren(std::vector<LogicalPlanPtr> children) const override;
+
+ private:
+  IndexedRelationBasePtr rel_;
+  SnapshotRelationBasePtr snap_;
+  std::vector<SecondaryProbe> probes_;
 };
 
 /// Indexed equi-join: the indexed relation is the (pre-built) build side;

@@ -63,6 +63,10 @@ double EstimateRows(const LogicalPlanPtr& plan) {
     case PlanKind::kIndexedLookup:
     case PlanKind::kSnapshotLookup:
       return 8;  // point lookup: a handful of rows per key
+    case PlanKind::kSecondaryProbe: {
+      const auto* probe = static_cast<const SecondaryProbeNode*>(plan.get());
+      return probe->selectivity() * static_cast<double>(probe->source_rows());
+    }
     case PlanKind::kSnapshotScan:
       return static_cast<double>(
           static_cast<const SnapshotScanNode*>(plan.get())->snapshot()->num_rows());

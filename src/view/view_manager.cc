@@ -503,8 +503,15 @@ Result<ViewSubscriptionPtr> MaterializedViewManager::Subscribe(
   IDF_ASSIGN_OR_RETURN(ViewSpec spec, BuildViewSpec(sql, analyzed));
 
   if (spec.kind == ViewKind::kJoin) {
-    // Both probe directions need an index on the join column; without one
-    // the view still works, just by recomputation.
+    // Both probe directions need a PRIMARY (cTrie) index on the join
+    // column; without one the view still works, just by recomputation.
+    // indexed_columns deliberately excludes bitmap/range secondary
+    // indexes: incremental join maintenance walks per-key chains through
+    // a pinned trie arrangement, and a secondary index's position cut is
+    // published per append batch, not pinned per epoch — maintaining
+    // through one could read a cut newer than the view's epoch. A column
+    // that only carries a secondary index therefore downgrades the view
+    // to safe recomputation instead of risking a torn arrangement.
     auto has_index = [&infos](const std::string& table, int col) {
       for (const TableInfo& info : infos) {
         if (info.name != table) continue;

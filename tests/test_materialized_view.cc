@@ -559,6 +559,53 @@ TEST(MaterializedViewTest, StatsExportIncludesViewCounters) {
   ASSERT_TRUE(service->Unsubscribe(sub).ok());
 }
 
+TEST(MaterializedViewTest, SecondaryOnlyJoinColumnDowngradesToRecompute) {
+  // A join keyed on a column that carries only a bitmap/range secondary
+  // index must NOT be classified as incrementally maintainable: secondary
+  // cuts are published per append batch, not pinned per epoch, so the
+  // view subsystem only trusts primary cTrie arrangements. The view must
+  // downgrade to recompute at subscribe time (never via a maintenance
+  // error) and stay correct under live appends.
+  ServiceConfig cfg;
+  cfg.engine.num_threads = 2;
+  cfg.engine.num_partitions = 4;
+  auto service = QueryService::Make(cfg).ValueOrDie();
+  auto session = Session::Make(cfg.engine).ValueOrDie();
+  auto odf = session->CreateDataFrame(OrdersSchema(), {}, "orders").ValueOrDie();
+  auto orel = IndexedDataFrame::CreateIndex(odf, 1, "orders_by_user")
+                  .ValueOrDie()
+                  .relation();
+  // `amount` gets a range secondary index — queries can probe it, but the
+  // join below is keyed on it and must not treat it as a join arrangement.
+  ASSERT_TRUE(orel->AddSecondaryIndex("amount", SecondaryIndexKind::kRange).ok());
+  ASSERT_TRUE(service->RegisterTable("orders", orel).ok());
+  auto udf = session->CreateDataFrame(UsersSchema(), {}, "users").ValueOrDie();
+  auto urel =
+      IndexedDataFrame::CreateIndex(udf, 0, "users_by_uid").ValueOrDie().relation();
+  ASSERT_TRUE(service->RegisterTable("users", urel).ok());
+
+  auto sub = service
+                 ->Subscribe(
+                     "SELECT o.oid, u.name FROM orders o "
+                     "JOIN users u ON o.amount = u.uid")
+                 .ValueOrDie();
+  EXPECT_EQ(sub->kind(), ViewKind::kRecompute);
+
+  std::mt19937 rng(41);
+  int64_t oid = 0, uid = 0;
+  ASSERT_TRUE(service->Append("users", RandomUsers(&rng, &uid, 12)).ok());
+  for (int pass = 0; pass < 4; ++pass) {
+    ASSERT_TRUE(
+        service->Append("orders", RandomOrders(&rng, &oid, 1 + rng() % 15))
+            .ok());
+    ASSERT_TRUE(MatchesRecompute(service.get(), sub));
+  }
+  // The downgrade happened at classification, not by a failed incremental
+  // pass degrading mid-stream.
+  EXPECT_EQ(service->views().Stats().maintenance_errors, 0u);
+  ASSERT_TRUE(service->Unsubscribe(sub).ok());
+}
+
 TEST(MaterializedViewTest, SubscribeRejectsInvalidSql) {
   auto service = MakeViewService();
   EXPECT_FALSE(service->Subscribe("SELECT FROM WHERE").ok());
