@@ -1,0 +1,282 @@
+// Prepared-statement QPS benchmark: real loopback round trips through
+// the network front end (src/net), prepared-and-pipelined execution vs
+// parse-per-query ad-hoc SQL, over N concurrent connections.
+//
+// Two workloads:
+//   - point lookups (primary-index probe, ~16us of engine work) where
+//     per-query parse/analyze/optimize dominates the unprepared path;
+//   - selective scans (compiled full-table predicate) where engine work
+//     is larger and the planning overhead proportionally smaller.
+//
+// The headline counter is speedup_vs_unprepared on the point-lookup
+// entries (>= 5x expected: EXECUTE binds parameters into a cached plan
+// and pipelines frames, QUERY re-plans from SQL text every round trip).
+// Exact p50/p99 per-round-trip tails are reported for both modes.
+//
+// Like the other benches, writes machine-readable JSON (consumed by CI)
+// to BENCH_prepared_qps.json unless --benchmark_out is given.
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "indexed/indexed_dataframe.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+namespace idf {
+namespace {
+
+constexpr int64_t kTableRows = 100000;
+// Point lookups are cheap enough to need volume; scans carry their own
+// weight at a fraction of the count.
+constexpr int kLookupsPerConn = 600;
+constexpr int kScansPerConn = 60;
+constexpr size_t kPipelineBurst = 64;
+
+SchemaPtr PostSchema() {
+  return Schema::Make({{"id", TypeId::kInt64, false},
+                       {"creator", TypeId::kInt64, false},
+                       {"content", TypeId::kString, false}});
+}
+
+RowVec MakeRows(int64_t begin, int64_t end) {
+  RowVec rows;
+  rows.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    rows.push_back(
+        {Value(i), Value(i % 1000), Value("content-" + std::to_string(i))});
+  }
+  return rows;
+}
+
+QueryServicePtr BuildService() {
+  ServiceConfig cfg;
+  cfg.max_inflight = 16;
+  cfg.max_queue = 256;
+  auto service = QueryService::Make(cfg).ValueOrDie();
+  auto session = Session::Make(cfg.engine).ValueOrDie();
+  auto df =
+      session->CreateDataFrame(PostSchema(), MakeRows(0, kTableRows), "posts")
+          .ValueOrDie();
+  auto rel = IndexedDataFrame::CreateIndex(df, 0, "posts_by_id")
+                 .ValueOrDie()
+                 .relation();
+  IDF_CHECK(service->RegisterTable("posts", rel).ok());
+  return service;
+}
+
+uint64_t Pct(std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+struct ModeResult {
+  std::vector<uint64_t> latencies_us;  // sorted; one entry per round trip
+  double qps = 0;
+};
+
+/// One workload template: SQL with a '?' hole, the matching ad-hoc
+/// rendering, and the parameter stream.
+struct Workload {
+  std::string template_sql;
+  int queries_per_conn;
+  // The i-th parameter for connection c.
+  std::function<int64_t(int c, int i)> param;
+};
+
+Workload PointLookups() {
+  return {"SELECT content FROM posts WHERE id = ?", kLookupsPerConn,
+          [](int c, int i) {
+            return (static_cast<int64_t>(i) * 7919 + c * 13) % kTableRows;
+          }};
+}
+
+Workload SelectiveScans() {
+  // creator = k matches kTableRows/1000 rows: a compiled-predicate scan,
+  // not an index probe — engine work dominates the round trip.
+  return {"SELECT id FROM posts WHERE creator = ?", kScansPerConn,
+          [](int c, int i) {
+            return static_cast<int64_t>(i * 31 + c * 7) % 1000;
+          }};
+}
+
+/// Prepared mode: prepare once per connection, execute pipelined bursts.
+/// Per-round-trip latency is measured on the burst and amortized.
+ModeResult RunPrepared(uint16_t port, int connections, const Workload& w) {
+  std::vector<std::vector<uint64_t>> per_conn(
+      static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::Client::Connect("127.0.0.1", port).ValueOrDie();
+      net::PreparedReply prep = client->Prepare(w.template_sql).ValueOrDie();
+      auto& lat = per_conn[static_cast<size_t>(c)];
+      lat.reserve(static_cast<size_t>(w.queries_per_conn));
+      for (int i = 0; i < w.queries_per_conn;) {
+        std::vector<std::vector<Value>> burst;
+        while (burst.size() < kPipelineBurst && i < w.queries_per_conn) {
+          burst.push_back({Value(w.param(c, i++))});
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        auto replies =
+            client->ExecutePipelined(prep.handle, burst, /*busy_retries=*/50);
+        const auto t1 = std::chrono::steady_clock::now();
+        IDF_CHECK(replies.ok()) << replies.status().ToString();
+        const uint64_t us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count());
+        for (size_t k = 0; k < burst.size(); ++k) {
+          lat.push_back(us / burst.size());
+        }
+      }
+      IDF_CHECK(client->Close(prep.handle).ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  ModeResult result;
+  for (auto& v : per_conn) {
+    result.latencies_us.insert(result.latencies_us.end(), v.begin(), v.end());
+  }
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  result.qps = static_cast<double>(result.latencies_us.size()) / secs;
+  return result;
+}
+
+/// Unprepared mode: every round trip ships SQL text with the literal
+/// spliced in; the server parses, analyzes, and optimizes per query.
+ModeResult RunUnprepared(uint16_t port, int connections, const Workload& w) {
+  std::vector<std::vector<uint64_t>> per_conn(
+      static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::Client::Connect("127.0.0.1", port).ValueOrDie();
+      auto& lat = per_conn[static_cast<size_t>(c)];
+      lat.reserve(static_cast<size_t>(w.queries_per_conn));
+      const size_t hole = w.template_sql.find('?');
+      for (int i = 0; i < w.queries_per_conn; ++i) {
+        std::string sql = w.template_sql;
+        sql.replace(hole, 1, std::to_string(w.param(c, i)));
+        const auto t0 = std::chrono::steady_clock::now();
+        auto reply = client->Query(sql);
+        const auto t1 = std::chrono::steady_clock::now();
+        IDF_CHECK(reply.ok()) << reply.status().ToString();
+        lat.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  ModeResult result;
+  for (auto& v : per_conn) {
+    result.latencies_us.insert(result.latencies_us.end(), v.begin(), v.end());
+  }
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  result.qps = static_cast<double>(result.latencies_us.size()) / secs;
+  return result;
+}
+
+void RunWorkload(benchmark::State& state, const Workload& w) {
+  const int connections = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    QueryServicePtr service = BuildService();
+    auto server = net::Server::Start(service, net::ServerConfig{}).ValueOrDie();
+
+    ModeResult unprepared = RunUnprepared(server->port(), connections, w);
+    ModeResult prepared = RunPrepared(server->port(), connections, w);
+    server->Stop();
+
+    ServiceStats stats = service->Stats();
+    state.counters["prepared_qps"] = prepared.qps;
+    state.counters["unprepared_qps"] = unprepared.qps;
+    state.counters["speedup_vs_unprepared"] = prepared.qps / unprepared.qps;
+    state.counters["prepared_p50_us"] =
+        static_cast<double>(Pct(prepared.latencies_us, 0.50));
+    state.counters["prepared_p99_us"] =
+        static_cast<double>(Pct(prepared.latencies_us, 0.99));
+    state.counters["unprepared_p50_us"] =
+        static_cast<double>(Pct(unprepared.latencies_us, 0.50));
+    state.counters["unprepared_p99_us"] =
+        static_cast<double>(Pct(unprepared.latencies_us, 0.99));
+    // One plan build per connection; every EXECUTE after that binds into
+    // the cached plan (plan_cache_hits counts the re-prepares).
+    state.counters["statements_prepared"] =
+        static_cast<double>(stats.statements_prepared);
+    state.counters["plan_cache_hits"] =
+        static_cast<double>(stats.plan_cache_hits);
+    state.counters["prepared_executions"] =
+        static_cast<double>(stats.prepared_executions);
+    state.counters["prepared_replans"] =
+        static_cast<double>(stats.prepared_replans);
+    state.counters["busy_rejections"] =
+        static_cast<double>(stats.net_busy_rejections);
+  }
+}
+
+void BM_PointLookupRoundTrips(benchmark::State& state) {
+  RunWorkload(state, PointLookups());
+}
+
+BENCHMARK(BM_PointLookupRoundTrips)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+void BM_SelectiveScanRoundTrips(benchmark::State& state) {
+  RunWorkload(state, SelectiveScans());
+}
+
+BENCHMARK(BM_SelectiveScanRoundTrips)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace idf
+
+// Like BENCHMARK_MAIN(), but defaults to also writing machine-readable
+// JSON results to BENCH_prepared_qps.json (consumed by CI) when the
+// caller passes no --benchmark_out of their own.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_prepared_qps.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/cancellation.h"
 #include "common/config.h"
 #include "common/result.h"
 #include "engine/metrics.h"
 #include "engine/thread_pool.h"
+#include "types/value.h"
 
 namespace idf {
 
@@ -48,6 +50,16 @@ class ExecutorContext {
     return cancel_ == nullptr ? Status::OK() : cancel_->CheckStatus();
   }
 
+  /// Prepared-statement parameter bindings for this execution (values
+  /// already coerced to their declared types). Operators holding
+  /// ParameterRef expressions or parameter slots bind against these at
+  /// Execute entry. Install before execution starts, like SetCancellation;
+  /// null (the default) means "no parameters".
+  void SetParameters(std::shared_ptr<const std::vector<Value>> params) {
+    params_ = std::move(params);
+  }
+  const std::vector<Value>* parameters() const { return params_.get(); }
+
   int num_partitions() const { return config_.num_partitions; }
 
   /// Rows per morsel for a job of `n` rows: the configured ceiling
@@ -63,6 +75,7 @@ class ExecutorContext {
   std::shared_ptr<ThreadPool> pool_;
   QueryMetrics metrics_;
   CancellationTokenPtr cancel_;
+  std::shared_ptr<const std::vector<Value>> params_;
 };
 
 using ExecutorContextPtr = std::shared_ptr<ExecutorContext>;

@@ -10,7 +10,63 @@
 
 namespace idf {
 
+Result<PushedFilter> PushedFilter::Bind(const std::vector<Value>& params) const {
+  PushedFilter out;
+  if (compiled.has_value()) {
+    IDF_ASSIGN_OR_RETURN(CompiledPredicate bound, compiled->BindParams(params));
+    out.compiled = std::move(bound);
+  }
+  if (residual != nullptr) {
+    IDF_ASSIGN_OR_RETURN(out.residual, SubstituteParameters(residual, params));
+  }
+  return out;
+}
+
 namespace {
+
+/// Resolves an operator's pushed filter against the execution context's
+/// bound parameters. Parameter-free filters pass through as a copy.
+Result<PushedFilter> BindPushedFilter(const PushedFilter& filter,
+                                      ExecutorContext& ctx) {
+  if (!filter.has_params()) return filter;
+  const std::vector<Value>* params = ctx.parameters();
+  if (params == nullptr) {
+    return Status::Internal(
+        "parameterized pushed filter executed without bound parameters");
+  }
+  return filter.Bind(*params);
+}
+
+/// Resolves lookup key placeholders against the context's bound parameters.
+/// A null binding is dropped — `key = NULL` matches no row, exactly like
+/// the equivalent ad-hoc comparison.
+Result<std::vector<Value>> ResolveLookupKeys(const std::vector<Value>& keys,
+                                             const std::vector<int>& key_params,
+                                             ExecutorContext& ctx) {
+  bool any = false;
+  for (int p : key_params) any = any || p >= 0;
+  if (!any) return keys;
+  const std::vector<Value>* params = ctx.parameters();
+  if (params == nullptr) {
+    return Status::Internal(
+        "parameterized lookup executed without bound parameters");
+  }
+  std::vector<Value> out;
+  out.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int p = i < key_params.size() ? key_params[i] : -1;
+    if (p < 0) {
+      out.push_back(keys[i]);
+      continue;
+    }
+    if (static_cast<size_t>(p) >= params->size()) {
+      return Status::Internal("lookup key parameter ordinal out of range");
+    }
+    if ((*params)[static_cast<size_t>(p)].is_null()) continue;
+    out.push_back((*params)[static_cast<size_t>(p)]);
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Morsel-driven execution helpers
@@ -588,10 +644,11 @@ Result<PartitionVec> IndexedScanFilterOp::Execute(ExecutorContext& ctx) {
   std::optional<IndexedRelationSnapshot> scratch;
   const IndexedRelationSnapshot& snap = source_.Snapshot(&scratch);
   const Schema& schema = *source_.schema();
-  if (filter_.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  IDF_ASSIGN_OR_RETURN(PushedFilter filter, BindPushedFilter(filter_, ctx));
+  if (filter.compiled) ctx.metrics().AddPredicatesCompiled(1);
   const CompiledPredicate* compiled =
-      filter_.compiled ? &*filter_.compiled : nullptr;
-  const Expr* residual = filter_.residual.get();
+      filter.compiled ? &*filter.compiled : nullptr;
+  const Expr* residual = filter.residual.get();
   // Encoded-first either way: the compiled program reads the payload
   // directly, so rows it rejects are never decoded. The vectorized driver
   // evaluates it batch-at-a-time per partition segment; the fallback runs
@@ -627,10 +684,11 @@ Result<PartitionVec> SecondaryIndexProbeOp::Execute(ExecutorContext& ctx) {
   std::optional<IndexedRelationSnapshot> scratch;
   const IndexedRelationSnapshot& snap = source_.Snapshot(&scratch);
   const Schema& schema = *source_.schema();
-  if (filter_.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  IDF_ASSIGN_OR_RETURN(PushedFilter filter, BindPushedFilter(filter_, ctx));
+  if (filter.compiled) ctx.metrics().AddPredicatesCompiled(1);
   const CompiledPredicate* compiled =
-      filter_.compiled ? &*filter_.compiled : nullptr;
-  const Expr* residual = filter_.residual.get();
+      filter.compiled ? &*filter.compiled : nullptr;
+  const Expr* residual = filter.residual.get();
 
   // Partition-granular parallelism: a selective probe emits few rows per
   // partition, so the morsel machinery's flattening would cost more than
@@ -712,10 +770,11 @@ Result<PartitionVec> IndexedScanAggregateOp::Execute(ExecutorContext& ctx) {
   std::optional<IndexedRelationSnapshot> scratch;
   const IndexedRelationSnapshot& snap = source_.Snapshot(&scratch);
   const Schema& schema = *source_.schema();
-  if (filter_.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  IDF_ASSIGN_OR_RETURN(PushedFilter filter, BindPushedFilter(filter_, ctx));
+  if (filter.compiled) ctx.metrics().AddPredicatesCompiled(1);
   const CompiledPredicate* compiled =
-      filter_.compiled ? &*filter_.compiled : nullptr;
-  const Expr* residual = filter_.residual.get();
+      filter.compiled ? &*filter.compiled : nullptr;
+  const Expr* residual = filter.residual.get();
 
   const size_t num_groups = group_exprs_.size();
   const size_t num_aggs = aggs_.size();
@@ -884,11 +943,17 @@ Result<PartitionVec> IndexedScanAggregateOp::Execute(ExecutorContext& ctx) {
 
 Result<PartitionVec> IndexLookupOp::Execute(ExecutorContext& ctx) {
   IndexedRelationSnapshot snap = rel_->Snapshot();
-  return LookupKeys(ctx, snap, keys_, filter_);
+  IDF_ASSIGN_OR_RETURN(std::vector<Value> keys,
+                       ResolveLookupKeys(keys_, key_params_, ctx));
+  IDF_ASSIGN_OR_RETURN(PushedFilter filter, BindPushedFilter(filter_, ctx));
+  return LookupKeys(ctx, snap, keys, filter);
 }
 
 Result<PartitionVec> SnapshotLookupOp::Execute(ExecutorContext& ctx) {
-  return LookupKeys(ctx, snapshot_->snapshot(), keys_, filter_);
+  IDF_ASSIGN_OR_RETURN(std::vector<Value> keys,
+                       ResolveLookupKeys(keys_, key_params_, ctx));
+  IDF_ASSIGN_OR_RETURN(PushedFilter filter, BindPushedFilter(filter_, ctx));
+  return LookupKeys(ctx, snapshot_->snapshot(), keys, filter);
 }
 
 Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
@@ -903,10 +968,12 @@ Result<PartitionVec> IndexedJoinOp::Execute(ExecutorContext& ctx) {
   // relation: the compiled part runs on the encoded build row during the
   // chain walk (rejects are never decoded or concatenated), the residual
   // on the decoded build row.
-  if (build_filter_.compiled) ctx.metrics().AddPredicatesCompiled(1);
+  IDF_ASSIGN_OR_RETURN(PushedFilter build_filter,
+                       BindPushedFilter(build_filter_, ctx));
+  if (build_filter.compiled) ctx.metrics().AddPredicatesCompiled(1);
   const CompiledPredicate* build_compiled =
-      build_filter_.compiled ? &*build_filter_.compiled : nullptr;
-  const Expr* build_residual = build_filter_.residual.get();
+      build_filter.compiled ? &*build_filter.compiled : nullptr;
+  const Expr* build_residual = build_filter.residual.get();
   // With a compiled build filter and vectorized execution, the chain walks
   // only collect (build payload, probe id) candidates; each probe segment
   // then runs the filter batch-at-a-time and decodes the survivors.

@@ -23,6 +23,18 @@ struct PushedFilter {
 
   bool has_any() const { return compiled.has_value() || residual != nullptr; }
 
+  /// True when either part still references prepared-statement parameters
+  /// and must be Bind()-ed before rows are evaluated.
+  bool has_params() const {
+    return (compiled.has_value() && compiled->has_params()) ||
+           (residual != nullptr && ExprHasParameters(residual));
+  }
+
+  /// Returns a copy with the compiled program's immediate slots patched
+  /// (CompiledPredicate::BindParams — no recompilation) and the residual's
+  /// ParameterRefs substituted with literals.
+  Result<PushedFilter> Bind(const std::vector<Value>& params) const;
+
   static PushedFilter FromSplit(PredicateSplit split) {
     return PushedFilter{std::move(split.compiled), std::move(split.residual)};
   }
@@ -217,16 +229,25 @@ class IndexedScanAggregateOp : public PhysicalOp {
 /// part before decoding, the interpreted part on the decoded row).
 class IndexLookupOp : public PhysicalOp {
  public:
+  /// `key_params` parallels `keys`: entry i >= 0 marks keys[i] as a
+  /// placeholder filled from that prepared-statement parameter ordinal at
+  /// execution time (empty = all literal keys).
   IndexLookupOp(IndexedRelationPtr rel, std::vector<Value> keys,
-                PushedFilter filter = {})
+                PushedFilter filter = {}, std::vector<int> key_params = {})
       : PhysicalOp(rel->schema()),
         rel_(std::move(rel)),
         keys_(std::move(keys)),
-        filter_(std::move(filter)) {}
+        filter_(std::move(filter)),
+        key_params_(std::move(key_params)) {}
   std::string name() const override {
     std::string out = "IndexLookup[" + rel_->name() + "] key=";
     if (filter_.has_any()) out = "Filtered" + out;
-    if (keys_.size() == 1) return out + keys_[0].ToString();
+    auto render = [this](size_t i) {
+      return (i < key_params_.size() && key_params_[i] >= 0)
+                 ? "$" + std::to_string(key_params_[i] + 1)
+                 : keys_[i].ToString();
+    };
+    if (keys_.size() == 1) return out + render(0);
     return out + "{" + std::to_string(keys_.size()) + " keys}";
   }
   Result<PartitionVec> Execute(ExecutorContext& ctx) override;
@@ -235,6 +256,7 @@ class IndexLookupOp : public PhysicalOp {
   IndexedRelationPtr rel_;
   std::vector<Value> keys_;
   PushedFilter filter_;
+  std::vector<int> key_params_;
 };
 
 /// Point lookup against a pinned snapshot: identical chain walk, but over
@@ -242,16 +264,23 @@ class IndexLookupOp : public PhysicalOp {
 /// version at index speed while appends keep landing in the live relation.
 class SnapshotLookupOp : public PhysicalOp {
  public:
+  /// `key_params` as in IndexLookupOp.
   SnapshotLookupOp(PinnedSnapshotPtr snapshot, std::vector<Value> keys,
-                   PushedFilter filter = {})
+                   PushedFilter filter = {}, std::vector<int> key_params = {})
       : PhysicalOp(snapshot->schema()),
         snapshot_(std::move(snapshot)),
         keys_(std::move(keys)),
-        filter_(std::move(filter)) {}
+        filter_(std::move(filter)),
+        key_params_(std::move(key_params)) {}
   std::string name() const override {
     std::string out = "SnapshotLookup[" + snapshot_->name() + "] key=";
     if (filter_.has_any()) out = "Filtered" + out;
-    if (keys_.size() == 1) return out + keys_[0].ToString();
+    auto render = [this](size_t i) {
+      return (i < key_params_.size() && key_params_[i] >= 0)
+                 ? "$" + std::to_string(key_params_[i] + 1)
+                 : keys_[i].ToString();
+    };
+    if (keys_.size() == 1) return out + render(0);
     return out + "{" + std::to_string(keys_.size()) + " keys}";
   }
   Result<PartitionVec> Execute(ExecutorContext& ctx) override;
@@ -260,6 +289,7 @@ class SnapshotLookupOp : public PhysicalOp {
   PinnedSnapshotPtr snapshot_;
   std::vector<Value> keys_;
   PushedFilter filter_;
+  std::vector<int> key_params_;
 };
 
 /// Indexed equi-join. The indexed relation is always the build side ("as it

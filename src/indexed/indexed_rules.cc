@@ -34,20 +34,46 @@ bool KeyIsIndexedColumn(const ExprPtr& key, const IndexedRelationBasePtr& rel) {
   return ref->bound() && ref->index() == rel->indexed_column();
 }
 
-/// Matches an OR-tree of `col = literal` comparisons all on column
-/// `want_col` (the desugared form of `col IN (...)`), collecting the
-/// literals.
-bool MatchInList(const ExprPtr& expr, int want_col, std::vector<Value>* keys) {
+/// Matches an OR-tree of `col = literal` / `col = $n` comparisons all on
+/// column `want_col` (the desugared form of `col IN (...)`), collecting
+/// the literals. A parameter equality contributes a placeholder key plus
+/// its ordinal in `key_params` (literal keys record -1), to be resolved
+/// from the bound parameters at execution time.
+bool MatchInList(const ExprPtr& expr, int want_col, std::vector<Value>* keys,
+                 std::vector<int>* key_params, bool* any_param) {
   if (expr->kind() == ExprKind::kLogical &&
       static_cast<const LogicalExpr*>(expr.get())->op() == LogicalOp::kOr) {
-    return MatchInList(expr->children()[0], want_col, keys) &&
-           MatchInList(expr->children()[1], want_col, keys);
+    return MatchInList(expr->children()[0], want_col, keys, key_params,
+                       any_param) &&
+           MatchInList(expr->children()[1], want_col, keys, key_params,
+                       any_param);
   }
   int col = -1;
   Value literal;
-  if (!MatchEqualityFilter(expr, &col, &literal)) return false;
-  if (col != want_col) return false;
-  keys->push_back(std::move(literal));
+  if (MatchEqualityFilter(expr, &col, &literal)) {
+    if (col != want_col) return false;
+    keys->push_back(std::move(literal));
+    key_params->push_back(-1);
+    return true;
+  }
+  // `col = $n` (either order): the lookup key arrives with the bindings.
+  if (expr->kind() != ExprKind::kComparison) return false;
+  const auto* cmp = static_cast<const ComparisonExpr*>(expr.get());
+  if (cmp->op() != CompareOp::kEq) return false;
+  const ExprPtr& l = cmp->left();
+  const ExprPtr& r = cmp->right();
+  const ExprPtr& col_side = l->kind() == ExprKind::kColumnRef ? l : r;
+  const ExprPtr& param_side = l->kind() == ExprKind::kColumnRef ? r : l;
+  if (col_side->kind() != ExprKind::kColumnRef ||
+      param_side->kind() != ExprKind::kParameterRef) {
+    return false;
+  }
+  const auto* ref = static_cast<const ColumnRefExpr*>(col_side.get());
+  if (!ref->bound() || ref->index() != want_col) return false;
+  keys->push_back(Value());  // placeholder, filled at bind time
+  key_params->push_back(
+      static_cast<const ParameterRefExpr*>(param_side.get())->ordinal());
+  *any_param = true;
   return true;
 }
 
@@ -79,17 +105,24 @@ Result<LogicalPlanPtr> IndexedFilterRule::Apply(const LogicalPlanPtr& node) cons
   for (size_t i = 0; i < conjuncts.size(); ++i) {
     // Single equality, or an OR-of-equalities on the indexed column (the
     // desugared `col IN (...)`) — both become (multi-key) index lookups.
+    // Prepared-statement parameter equalities become placeholder key slots.
     std::vector<Value> keys;
-    if (!MatchInList(conjuncts[i], indexed_col, &keys)) continue;
+    std::vector<int> key_params;
+    bool any_param = false;
+    if (!MatchInList(conjuncts[i], indexed_col, &keys, &key_params,
+                     &any_param)) {
+      continue;
+    }
+    if (!any_param) key_params.clear();
     LogicalPlanPtr lookup;
     if (child->kind() == PlanKind::kIndexedScan) {
       lookup = std::make_shared<IndexedLookupNode>(
           static_cast<const IndexedScanNode*>(child.get())->relation(),
-          std::move(keys));
+          std::move(keys), std::move(key_params));
     } else {
       lookup = std::make_shared<SnapshotLookupNode>(
           static_cast<const SnapshotScanNode*>(child.get())->snapshot(),
-          std::move(keys));
+          std::move(keys), std::move(key_params));
     }
     std::vector<ExprPtr> rest;
     for (size_t j = 0; j < conjuncts.size(); ++j) {
@@ -384,7 +417,7 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
             SplitForCompilation(filter->predicate(), *rel->schema());
         return PhysicalOpPtr(std::make_shared<IndexLookupOp>(
             std::move(rel), lookup->keys(),
-            PushedFilter::FromSplit(std::move(split))));
+            PushedFilter::FromSplit(std::move(split)), lookup->key_params()));
       }
       return PhysicalOpPtr(nullptr);
     }
@@ -396,7 +429,7 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
             SplitForCompilation(filter->predicate(), *snap->schema());
         return PhysicalOpPtr(std::make_shared<SnapshotLookupOp>(
             std::move(snap), lookup->keys(),
-            PushedFilter::FromSplit(std::move(split))));
+            PushedFilter::FromSplit(std::move(split)), lookup->key_params()));
       }
       return PhysicalOpPtr(nullptr);
     }
@@ -474,8 +507,9 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
       if (!rel) {
         return Status::Internal("IndexedLookup over a foreign relation type");
       }
-      return PhysicalOpPtr(
-          std::make_shared<IndexLookupOp>(std::move(rel), lookup->keys()));
+      return PhysicalOpPtr(std::make_shared<IndexLookupOp>(
+          std::move(rel), lookup->keys(), PushedFilter{},
+          lookup->key_params()));
     }
     case PlanKind::kSnapshotScan: {
       auto snap = std::dynamic_pointer_cast<PinnedSnapshot>(
@@ -491,8 +525,9 @@ Result<PhysicalOpPtr> IndexedExecutionStrategy::Plan(
       if (!snap) {
         return Status::Internal("SnapshotLookup over a foreign snapshot type");
       }
-      return PhysicalOpPtr(
-          std::make_shared<SnapshotLookupOp>(std::move(snap), lookup->keys()));
+      return PhysicalOpPtr(std::make_shared<SnapshotLookupOp>(
+          std::move(snap), lookup->keys(), PushedFilter{},
+          lookup->key_params()));
     }
     case PlanKind::kSecondaryProbe: {
       const auto* probe = static_cast<const SecondaryProbeNode*>(node.get());

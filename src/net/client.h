@@ -1,0 +1,71 @@
+// Blocking client for the network front end: one TCP connection, one
+// request/response exchange per call — plus a pipelined Execute that
+// keeps many requests in flight on the single connection, which is what
+// it takes to beat the loopback round-trip on point lookups.
+//
+// Not thread-safe: use one Client per thread (the server multiplexes any
+// number of connections).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/protocol.h"
+
+namespace idf {
+namespace net {
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// PREPARE: returns the server-side statement handle and the inferred
+  /// parameter signature.
+  Result<PreparedReply> Prepare(const std::string& sql);
+
+  /// EXECUTE: one prepared execution. CapacityError means the server
+  /// answered BUSY (admission backpressure) — retry later.
+  Result<RowsReply> Execute(uint64_t handle, const std::vector<Value>& params);
+
+  /// EXECUTE pipelined: writes every request before reading any reply,
+  /// so `param_sets.size()` requests share the connection's round trips.
+  /// Replies come back in order; `busy_retries` re-issues BUSY'd requests
+  /// (other errors fail the batch).
+  Result<std::vector<RowsReply>> ExecutePipelined(
+      uint64_t handle, const std::vector<std::vector<Value>>& param_sets,
+      int busy_retries = 0);
+
+  /// QUERY: ad-hoc SQL, parsed and planned per call (the unprepared
+  /// baseline).
+  Result<RowsReply> Query(const std::string& sql);
+
+  /// CLOSE: releases the server-side handle.
+  Status Close(uint64_t handle);
+
+  /// STATS: the service's ServiceStats as JSON.
+  Result<std::string> Stats();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status SendFrame(Op op, const std::string& payload);
+  /// Writes raw pre-framed bytes (a pipelined burst) in one syscall.
+  Status SendAll(const std::string& bytes);
+  Result<Frame> ReadFrame();
+  /// Reads one reply frame and maps ERROR/BUSY payloads onto Status.
+  Result<Frame> ReadReply(Op expected);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace idf

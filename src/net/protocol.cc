@@ -1,0 +1,358 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace idf {
+namespace net {
+
+namespace {
+
+constexpr uint8_t kNullTag = 0xFF;
+
+void PutLE(std::string* out, uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void WireWriter::PutU16(uint16_t v) { PutLE(out_, v, 2); }
+void WireWriter::PutU32(uint32_t v) { PutLE(out_, v, 4); }
+void WireWriter::PutU64(uint64_t v) { PutLE(out_, v, 8); }
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_->append(s);
+}
+
+void WireWriter::PutValue(const Value& v) {
+  if (v.is_null()) {
+    PutU8(kNullTag);
+  } else if (v.is_bool()) {
+    PutU8(static_cast<uint8_t>(TypeId::kBool));
+    PutU8(v.bool_value() ? 1 : 0);
+  } else if (v.is_int32()) {
+    PutU8(static_cast<uint8_t>(TypeId::kInt32));
+    PutU32(static_cast<uint32_t>(v.int32_value()));
+  } else if (v.is_int64()) {
+    PutU8(static_cast<uint8_t>(TypeId::kInt64));
+    PutU64(static_cast<uint64_t>(v.int64_value()));
+  } else if (v.is_double()) {
+    PutU8(static_cast<uint8_t>(TypeId::kFloat64));
+    PutF64(v.double_value());
+  } else {
+    PutU8(static_cast<uint8_t>(TypeId::kString));
+    PutString(v.string_value());
+  }
+}
+
+void WireWriter::PutRow(const Row& row) {
+  PutU16(static_cast<uint16_t>(row.size()));
+  for (const Value& v : row) PutValue(v);
+}
+
+void WireWriter::PutSchema(const Schema& schema) {
+  PutU16(static_cast<uint16_t>(schema.num_fields()));
+  for (const Field& f : schema.fields()) {
+    PutString(f.name);
+    PutU8(static_cast<uint8_t>(f.type));
+  }
+}
+
+Status WireReader::Need(size_t n) const {
+  if (size_ - pos_ < n) {
+    return Status::InvalidArgument("truncated frame payload: need " +
+                                   std::to_string(n) + " bytes, have " +
+                                   std::to_string(size_ - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::U8() {
+  IDF_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> WireReader::U16() {
+  IDF_RETURN_NOT_OK(Need(2));
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireReader::U32() {
+  IDF_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::U64() {
+  IDF_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> WireReader::F64() {
+  IDF_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::String() {
+  IDF_ASSIGN_OR_RETURN(uint32_t len, U32());
+  IDF_RETURN_NOT_OK(Need(len));
+  std::string s(data_ + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> WireReader::ReadValue() {
+  IDF_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  if (tag == kNullTag) return Value::Null();
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kBool: {
+      IDF_ASSIGN_OR_RETURN(uint8_t b, U8());
+      return Value(b != 0);
+    }
+    case TypeId::kInt32: {
+      IDF_ASSIGN_OR_RETURN(uint32_t v, U32());
+      return Value(static_cast<int32_t>(v));
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      IDF_ASSIGN_OR_RETURN(uint64_t v, U64());
+      return Value(static_cast<int64_t>(v));
+    }
+    case TypeId::kFloat64: {
+      IDF_ASSIGN_OR_RETURN(double v, F64());
+      return Value(v);
+    }
+    case TypeId::kString: {
+      IDF_ASSIGN_OR_RETURN(std::string s, String());
+      return Value(std::move(s));
+    }
+    default:
+      return Status::InvalidArgument("unknown value tag " +
+                                     std::to_string(tag));
+  }
+}
+
+Result<Row> WireReader::ReadRow() {
+  IDF_ASSIGN_OR_RETURN(uint16_t n, U16());
+  Row row;
+  row.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    IDF_ASSIGN_OR_RETURN(Value v, ReadValue());
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Result<SchemaPtr> WireReader::ReadSchema() {
+  IDF_ASSIGN_OR_RETURN(uint16_t n, U16());
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Field f;
+    IDF_ASSIGN_OR_RETURN(f.name, String());
+    IDF_ASSIGN_OR_RETURN(uint8_t type, U8());
+    if (type > static_cast<uint8_t>(TypeId::kTimestamp)) {
+      return Status::InvalidArgument("unknown field type " +
+                                     std::to_string(type));
+    }
+    f.type = static_cast<TypeId>(type);
+    fields.push_back(std::move(f));
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Status WireReader::ExpectEnd() const {
+  if (pos_ != size_) {
+    return Status::InvalidArgument(
+        "frame payload has " + std::to_string(size_ - pos_) +
+        " trailing byte(s)");
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(Op op, const std::string& payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size()) + 1;
+  PutLE(&out, len, 4);
+  out.push_back(static_cast<char>(op));
+  out.append(payload);
+  return out;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t size) {
+  if (poisoned_) {
+    return Status::InvalidArgument("frame decoder poisoned by earlier error");
+  }
+  buf_.append(data, size);
+  // Consume via an offset and compact once at the end: erasing the front
+  // of the buffer per frame would memmove the tail once per frame when a
+  // pipelined burst of replies lands in a single read.
+  size_t pos = 0;
+  Status status = Status::OK();
+  for (;;) {
+    if (buf_.size() - pos < 4) break;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos + static_cast<size_t>(i)]))
+             << (8 * i);
+    }
+    if (len == 0 || len > kMaxFrameBytes) {
+      poisoned_ = true;
+      status = Status::InvalidArgument(
+          len == 0 ? "zero-length frame"
+                   : "frame of " + std::to_string(len) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFrameBytes) + "-byte limit");
+      break;
+    }
+    if (buf_.size() - pos < 4u + len) break;  // partial frame
+    Frame f;
+    f.op = static_cast<Op>(static_cast<uint8_t>(buf_[pos + 4]));
+    f.payload.assign(buf_, pos + 5, len - 1);
+    ready_.push_back(std::move(f));
+    pos += 4u + len;
+  }
+  buf_.erase(0, pos);
+  return status;
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return payload;
+}
+
+std::string EncodeBusy(const Status& status) { return EncodeError(status); }
+
+Status DecodeError(const std::string& payload, Op op) {
+  WireReader r(payload);
+  Result<uint8_t> code = r.U8();
+  if (!code.ok()) return code.status();
+  Result<std::string> msg = r.String();
+  if (!msg.ok()) return msg.status();
+  Status end = r.ExpectEnd();
+  if (!end.ok()) return end;
+  if (op == Op::kBusy) return Status::CapacityError(*std::move(msg));
+  if (*code == 0 ||
+      *code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Internal("server error: " + *msg);
+  }
+  return Status(static_cast<StatusCode>(*code), *std::move(msg));
+}
+
+std::string EncodeOkRows(uint64_t epoch, const Schema& schema,
+                         const RowVec& rows) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU64(epoch);
+  w.PutSchema(schema);
+  w.PutU32(static_cast<uint32_t>(rows.size()));
+  for (const Row& row : rows) w.PutRow(row);
+  return payload;
+}
+
+Result<RowsReply> DecodeOkRows(const std::string& payload) {
+  WireReader r(payload);
+  RowsReply reply;
+  IDF_ASSIGN_OR_RETURN(reply.epoch, r.U64());
+  IDF_ASSIGN_OR_RETURN(reply.schema, r.ReadSchema());
+  IDF_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  reply.rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    IDF_ASSIGN_OR_RETURN(Row row, r.ReadRow());
+    reply.rows.push_back(std::move(row));
+  }
+  IDF_RETURN_NOT_OK(r.ExpectEnd());
+  return reply;
+}
+
+std::string EncodeOkPrepared(uint64_t handle,
+                             const std::vector<TypeId>& param_types,
+                             const Schema& schema) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU64(handle);
+  w.PutU16(static_cast<uint16_t>(param_types.size()));
+  for (TypeId t : param_types) w.PutU8(static_cast<uint8_t>(t));
+  w.PutSchema(schema);
+  return payload;
+}
+
+Result<PreparedReply> DecodeOkPrepared(const std::string& payload) {
+  WireReader r(payload);
+  PreparedReply reply;
+  IDF_ASSIGN_OR_RETURN(reply.handle, r.U64());
+  IDF_ASSIGN_OR_RETURN(uint16_t n, r.U16());
+  reply.param_types.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    IDF_ASSIGN_OR_RETURN(uint8_t t, r.U8());
+    if (t > static_cast<uint8_t>(TypeId::kTimestamp)) {
+      return Status::InvalidArgument("unknown parameter type " +
+                                     std::to_string(t));
+    }
+    reply.param_types.push_back(static_cast<TypeId>(t));
+  }
+  IDF_ASSIGN_OR_RETURN(reply.schema, r.ReadSchema());
+  IDF_RETURN_NOT_OK(r.ExpectEnd());
+  return reply;
+}
+
+std::string EncodeExecute(uint64_t handle, const std::vector<Value>& params) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU64(handle);
+  w.PutU16(static_cast<uint16_t>(params.size()));
+  for (const Value& v : params) w.PutValue(v);
+  return payload;
+}
+
+Result<ExecuteRequest> DecodeExecute(const std::string& payload) {
+  WireReader r(payload);
+  ExecuteRequest req;
+  IDF_ASSIGN_OR_RETURN(req.handle, r.U64());
+  IDF_ASSIGN_OR_RETURN(uint16_t n, r.U16());
+  req.params.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    IDF_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+    req.params.push_back(std::move(v));
+  }
+  IDF_RETURN_NOT_OK(r.ExpectEnd());
+  return req;
+}
+
+}  // namespace net
+}  // namespace idf

@@ -1,0 +1,180 @@
+// Wire protocol for the network front end (DESIGN.md §15).
+//
+// Every message is one length-prefixed frame:
+//
+//   [u32 length, little-endian][u8 opcode][payload...]
+//
+// where `length` counts the opcode byte plus the payload (so an empty
+// message has length 1). Frames larger than kMaxFrameBytes are a protocol
+// error: the decoder rejects them without buffering, which bounds memory
+// per connection and makes torn or hostile length prefixes harmless.
+//
+// Requests:
+//   PREPARE  [sql: string]
+//   EXECUTE  [handle: u64][nparams: u16][value...]
+//   QUERY    [sql: string]                      (ad-hoc, unprepared)
+//   CLOSE    [handle: u64]
+//   STATS    []
+//
+// Responses:
+//   OK_PREPARED [handle: u64][nparams: u16][type: u8 ...][schema]
+//   OK_ROWS     [epoch: u64][schema][nrows: u32][row...]
+//   STATS_JSON  [json: string]
+//   ERROR       [code: u8][message: string]
+//   BUSY        [message: string]               (admission backpressure)
+//
+// Encodings: string = [u32 length][bytes]; value = [u8 tag][payload]
+// where tag 0xFF is NULL and otherwise a TypeId; schema = [u16 nfields]
+// ([string name][u8 type])*. All integers little-endian.
+//
+// The decoder is incremental: FrameDecoder::Feed accepts arbitrary byte
+// chunks (partial frames, many frames at once) and surfaces complete
+// frames in order, which is exactly what a non-blocking socket read loop
+// needs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace idf {
+namespace net {
+
+/// Hard per-frame ceiling (16 MiB): larger prefixes are rejected before
+/// any payload is buffered.
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Op : uint8_t {
+  // Requests.
+  kPrepare = 0x01,
+  kExecute = 0x02,
+  kQuery = 0x03,
+  kClose = 0x04,
+  kStats = 0x05,
+  // Responses.
+  kOkPrepared = 0x81,
+  kOkRows = 0x82,
+  kStatsJson = 0x83,
+  kError = 0x84,
+  kBusy = 0x85,
+};
+
+/// One decoded frame: opcode plus raw payload bytes.
+struct Frame {
+  Op op = Op::kError;
+  std::string payload;
+};
+
+/// Appends integers/strings/values in wire byte order to a buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutF64(double v);
+  void PutString(const std::string& s);
+  void PutValue(const Value& v);
+  void PutRow(const Row& row);
+  void PutSchema(const Schema& schema);
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked cursor over a frame payload. Every accessor fails with
+/// InvalidArgument instead of reading past the end, so a malformed or
+/// truncated payload can never crash the server.
+class WireReader {
+ public:
+  WireReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::string& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<double> F64();
+  Result<std::string> String();
+  Result<Value> ReadValue();
+  Result<Row> ReadRow();
+  Result<SchemaPtr> ReadSchema();
+
+  size_t remaining() const { return size_ - pos_; }
+  /// Fails unless the whole payload was consumed (trailing garbage is a
+  /// protocol error, not padding).
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Wraps `op` + `payload` in a length-prefixed frame ready to write to a
+/// socket.
+std::string EncodeFrame(Op op, const std::string& payload);
+
+/// Incremental frame reassembly over arbitrary byte chunks.
+class FrameDecoder {
+ public:
+  /// Consumes `size` bytes from the peer. Complete frames become
+  /// available via Next(). Fails (permanently) on an oversized or
+  /// zero-length frame prefix.
+  Status Feed(const char* data, size_t size);
+
+  /// Pops the next complete frame into `out`; false when none is ready.
+  bool Next(Frame* out);
+
+ private:
+  std::string buf_;
+  std::deque<Frame> ready_;
+  bool poisoned_ = false;
+};
+
+// Response payload builders / parsers used by both server and client.
+
+std::string EncodeError(const Status& status);
+std::string EncodeBusy(const Status& status);
+/// Reconstructs the Status carried by an ERROR/BUSY payload (a malformed
+/// payload itself decodes to InvalidArgument). Never returns OK.
+Status DecodeError(const std::string& payload, Op op);
+
+std::string EncodeOkRows(uint64_t epoch, const Schema& schema,
+                         const RowVec& rows);
+struct RowsReply {
+  uint64_t epoch = 0;
+  SchemaPtr schema;
+  RowVec rows;
+};
+Result<RowsReply> DecodeOkRows(const std::string& payload);
+
+std::string EncodeOkPrepared(uint64_t handle,
+                             const std::vector<TypeId>& param_types,
+                             const Schema& schema);
+struct PreparedReply {
+  uint64_t handle = 0;
+  std::vector<TypeId> param_types;
+  SchemaPtr schema;
+};
+Result<PreparedReply> DecodeOkPrepared(const std::string& payload);
+
+std::string EncodeExecute(uint64_t handle, const std::vector<Value>& params);
+struct ExecuteRequest {
+  uint64_t handle = 0;
+  std::vector<Value> params;
+};
+Result<ExecuteRequest> DecodeExecute(const std::string& payload);
+
+}  // namespace net
+}  // namespace idf

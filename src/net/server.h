@@ -1,0 +1,63 @@
+// Async network front end for QueryService (DESIGN.md §15).
+//
+// A small io-thread-pool server: one accept thread plus `io_threads`
+// event loops, each running its own epoll set of non-blocking
+// connections. A connection is a state machine — bytes arrive in
+// arbitrary chunks, a FrameDecoder reassembles frames, responses queue
+// in a per-connection write buffer that drains on EPOLLOUT — so torn
+// reads, short writes, and pipelined request bursts are all handled
+// without a thread per connection.
+//
+// Requests execute inline on the owning loop thread against the bound
+// QueryService; actual query work fans out across the service's shared
+// worker pool, so loop threads stay thin. Admission backpressure
+// (CapacityError) maps to a protocol-level BUSY response instead of an
+// error or a dropped connection: the client sees "try again", the
+// service sheds load, and the connection stays usable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "service/query_service.h"
+
+namespace idf {
+namespace net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via Server::port().
+  uint16_t port = 0;
+  /// Event-loop threads. Each owns a disjoint set of connections.
+  size_t io_threads = 2;
+};
+
+class Server {
+ public:
+  /// Binds, listens, and starts the accept + io threads.
+  static Result<std::unique_ptr<Server>> Start(QueryServicePtr service,
+                                               const ServerConfig& config);
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  ~Server();
+
+  uint16_t port() const { return port_; }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+ private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace idf

@@ -34,6 +34,15 @@ void LatencyHistogram::Record(uint64_t micros) {
   }
 }
 
+void LatencyHistogram::Reset() {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
 uint64_t LatencyHistogram::Percentile(double q) const {
   if (q < 0) q = 0;
   if (q > 1) q = 1;

@@ -44,6 +44,11 @@ class LatencyHistogram {
   /// Quantile in [0,1] of the swept distribution (convenience for tests).
   uint64_t Percentile(double q) const;
 
+  /// Zeroes all counters. Not atomic with respect to concurrent Record()
+  /// calls — samples racing a reset may land on either side of it — but
+  /// every counter individually resets safely (ServiceStats reset path).
+  void Reset();
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "indexed/indexed_rules.h"
+#include "sql/parameters.h"
+#include "sql/sql_parser.h"
 
 namespace idf {
 
@@ -35,7 +37,8 @@ QueryService::QueryService(ServiceConfig config, ExecutorContextPtr base_exec)
       base_exec_(std::move(base_exec)),
       snapshots_(std::make_unique<SnapshotManager>(base_exec_)),
       views_(std::make_unique<MaterializedViewManager>(snapshots_.get(),
-                                                       base_exec_)) {
+                                                       base_exec_)),
+      plan_cache_(config_.plan_cache_capacity) {
   snapshots_->SetCommitSink(views_.get());
 }
 
@@ -54,12 +57,20 @@ Result<QueryServicePtr> QueryService::Make(const ServiceConfig& config) {
 
 Status QueryService::RegisterTable(const std::string& name,
                                    IndexedRelationPtr relation) {
-  return snapshots_->RegisterTable(name, std::move(relation));
+  IDF_RETURN_NOT_OK(snapshots_->RegisterTable(name, std::move(relation)));
+  // DDL: every cached plan may now be stale (new table shadows a name,
+  // schema or index shape changed). Open handles re-prepare lazily.
+  ddl_version_.fetch_add(1, std::memory_order_acq_rel);
+  plan_cache_.Clear();
+  return Status::OK();
 }
 
 Status QueryService::RegisterTable(const std::string& name,
                                    std::shared_ptr<MultiIndexedTable> table) {
-  return snapshots_->RegisterTable(name, std::move(table));
+  IDF_RETURN_NOT_OK(snapshots_->RegisterTable(name, std::move(table)));
+  ddl_version_.fetch_add(1, std::memory_order_acq_rel);
+  plan_cache_.Clear();
+  return Status::OK();
 }
 
 Status QueryService::Append(const std::string& table, const RowVec& rows) {
@@ -151,6 +162,33 @@ size_t QueryService::queued() const {
   return waiting_;
 }
 
+Result<ExecutorContextPtr> QueryService::AcquireExec() {
+  {
+    std::lock_guard<std::mutex> lock(exec_pool_mu_);
+    if (!exec_pool_.empty()) {
+      ExecutorContextPtr exec = std::move(exec_pool_.back());
+      exec_pool_.pop_back();
+      return exec;
+    }
+  }
+  return ExecutorContext::MakeWithPool(config_.engine,
+                                       base_exec_->shared_pool());
+}
+
+void QueryService::ReleaseExec(ExecutorContextPtr exec) {
+  // A planning session may have baked this context into a memoized plan;
+  // pooling it then would let two queries share mutable per-query state.
+  // use_count()==1 proves we hold the only reference.
+  if (exec.use_count() != 1) return;
+  exec->SetCancellation(nullptr);
+  exec->SetParameters(nullptr);
+  exec->metrics().Reset();
+  std::lock_guard<std::mutex> lock(exec_pool_mu_);
+  if (exec_pool_.size() < config_.max_inflight + config_.max_queue) {
+    exec_pool_.push_back(std::move(exec));
+  }
+}
+
 Status QueryService::RunAdmitted(const std::string& sql,
                                  const CancellationTokenPtr& token,
                                  QueryResult* result) {
@@ -162,9 +200,7 @@ Status QueryService::RunAdmitted(const std::string& sql,
 
   // A per-query planning session over the shared worker pool: private
   // metrics, private cancellation, shared threads.
-  IDF_ASSIGN_OR_RETURN(
-      ExecutorContextPtr exec,
-      ExecutorContext::MakeWithPool(config_.engine, base_exec_->shared_pool()));
+  IDF_ASSIGN_OR_RETURN(ExecutorContextPtr exec, AcquireExec());
   exec->SetCancellation(token);
   Status status = [&]() -> Status {
     IDF_ASSIGN_OR_RETURN(SessionPtr session, Session::MakeWithContext(exec));
@@ -182,20 +218,25 @@ Status QueryService::RunAdmitted(const std::string& sql,
     // final check keeps "completed" and "timed out" mutually exclusive.
     return exec->CheckCancelled();
   }();
-  // The query's private metrics die with its executor; fold the
-  // batch-execution counters into the service totals on every outcome so
-  // Stats() reflects cancelled and failed queries too.
-  rows_filtered_vectorized_.fetch_add(
-      exec->metrics().rows_filtered_vectorized(), std::memory_order_relaxed);
-  vector_batches_evaluated_.fetch_add(
-      exec->metrics().vector_batches_evaluated(), std::memory_order_relaxed);
-  bitmap_probes_.fetch_add(exec->metrics().bitmap_probes(),
-                           std::memory_order_relaxed);
-  range_probes_.fetch_add(exec->metrics().range_probes(),
-                          std::memory_order_relaxed);
-  index_scans_avoided_.fetch_add(exec->metrics().index_scans_avoided(),
-                                 std::memory_order_relaxed);
+  // The query's private metrics are scrubbed when the executor returns to
+  // the pool; fold the batch-execution counters into the service totals on
+  // every outcome so Stats() reflects cancelled and failed queries too.
+  FoldExecMetrics(*exec);
+  ReleaseExec(std::move(exec));
   return status;
+}
+
+void QueryService::FoldExecMetrics(ExecutorContext& exec) {
+  rows_filtered_vectorized_.fetch_add(exec.metrics().rows_filtered_vectorized(),
+                                      std::memory_order_relaxed);
+  vector_batches_evaluated_.fetch_add(exec.metrics().vector_batches_evaluated(),
+                                      std::memory_order_relaxed);
+  bitmap_probes_.fetch_add(exec.metrics().bitmap_probes(),
+                           std::memory_order_relaxed);
+  range_probes_.fetch_add(exec.metrics().range_probes(),
+                          std::memory_order_relaxed);
+  index_scans_avoided_.fetch_add(exec.metrics().index_scans_avoided(),
+                                 std::memory_order_relaxed);
 }
 
 QueryResult QueryService::Execute(const std::string& sql,
@@ -241,6 +282,291 @@ QueryResult QueryService::Execute(const std::string& sql,
   return result;
 }
 
+Result<PreparedStatementPtr> QueryService::BuildStatement(
+    const std::string& sql, const std::string& fingerprint) {
+  // Pin a snapshot only for planning: the statement caches schemas and
+  // stats, not pins (DetachSnapshots), so prepared plans never hold
+  // storage generations alive between executions.
+  ServiceSnapshot snap = snapshots_->PinAll();
+  IDF_ASSIGN_OR_RETURN(
+      ExecutorContextPtr exec,
+      ExecutorContext::MakeWithPool(config_.engine, base_exec_->shared_pool()));
+  IDF_ASSIGN_OR_RETURN(SessionPtr session, Session::MakeWithContext(exec));
+  InstallIndexedExtensions(*session);
+  for (const PinnedTable& table : snap.tables) {
+    IDF_RETURN_NOT_OK(session->RegisterTable(
+        table.table, session->FromPlan(std::make_shared<SnapshotScanNode>(
+                         table.primary()))));
+  }
+
+  IDF_ASSIGN_OR_RETURN(PreparedParse parsed, ParseSqlPrepared(session, sql));
+  IDF_ASSIGN_OR_RETURN(LogicalPlanPtr optimized,
+                       session->OptimizeOnly(parsed.plan));
+
+  auto stmt = std::make_shared<PreparedStatement>();
+  stmt->sql = sql;
+  stmt->fingerprint = fingerprint;
+  stmt->num_params = parsed.param_types.size();
+  stmt->param_types = parsed.param_types;
+  stmt->result_schema = parsed.plan->output_schema();
+  stmt->patchable = PlanIsParameterPatchable(optimized);
+  stmt->ddl_version = ddl_version_.load(std::memory_order_acquire);
+  IDF_ASSIGN_OR_RETURN(stmt->analyzed, DetachSnapshots(parsed.plan, snap));
+  if (stmt->patchable) {
+    IDF_ASSIGN_OR_RETURN(stmt->optimized, DetachSnapshots(optimized, snap));
+  }
+  return stmt;
+}
+
+Result<PreparedInfo> QueryService::Prepare(const std::string& sql) {
+  const std::string fingerprint = NormalizeSql(sql);
+  PreparedStatementPtr stmt = plan_cache_.Lookup(fingerprint);
+  if (stmt != nullptr &&
+      stmt->ddl_version == ddl_version_.load(std::memory_order_acquire)) {
+    plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (stmt != nullptr) plan_cache_.Erase(fingerprint);  // stale: DDL raced
+    plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    IDF_ASSIGN_OR_RETURN(stmt, BuildStatement(sql, fingerprint));
+    plan_cache_.Insert(stmt);
+  }
+  statements_prepared_.fetch_add(1, std::memory_order_relaxed);
+
+  PreparedInfo info;
+  info.handle = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  info.num_params = stmt->num_params;
+  info.param_types = stmt->param_types;
+  info.result_schema = stmt->result_schema;
+  {
+    std::lock_guard<std::mutex> lock(handles_mu_);
+    handles_[info.handle] = std::move(stmt);
+  }
+  return info;
+}
+
+Status QueryService::ClosePrepared(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  if (handles_.erase(handle) == 0) {
+    return Status::InvalidArgument("unknown prepared statement handle " +
+                                   std::to_string(handle));
+  }
+  return Status::OK();
+}
+
+Status QueryService::RunPreparedAdmitted(uint64_t handle,
+                                         PreparedStatementPtr stmt,
+                                         const std::vector<Value>& params,
+                                         const CancellationTokenPtr& token,
+                                         QueryResult* result) {
+  // DDL after prepare: transparently re-prepare from the statement's SQL
+  // so long-lived handles survive RegisterTable, at one replan's cost.
+  if (stmt->ddl_version != ddl_version_.load(std::memory_order_acquire)) {
+    plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    IDF_ASSIGN_OR_RETURN(PreparedStatementPtr fresh,
+                         BuildStatement(stmt->sql, stmt->fingerprint));
+    plan_cache_.Insert(fresh);
+    {
+      std::lock_guard<std::mutex> lock(handles_mu_);
+      auto it = handles_.find(handle);
+      if (it != handles_.end()) it->second = fresh;
+    }
+    stmt = std::move(fresh);
+  }
+
+  IDF_ASSIGN_OR_RETURN(ExecutorContextPtr exec, AcquireExec());
+  exec->SetCancellation(token);
+  Status status = [&]() -> Status {
+    if (stmt->patchable) {
+      // Hot path: reuse the lowered physical plan. Parameters travel in
+      // the executor context; the operators patch compiled-predicate
+      // immediates and lookup key slots at Execute() entry, so nothing is
+      // re-parsed, re-optimized, or re-compiled.
+      exec->SetParameters(
+          std::make_shared<const std::vector<Value>>(params));
+      std::shared_ptr<const BoundPlan> bound;
+      // If the memoized plan is bound at the current committed epoch, a
+      // single atomic epoch read is the whole snapshot check: the bound
+      // plan's scan nodes hold their own pins, so no PinAll (and no
+      // snapshot copy) is needed per execution.
+      const uint64_t committed = snapshots_->epoch();
+      {
+        std::lock_guard<std::mutex> lock(stmt->mu);
+        if (stmt->bound != nullptr && stmt->bound->epoch == committed) {
+          bound = stmt->bound;
+        }
+      }
+      if (bound == nullptr) {
+        // Epoch moved (or first execution): pin the current boundary,
+        // re-attach its pins, and re-lower — still no parse, analyze, or
+        // optimize.
+        ServiceSnapshot snap = snapshots_->PinAll();
+        {
+          std::lock_guard<std::mutex> lock(stmt->mu);
+          if (stmt->bound != nullptr && stmt->bound->epoch == snap.epoch) {
+            bound = stmt->bound;  // another execution re-bound first
+          }
+        }
+        if (bound == nullptr) {
+          IDF_ASSIGN_OR_RETURN(SessionPtr session,
+                               Session::MakeWithContext(exec));
+          InstallIndexedExtensions(*session);
+          auto fresh = std::make_shared<BoundPlan>();
+          fresh->epoch = snap.epoch;
+          IDF_ASSIGN_OR_RETURN(fresh->rebound,
+                               RebindSnapshots(stmt->optimized, snap));
+          IDF_ASSIGN_OR_RETURN(fresh->physical,
+                               session->PlanOptimized(fresh->rebound));
+          {
+            std::lock_guard<std::mutex> lock(stmt->mu);
+            stmt->bound = fresh;
+          }
+          bound = std::move(fresh);
+          prepared_replans_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      result->epoch = bound->epoch;
+      IDF_ASSIGN_OR_RETURN(PartitionVec parts, bound->physical->Execute(*exec));
+      result->rows = CollectRows(parts);
+      result->schema = stmt->result_schema;
+      return exec->CheckCancelled();
+    }
+    // Fallback for non-patchable shapes (a parameter sits in a join key,
+    // sort key, or aggregate): substitute the values as literals into the
+    // analyzed tree and run the normal optimize-and-execute pipeline.
+    prepared_replans_.fetch_add(1, std::memory_order_relaxed);
+    ServiceSnapshot snap = snapshots_->PinAll();
+    result->epoch = snap.epoch;
+    IDF_ASSIGN_OR_RETURN(SessionPtr session, Session::MakeWithContext(exec));
+    InstallIndexedExtensions(*session);
+    IDF_ASSIGN_OR_RETURN(LogicalPlanPtr rebound,
+                         RebindSnapshots(stmt->analyzed, snap));
+    IDF_ASSIGN_OR_RETURN(LogicalPlanPtr literal,
+                         BindPlanParameters(rebound, params));
+    IDF_ASSIGN_OR_RETURN(result->rows, session->ExecuteCollect(literal));
+    result->schema = stmt->result_schema;
+    return exec->CheckCancelled();
+  }();
+  FoldExecMetrics(*exec);
+  ReleaseExec(std::move(exec));
+  return status;
+}
+
+QueryResult QueryService::ExecutePrepared(uint64_t handle,
+                                          const std::vector<Value>& params,
+                                          const QueryOptions& options) {
+  const Clock::time_point start = Clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  QueryResult result;
+
+  PreparedStatementPtr stmt;
+  {
+    std::lock_guard<std::mutex> lock(handles_mu_);
+    auto it = handles_.find(handle);
+    if (it != handles_.end()) stmt = it->second;
+  }
+  if (stmt == nullptr) {
+    result.status = Status::InvalidArgument(
+        "unknown prepared statement handle " + std::to_string(handle));
+  } else if (params.size() != stmt->num_params) {
+    result.status = Status::InvalidArgument(
+        "prepared statement expects " + std::to_string(stmt->num_params) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  if (!result.status.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    result.total_micros = MicrosSince(start);
+    return result;
+  }
+
+  // Coerce each value to its inferred type up front (NULLs pass through):
+  // the compiled immediate slots are typed, and coercing once here keeps
+  // prepared results byte-identical to the ad-hoc query with the coerced
+  // literal spliced in.
+  std::vector<Value> coerced;
+  coerced.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].is_null()) {
+      coerced.push_back(Value::Null());
+      continue;
+    }
+    Result<Value> cast = params[i].CastTo(stmt->param_types[i]);
+    if (!cast.ok()) {
+      result.status = Status::InvalidArgument(
+          "parameter $" + std::to_string(i + 1) + ": " +
+          cast.status().message());
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      result.total_micros = MicrosSince(start);
+      return result;
+    }
+    coerced.push_back(std::move(cast).ValueOrDie());
+  }
+
+  CancellationTokenPtr token =
+      options.cancel != nullptr ? options.cancel : CancellationToken::Make();
+  const auto timeout =
+      options.timeout.count() > 0 ? options.timeout : config_.default_timeout;
+  if (timeout.count() > 0 && !token->has_deadline()) {
+    token->SetDeadline(start + timeout);
+  }
+
+  result.status = Admit(token.get());
+  if (result.status.ok()) {
+    result.queue_micros = MicrosSince(start);
+    const Clock::time_point exec_start = Clock::now();
+    result.status =
+        RunPreparedAdmitted(handle, std::move(stmt), coerced, token, &result);
+    result.exec_micros = MicrosSince(exec_start);
+    Release();
+  }
+  result.total_micros = MicrosSince(start);
+
+  if (result.status.ok()) {
+    succeeded_.fetch_add(1, std::memory_order_relaxed);
+    prepared_executions_.fetch_add(1, std::memory_order_relaxed);
+    queue_hist_.Record(result.queue_micros);
+    exec_hist_.Record(result.exec_micros);
+    total_hist_.Record(result.total_micros);
+  } else if (result.status.IsCapacityError()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status.IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status.IsDeadlineExceeded()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!result.status.ok()) result.rows.clear();
+  return result;
+}
+
+void QueryService::ResetStats() {
+  submitted_.store(0, std::memory_order_relaxed);
+  succeeded_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  cancelled_.store(0, std::memory_order_relaxed);
+  deadline_exceeded_.store(0, std::memory_order_relaxed);
+  failed_.store(0, std::memory_order_relaxed);
+  rows_filtered_vectorized_.store(0, std::memory_order_relaxed);
+  vector_batches_evaluated_.store(0, std::memory_order_relaxed);
+  bitmap_probes_.store(0, std::memory_order_relaxed);
+  range_probes_.store(0, std::memory_order_relaxed);
+  index_scans_avoided_.store(0, std::memory_order_relaxed);
+  statements_prepared_.store(0, std::memory_order_relaxed);
+  plan_cache_hits_.store(0, std::memory_order_relaxed);
+  plan_cache_misses_.store(0, std::memory_order_relaxed);
+  prepared_executions_.store(0, std::memory_order_relaxed);
+  prepared_replans_.store(0, std::memory_order_relaxed);
+  net_connections_.store(0, std::memory_order_relaxed);
+  net_requests_.store(0, std::memory_order_relaxed);
+  net_busy_rejections_.store(0, std::memory_order_relaxed);
+  // The cache's lifetime eviction counter is monotone; remember the
+  // watermark so Stats() reports evictions since the reset.
+  eviction_baseline_.store(plan_cache_.evictions(), std::memory_order_relaxed);
+  queue_hist_.Reset();
+  exec_hist_.Reset();
+  total_hist_.Reset();
+}
+
 ServiceStats QueryService::Stats() const {
   ServiceStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
@@ -261,6 +587,19 @@ ServiceStats QueryService::Stats() const {
   // base context (shared by the snapshot manager), not a per-query one.
   stats.bitmap_maintenance_us = base_exec_->metrics().bitmap_maintenance_us();
   stats.range_maintenance_us = base_exec_->metrics().range_maintenance_us();
+  stats.statements_prepared = statements_prepared_.load(std::memory_order_relaxed);
+  stats.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  stats.plan_cache_misses = plan_cache_misses_.load(std::memory_order_relaxed);
+  stats.plan_cache_evictions =
+      plan_cache_.evictions() -
+      eviction_baseline_.load(std::memory_order_relaxed);
+  stats.prepared_executions =
+      prepared_executions_.load(std::memory_order_relaxed);
+  stats.prepared_replans = prepared_replans_.load(std::memory_order_relaxed);
+  stats.net_connections = net_connections_.load(std::memory_order_relaxed);
+  stats.net_requests = net_requests_.load(std::memory_order_relaxed);
+  stats.net_busy_rejections =
+      net_busy_rejections_.load(std::memory_order_relaxed);
   stats.queue = queue_hist_.Summarize();
   stats.exec = exec_hist_.Summarize();
   stats.total = total_hist_.Summarize();
@@ -298,6 +637,15 @@ std::string ServiceStats::ToJson() const {
       << ", \"index_scans_avoided\": " << index_scans_avoided
       << ", \"bitmap_maintenance_us\": " << bitmap_maintenance_us
       << ", \"range_maintenance_us\": " << range_maintenance_us
+      << ", \"statements_prepared\": " << statements_prepared
+      << ", \"plan_cache_hits\": " << plan_cache_hits
+      << ", \"plan_cache_misses\": " << plan_cache_misses
+      << ", \"plan_cache_evictions\": " << plan_cache_evictions
+      << ", \"prepared_executions\": " << prepared_executions
+      << ", \"prepared_replans\": " << prepared_replans
+      << ", \"net_connections\": " << net_connections
+      << ", \"net_requests\": " << net_requests
+      << ", \"net_busy_rejections\": " << net_busy_rejections
       << ", \"compactions_run\": " << compactions_run
       << ", \"chain_links_rewritten\": " << chain_links_rewritten
       << ", \"bytes_reclaimed\": " << bytes_reclaimed
@@ -326,6 +674,13 @@ std::string ServiceStats::ToString() const {
       << range_probes << " range probes, " << index_scans_avoided
       << " scans avoided, " << bitmap_maintenance_us << "us bitmap + "
       << range_maintenance_us << "us range maintenance\n"
+      << "prepared: " << statements_prepared << " prepares ("
+      << plan_cache_hits << " cache hits, " << plan_cache_misses
+      << " misses, " << plan_cache_evictions << " evictions), "
+      << prepared_executions << " executions, " << prepared_replans
+      << " replans\n"
+      << "net: " << net_connections << " connections, " << net_requests
+      << " requests, " << net_busy_rejections << " busy rejections\n"
       << "compaction: " << compactions_run << " runs, "
       << chain_links_rewritten << " links rewritten, " << bytes_reclaimed
       << " bytes reclaimed, " << retired_pending << " generations pending\n"

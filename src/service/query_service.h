@@ -22,9 +22,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "indexed/compactor.h"
 #include "service/latency_histogram.h"
+#include "service/plan_cache.h"
 #include "service/query_context.h"
 #include "service/snapshot_manager.h"
 #include "sql/session.h"
@@ -45,6 +48,11 @@ struct ServiceConfig {
   /// Deadline applied to queries that don't bring their own timeout.
   /// Zero: no default deadline.
   std::chrono::nanoseconds default_timeout{0};
+
+  /// Prepared statements cached per normalized SQL fingerprint. Beyond
+  /// it, the least recently used plan is evicted (open handles keep
+  /// evicted statements alive and executable).
+  size_t plan_cache_capacity = 128;
 
   Status Validate() const;
 };
@@ -84,6 +92,19 @@ struct ServiceStats {
   uint64_t bitmap_maintenance_us = 0;  ///< bitmap upkeep inside appends
   uint64_t range_maintenance_us = 0;   ///< range upkeep inside appends
 
+  // Prepared statements and the parameterized plan cache.
+  uint64_t statements_prepared = 0;   ///< successful Prepare() calls
+  uint64_t plan_cache_hits = 0;       ///< Prepare served from the cache
+  uint64_t plan_cache_misses = 0;     ///< Prepare that built (or rebuilt) a plan
+  uint64_t plan_cache_evictions = 0;  ///< LRU evictions beyond capacity
+  uint64_t prepared_executions = 0;   ///< successful ExecutePrepared calls
+  uint64_t prepared_replans = 0;  ///< re-lowerings (epoch change or fallback)
+
+  // Network front end (zero unless a net::Server reports in).
+  uint64_t net_connections = 0;      ///< connections accepted
+  uint64_t net_requests = 0;         ///< protocol requests served
+  uint64_t net_busy_rejections = 0;  ///< requests answered with BUSY
+
   // Incremental view maintenance (zero unless Subscribe was called).
   uint64_t views_registered = 0;  ///< live maintained arrangements
   uint64_t view_subscribers = 0;  ///< live standing-query subscriptions
@@ -94,6 +115,15 @@ struct ServiceStats {
 
   std::string ToJson() const;
   std::string ToString() const;
+};
+
+/// What Prepare() hands back: an execution handle plus the statement's
+/// inferred parameter signature (one type per `?`/`$n` ordinal).
+struct PreparedInfo {
+  uint64_t handle = 0;
+  size_t num_params = 0;
+  std::vector<TypeId> param_types;
+  SchemaPtr result_schema;
 };
 
 class QueryService {
@@ -117,6 +147,37 @@ class QueryService {
   /// cancellation — is reported in the returned QueryResult's status.
   QueryResult Execute(const std::string& sql,
                       const QueryOptions& options = QueryOptions());
+
+  /// Parses, analyzes, infers parameter types, optimizes, and caches
+  /// `sql` (which may contain `?` or `$n` placeholders) once, returning a
+  /// handle for repeated execution. Statements with the same normalized
+  /// SQL share one cached plan (plan_cache_hits counts reuse).
+  Result<PreparedInfo> Prepare(const std::string& sql);
+
+  /// Executes a prepared statement with `params` bound by ordinal. Values
+  /// are coerced to the inferred parameter types (NULLs pass through).
+  /// Reuses the cached physical plan at the pinned epoch — compiled
+  /// predicates patch immediate slots, nothing is re-parsed or
+  /// recompiled — re-lowering only when the epoch moved (appends landed)
+  /// or the plan shape is not patchable. Admission, deadlines, and
+  /// cancellation behave exactly as in Execute().
+  QueryResult ExecutePrepared(uint64_t handle, const std::vector<Value>& params,
+                              const QueryOptions& options = QueryOptions());
+
+  /// Releases a handle. The cached plan stays in the LRU for future
+  /// Prepare() calls; in-flight executions on the handle finish normally.
+  Status ClosePrepared(uint64_t handle);
+
+  /// Zeroes every counter and latency histogram. Gauges that mirror live
+  /// subsystem state (views_registered, retired_pending, ...) are
+  /// unaffected. Safe concurrent with queries (samples racing the reset
+  /// land on either side).
+  void ResetStats();
+
+  /// Entry points for the network front end to report into Stats().
+  void NoteNetConnection() { net_connections_.fetch_add(1); }
+  void NoteNetRequest() { net_requests_.fetch_add(1); }
+  void NoteNetBusyRejection() { net_busy_rejections_.fetch_add(1); }
 
   /// Starts one background Compactor per registered index (call after
   /// RegisterTable). Compactors share the service metrics and tag retired
@@ -166,6 +227,32 @@ class QueryService {
   Status RunAdmitted(const std::string& sql, const CancellationTokenPtr& token,
                      QueryResult* result);
 
+  /// Parse + analyze + infer + optimize + detach `sql` into a cacheable
+  /// statement (the Prepare miss path).
+  Result<PreparedStatementPtr> BuildStatement(const std::string& sql,
+                                              const std::string& fingerprint);
+
+  /// The admitted prepared path: pin, rebind (or reuse) the cached plan
+  /// at the pinned epoch, bind `params`, execute. Updates handles_[handle]
+  /// when DDL invalidation forces a transparent re-prepare.
+  Status RunPreparedAdmitted(uint64_t handle, PreparedStatementPtr stmt,
+                             const std::vector<Value>& params,
+                             const CancellationTokenPtr& token,
+                             QueryResult* result);
+
+  /// Folds a finished query's executor metrics into the service counters.
+  void FoldExecMetrics(ExecutorContext& exec);
+
+  /// Per-query executor contexts are pooled: constructing one (config
+  /// resolution, metrics block) costs about as much as executing a point
+  /// lookup, so the hot prepared path recycles them instead. Acquire
+  /// returns a context with clean metrics and no cancellation/parameters.
+  Result<ExecutorContextPtr> AcquireExec();
+  /// Scrubs the context and returns it to the pool — unless something
+  /// (e.g. a memoized plan) still holds a reference, in which case it is
+  /// simply dropped.
+  void ReleaseExec(ExecutorContextPtr exec);
+
   ServiceConfig config_;
   ExecutorContextPtr base_exec_;
   std::unique_ptr<SnapshotManager> snapshots_;
@@ -178,6 +265,9 @@ class QueryService {
   std::condition_variable cv_;
   size_t inflight_ = 0;
   size_t waiting_ = 0;
+
+  mutable std::mutex exec_pool_mu_;  // guards exec_pool_
+  std::vector<ExecutorContextPtr> exec_pool_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> succeeded_{0};
@@ -193,6 +283,24 @@ class QueryService {
   LatencyHistogram queue_hist_;
   LatencyHistogram exec_hist_;
   LatencyHistogram total_hist_;
+
+  // Prepared statements. `ddl_version_` bumps on every RegisterTable;
+  // statements prepared under an older version are invalidated (the
+  // schema, index shape, or table set may have changed under the plan).
+  PlanCache plan_cache_;
+  std::atomic<uint64_t> ddl_version_{0};
+  mutable std::mutex handles_mu_;  // guards handles_
+  std::unordered_map<uint64_t, PreparedStatementPtr> handles_;
+  std::atomic<uint64_t> next_handle_{1};
+  std::atomic<uint64_t> statements_prepared_{0};
+  std::atomic<uint64_t> plan_cache_hits_{0};
+  std::atomic<uint64_t> plan_cache_misses_{0};
+  std::atomic<uint64_t> eviction_baseline_{0};  // ResetStats() watermark
+  std::atomic<uint64_t> prepared_executions_{0};
+  std::atomic<uint64_t> prepared_replans_{0};
+  std::atomic<uint64_t> net_connections_{0};
+  std::atomic<uint64_t> net_requests_{0};
+  std::atomic<uint64_t> net_busy_rejections_{0};
 };
 
 using QueryServicePtr = std::shared_ptr<QueryService>;

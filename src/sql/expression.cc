@@ -52,10 +52,37 @@ Result<TypeId> LiteralExpr::ResultType(const Schema& schema) const {
 }
 
 // ---------------------------------------------------------------------------
+// ParameterRefExpr
+// ---------------------------------------------------------------------------
+
+Result<Value> ParameterRefExpr::Eval(const Row& row) const {
+  return Status::Internal("unbound parameter " + ToString() +
+                          "; parameters must be bound before execution");
+}
+
+Result<TypeId> ParameterRefExpr::ResultType(const Schema& schema) const {
+  if (type_.has_value()) return *type_;
+  return Status::TypeError("cannot infer the type of parameter " + ToString() +
+                           " from its context");
+}
+
+std::string ParameterRefExpr::ToString() const {
+  return "$" + std::to_string(ordinal_ + 1);
+}
+
+// ---------------------------------------------------------------------------
 // ComparisonExpr
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// A parameter whose type inference has not run yet. Type checks treat
+/// such operands leniently (they adopt the sibling operand's type);
+/// ParameterTypeInference later either pins the type or fails the prepare.
+bool IsUntypedParam(const ExprPtr& e) {
+  return e->kind() == ExprKind::kParameterRef &&
+         !static_cast<const ParameterRefExpr*>(e.get())->type().has_value();
+}
 
 bool CompareValues(CompareOp op, const Value& a, const Value& b) {
   switch (op) {
@@ -114,6 +141,15 @@ Result<Value> ComparisonExpr::Eval(const Row& row) const {
 }
 
 Result<TypeId> ComparisonExpr::ResultType(const Schema& schema) const {
+  if (IsUntypedParam(left()) || IsUntypedParam(right())) {
+    // The untyped side adopts the sibling's type during inference; just
+    // validate the sibling here.
+    const ExprPtr& other = IsUntypedParam(left()) ? right() : left();
+    if (!IsUntypedParam(other)) {
+      IDF_RETURN_NOT_OK(other->ResultType(schema).status());
+    }
+    return TypeId::kBool;
+  }
   IDF_ASSIGN_OR_RETURN(TypeId lt, left()->ResultType(schema));
   IDF_ASSIGN_OR_RETURN(TypeId rt, right()->ResultType(schema));
   if (!TypesComparable(lt, rt)) {
@@ -150,8 +186,15 @@ Result<Value> LogicalExpr::Eval(const Row& row) const {
 }
 
 Result<TypeId> LogicalExpr::ResultType(const Schema& schema) const {
-  IDF_ASSIGN_OR_RETURN(TypeId lt, children()[0]->ResultType(schema));
-  IDF_ASSIGN_OR_RETURN(TypeId rt, children()[1]->ResultType(schema));
+  // Untyped parameters in boolean position are inferred as kBool later.
+  TypeId lt = TypeId::kBool;
+  TypeId rt = TypeId::kBool;
+  if (!IsUntypedParam(children()[0])) {
+    IDF_ASSIGN_OR_RETURN(lt, children()[0]->ResultType(schema));
+  }
+  if (!IsUntypedParam(children()[1])) {
+    IDF_ASSIGN_OR_RETURN(rt, children()[1]->ResultType(schema));
+  }
   if (lt != TypeId::kBool || rt != TypeId::kBool) {
     return Status::TypeError("logical operator requires boolean operands in " +
                              ToString());
@@ -172,6 +215,7 @@ Result<Value> NotExpr::Eval(const Row& row) const {
 }
 
 Result<TypeId> NotExpr::ResultType(const Schema& schema) const {
+  if (IsUntypedParam(children()[0])) return TypeId::kBool;
   IDF_ASSIGN_OR_RETURN(TypeId t, children()[0]->ResultType(schema));
   if (t != TypeId::kBool) {
     return Status::TypeError("NOT requires a boolean operand in " + ToString());
@@ -189,7 +233,9 @@ Result<Value> IsNullExpr::Eval(const Row& row) const {
 }
 
 Result<TypeId> IsNullExpr::ResultType(const Schema& schema) const {
-  IDF_RETURN_NOT_OK(children()[0]->ResultType(schema).status());
+  if (!IsUntypedParam(children()[0])) {
+    IDF_RETURN_NOT_OK(children()[0]->ResultType(schema).status());
+  }
   return TypeId::kBool;
 }
 
@@ -237,6 +283,7 @@ Result<Value> LikeExpr::Eval(const Row& row) const {
 }
 
 Result<TypeId> LikeExpr::ResultType(const Schema& schema) const {
+  if (IsUntypedParam(children()[0])) return TypeId::kBool;
   IDF_ASSIGN_OR_RETURN(TypeId t, children()[0]->ResultType(schema));
   if (t != TypeId::kString) {
     return Status::TypeError("LIKE requires a string operand in " + ToString());
@@ -289,8 +336,19 @@ Result<Value> ArithmeticExpr::Eval(const Row& row) const {
 }
 
 Result<TypeId> ArithmeticExpr::ResultType(const Schema& schema) const {
-  IDF_ASSIGN_OR_RETURN(TypeId lt, children()[0]->ResultType(schema));
-  IDF_ASSIGN_OR_RETURN(TypeId rt, children()[1]->ResultType(schema));
+  // An untyped parameter adopts the sibling operand's numeric type during
+  // inference, so treat it as that type here (or kInt64 when both sides
+  // are parameters — inference rejects that shape before execution).
+  TypeId lt = TypeId::kInt64;
+  TypeId rt = TypeId::kInt64;
+  if (!IsUntypedParam(children()[0])) {
+    IDF_ASSIGN_OR_RETURN(lt, children()[0]->ResultType(schema));
+  }
+  if (!IsUntypedParam(children()[1])) {
+    IDF_ASSIGN_OR_RETURN(rt, children()[1]->ResultType(schema));
+  }
+  if (IsUntypedParam(children()[0]) && !IsUntypedParam(children()[1])) lt = rt;
+  if (IsUntypedParam(children()[1]) && !IsUntypedParam(children()[0])) rt = lt;
   if (!TypeNumeric(lt) || !TypeNumeric(rt)) {
     return Status::TypeError("arithmetic requires numeric operands in " +
                              ToString());
@@ -370,6 +428,9 @@ ExprPtr Div(ExprPtr a, ExprPtr b) {
   return std::make_shared<ArithmeticExpr>(ArithmeticOp::kDiv, std::move(a),
                                           std::move(b));
 }
+ExprPtr Param(int ordinal, std::optional<TypeId> type) {
+  return std::make_shared<ParameterRefExpr>(ordinal, type);
+}
 
 // ---------------------------------------------------------------------------
 // Analysis helpers
@@ -384,6 +445,7 @@ Result<ExprPtr> BindExpr(const ExprPtr& expr, const Schema& schema) {
       return ExprPtr(std::make_shared<ColumnRefExpr>(ref->name(), idx));
     }
     case ExprKind::kLiteral:
+    case ExprKind::kParameterRef:
       return expr;
     default: {
       std::vector<ExprPtr> bound;
@@ -437,6 +499,11 @@ bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
     case ExprKind::kLiteral:
       return static_cast<const LiteralExpr*>(a.get())->value() ==
              static_cast<const LiteralExpr*>(b.get())->value();
+    case ExprKind::kParameterRef: {
+      const auto* pa = static_cast<const ParameterRefExpr*>(a.get());
+      const auto* pb = static_cast<const ParameterRefExpr*>(b.get());
+      return pa->ordinal() == pb->ordinal() && pa->type() == pb->type();
+    }
     case ExprKind::kComparison:
       if (static_cast<const ComparisonExpr*>(a.get())->op() !=
           static_cast<const ComparisonExpr*>(b.get())->op()) {
@@ -566,6 +633,7 @@ Result<ExprPtr> MapColumnRefs(
       return map_ref(*ref);
     }
     case ExprKind::kLiteral:
+    case ExprKind::kParameterRef:
       return expr;
     default: {
       std::vector<ExprPtr> mapped;
@@ -629,6 +697,79 @@ Result<ExprPtr> SubstituteColumnRefs(const ExprPtr& expr,
                                   ref.ToString());
         }
         return replacements[static_cast<size_t>(ref.index())];
+      });
+}
+
+bool ExprHasParameters(const ExprPtr& expr) {
+  if (expr->kind() == ExprKind::kParameterRef) return true;
+  for (const ExprPtr& child : expr->children()) {
+    if (ExprHasParameters(child)) return true;
+  }
+  return false;
+}
+
+/// Rebuilds `expr` with each ParameterRef mapped through `map_param`
+/// (structural twin of MapColumnRefs).
+Result<ExprPtr> MapParameters(
+    const ExprPtr& expr,
+    const std::function<Result<ExprPtr>(const ParameterRefExpr&)>& map_param) {
+  switch (expr->kind()) {
+    case ExprKind::kParameterRef:
+      return map_param(*static_cast<const ParameterRefExpr*>(expr.get()));
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return expr;
+    default: {
+      std::vector<ExprPtr> mapped;
+      mapped.reserve(expr->children().size());
+      bool changed = false;
+      for (const ExprPtr& child : expr->children()) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr m, MapParameters(child, map_param));
+        changed = changed || (m != child);
+        mapped.push_back(std::move(m));
+      }
+      if (!changed) return expr;
+      switch (expr->kind()) {
+        case ExprKind::kComparison:
+          return ExprPtr(std::make_shared<ComparisonExpr>(
+              static_cast<const ComparisonExpr*>(expr.get())->op(), mapped[0],
+              mapped[1]));
+        case ExprKind::kLogical:
+          return ExprPtr(std::make_shared<LogicalExpr>(
+              static_cast<const LogicalExpr*>(expr.get())->op(), mapped[0],
+              mapped[1]));
+        case ExprKind::kNot:
+          return ExprPtr(std::make_shared<NotExpr>(mapped[0]));
+        case ExprKind::kIsNull:
+          return ExprPtr(std::make_shared<IsNullExpr>(
+              mapped[0], static_cast<const IsNullExpr*>(expr.get())->negated()));
+        case ExprKind::kArithmetic:
+          return ExprPtr(std::make_shared<ArithmeticExpr>(
+              static_cast<const ArithmeticExpr*>(expr.get())->op(), mapped[0],
+              mapped[1]));
+        case ExprKind::kLike: {
+          const auto* like = static_cast<const LikeExpr*>(expr.get());
+          return ExprPtr(std::make_shared<LikeExpr>(mapped[0], like->pattern(),
+                                                    like->negated()));
+        }
+        default:
+          return Status::Internal("unexpected expr kind in MapParameters");
+      }
+    }
+  }
+}
+
+Result<ExprPtr> SubstituteParameters(const ExprPtr& expr,
+                                     const std::vector<Value>& params) {
+  return MapParameters(
+      expr, [&params](const ParameterRefExpr& ref) -> Result<ExprPtr> {
+        if (ref.ordinal() < 0 ||
+            static_cast<size_t>(ref.ordinal()) >= params.size()) {
+          return Status::Internal("parameter ordinal out of range: " +
+                                  ref.ToString() + " with " +
+                                  std::to_string(params.size()) + " bindings");
+        }
+        return Lit(params[static_cast<size_t>(ref.ordinal())]);
       });
 }
 

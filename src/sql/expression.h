@@ -3,7 +3,9 @@
 // (sql/analyzer.h) before evaluation.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@ enum class ExprKind : uint8_t {
   kIsNull,
   kArithmetic,
   kLike,
+  kParameterRef,
 };
 
 enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -89,6 +92,30 @@ class LiteralExpr : public Expr {
 
  private:
   Value value_;
+};
+
+/// Placeholder for a prepared-statement parameter (`?` or `$n` in SQL).
+/// `ordinal` is zero-based; `type` is empty until the analyzer infers it
+/// from the parameter's context (sql/parameters.h). Parameters are never
+/// evaluated directly: execution either substitutes literals
+/// (SubstituteParameters) or patches compiled-predicate slots
+/// (CompiledPredicate::BindParams) before any row is touched.
+class ParameterRefExpr : public Expr {
+ public:
+  explicit ParameterRefExpr(int ordinal,
+                            std::optional<TypeId> type = std::nullopt)
+      : Expr(ExprKind::kParameterRef, {}), ordinal_(ordinal), type_(type) {}
+
+  int ordinal() const { return ordinal_; }
+  const std::optional<TypeId>& type() const { return type_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  Result<TypeId> ResultType(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  int ordinal_;
+  std::optional<TypeId> type_;
 };
 
 class ComparisonExpr : public Expr {
@@ -210,6 +237,7 @@ ExprPtr Add(ExprPtr a, ExprPtr b);
 ExprPtr Sub(ExprPtr a, ExprPtr b);
 ExprPtr Mul(ExprPtr a, ExprPtr b);
 ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Param(int ordinal, std::optional<TypeId> type = std::nullopt);
 
 // ---------------------------------------------------------------------------
 // Analysis helpers
@@ -252,5 +280,21 @@ Result<ExprPtr> ShiftColumnRefs(const ExprPtr& expr, int delta);
 /// `replacements[i]` (used when pushing predicates through projections).
 Result<ExprPtr> SubstituteColumnRefs(const ExprPtr& expr,
                                      const std::vector<ExprPtr>& replacements);
+
+/// True if the expression contains any ParameterRef.
+bool ExprHasParameters(const ExprPtr& expr);
+
+/// Rebuilds `expr` with every ParameterRef mapped through `map_param`
+/// (the parameter analogue of SubstituteColumnRefs' machinery). Returns
+/// `expr` unchanged when it contains no parameters.
+Result<ExprPtr> MapParameters(
+    const ExprPtr& expr,
+    const std::function<Result<ExprPtr>(const ParameterRefExpr&)>& map_param);
+
+/// Returns `expr` with every ParameterRef replaced by a literal of
+/// `params[ordinal]`; fails when an ordinal is out of range. The values
+/// must already be coerced to the parameters' declared types.
+Result<ExprPtr> SubstituteParameters(const ExprPtr& expr,
+                                     const std::vector<Value>& params);
 
 }  // namespace idf

@@ -268,14 +268,19 @@ LogicalPlanPtr SnapshotScanNode::WithChildren(
 
 std::string SnapshotLookupNode::ToString() const {
   std::string out = "SnapshotLookup [" + snapshot_->name() + "] key=";
-  if (keys_.size() == 1) return out + keys_[0].ToString();
+  auto render = [&](size_t i) {
+    return (i < key_params_.size() && key_params_[i] >= 0)
+               ? "$" + std::to_string(key_params_[i] + 1)
+               : keys_[i].ToString();
+  };
+  if (keys_.size() == 1) return out + render(0);
   return out + "{" + std::to_string(keys_.size()) + " keys}";
 }
 
 LogicalPlanPtr SnapshotLookupNode::WithChildren(
     std::vector<LogicalPlanPtr> children) const {
   IDF_CHECK(children.empty());
-  return std::make_shared<SnapshotLookupNode>(snapshot_, keys_);
+  return std::make_shared<SnapshotLookupNode>(snapshot_, keys_, key_params_);
 }
 
 std::string SecondaryProbeNode::ToString() const {
@@ -297,11 +302,16 @@ LogicalPlanPtr SecondaryProbeNode::WithChildren(
 
 std::string IndexedLookupNode::ToString() const {
   std::string out = "IndexedLookup [" + rel_->name() + "] key=";
-  if (keys_.size() == 1) return out + keys_[0].ToString();
+  auto render = [&](size_t i) {
+    return (i < key_params_.size() && key_params_[i] >= 0)
+               ? "$" + std::to_string(key_params_[i] + 1)
+               : keys_[i].ToString();
+  };
+  if (keys_.size() == 1) return out + render(0);
   out += "{";
   for (size_t i = 0; i < keys_.size(); ++i) {
     if (i > 0) out += ", ";
-    out += keys_[i].ToString();
+    out += render(i);
   }
   return out + "}";
 }
@@ -309,7 +319,7 @@ std::string IndexedLookupNode::ToString() const {
 LogicalPlanPtr IndexedLookupNode::WithChildren(
     std::vector<LogicalPlanPtr> children) const {
   IDF_CHECK(children.empty());
-  return std::make_shared<IndexedLookupNode>(rel_, keys_);
+  return std::make_shared<IndexedLookupNode>(rel_, keys_, key_params_);
 }
 
 std::string IndexedJoinNode::ToString() const {

@@ -424,19 +424,26 @@ class SnapshotScanNode : public LogicalPlan {
 /// index-speed point reads instead of degrading to full scans.
 class SnapshotLookupNode : public LogicalPlan {
  public:
-  SnapshotLookupNode(SnapshotRelationBasePtr snapshot, std::vector<Value> keys)
+  SnapshotLookupNode(SnapshotRelationBasePtr snapshot, std::vector<Value> keys,
+                     std::vector<int> key_params = {})
       : LogicalPlan(PlanKind::kSnapshotLookup, {}, snapshot->schema()),
         snapshot_(std::move(snapshot)),
-        keys_(std::move(keys)) {}
+        keys_(std::move(keys)),
+        key_params_(std::move(key_params)) {}
 
   const SnapshotRelationBasePtr& snapshot() const { return snapshot_; }
   const std::vector<Value>& keys() const { return keys_; }
+  /// Parallel to keys(): key_params()[i] >= 0 marks keys()[i] as a
+  /// prepared-statement placeholder filled from that parameter ordinal at
+  /// execution time. Empty means "all keys are literals".
+  const std::vector<int>& key_params() const { return key_params_; }
   std::string ToString() const override;
   LogicalPlanPtr WithChildren(std::vector<LogicalPlanPtr> children) const override;
 
  private:
   SnapshotRelationBasePtr snapshot_;
   std::vector<Value> keys_;
+  std::vector<int> key_params_;
 };
 
 /// Point lookup of one or more keys on an indexed relation: produced by
@@ -448,13 +455,17 @@ class IndexedLookupNode : public LogicalPlan {
   IndexedLookupNode(IndexedRelationBasePtr rel, Value key)
       : IndexedLookupNode(std::move(rel), std::vector<Value>{std::move(key)}) {}
 
-  IndexedLookupNode(IndexedRelationBasePtr rel, std::vector<Value> keys)
+  IndexedLookupNode(IndexedRelationBasePtr rel, std::vector<Value> keys,
+                    std::vector<int> key_params = {})
       : LogicalPlan(PlanKind::kIndexedLookup, {}, rel->schema()),
         rel_(std::move(rel)),
-        keys_(std::move(keys)) {}
+        keys_(std::move(keys)),
+        key_params_(std::move(key_params)) {}
 
   const IndexedRelationBasePtr& relation() const { return rel_; }
   const std::vector<Value>& keys() const { return keys_; }
+  /// Parallel to keys(); see SnapshotLookupNode::key_params.
+  const std::vector<int>& key_params() const { return key_params_; }
   /// Convenience for the single-key case.
   const Value& key() const { return keys_[0]; }
   std::string ToString() const override;
@@ -463,6 +474,7 @@ class IndexedLookupNode : public LogicalPlan {
  private:
   IndexedRelationBasePtr rel_;
   std::vector<Value> keys_;
+  std::vector<int> key_params_;
 };
 
 /// Secondary-index probe (leaf): the rows of an indexed relation — live or

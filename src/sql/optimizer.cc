@@ -95,6 +95,8 @@ bool IsLiteral(const ExprPtr& e) { return e->kind() == ExprKind::kLiteral; }
 
 bool AllLiteral(const ExprPtr& e) {
   if (e->kind() == ExprKind::kColumnRef) return false;
+  // A parameter is a hole, not a constant: it folds only after binding.
+  if (e->kind() == ExprKind::kParameterRef) return false;
   if (IsLiteral(e)) return true;
   for (const ExprPtr& c : e->children()) {
     if (!AllLiteral(c)) return false;

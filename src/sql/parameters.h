@@ -1,0 +1,56 @@
+// Prepared-statement parameter machinery over analyzed logical plans
+// (DESIGN.md §15). A prepared SQL text parses to a plan holding untyped
+// ParameterRef placeholders; this module
+//
+//  1. infers each parameter's type from its context (the sibling operand
+//     of a comparison or arithmetic op, kBool in boolean position, kString
+//     under LIKE), rejecting statements where a parameter's type is
+//     ambiguous or undeterminable,
+//  2. rewrites the analyzed tree with typed placeholders (schemas are
+//     preserved, so the tree needs no re-analysis), and
+//  3. provides the execution-side binding paths: full literal substitution
+//     (the generic fallback that re-optimizes per execution) and the
+//     patchability test that decides whether a cached physical plan can
+//     instead re-bind parameters in place (compiled-predicate immediate
+//     slots, interpreted filter/project expressions, lookup key slots).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/logical_plan.h"
+
+namespace idf {
+
+/// True if any expression (or lookup key slot) in the plan references a
+/// parameter.
+bool PlanHasParameters(const LogicalPlanPtr& plan);
+
+/// Infers the type of each of `num_params` parameters from its context in
+/// the analyzed plan. Fails when a parameter is never referenced, is
+/// referenced in a context that fixes no type (e.g. `$1 = $2`), or is
+/// used with conflicting non-numeric types. Conflicting numeric uses
+/// widen (kFloat64 if any use is, else kInt64).
+Result<std::vector<TypeId>> InferParameterTypes(const LogicalPlanPtr& plan,
+                                                int num_params);
+
+/// Rewrites the analyzed plan with every untyped ParameterRef replaced by
+/// one typed per `types` (index = ordinal). Node schemas are preserved.
+Result<LogicalPlanPtr> ApplyParameterTypes(const LogicalPlanPtr& plan,
+                                           const std::vector<TypeId>& types);
+
+/// Replaces every ParameterRef in the plan with a literal of the
+/// corresponding value (already coerced to the declared types). This is
+/// the generic execution path: the result is an ordinary plan that can be
+/// re-optimized and run as if the user had written the literals inline.
+Result<LogicalPlanPtr> BindPlanParameters(const LogicalPlanPtr& plan,
+                                          const std::vector<Value>& params);
+
+/// True when the *optimized* plan confines parameters to positions the
+/// physical operators can re-bind per execution without re-planning:
+/// Filter predicates, Project expressions, indexed-join build predicates,
+/// and lookup key slots. A parameter anywhere else (aggregate or sort
+/// expressions, join keys, ...) forces the substitute-and-replan fallback.
+bool PlanIsParameterPatchable(const LogicalPlanPtr& optimized);
+
+}  // namespace idf

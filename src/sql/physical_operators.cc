@@ -77,10 +77,22 @@ void ScanColumn(const std::vector<uint8_t>& validity, size_t n, CompareOp op,
 Result<PartitionVec> FilterOp::Execute(ExecutorContext& ctx) {
   IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
 
+  // Prepared-statement parameters resolve to literals per execution; the
+  // operator (and thus the cached plan) stays parameterized.
+  ExprPtr predicate = predicate_;
+  if (ExprHasParameters(predicate)) {
+    const std::vector<Value>* params = ctx.parameters();
+    if (params == nullptr) {
+      return Status::Internal(
+          "parameterized filter executed without bound parameters");
+    }
+    IDF_ASSIGN_OR_RETURN(predicate, SubstituteParameters(predicate, *params));
+  }
+
   CompareOp op;
   int col = -1;
   Value literal;
-  const bool fast = MatchComparisonFilter(predicate_, &op, &col, &literal);
+  const bool fast = MatchComparisonFilter(predicate, &op, &col, &literal);
 
   PartitionVec out(input.size());
   Status first_error;
@@ -157,7 +169,7 @@ Result<PartitionVec> FilterOp::Execute(ExecutorContext& ctx) {
     ctx.metrics().AddRowsScanned(rows.size());
     RowVec kept;
     for (Row& row : rows) {
-      auto v = predicate_->Eval(row);
+      auto v = predicate->Eval(row);
       if (!v.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (first_error.ok()) first_error = v.status();
@@ -180,10 +192,22 @@ Result<PartitionVec> FilterOp::Execute(ExecutorContext& ctx) {
 Result<PartitionVec> ProjectOp::Execute(ExecutorContext& ctx) {
   IDF_ASSIGN_OR_RETURN(PartitionVec input, children()[0]->Execute(ctx));
 
+  // Resolve prepared-statement parameters to literals per execution.
+  std::vector<ExprPtr> exprs = exprs_;
+  for (ExprPtr& e : exprs) {
+    if (!ExprHasParameters(e)) continue;
+    const std::vector<Value>* params = ctx.parameters();
+    if (params == nullptr) {
+      return Status::Internal(
+          "parameterized projection executed without bound parameters");
+    }
+    IDF_ASSIGN_OR_RETURN(e, SubstituteParameters(e, *params));
+  }
+
   // All-column-refs projections over columnar data just remap indices.
   bool all_refs = true;
   std::vector<int> ref_indices;
-  for (const ExprPtr& e : exprs_) {
+  for (const ExprPtr& e : exprs) {
     if (e->kind() == ExprKind::kColumnRef &&
         static_cast<const ColumnRefExpr*>(e.get())->bound()) {
       ref_indices.push_back(static_cast<const ColumnRefExpr*>(e.get())->index());
@@ -214,8 +238,8 @@ Result<PartitionVec> ProjectOp::Execute(ExecutorContext& ctx) {
     produced.reserve(rows.size());
     for (const Row& row : rows) {
       Row next;
-      next.reserve(exprs_.size());
-      for (const ExprPtr& e : exprs_) {
+      next.reserve(exprs.size());
+      for (const ExprPtr& e : exprs) {
         auto v = e->Eval(row);
         if (!v.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);

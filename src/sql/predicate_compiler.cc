@@ -126,6 +126,7 @@ class PredicateCompiler {
         return EmitComparison(static_cast<const ComparisonExpr*>(e.get()), out);
       case ExprKind::kArithmetic:
       case ExprKind::kLike:
+      case ExprKind::kParameterRef:  // a bare parameter as a predicate
         return false;  // interpreter-only
     }
     return false;
@@ -147,54 +148,81 @@ class PredicateCompiler {
     CompareOp op = cmp->op();
     const ColumnRefExpr* ref = nullptr;
     const Value* lit = nullptr;
-    if (lhs->kind() == ExprKind::kColumnRef && rhs->kind() == ExprKind::kLiteral) {
-      ref = static_cast<const ColumnRefExpr*>(lhs.get());
-      lit = &static_cast<const LiteralExpr*>(rhs.get())->value();
-    } else if (lhs->kind() == ExprKind::kLiteral &&
-               rhs->kind() == ExprKind::kColumnRef) {
-      ref = static_cast<const ColumnRefExpr*>(rhs.get());
-      lit = &static_cast<const LiteralExpr*>(lhs.get())->value();
+    const ParameterRefExpr* param = nullptr;
+    // Accepts `column <op> immediate` where the immediate is a literal or
+    // a typed prepared-statement parameter (a patchable slot).
+    auto classify = [&](const ExprPtr& col_side, const ExprPtr& imm_side) {
+      if (col_side->kind() != ExprKind::kColumnRef) return false;
+      if (imm_side->kind() == ExprKind::kLiteral) {
+        ref = static_cast<const ColumnRefExpr*>(col_side.get());
+        lit = &static_cast<const LiteralExpr*>(imm_side.get())->value();
+        return true;
+      }
+      if (imm_side->kind() == ExprKind::kParameterRef) {
+        const auto* p = static_cast<const ParameterRefExpr*>(imm_side.get());
+        // Untyped or absurdly-numbered parameters stay on the interpreter
+        // (Inst.param is 16-bit).
+        if (!p->type().has_value() || p->ordinal() < 0 ||
+            p->ordinal() > INT16_MAX) {
+          return false;
+        }
+        ref = static_cast<const ColumnRefExpr*>(col_side.get());
+        param = p;
+        return true;
+      }
+      return false;
+    };
+    if (classify(lhs, rhs)) {
+    } else if (classify(rhs, lhs)) {
       op = MirrorOp(op);
     } else {
       return false;  // column-vs-column etc.: interpreter
     }
     if (!ref->bound()) return false;
     // Comparing anything with a null literal is NULL without reading the
-    // column at all.
-    if (lit->is_null()) return Push(out, Const(kN));
+    // column at all. (A null *parameter* takes the same shape at bind
+    // time: BindParams rewrites its slot to a constant NULL.)
+    if (lit != nullptr && lit->is_null()) return Push(out, Const(kN));
 
     CompiledPredicate::Inst inst = ColumnInst(ref->index());
     inst.cmp = op;
     const TypeId col_type = schema_.field(ref->index()).type;
+    // The immediate's static type: parameters compare under their declared
+    // type (bindings are coerced to it before patching).
+    const bool imm_is_string =
+        lit != nullptr ? lit->is_string() : *param->type() == TypeId::kString;
+    const bool imm_is_double =
+        lit != nullptr ? lit->is_double() : *param->type() == TypeId::kFloat64;
     switch (col_type) {
       case TypeId::kString:
-        if (!lit->is_string()) return false;  // mixed-type: interpreter
+        if (!imm_is_string) return false;  // mixed-type: interpreter
         inst.op = CompiledPredicate::OpCode::kCmpString;
         inst.imm_str = static_cast<uint32_t>(out->strings_.size());
-        out->strings_.push_back(lit->string_value());
-        return Push(out, inst);
+        out->strings_.push_back(lit != nullptr ? lit->string_value()
+                                               : std::string());
+        return PushImm(out, inst, param);
       case TypeId::kFloat64:
-        if (lit->is_string()) return false;
+        if (imm_is_string) return false;
         inst.op = CompiledPredicate::OpCode::kCmpDouble;
-        inst.imm_f64 = lit->AsDouble();
-        return Push(out, inst);
+        if (lit != nullptr) inst.imm_f64 = lit->AsDouble();
+        return PushImm(out, inst, param);
       case TypeId::kBool:
       case TypeId::kInt32:
       case TypeId::kInt64:
       case TypeId::kTimestamp:
-        if (lit->is_string()) return false;
-        if (lit->is_double()) {
+        if (imm_is_string) return false;
+        if (imm_is_double) {
           // The interpreter widens either-double comparisons to double.
           inst.op = CompiledPredicate::OpCode::kCmpIntAsDouble;
           inst.imm_tri = col_type == TypeId::kInt32 ? 1 : 0;
-          inst.imm_f64 = lit->double_value();
+          if (lit != nullptr) inst.imm_f64 = lit->double_value();
         } else {
           inst.op = col_type == TypeId::kInt32
                         ? CompiledPredicate::OpCode::kCmpInt32
                         : CompiledPredicate::OpCode::kCmpInt64;
-          inst.imm_i64 = lit->AsInt64();
+          if (lit != nullptr) inst.imm_i64 = lit->AsInt64();
         }
-        return Push(out, inst);
+        return PushImm(out, inst, param);
     }
     return false;
   }
@@ -211,6 +239,17 @@ class PredicateCompiler {
     if (++depth_ > CompiledPredicate::kMaxStack) return false;
     out->insts_.push_back(inst);
     return true;
+  }
+
+  /// Push for comparison instructions whose immediate may come from a
+  /// parameter slot; marks the slot when `param` is set.
+  bool PushImm(CompiledPredicate* out, CompiledPredicate::Inst inst,
+               const ParameterRefExpr* param) {
+    if (param != nullptr) {
+      inst.param = static_cast<int16_t>(param->ordinal());
+      out->has_params_ = true;
+    }
+    return Push(out, inst);
   }
 
   const Schema& schema_;
@@ -324,6 +363,54 @@ TriBool CompiledPredicate::EvalEncoded(const uint8_t* payload) const {
     }
   }
   return static_cast<TriBool>(stack[0]);
+}
+
+Result<CompiledPredicate> CompiledPredicate::BindParams(
+    const std::vector<Value>& params) const {
+  CompiledPredicate bound = *this;
+  bound.has_params_ = false;
+  for (Inst& inst : bound.insts_) {
+    if (inst.param < 0) continue;
+    if (static_cast<size_t>(inst.param) >= params.size()) {
+      return Status::Internal(
+          "compiled predicate references parameter $" +
+          std::to_string(inst.param + 1) + " but only " +
+          std::to_string(params.size()) + " bindings were supplied");
+    }
+    const Value& v = params[static_cast<size_t>(inst.param)];
+    if (v.is_null()) {
+      // `col <op> NULL` is NULL without reading the column, exactly like
+      // a null literal at compile time. The rewrite keeps the program's
+      // stack effect (both push one value).
+      Inst null_const{};
+      null_const.op = OpCode::kConst;
+      null_const.imm_tri = static_cast<uint8_t>(TriBool::kNull);
+      inst = null_const;
+      continue;
+    }
+    switch (inst.op) {
+      case OpCode::kCmpInt64:
+      case OpCode::kCmpInt32:
+        inst.imm_i64 = v.AsInt64();
+        break;
+      case OpCode::kCmpIntAsDouble:
+      case OpCode::kCmpDouble:
+        inst.imm_f64 = v.AsDouble();
+        break;
+      case OpCode::kCmpString:
+        if (!v.is_string()) {
+          return Status::Internal("string parameter slot bound to " +
+                                  v.ToString());
+        }
+        bound.strings_[inst.imm_str] = v.string_value();
+        break;
+      default:
+        return Status::Internal(
+            "parameter slot on a non-comparison instruction");
+    }
+    inst.param = -1;
+  }
+  return bound;
 }
 
 PredicateSplit SplitForCompilation(const ExprPtr& predicate,

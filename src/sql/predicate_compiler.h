@@ -42,7 +42,21 @@ class CompiledPredicate {
                                                   const Schema& schema);
 
   /// Three-valued evaluation directly against an encoded payload.
+  /// Programs with unbound parameter slots must be BindParams()ed first.
   TriBool EvalEncoded(const uint8_t* payload) const;
+
+  /// True when the program contains parameter slots (comparisons against
+  /// prepared-statement placeholders) that must be patched before
+  /// evaluation.
+  bool has_params() const { return has_params_; }
+
+  /// Returns a copy of the program with every parameter slot patched to
+  /// the corresponding value (already coerced to the parameter's declared
+  /// type). A null binding turns its comparison into a constant NULL,
+  /// matching the interpreter's `col <op> NULL` semantics. This is the
+  /// re-bind path of the prepared-statement cache: patching immediates is
+  /// O(#insts) and never recompiles the expression.
+  Result<CompiledPredicate> BindParams(const std::vector<Value>& params) const;
 
   /// Filter semantics: keep the row iff the predicate is TRUE (not NULL).
   bool Matches(const uint8_t* payload) const {
@@ -78,6 +92,7 @@ class CompiledPredicate {
     uint32_t null_byte = 0;          // byte offset of the column's null bit
     uint8_t null_mask = 0;
     uint8_t imm_tri = 0;   // kConst value / kIsNull negation / int32 flag
+    int16_t param = -1;    // parameter ordinal feeding the immediate, or -1
     int64_t imm_i64 = 0;
     double imm_f64 = 0;
     uint32_t imm_str = 0;  // index into strings_
@@ -87,6 +102,7 @@ class CompiledPredicate {
 
   std::vector<Inst> insts_;
   std::vector<std::string> strings_;
+  bool has_params_ = false;
 };
 
 /// A filter predicate split into a compiled conjunction and an interpreter

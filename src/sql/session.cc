@@ -93,6 +93,10 @@ Result<PhysicalOpPtr> Session::PlanQuery(const LogicalPlanPtr& plan) {
   return planner_.Plan(optimized);
 }
 
+Result<PhysicalOpPtr> Session::PlanOptimized(const LogicalPlanPtr& optimized) {
+  return planner_.Plan(optimized);
+}
+
 Result<PartitionVec> Session::ExecutePartitions(const LogicalPlanPtr& plan) {
   IDF_ASSIGN_OR_RETURN(PhysicalOpPtr op, PlanQuery(plan));
   return op->Execute(*exec_);

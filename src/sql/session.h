@@ -68,6 +68,11 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Full pipeline: analyze -> optimize -> plan.
   Result<PhysicalOpPtr> PlanQuery(const LogicalPlanPtr& plan);
 
+  /// Lowers an already-optimized plan without re-analyzing or
+  /// re-optimizing (the plan-cache rebind path: prepared statements lower
+  /// a cached optimized tree against fresh snapshot pins).
+  Result<PhysicalOpPtr> PlanOptimized(const LogicalPlanPtr& optimized);
+
   /// Analyze + optimize only (inspection and tests).
   Result<LogicalPlanPtr> OptimizeOnly(const LogicalPlanPtr& plan);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sql/analyzer.h"
+#include "sql/parameters.h"
 #include "sql/session.h"
 
 namespace idf {
@@ -21,6 +22,7 @@ enum class TokKind : uint8_t {
   kInt,
   kFloat,
   kString,
+  kParam,  // `?` or `$n` placeholder; text = zero-based ordinal
   kComma,
   kLParen,
   kRParen,
@@ -49,10 +51,17 @@ Status LexError(size_t pos, const std::string& msg) {
                                  msg);
 }
 
-Result<std::vector<Token>> Lex(const std::string& sql) {
+/// Lexes `sql`. Placeholder ordinals are assigned here, in textual order:
+/// each `?` takes the next ordinal, `$n` is explicit (1-based in SQL,
+/// stored 0-based). `num_params` (optional) receives the binding count —
+/// the `?` count, or the highest `$n`. Mixing the two styles is an error.
+Result<std::vector<Token>> Lex(const std::string& sql,
+                               int* num_params = nullptr) {
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = sql.size();
+  int qmark_count = 0;
+  int max_dollar = 0;
   while (i < n) {
     char c = sql[i];
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -103,6 +112,24 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
       }
       out.push_back(Token{TokKind::kString, std::move(text), start});
       i = j + 1;
+      continue;
+    }
+    if (c == '?') {
+      out.push_back(Token{TokKind::kParam, std::to_string(qmark_count), start});
+      ++qmark_count;
+      ++i;
+      continue;
+    }
+    if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j == i + 1) return LexError(start, "expected digits after '$'");
+      if (j - i - 1 > 6) return LexError(start, "parameter number too large");
+      int one_based = std::stoi(sql.substr(i + 1, j - i - 1));
+      if (one_based < 1) return LexError(start, "parameters are numbered from $1");
+      max_dollar = std::max(max_dollar, one_based);
+      out.push_back(Token{TokKind::kParam, std::to_string(one_based - 1), start});
+      i = j;
       continue;
     }
     auto push = [&](TokKind k, size_t len) {
@@ -164,6 +191,12 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
         return LexError(start, std::string("unexpected character '") + c + "'");
     }
   }
+  if (qmark_count > 0 && max_dollar > 0) {
+    return LexError(0, "cannot mix '?' and '$n' parameter styles");
+  }
+  if (num_params != nullptr) {
+    *num_params = qmark_count > 0 ? qmark_count : max_dollar;
+  }
   out.push_back(Token{TokKind::kEnd, "", n});
   return out;
 }
@@ -194,8 +227,11 @@ struct SelectItem {
 
 class Parser {
  public:
-  Parser(SessionPtr session, std::vector<Token> tokens)
-      : session_(std::move(session)), tokens_(std::move(tokens)) {}
+  Parser(SessionPtr session, std::vector<Token> tokens,
+         bool allow_params = false)
+      : session_(std::move(session)),
+        tokens_(std::move(tokens)),
+        allow_params_(allow_params) {}
 
   Result<DataFrame> ParseSelect();
 
@@ -300,8 +336,17 @@ class Parser {
   Result<AggSpec> ParseAggregateCall();
   std::optional<AggFn> PeekAggregate() const;
 
+  /// Consumes a kParam token into a (still untyped) ParameterRefExpr.
+  Result<ExprPtr> ParseParam() {
+    if (!allow_params_) {
+      return Error("parameters are only allowed in prepared statements");
+    }
+    return Param(std::stoi(Advance().text));
+  }
+
   SessionPtr session_;
   std::vector<Token> tokens_;
+  bool allow_params_ = false;
   size_t pos_ = 0;
   std::vector<FromEntry> from_;
   LogicalPlanPtr plan_;  // running FROM/JOIN plan
@@ -481,6 +526,8 @@ Result<ExprPtr> Parser::ParsePrimary() {
       IDF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
       return Lit(std::move(v));
     }
+    case TokKind::kParam:
+      return ParseParam();
     case TokKind::kIdent: {
       std::string up = Upper(t.text);
       if (up == "TRUE" || up == "FALSE" || up == "NULL") {
@@ -600,8 +647,14 @@ Result<ExprPtr> Parser::ParseComparison() {
     IDF_RETURN_NOT_OK(Expect(TokKind::kLParen, "( after IN"));
     ExprPtr disjunction;
     for (;;) {
-      IDF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
-      ExprPtr eq = Eq(left, Lit(std::move(v)));
+      ExprPtr element;
+      if (Peek().kind == TokKind::kParam) {
+        IDF_ASSIGN_OR_RETURN(element, ParseParam());
+      } else {
+        IDF_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        element = Lit(std::move(v));
+      }
+      ExprPtr eq = Eq(left, std::move(element));
       disjunction = disjunction ? Or(std::move(disjunction), std::move(eq))
                                 : std::move(eq);
       if (!Accept(TokKind::kComma)) break;
@@ -970,6 +1023,25 @@ Result<DataFrame> ParseSql(const SessionPtr& session, const std::string& sql) {
   IDF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
   Parser parser(session, std::move(tokens));
   return parser.ParseSelect();
+}
+
+Result<PreparedParse> ParseSqlPrepared(const SessionPtr& session,
+                                       const std::string& sql) {
+  int num_params = 0;
+  IDF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql, &num_params));
+  Parser parser(session, std::move(tokens), /*allow_params=*/true);
+  IDF_ASSIGN_OR_RETURN(DataFrame df, parser.ParseSelect());
+  // The parse analyzed the plan with untyped placeholders; pin every
+  // parameter's type from its context, then rewrite the tree with typed
+  // ParameterRefs (schemas are preserved, so no re-analysis happens).
+  IDF_ASSIGN_OR_RETURN(std::vector<TypeId> types,
+                       InferParameterTypes(df.plan(), num_params));
+  IDF_ASSIGN_OR_RETURN(LogicalPlanPtr typed,
+                       ApplyParameterTypes(df.plan(), types));
+  PreparedParse out;
+  out.plan = std::move(typed);
+  out.param_types = std::move(types);
+  return out;
 }
 
 }  // namespace idf

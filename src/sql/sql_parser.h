@@ -25,9 +25,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "sql/dataframe.h"
+#include "types/schema.h"
 
 namespace idf {
 
@@ -35,6 +37,22 @@ class Session;
 
 /// Parses `sql` against the session's registered tables and returns the
 /// (lazy) DataFrame for it. Errors carry a position-annotated message.
+/// Placeholders (`?` / `$n`) are rejected here — use ParseSqlPrepared.
 Result<DataFrame> ParseSql(const SessionPtr& session, const std::string& sql);
+
+/// A parsed prepared statement: the analyzed plan with typed ParameterRef
+/// placeholders, plus each parameter's inferred type (index = ordinal).
+struct PreparedParse {
+  LogicalPlanPtr plan;
+  std::vector<TypeId> param_types;
+};
+
+/// Prepared-statement variant of ParseSql: `?` (auto-numbered in textual
+/// order) and `$n` (explicit, 1-based) placeholders are accepted anywhere
+/// a literal may appear in an expression, and their types are inferred
+/// from context (sql/parameters.h). Fails when a parameter's type cannot
+/// be inferred or a `$n` below the maximum is never referenced.
+Result<PreparedParse> ParseSqlPrepared(const SessionPtr& session,
+                                       const std::string& sql);
 
 }  // namespace idf
